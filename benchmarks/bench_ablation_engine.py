@@ -1,0 +1,74 @@
+"""ABL-ENGINE — ablation: kd-tree vs classic range tree engine.
+
+Design choice under study (DESIGN.md substitution 2): the mapped-space
+range search runs on a dynamic kd-tree by default; the textbook multi-level
+range tree is faithful to the paper's analysis but carries
+Θ(n log^{k-1} n) memory.  Outputs must be identical; this ablation measures
+the build/query/memory trade at small scale where both are feasible.
+
+Run ``python benchmarks/bench_ablation_engine.py`` for the table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.harness import TableReporter, time_callable
+from repro.core.ptile_threshold import PtileThresholdIndex
+from repro.geometry.rectangle import Rectangle
+from repro.synopsis.exact import ExactSynopsis
+from repro.workloads.generators import synthetic_data_lake
+
+QUERY = Rectangle([0.1], [0.6])
+
+
+def build(engine: str, syns, sample_size: int):
+    return PtileThresholdIndex(
+        syns,
+        eps=0.15,
+        sample_size=sample_size,
+        engine=engine,
+        rng=np.random.default_rng(4),
+    )
+
+
+def run_case(n: int, sample_size: int, seed: int) -> list[list]:
+    rng = np.random.default_rng(seed)
+    lake = synthetic_data_lake(n, 1, rng, median_size=300, size_sigma=0.3)
+    syns = [ExactSynopsis(p) for p in lake]
+    rows = []
+    results = {}
+    for engine in ("kd", "rangetree"):
+        b = time_callable(lambda e=engine: build(e, syns, sample_size), repeats=1)
+        index = build(engine, syns, sample_size)
+        q = time_callable(lambda: index.query(QUERY, 0.3), repeats=5)
+        results[engine] = index.query(QUERY, 0.3).index_set
+        rows.append([engine, n, sample_size, index.n_mapped_points, b, q])
+    assert results["kd"] == results["rangetree"], "engines must agree exactly"
+    return rows
+
+
+def main() -> None:
+    table = TableReporter(
+        "ABL-ENGINE: kd-tree vs classic range tree (identical outputs)",
+        ["engine", "N", "coreset s", "mapped pts", "build (s)", "query (s)"],
+    )
+    for n, s in ((30, 8), (60, 8), (60, 16)):
+        for row in run_case(n, s, seed=n):
+            table.add_row(row)
+    table.print()
+    print("Ablation: both engines return identical index sets on every query;")
+    print("the kd-tree builds faster and scales to the R^{4d+2} mapped spaces")
+    print("where the multi-level range tree's memory is prohibitive — the")
+    print("trade documented in DESIGN.md substitution 2.")
+
+
+def test_abl_engine_rangetree_query(benchmark):
+    rng = np.random.default_rng(14)
+    lake = synthetic_data_lake(40, 1, rng, median_size=300, size_sigma=0.3)
+    index = build("rangetree", [ExactSynopsis(p) for p in lake], 8)
+    benchmark(lambda: index.query(QUERY, 0.3))
+
+
+if __name__ == "__main__":
+    main()

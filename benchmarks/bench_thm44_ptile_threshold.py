@@ -1,0 +1,117 @@
+"""T-4.4 — Theorem 4.4: the Ptile threshold structure, measured.
+
+Paper claims: ~O(N) space/preprocessing; ~O(1 + OUT) query time; recall 1;
+every reported dataset within eps + 2*delta of the threshold (after the
+theorem's eps-halving; our implementation exposes the algorithmic
+2*eps_effective slack).  We sweep N, verify the guarantees per query, and
+fit log-log slopes: construction ~linear in N, query time growing far
+slower than the Ω(N) scan baseline.
+
+Run ``python benchmarks/bench_thm44_ptile_threshold.py`` for the tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.linear_scan import LinearScanPtile
+from repro.bench.harness import TableReporter, fit_loglog_slope, time_callable
+from repro.core.ptile_threshold import PtileThresholdIndex
+from repro.geometry.interval import Interval
+from repro.geometry.rectangle import Rectangle
+from repro.synopsis.exact import ExactSynopsis
+from repro.workloads.generators import dataset_with_mass
+
+QUERY = Rectangle([0.0], [0.25])
+A_THETA = 0.5
+SAMPLE_SIZE = 20
+
+
+def planted_lake(n: int, rng: np.random.Generator):
+    """Datasets with masses spread over [0, 1] in QUERY; ground truth known."""
+    datasets, masses = [], []
+    for i in range(n):
+        mass = (i % 20) / 20 + 0.025
+        pts = dataset_with_mass(400, QUERY, mass, rng)
+        datasets.append(pts)
+        masses.append(QUERY.count_inside(pts) / 400)
+    return datasets, masses
+
+
+def run_scale(n: int, seed: int) -> dict:
+    rng = np.random.default_rng(seed)
+    datasets, masses = planted_lake(n, rng)
+    syns = [ExactSynopsis(p) for p in datasets]
+    build_time = time_callable(
+        lambda: PtileThresholdIndex(
+            syns, eps=0.1, sample_size=SAMPLE_SIZE, rng=np.random.default_rng(1)
+        ),
+        repeats=1,
+    )
+    index = PtileThresholdIndex(
+        syns, eps=0.1, sample_size=SAMPLE_SIZE, rng=np.random.default_rng(1)
+    )
+    scan = LinearScanPtile(datasets, mode="tree")
+    truth = {i for i, m in enumerate(masses) if m >= A_THETA}
+    result = index.query(QUERY, A_THETA)
+    recall = 1.0 if truth <= result.index_set else 0.0
+    slack = 2 * index.eps_effective
+    worst_fp = min((masses[j] for j in result.indexes), default=1.0)
+    q_index = time_callable(lambda: index.query(QUERY, A_THETA), repeats=3)
+    q_scan = time_callable(
+        lambda: scan.query(QUERY, Interval(A_THETA, 1.0)), repeats=3
+    )
+    return {
+        "n": n,
+        "build": build_time,
+        "points": index.n_mapped_points,
+        "recall": recall,
+        "precision_ok": worst_fp >= A_THETA - slack - 1e-9,
+        "out": result.out_size,
+        "q_index": q_index,
+        "q_scan": q_scan,
+    }
+
+
+def main() -> None:
+    table = TableReporter(
+        "T-4.4: Ptile threshold structure vs N "
+        f"(R = [0, 0.25], a_theta = {A_THETA}, coreset = {SAMPLE_SIZE})",
+        ["N", "build (s)", "mapped pts", "OUT", "recall", "precision ok",
+         "query (s)", "scan (s)", "speedup"],
+    )
+    ns, builds, queries, scans = [], [], [], []
+    for n in (40, 80, 160, 320):
+        r = run_scale(n, seed=n)
+        table.add_row(
+            [
+                r["n"], r["build"], r["points"], r["out"],
+                r["recall"], r["precision_ok"], r["q_index"], r["q_scan"],
+                r["q_scan"] / max(r["q_index"], 1e-9),
+            ]
+        )
+        assert r["recall"] == 1.0 and r["precision_ok"]
+        ns.append(n)
+        builds.append(r["build"])
+        queries.append(r["q_index"])
+        scans.append(r["q_scan"])
+    table.print()
+    print(f"construction slope vs N : {fit_loglog_slope(ns, builds):.2f} (paper: ~1, i.e. ~O(N))")
+    print(f"index query slope vs N  : {fit_loglog_slope(ns, queries):.2f} (paper: ~O(1 + OUT); OUT grows with N here)")
+    print(f"scan  query slope vs N  : {fit_loglog_slope(ns, scans):.2f} (baseline: Ω(N))")
+    print("Shape check: the index beats the scan and scales sub-linearly in N")
+    print("once OUT is held fixed (see T-BASE for the OUT-controlled sweep).")
+
+
+def test_thm44_query(thr_index_1d, benchmark):
+    rect = Rectangle([0.2], [0.7])
+    benchmark(lambda: thr_index_1d.query(rect, 0.3))
+
+
+def test_thm44_scan_baseline(scan_1d, benchmark):
+    rect = Rectangle([0.2], [0.7])
+    benchmark(lambda: scan_1d.query(rect, Interval(0.3, 1.0)))
+
+
+if __name__ == "__main__":
+    main()

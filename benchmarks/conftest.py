@@ -1,0 +1,78 @@
+"""Shared fixtures for the benchmark suite.
+
+Expensive index constructions are session-scoped so the pytest-benchmark
+targets measure *queries*, not repeated builds.  Standalone sweeps (tables
+over N) live in each file's ``main()``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ptile_range import PtileRangeIndex
+from repro.core.ptile_threshold import PtileThresholdIndex
+from repro.core.pref_index import PrefIndex
+from repro.baselines.linear_scan import LinearScanPtile
+from repro.baselines.pref_scan import LinearScanPref
+from repro.synopsis.exact import ExactSynopsis
+from repro.workloads.generators import synthetic_data_lake
+
+#: Default repository size for single-shot benchmark targets.
+BENCH_N = 120
+#: Coreset size: keeps builds quick while exercising real structures.
+BENCH_SAMPLE = 24
+
+
+@pytest.fixture(scope="session")
+def bench_rng():
+    return np.random.default_rng(2025)
+
+
+@pytest.fixture(scope="session")
+def lake_1d(bench_rng):
+    return synthetic_data_lake(
+        BENCH_N, 1, bench_rng, family="clustered", median_size=800, size_sigma=0.4
+    )
+
+
+@pytest.fixture(scope="session")
+def lake_2d(bench_rng):
+    return synthetic_data_lake(
+        60, 2, bench_rng, family="clustered", median_size=600, size_sigma=0.4
+    )
+
+
+@pytest.fixture(scope="session")
+def thr_index_1d(lake_1d, bench_rng):
+    return PtileThresholdIndex(
+        [ExactSynopsis(p) for p in lake_1d],
+        eps=0.1,
+        sample_size=BENCH_SAMPLE,
+        rng=np.random.default_rng(7),
+    )
+
+
+@pytest.fixture(scope="session")
+def range_index_1d(lake_1d):
+    return PtileRangeIndex(
+        [ExactSynopsis(p) for p in lake_1d],
+        eps=0.1,
+        sample_size=BENCH_SAMPLE,
+        rng=np.random.default_rng(7),
+    )
+
+
+@pytest.fixture(scope="session")
+def pref_index_2d(lake_2d):
+    return PrefIndex([ExactSynopsis(p) for p in lake_2d], k=5, eps=0.1)
+
+
+@pytest.fixture(scope="session")
+def scan_1d(lake_1d):
+    return LinearScanPtile(lake_1d, mode="tree")
+
+
+@pytest.fixture(scope="session")
+def pref_scan_2d(lake_2d):
+    return LinearScanPref(lake_2d)

@@ -1,0 +1,79 @@
+"""Quickstart: index a synthetic data lake and search it by distribution.
+
+Demonstrates the core loop:
+
+1. build a repository of datasets,
+2. construct a :class:`~repro.DatasetSearchEngine`,
+3. search with percentile and preference predicates,
+4. compare against exact ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    DatasetSearchEngine,
+    PercentileMeasure,
+    PreferenceMeasure,
+    Rectangle,
+    Repository,
+    pred,
+)
+from repro.workloads.generators import synthetic_data_lake
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # 1. A repository of 40 two-dimensional datasets (a small data lake).
+    lake = synthetic_data_lake(40, 2, rng, family="clustered", median_size=1200)
+    repo = Repository.from_arrays(lake)
+    print(f"repository: {repo.n_datasets} datasets, {repo.total_points} points total")
+
+    # 2. The search engine (centralized setting: raw data access).
+    engine = DatasetSearchEngine(repository=repo, eps=0.1, rng=rng)
+
+    # 3a. Percentile query: datasets with >= 25% of their points in a region.
+    region = Rectangle([0.0, 0.0], [0.4, 0.4])
+    ptile_query = pred(PercentileMeasure(region), 0.25)
+    result = engine.search(ptile_query)
+    print(f"\n>= 25% of mass in {region}:")
+    print(f"  reported datasets: {result.indexes}")
+
+    # 3b. Preference query: datasets whose 10th-best point scores >= 1.0
+    #     under the linear preference 0.7*x0 + 0.7*x1.
+    direction = np.array([0.7, 0.7])
+    pref_query = pred(PreferenceMeasure(direction, k=10), 1.0)
+    result = engine.search(pref_query)
+    print(f"\n10th-largest projection on {direction} >= 1.0:")
+    print(f"  reported datasets: {result.indexes}")
+
+    # 3c. Both at once: a looser mass floor combined with the preference
+    #     threshold (high-scoring datasets that still cover the region).
+    combined = pred(PercentileMeasure(region), 0.10) & pref_query
+    result = engine.search(combined)
+    print("\nconjunction of the two predicates:")
+    print(f"  reported datasets: {result.indexes}")
+
+    # 4. Quality versus exact ground truth: recall is guaranteed to be 1.0;
+    #    false positives are within eps + 2*delta of the thresholds.
+    quality = engine.evaluate_quality(combined)
+    print("\nquality vs brute force:")
+    print(f"  exact answer size : {quality['truth_size']}")
+    print(f"  reported size     : {quality['reported_size']}")
+    print(f"  recall            : {quality['recall']:.3f}  (theorem: always 1.0)")
+    print(f"  precision         : {quality['precision']:.3f}")
+    print(
+        "\nnote: in 2-d the default coreset budget buys only eps_eff = "
+        f"{engine.ptile_index.eps_effective:.2f}, so 'near the threshold' is a"
+        "\nwide band — every extra report is within 2*eps_eff of the bounds."
+        "\nRaise sample_size (more memory) to tighten precision."
+    )
+    assert quality["recall"] == 1.0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Benchmark-harness utilities (timing, tables, scaling fits)."""
+
+from repro.bench.harness import TableReporter, fit_loglog_slope, time_callable
+
+__all__ = ["TableReporter", "fit_loglog_slope", "time_callable"]

@@ -1,0 +1,92 @@
+"""Small utilities shared by the benchmark scripts.
+
+Every ``benchmarks/bench_*.py`` prints its experiment as an aligned text
+table (the "rows/series the paper reports" — here, the claims of each
+theorem/figure) and, where scaling shape matters, a log-log slope fit.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Sequence
+
+
+def time_callable(fn: Callable[[], object], repeats: int = 5) -> float:
+    """Median wall-clock seconds of ``fn()`` over ``repeats`` runs."""
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    times.sort()
+    return times[len(times) // 2]
+
+
+def fit_loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(x).
+
+    Slope ~1 means linear scaling, ~0 means constant/polylog — the
+    "shape" statistic used to compare our indexes with the Ω(N) baselines.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) pairs")
+    lx = [math.log(max(x, 1e-12)) for x in xs]
+    ly = [math.log(max(y, 1e-12)) for y in ys]
+    n = len(lx)
+    mx = sum(lx) / n
+    my = sum(ly) / n
+    denom = sum((a - mx) ** 2 for a in lx)
+    if denom == 0.0:
+        return 0.0
+    return sum((a - mx) * (b - my) for a, b in zip(lx, ly)) / denom
+
+
+class TableReporter:
+    """Aligned text tables for benchmark output.
+
+    Examples
+    --------
+    >>> t = TableReporter("demo", ["N", "time"])
+    >>> t.add_row([10, 0.5])
+    >>> t.add_row([100, 1.5])
+    >>> len(t.render().splitlines()) >= 4
+    True
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = [str(c) for c in columns]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Sequence[object]) -> None:
+        """Append one row; floats are formatted compactly."""
+        if len(values) != len(self.columns):
+            raise ValueError("row width does not match column count")
+        formatted = []
+        for v in values:
+            if isinstance(v, float):
+                formatted.append(f"{v:.4g}")
+            else:
+                formatted.append(str(v))
+        self.rows.append(formatted)
+
+    def render(self) -> str:
+        """The full table as a string."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines = [f"== {self.title} ==", header, sep]
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print the table followed by a blank line."""
+        print(self.render())
+        print()

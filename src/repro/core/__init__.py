@@ -1,0 +1,55 @@
+"""The paper's primary contribution: distribution-aware indexing.
+
+This subpackage implements the theoretical framework of Section 1.1 and all
+data structures of Sections 4-5 and Appendices C-D:
+
+- :mod:`~repro.core.framework` — datasets, repositories, schemas.
+- :mod:`~repro.core.measures` — percentile (``F_□``) and top-k preference
+  (``F_k``) measure functions.
+- :mod:`~repro.core.predicates` — range/threshold predicates and logical
+  expressions (conjunction/disjunction ASTs).
+- :mod:`~repro.core.ptile_threshold` — Algorithms 1-2 (Theorem 4.4).
+- :mod:`~repro.core.ptile_range` — Algorithms 3-4 (Theorem 4.11).
+- :mod:`~repro.core.ptile_logical` — Appendix C.4 (Theorem C.8).
+- :mod:`~repro.core.ptile_exact_1d` — Appendix C.1 (Theorem C.5).
+- :mod:`~repro.core.pref_index` — Algorithms 5-6 (Theorem 5.4).
+- :mod:`~repro.core.pref_logical` — Appendix D.1 (Theorem D.4).
+- :mod:`~repro.core.engine` — a unified search engine routing arbitrary
+  logical expressions to the appropriate index.
+"""
+
+from repro.core.framework import Dataset, Repository
+from repro.core.measures import MeasureFunction, PercentileMeasure, PreferenceMeasure
+from repro.core.predicates import And, Or, Predicate, pred
+from repro.core.results import QueryResult
+from repro.core.ptile_threshold import PtileThresholdIndex
+from repro.core.ptile_range import PtileRangeIndex
+from repro.core.ptile_logical import PtileLogicalIndex
+from repro.core.ptile_exact_1d import ExactPtile1DIndex
+from repro.core.pref_index import PrefIndex
+from repro.core.pref_logical import PrefLogicalIndex
+from repro.core.engine import DatasetSearchEngine
+from repro.core.nn_index import NearestNeighborIndex
+from repro.core.diversity_index import DiversityIndex
+
+__all__ = [
+    "Dataset",
+    "Repository",
+    "MeasureFunction",
+    "PercentileMeasure",
+    "PreferenceMeasure",
+    "Predicate",
+    "And",
+    "Or",
+    "pred",
+    "QueryResult",
+    "PtileThresholdIndex",
+    "PtileRangeIndex",
+    "PtileLogicalIndex",
+    "ExactPtile1DIndex",
+    "PrefIndex",
+    "PrefLogicalIndex",
+    "DatasetSearchEngine",
+    "NearestNeighborIndex",
+    "DiversityIndex",
+]

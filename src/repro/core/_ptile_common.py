@@ -1,0 +1,243 @@
+"""Shared machinery of the two Ptile data structures (Sections 4.2-4.3).
+
+Both indexes follow the same recipe (Section 4.1):
+
+1. draw a coreset ``S_i`` of ``Theta(eps^-2 log(N/phi))`` samples from each
+   synopsis (an ``(eps+delta_i)``-sample by Lemma 2.1);
+2. enumerate combinatorially different rectangles over each coreset and map
+   them (or maximal pairs of them) to weighted points in a higher-dimensional
+   space;
+3. index the mapped points with a dynamic range-search engine; and
+4. answer queries by repeated ``ReportFirst`` + temporary deletion of all
+   points of the reported dataset (Algorithms 2, 4).
+
+Per-dataset deltas (Remark 2) are supported exactly by storing *two* weight
+coordinates per mapped point, ``w + delta_i`` and ``w - delta_i``: the
+per-dataset slack then becomes a global box constraint
+(``w + delta_i >= a - eps`` and ``w - delta_i <= b + eps``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.results import QueryResult
+from repro.errors import ConstructionError, QueryError
+from repro.geometry.epsilon_sample import epsilon_of_sample_size, epsilon_sample_size
+from repro.geometry.rect_enum import RectangleGrid
+from repro.geometry.rectangle import Rectangle
+from repro.index.kd_tree import DynamicKDTree
+from repro.index.query_box import QueryBox
+from repro.index.range_tree import RangeTree
+from repro.synopsis.base import Synopsis
+
+#: Supported range-search engines (see DESIGN.md, substitution 2).
+ENGINES = ("kd", "rangetree")
+
+
+def resolve_deltas(
+    synopses: Sequence[Synopsis], delta: Optional[float]
+) -> list[float]:
+    """Per-dataset synopsis errors ``delta_i``.
+
+    ``delta`` overrides all synopsis-advertised errors (the paper's "known
+    global upper bound" setting); otherwise each synopsis' own
+    ``delta_ptile`` is used (Remark 2's per-dataset setting).
+    """
+    if delta is not None:
+        if not 0.0 <= delta < 1.0:
+            raise ConstructionError(f"delta must be in [0, 1), got {delta}")
+        return [float(delta)] * len(synopses)
+    deltas = []
+    for i, syn in enumerate(synopses):
+        d_i = syn.delta_ptile
+        if d_i is None:
+            raise ConstructionError(
+                f"synopsis {i} does not support the percentile class F_□"
+            )
+        deltas.append(float(min(d_i, 1.0 - 1e-12)))
+    return deltas
+
+
+#: Default cap on mapped points contributed by one dataset.  The rectangle
+#: enumeration grows as (s^2/2)^d in the coreset size s; this budget keeps
+#: the structure laptop-sized while the query slack is widened to the
+#: *effective* eps of the capped coreset so all guarantees stay honest.
+DEFAULT_POINT_BUDGET = 4096
+
+
+def max_sample_for_budget(dim: int, budget: int) -> int:
+    """Largest coreset size whose rectangle family fits the point budget."""
+    per_axis = budget ** (1.0 / dim)
+    # s(s+1)/2 <= per_axis  =>  s ~ sqrt(2 * per_axis)
+    s = int((2.0 * per_axis) ** 0.5)
+    return max(2, s)
+
+
+def resolve_sample_size(
+    eps: float,
+    phi: Optional[float],
+    n_datasets: int,
+    sample_size: Optional[int],
+    dim: int,
+    point_budget: int = DEFAULT_POINT_BUDGET,
+) -> int:
+    """Coreset size: explicit override, or the Theta(eps^-2 log(N/phi))
+    bound capped by the per-dataset mapped-point budget."""
+    if sample_size is not None:
+        if sample_size < 2:
+            raise ConstructionError("sample_size must be >= 2")
+        return int(sample_size)
+    phi_eff = phi if phi is not None else 1.0 / max(2, n_datasets)
+    theoretical = epsilon_sample_size(eps, phi_eff, n_datasets)
+    return min(theoretical, max_sample_for_budget(dim, point_budget))
+
+
+def draw_coreset(
+    synopsis: Synopsis, size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``S_i = S_{P_i}.Sample(size)`` with duplicate columns tolerated."""
+    sample = synopsis.sample(size, rng)
+    sample = np.asarray(sample, dtype=float)
+    if sample.ndim != 2 or sample.shape[0] == 0:
+        raise ConstructionError("synopsis returned an invalid sample")
+    return sample
+
+
+def build_engine(points: np.ndarray, ids: list, engine: str, leaf_size: int):
+    """Instantiate the configured range-search engine over mapped points."""
+    if engine == "kd":
+        return DynamicKDTree(points, ids=ids, leaf_size=leaf_size)
+    if engine == "rangetree":
+        return RangeTree(points, ids=ids)
+    raise ConstructionError(f"unknown engine {engine!r}; choose from {ENGINES}")
+
+
+class PtileIndexBase:
+    """Common bookkeeping for the threshold and range Ptile indexes."""
+
+    def __init__(
+        self,
+        synopses: Iterable[Synopsis],
+        eps: float,
+        phi: Optional[float],
+        delta: Optional[float],
+        sample_size: Optional[int],
+        engine: str,
+        leaf_size: int,
+        rng: Optional[np.random.Generator],
+    ) -> None:
+        self._synopses: dict[int, Synopsis] = {}
+        self._deltas: dict[int, float] = {}
+        self._coresets: dict[int, np.ndarray] = {}
+        self._point_ids: dict[int, list] = {}
+        syn_list = list(synopses)
+        if not syn_list:
+            raise ConstructionError("need at least one synopsis")
+        if not 0.0 < eps < 1.0:
+            raise ConstructionError(f"eps must be in (0, 1), got {eps}")
+        dims = {s.dim for s in syn_list}
+        if len(dims) != 1:
+            raise ConstructionError("all synopses must share the same dimension")
+        self.dim = dims.pop()
+        self.eps = float(eps)
+        self.engine_kind = engine
+        self._leaf_size = leaf_size
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._next_key = 0
+        self._phi_eff = phi if phi is not None else 1.0 / max(2, len(syn_list))
+        self._sample_size = resolve_sample_size(
+            eps, phi, len(syn_list), sample_size, self.dim
+        )
+        # If the coreset was capped below the theoretical size for the
+        # requested eps, widen the slack to the eps the coreset actually
+        # buys — the recall guarantee is preserved at reduced precision.
+        # ``eps_effective`` is a public attribute: callers who KNOW their
+        # synopsis samples are an exact cover (e.g. the paper's toy
+        # examples, or deterministic synopses) may assign it back to ``eps``.
+        self.eps_effective = max(
+            self.eps,
+            epsilon_of_sample_size(self._sample_size, self._phi_eff, len(syn_list)),
+        )
+        deltas = resolve_deltas(syn_list, delta)
+        self._pending = list(zip(syn_list, deltas))
+        self._tree = None
+
+    # ------------------------------------------------------------------
+    # Shared accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_datasets(self) -> int:
+        """Current number of indexed datasets."""
+        return len(self._synopses)
+
+    @property
+    def sample_size(self) -> int:
+        """Coreset size per dataset."""
+        return self._sample_size
+
+    @property
+    def keys(self) -> list[int]:
+        """Stable dataset keys (equal to 0..N-1 for a static repository)."""
+        return sorted(self._synopses)
+
+    @property
+    def n_mapped_points(self) -> int:
+        """Total number of mapped points stored in the engine."""
+        return sum(len(ids) for ids in self._point_ids.values())
+
+    def coreset(self, key: int) -> np.ndarray:
+        """The coreset ``S_i`` drawn for a dataset (for diagnostics/tests)."""
+        return self._coresets[key]
+
+    def delta_of(self, key: int) -> float:
+        """The synopsis error ``delta_i`` used for a dataset."""
+        return self._deltas[key]
+
+    def _check_query_rect(self, rect: Rectangle) -> None:
+        if rect.dim != self.dim:
+            raise QueryError(
+                f"query rectangle has dim {rect.dim}, index has dim {self.dim}"
+            )
+
+    # ------------------------------------------------------------------
+    # The report loop of Algorithms 2 and 4
+    # ------------------------------------------------------------------
+    def _report_loop(self, box: QueryBox, record_times: bool) -> QueryResult:
+        """Repeat ReportFirst; per hit, report the dataset and hide its points.
+
+        All deactivated points are re-activated before returning, restoring
+        the structure (Algorithm 2 line 7 / Algorithm 4 line 8).
+        """
+        result = QueryResult()
+        if record_times:
+            result.start_time = time.perf_counter()
+        reported: list[int] = []
+        deleted_total = 0
+        guard = self.n_datasets + 1
+        while True:
+            hit = self._tree.report_first(box)
+            if hit is None:
+                break
+            key = hit[0]
+            reported.append(key)
+            result.indexes.append(key)
+            if record_times:
+                result.emit_times.append(time.perf_counter())
+            for pid in self._point_ids[key]:
+                self._tree.deactivate(pid)
+            deleted_total += len(self._point_ids[key])
+            guard -= 1
+            if guard < 0:  # pragma: no cover - safety net
+                raise QueryError("report loop exceeded dataset count; corrupt state")
+        for key in reported:
+            for pid in self._point_ids[key]:
+                self._tree.activate(pid)
+        if record_times:
+            result.end_time = time.perf_counter()
+        result.stats["deleted_points"] = deleted_total
+        result.stats["loop_iterations"] = len(reported) + 1
+        return result

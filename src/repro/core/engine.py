@@ -1,0 +1,197 @@
+"""Unified distribution-aware dataset search engine.
+
+``DatasetSearchEngine`` is the user-facing facade: it accepts a repository
+(centralized setting) or a list of synopses (federated setting), lazily
+builds the appropriate data structures, and routes arbitrary logical
+expressions mixing percentile and preference predicates:
+
+- percentile leaves go to the Ptile range structure (Theorem 4.11), with
+  the threshold structure as a special case;
+- preference leaves go to a Pref structure per rank ``k`` (Theorem 5.4);
+- conjunctions/disjunctions combine index sets recursively, preserving the
+  per-leaf guarantees (recall is exact; precision error ``eps + 2 delta``
+  per leaf).
+
+The engine also computes exact ground truth (centralized only) so examples,
+tests and benchmarks can report recall/precision directly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.framework import Dataset, Repository
+from repro.core.measures import PercentileMeasure, PreferenceMeasure
+from repro.core.predicates import And, Expression, Or, Predicate
+from repro.core.ptile_range import PtileRangeIndex
+from repro.core.pref_index import PrefIndex
+from repro.core.results import QueryResult
+from repro.errors import ConstructionError, QueryError
+from repro.geometry.rectangle import Rectangle
+from repro.synopsis.base import Synopsis
+from repro.synopsis.exact import ExactSynopsis
+
+
+class DatasetSearchEngine:
+    """Search a repository of datasets by distributional predicates.
+
+    Parameters
+    ----------
+    synopses:
+        One synopsis per dataset (federated setting), or None to derive
+        exact synopses from ``repository`` (centralized setting).
+    repository:
+        The raw repository; optional in the federated setting (enables
+        ground-truth evaluation when present).
+    eps:
+        Accuracy parameter shared by all structures.
+    phi:
+        Coreset failure probability (default ``1/N``).
+    delta:
+        Optional global synopsis-error bound.
+    rng:
+        Randomness for coreset sampling.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core.predicates import pred
+    >>> rng = np.random.default_rng(0)
+    >>> repo = Repository.from_arrays([rng.uniform(0, 1, (400, 2)) for _ in range(6)])
+    >>> eng = DatasetSearchEngine(repository=repo, eps=0.1, rng=rng)
+    >>> expr = pred(PercentileMeasure(Rectangle([0, 0], [1, 1])), 0.9)
+    >>> sorted(eng.search(expr).indexes)
+    [0, 1, 2, 3, 4, 5]
+    """
+
+    def __init__(
+        self,
+        synopses: Optional[Sequence[Synopsis]] = None,
+        repository: Optional[Repository] = None,
+        eps: float = 0.1,
+        phi: Optional[float] = None,
+        delta: Optional[float] = None,
+        sample_size: Optional[int] = None,
+        bounding_box: Optional[Rectangle] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if synopses is None and repository is None:
+            raise ConstructionError("provide synopses and/or a repository")
+        if synopses is None:
+            synopses = [ExactSynopsis(ds.points) for ds in repository]
+        self.synopses = list(synopses)
+        self.repository = repository
+        if repository is not None and len(self.synopses) != repository.n_datasets:
+            raise ConstructionError("one synopsis per repository dataset required")
+        dims = {s.dim for s in self.synopses}
+        if len(dims) != 1:
+            raise ConstructionError("all synopses must share the same dimension")
+        self.dim = dims.pop()
+        self.eps = float(eps)
+        self._phi = phi
+        self._delta = delta
+        self._sample_size = sample_size
+        self._bounding_box = bounding_box
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._ptile: Optional[PtileRangeIndex] = None
+        self._pref: dict[int, PrefIndex] = {}
+
+    # ------------------------------------------------------------------
+    # Lazy index construction
+    # ------------------------------------------------------------------
+    @property
+    def ptile_index(self) -> PtileRangeIndex:
+        """The (lazily built) Ptile range structure."""
+        if self._ptile is None:
+            box = self._bounding_box
+            if box is None and self.repository is not None:
+                box = self.repository.bounding_box()
+            self._ptile = PtileRangeIndex(
+                self.synopses,
+                eps=self.eps,
+                phi=self._phi,
+                delta=self._delta,
+                sample_size=self._sample_size,
+                bounding_box=box,
+                rng=self._rng,
+            )
+        return self._ptile
+
+    def pref_index(self, k: int) -> PrefIndex:
+        """The (lazily built, cached) Pref structure for rank ``k``."""
+        if k not in self._pref:
+            self._pref[k] = PrefIndex(
+                self.synopses, k=k, eps=self.eps, delta=self._delta
+            )
+        return self._pref[k]
+
+    @property
+    def n_datasets(self) -> int:
+        """``N``."""
+        return len(self.synopses)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(self, expression: Expression, record_times: bool = False) -> QueryResult:
+        """Answer ``q_Pi(P)`` approximately with the paper's guarantees."""
+        result = QueryResult()
+        if record_times:
+            result.start_time = time.perf_counter()
+        result.indexes = sorted(self._eval(expression))
+        if record_times:
+            result.end_time = time.perf_counter()
+            result.emit_times = [result.end_time] * len(result.indexes)
+        return result
+
+    def _eval(self, expression: Expression) -> set[int]:
+        if isinstance(expression, Predicate):
+            return self._eval_leaf(expression)
+        if isinstance(expression, And):
+            sets = [self._eval(c) for c in expression.children]
+            return set.intersection(*sets)
+        if isinstance(expression, Or):
+            sets = [self._eval(c) for c in expression.children]
+            return set.union(*sets)
+        raise QueryError(f"unsupported expression node {type(expression).__name__}")
+
+    def _eval_leaf(self, leaf: Predicate) -> set[int]:
+        measure = leaf.measure
+        if isinstance(measure, PercentileMeasure):
+            return self.ptile_index.query(measure.rect, leaf.theta).index_set
+        if isinstance(measure, PreferenceMeasure):
+            if not leaf.theta.is_threshold:
+                raise QueryError(
+                    "preference predicates support one-sided theta = [a, inf)"
+                )
+            return self.pref_index(measure.k).query(
+                measure.vector, leaf.theta.lo
+            ).index_set
+        raise QueryError(f"unsupported measure {type(measure).__name__}")
+
+    # ------------------------------------------------------------------
+    # Ground truth (centralized only)
+    # ------------------------------------------------------------------
+    def ground_truth(self, expression: Expression) -> set[int]:
+        """Exact ``q_Pi(P)`` by brute force over the raw repository."""
+        if self.repository is None:
+            raise QueryError("ground truth requires the raw repository")
+        return expression.ground_truth(self.repository)
+
+    def evaluate_quality(self, expression: Expression) -> dict:
+        """Recall/precision diagnostics of one search against ground truth."""
+        truth = self.ground_truth(expression)
+        got = self.search(expression).index_set
+        recall = 1.0 if not truth else len(truth & got) / len(truth)
+        precision = 1.0 if not got else len(truth & got) / len(got)
+        return {
+            "truth_size": len(truth),
+            "reported_size": len(got),
+            "recall": recall,
+            "precision": precision,
+            "false_positives": sorted(got - truth),
+            "missed": sorted(truth - got),
+        }

@@ -1,0 +1,175 @@
+"""Datasets and repositories (Section 1.1, "Dataset" and "Repository").
+
+A *dataset* is a finite set of numerical d-tuples over a schema; a
+*repository* is a collection of datasets sharing a schema.  These are thin,
+validated wrappers around numpy arrays: all algorithmic work happens in the
+index classes, which consume either raw datasets (centralized setting) or
+synopses (federated setting).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConstructionError
+from repro.geometry.rectangle import Rectangle
+
+
+class Dataset:
+    """A named dataset ``P ⊂ R^d`` with an attribute schema.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` array of numerical tuples.
+    name:
+        Human-readable identifier (e.g. the source file of a data-lake
+        table).
+    schema:
+        Attribute names ``(A_1, ..., A_d)``; defaults to ``x0..x{d-1}``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> ds = Dataset(np.array([[1.0, 2.0], [3.0, 4.0]]), name="crime-nyc")
+    >>> ds.size, ds.dim
+    (2, 2)
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        name: Optional[str] = None,
+        schema: Optional[Sequence[str]] = None,
+    ) -> None:
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[0] == 0:
+            raise ConstructionError("a dataset must be a non-empty (n, d) array")
+        if not np.all(np.isfinite(pts)):
+            raise ConstructionError("dataset entries must be finite numbers")
+        self.points = pts
+        self.name = name if name is not None else "dataset"
+        if schema is None:
+            schema = tuple(f"x{h}" for h in range(pts.shape[1]))
+        else:
+            schema = tuple(schema)
+            if len(schema) != pts.shape[1]:
+                raise ConstructionError(
+                    f"schema has {len(schema)} attributes but data has "
+                    f"{pts.shape[1]} columns"
+                )
+        self.schema = schema
+
+    @property
+    def size(self) -> int:
+        """``n_i = |P_i|``."""
+        return int(self.points.shape[0])
+
+    @property
+    def dim(self) -> int:
+        """``d``."""
+        return int(self.points.shape[1])
+
+    def percentile_mass(self, rect: Rectangle) -> float:
+        """Exact ``M_R(P) = |P ∩ R| / |P|``."""
+        return rect.count_inside(self.points) / self.size
+
+    def kth_score(self, vector: np.ndarray, k: int) -> float:
+        """Exact ``omega_k(P, v)``; ``-inf`` if ``k > |P|``."""
+        v = np.asarray(vector, dtype=float)
+        norm = np.linalg.norm(v)
+        if norm == 0.0:
+            raise ValueError("preference vector must be nonzero")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if k > self.size:
+            return float("-inf")
+        proj = self.points @ (v / norm)
+        return float(np.partition(proj, self.size - k)[self.size - k])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dataset({self.name!r}, n={self.size}, d={self.dim})"
+
+
+class Repository:
+    """An ordered collection of datasets sharing a schema (``P``).
+
+    Datasets are addressed by their integer index ``i ∈ [N]`` exactly as in
+    the paper; names are kept for presentation.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> repo = Repository([Dataset(np.zeros((3, 2)) + i) for i in range(4)])
+    >>> repo.n_datasets, repo.total_points
+    (4, 12)
+    """
+
+    def __init__(self, datasets: Iterable[Dataset]) -> None:
+        self.datasets = list(datasets)
+        if not self.datasets:
+            raise ConstructionError("a repository must contain at least one dataset")
+        dim = self.datasets[0].dim
+        schema = self.datasets[0].schema
+        for ds in self.datasets[1:]:
+            if ds.dim != dim:
+                raise ConstructionError(
+                    "all datasets in a repository must share the same dimension"
+                )
+            if ds.schema != schema:
+                raise ConstructionError(
+                    "all datasets in a repository must share the same schema"
+                )
+
+    @staticmethod
+    def from_arrays(
+        arrays: Iterable[np.ndarray],
+        names: Optional[Sequence[str]] = None,
+        schema: Optional[Sequence[str]] = None,
+    ) -> "Repository":
+        """Build a repository from raw ``(n_i, d)`` arrays."""
+        arrays = list(arrays)
+        if names is None:
+            names = [f"dataset-{i}" for i in range(len(arrays))]
+        return Repository(
+            [Dataset(a, name=n, schema=schema) for a, n in zip(arrays, names)]
+        )
+
+    @property
+    def n_datasets(self) -> int:
+        """``N``."""
+        return len(self.datasets)
+
+    @property
+    def dim(self) -> int:
+        """``d``."""
+        return self.datasets[0].dim
+
+    @property
+    def schema(self) -> tuple[str, ...]:
+        """The shared attribute schema."""
+        return self.datasets[0].schema
+
+    @property
+    def total_points(self) -> int:
+        """``N_total = sum_i n_i`` (the paper's script N)."""
+        return sum(ds.size for ds in self.datasets)
+
+    def __len__(self) -> int:
+        return len(self.datasets)
+
+    def __getitem__(self, index: int) -> Dataset:
+        return self.datasets[index]
+
+    def __iter__(self) -> Iterator[Dataset]:
+        return iter(self.datasets)
+
+    def bounding_box(self, pad_fraction: float = 0.05) -> Rectangle:
+        """A bounding box ``B`` of all points, padded by a span fraction."""
+        all_lo = np.min([ds.points.min(axis=0) for ds in self.datasets], axis=0)
+        all_hi = np.max([ds.points.max(axis=0) for ds in self.datasets], axis=0)
+        span = np.where(all_hi > all_lo, all_hi - all_lo, 1.0)
+        pad = pad_fraction * span
+        return Rectangle(all_lo - pad, all_hi + pad)

@@ -1,0 +1,115 @@
+"""Measure functions (Section 1.1, "Measure Function"; Section 1.2).
+
+A measure function ``M`` maps a dataset to a real number.  The paper studies
+two classes:
+
+- ``F_□`` — percentile measures ``M_R(P) = |P ∩ R| / |P|`` over axis-parallel
+  rectangles ``R``;
+- ``F_k`` — top-k preference measures ``M_{v,k}(P) = omega_k(P, v)``, the
+  k-th largest inner product with a unit vector ``v``.
+
+Each measure can be evaluated on a raw :class:`~repro.core.framework.Dataset`
+(exactly) or on a :class:`~repro.synopsis.base.Synopsis` (approximately,
+within the synopsis' ``delta``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.framework import Dataset
+from repro.geometry.rectangle import Rectangle
+from repro.synopsis.base import Synopsis
+
+
+class MeasureFunction(ABC):
+    """Abstract measure function ``M(P) -> R``."""
+
+    #: Class tag: "ptile" for F_□, "pref" for F_k.  Used by the query router.
+    measure_class: str = "abstract"
+
+    @abstractmethod
+    def evaluate(self, dataset: Dataset) -> float:
+        """Exact value ``M(P)`` on a raw dataset."""
+
+    @abstractmethod
+    def evaluate_synopsis(self, synopsis: Synopsis) -> float:
+        """Approximate value ``M(S_P)`` on a synopsis."""
+
+
+class PercentileMeasure(MeasureFunction):
+    """``M_R(P) = |P ∩ R| / |P|`` for an axis-parallel rectangle ``R``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> m = PercentileMeasure(Rectangle([0.0], [1.0]))
+    >>> m.evaluate(Dataset(np.array([[0.5], [2.0]])))
+    0.5
+    """
+
+    measure_class = "ptile"
+
+    def __init__(self, rect: Rectangle) -> None:
+        self.rect = rect
+
+    @property
+    def dim(self) -> int:
+        """Ambient dimension of the query rectangle."""
+        return self.rect.dim
+
+    def evaluate(self, dataset: Dataset) -> float:
+        if dataset.dim != self.rect.dim:
+            raise ValueError("measure and dataset dimensions differ")
+        return dataset.percentile_mass(self.rect)
+
+    def evaluate_synopsis(self, synopsis: Synopsis) -> float:
+        return synopsis.mass(self.rect)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PercentileMeasure({self.rect!r})"
+
+
+class PreferenceMeasure(MeasureFunction):
+    """``M_{v,k}(P) = omega_k(P, v)`` — the k-th largest projection on ``v``.
+
+    The vector is normalized at construction (the paper assumes unit
+    vectors).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> m = PreferenceMeasure(np.array([1.0, 0.0]), k=1)
+    >>> m.evaluate(Dataset(np.array([[1.0, 5.0], [3.0, 0.0]])))
+    3.0
+    """
+
+    measure_class = "pref"
+
+    def __init__(self, vector: np.ndarray, k: int) -> None:
+        v = np.asarray(vector, dtype=float)
+        if v.ndim != 1:
+            raise ValueError("preference vector must be 1-dimensional")
+        norm = np.linalg.norm(v)
+        if norm == 0.0:
+            raise ValueError("preference vector must be nonzero")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.vector = v / norm
+        self.k = int(k)
+
+    @property
+    def dim(self) -> int:
+        """Ambient dimension of the preference vector."""
+        return int(self.vector.shape[0])
+
+    def evaluate(self, dataset: Dataset) -> float:
+        return dataset.kth_score(self.vector, self.k)
+
+    def evaluate_synopsis(self, synopsis: Synopsis) -> float:
+        return synopsis.score(self.vector, self.k)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PreferenceMeasure(v={np.round(self.vector, 3)}, k={self.k})"

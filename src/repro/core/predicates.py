@@ -1,0 +1,129 @@
+"""Predicates and logical expressions (Section 1.1).
+
+A range-predicate ``Pred_{M, theta}(P)`` is true when ``M(P) ∈ theta``; a
+threshold-predicate is the one-sided special case.  Complex predicates are
+conjunctions/disjunctions of predicates.  This module provides the AST:
+
+- :class:`Predicate` — a leaf (measure + interval);
+- :class:`And` / :class:`Or` — internal nodes over sub-expressions;
+- :func:`pred` — convenience constructor.
+
+Expressions are evaluated exactly on raw datasets (ground truth for the
+tests and benchmarks) and routed to indexes by
+:class:`~repro.core.engine.DatasetSearchEngine`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, Sequence
+
+from repro.core.framework import Dataset, Repository
+from repro.core.measures import MeasureFunction
+from repro.geometry.interval import Interval
+
+
+class Expression(ABC):
+    """A logical expression ``Pi`` over predicates."""
+
+    @abstractmethod
+    def evaluate(self, dataset: Dataset) -> bool:
+        """Exact truth value ``Pi(P)`` on a raw dataset."""
+
+    @abstractmethod
+    def leaves(self) -> Iterator["Predicate"]:
+        """All predicate leaves, left to right."""
+
+    def ground_truth(self, repository: Repository) -> set[int]:
+        """``q_Pi(P) = {i : Pi(P_i) = True}`` by brute force (exact)."""
+        return {
+            i for i, ds in enumerate(repository) if self.evaluate(ds)
+        }
+
+    @property
+    def n_predicates(self) -> int:
+        """Number of predicate leaves ``m``."""
+        return sum(1 for _ in self.leaves())
+
+    def __and__(self, other: "Expression") -> "And":
+        return And([self, other])
+
+    def __or__(self, other: "Expression") -> "Or":
+        return Or([self, other])
+
+
+class Predicate(Expression):
+    """A leaf predicate ``Pred_{M, theta}``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core.measures import PercentileMeasure
+    >>> from repro.geometry.rectangle import Rectangle
+    >>> p = Predicate(PercentileMeasure(Rectangle([0.0], [1.0])), Interval(0.5, 1.0))
+    >>> p.evaluate(Dataset(np.array([[0.5], [0.7], [2.0]])))
+    True
+    """
+
+    def __init__(self, measure: MeasureFunction, theta: Interval) -> None:
+        self.measure = measure
+        self.theta = theta
+
+    @property
+    def is_threshold(self) -> bool:
+        """Whether ``theta`` is one-sided (a threshold-predicate)."""
+        return self.theta.is_threshold
+
+    def evaluate(self, dataset: Dataset) -> bool:
+        return self.measure.evaluate(dataset) in self.theta
+
+    def leaves(self) -> Iterator["Predicate"]:
+        yield self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Pred({self.measure!r}, theta={self.theta})"
+
+
+class And(Expression):
+    """Conjunction of sub-expressions."""
+
+    def __init__(self, children: Sequence[Expression]) -> None:
+        if len(children) < 1:
+            raise ValueError("And needs at least one child")
+        self.children = list(children)
+
+    def evaluate(self, dataset: Dataset) -> bool:
+        return all(child.evaluate(dataset) for child in self.children)
+
+    def leaves(self) -> Iterator[Predicate]:
+        for child in self.children:
+            yield from child.leaves()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "And(" + ", ".join(repr(c) for c in self.children) + ")"
+
+
+class Or(Expression):
+    """Disjunction of sub-expressions."""
+
+    def __init__(self, children: Sequence[Expression]) -> None:
+        if len(children) < 1:
+            raise ValueError("Or needs at least one child")
+        self.children = list(children)
+
+    def evaluate(self, dataset: Dataset) -> bool:
+        return any(child.evaluate(dataset) for child in self.children)
+
+    def leaves(self) -> Iterator[Predicate]:
+        for child in self.children:
+            yield from child.leaves()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Or(" + ", ".join(repr(c) for c in self.children) + ")"
+
+
+def pred(measure: MeasureFunction, lo: float, hi: float = float("inf")) -> Predicate:
+    """Convenience constructor: ``pred(M, a)`` is the threshold predicate
+    ``M(P) >= a``; ``pred(M, a, b)`` is the range predicate ``M(P) ∈ [a, b]``.
+    """
+    return Predicate(measure, Interval(lo, hi))

@@ -1,0 +1,245 @@
+"""Approximate Pref index for one threshold-predicate (Section 5).
+
+Implements Algorithms 5 (construction) and 6 (query) and therefore
+Theorem 5.4: ``~O(N)`` space, construction dominated by the synopsis
+``Score`` calls, query time ``O(log N + OUT)``, and for a query
+``(u, theta = [a_theta, 1])``:
+
+- (recall)    every dataset with ``omega_k(P_i, u) >= a_theta`` is reported;
+- (precision) every reported ``j`` has
+  ``omega_k(P_j, u) >= a_theta - 2 eps - 2 delta_j`` (Lemma 5.2; the theorem
+  folds the factor 2 by halving eps).
+
+Construction builds a centrally symmetric ε-net ``C`` of unit vectors and,
+for each net vector ``v``, a 1-dimensional search tree over the estimated
+scores ``gamma_v^(i) = S_{P_i}.Score(v, k)``.  A query snaps ``u`` to its
+nearest net vector (error ``<= eps`` per Lemma 5.1, points in the unit
+ball — for general data the error scales with the data radius, which the
+index exposes as ``score_slack``).
+
+Per-dataset deltas (Remark 2) are supported by storing the shifted score
+``gamma + delta_i`` so the slack becomes a global threshold.  Dynamics
+(Remark 1) use a buffered sorted list per direction with amortized rebuilds.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.core.results import QueryResult
+from repro.errors import ConstructionError, QueryError
+from repro.geometry.epsilon_net import build_epsilon_net, nearest_net_vector
+from repro.geometry.interval import Interval
+from repro.index.sorted_list import SortedListIndex
+from repro.synopsis.base import Synopsis
+
+
+class _DirectionList:
+    """Per-direction score structure: sorted core + linear insert buffer."""
+
+    REBUILD_FRACTION = 0.25
+    MIN_BUFFER = 16
+
+    def __init__(self, values: list[float], ids: list) -> None:
+        self._core = SortedListIndex(values, ids=ids)
+        self._buffer: dict = {}
+
+    def insert(self, entry_id, value: float) -> None:
+        self._buffer[entry_id] = float(value)
+        if len(self._buffer) >= max(
+            self.MIN_BUFFER, int(self.REBUILD_FRACTION * len(self._core))
+        ):
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        values, ids = [], []
+        for pid in self._core_active_ids():
+            values.append(self._core.values_of(pid))
+            ids.append(pid)
+        for pid, val in self._buffer.items():
+            values.append(val)
+            ids.append(pid)
+        self._core = SortedListIndex(values, ids=ids)
+        self._buffer = {}
+
+    def _core_active_ids(self) -> list:
+        return self._core.report(Interval.everything())
+
+    def remove(self, entry_id) -> None:
+        if entry_id in self._buffer:
+            del self._buffer[entry_id]
+        else:
+            self._core.deactivate(entry_id)
+
+    def iter_at_least(self, threshold: float):
+        """Yield ids with value >= threshold (core in order, then buffer)."""
+        yield from self._core.iter_report(Interval.at_least(threshold))
+        for pid, val in self._buffer.items():
+            if val >= threshold:
+                yield pid
+
+
+class PrefIndex:
+    """The Pref data structure for one threshold-predicate (Theorem 5.4).
+
+    Parameters
+    ----------
+    synopses:
+        One synopsis per dataset (must support the preference class).
+    k:
+        The rank of the top-k preference measure (fixed per structure, as in
+        the paper's Problem 2).
+    eps:
+        Direction-net resolution (the paper's eps).
+    delta:
+        Optional global synopsis-error bound; default: per-synopsis
+        ``delta_pref`` (Remark 2 semantics).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.synopsis import ExactSynopsis
+    >>> rng = np.random.default_rng(2)
+    >>> data = [rng.uniform(-1, 1, size=(300, 2)) * 0.5 for _ in range(5)]
+    >>> idx = PrefIndex([ExactSynopsis(p) for p in data], k=3, eps=0.1)
+    >>> res = idx.query(np.array([1.0, 0.0]), a_theta=-1.0)
+    >>> sorted(res.indexes)
+    [0, 1, 2, 3, 4]
+    """
+
+    def __init__(
+        self,
+        synopses: Iterable[Synopsis],
+        k: int,
+        eps: float = 0.1,
+        delta: Optional[float] = None,
+    ) -> None:
+        syn_list = list(synopses)
+        if not syn_list:
+            raise ConstructionError("need at least one synopsis")
+        if k < 1:
+            raise ConstructionError("k must be >= 1")
+        if not 0.0 < eps < 1.0:
+            raise ConstructionError(f"eps must be in (0, 1), got {eps}")
+        dims = {s.dim for s in syn_list}
+        if len(dims) != 1:
+            raise ConstructionError("all synopses must share the same dimension")
+        self.dim = dims.pop()
+        self.k = int(k)
+        self.eps = float(eps)
+        self.net = build_epsilon_net(self.dim, eps)
+        self._synopses: dict[int, Synopsis] = {}
+        self._deltas: dict[int, float] = {}
+        self._next_key = 0
+        per_dataset: list[np.ndarray] = []
+        ids: list[int] = []
+        for syn in syn_list:
+            key = self._admit(syn, delta)
+            ids.append(key)
+            per_dataset.append(self._shifted_scores(key))
+        score_matrix = np.column_stack(per_dataset)  # (|C|, N)
+        self._lists = [
+            _DirectionList(score_matrix[vi].tolist(), list(ids))
+            for vi in range(self.net.shape[0])
+        ]
+
+    # ------------------------------------------------------------------
+    def _admit(self, synopsis: Synopsis, delta: Optional[float]) -> int:
+        if synopsis.dim != self.dim:
+            raise ConstructionError("synopsis dimension mismatch")
+        d_i = delta if delta is not None else synopsis.delta_pref
+        if d_i is None:
+            raise ConstructionError("synopsis does not support the class F_k")
+        key = self._next_key
+        self._next_key += 1
+        self._synopses[key] = synopsis
+        self._deltas[key] = float(d_i)
+        return key
+
+    def _shifted_scores(self, key: int) -> np.ndarray:
+        """``gamma_v^(i) + delta_i`` over all net directions at once.
+
+        The shift makes the per-dataset slack a global threshold; ``-inf``
+        scores (``k`` exceeds the dataset) stay ``-inf`` so such datasets
+        never qualify.
+        """
+        gamma = np.asarray(
+            self._synopses[key].score_batch(self.net, self.k), dtype=float
+        )
+        return np.where(np.isneginf(gamma), gamma, gamma + self._deltas[key])
+
+    @property
+    def n_datasets(self) -> int:
+        """Current number of indexed datasets."""
+        return len(self._synopses)
+
+    @property
+    def n_directions(self) -> int:
+        """Size of the ε-net ``|C| = O(eps^{-(d-1)})``."""
+        return int(self.net.shape[0])
+
+    def delta_of(self, key: int) -> float:
+        """The synopsis error ``delta_i`` used for a dataset."""
+        return self._deltas[key]
+
+    # ------------------------------------------------------------------
+    # Query (Algorithm 6)
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        vector: np.ndarray,
+        a_theta: float,
+        record_times: bool = False,
+    ) -> QueryResult:
+        """Report datasets with (approximately) ``omega_k(P_i, u) >= a_theta``."""
+        u = np.asarray(vector, dtype=float)
+        if u.ndim != 1 or u.shape[0] != self.dim:
+            raise QueryError(f"query vector must have shape ({self.dim},)")
+        vi = nearest_net_vector(self.net, u)
+        result = QueryResult()
+        if record_times:
+            result.start_time = time.perf_counter()
+        threshold = a_theta - self.eps
+        for key in self._lists[vi].iter_at_least(threshold):
+            result.indexes.append(key)
+            if record_times:
+                result.emit_times.append(time.perf_counter())
+        if record_times:
+            result.end_time = time.perf_counter()
+        result.stats["net_vector"] = vi
+        return result
+
+    def query_expression(
+        self, vector: np.ndarray, theta: Interval, **kwargs
+    ) -> QueryResult:
+        """Interval-flavoured entry point (requires a threshold interval)."""
+        if not math.isinf(theta.hi) and theta.hi < math.inf:
+            # The Pref problem is defined on one-sided intervals; a finite
+            # upper bound would need the symmetric net direction.  We accept
+            # [a, inf)-style intervals only, as the paper does.
+            if theta.hi != math.inf:
+                raise QueryError("Pref supports one-sided theta = [a, inf)")
+        return self.query(vector, theta.lo, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Dynamics (Remark 1 after Theorem 5.4)
+    # ------------------------------------------------------------------
+    def insert_synopsis(self, synopsis: Synopsis, delta: Optional[float] = None) -> int:
+        """Add a dataset in ``O(Lambda_S + |C| log N)`` amortized."""
+        key = self._admit(synopsis, delta)
+        shifted = self._shifted_scores(key)
+        for vi in range(self.net.shape[0]):
+            self._lists[vi].insert(key, float(shifted[vi]))
+        return key
+
+    def delete_synopsis(self, key: int) -> None:
+        """Remove a dataset by key."""
+        if key not in self._synopses:
+            raise KeyError(f"unknown dataset key {key}")
+        for lst in self._lists:
+            lst.remove(key)
+        del self._synopses[key], self._deltas[key]

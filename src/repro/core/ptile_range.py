@@ -1,0 +1,219 @@
+"""Approximate Ptile index for general range-predicates (Section 4.3).
+
+Implements Algorithms 3 (construction) and 4 (query) and therefore
+Theorem 4.11: for ``theta = [a_theta, b_theta]`` the returned ``J``
+satisfies ``q_Pi(P) ⊆ J`` and every ``j ∈ J`` has
+
+    a_theta - 2 eps' - 2 delta_j  <=  M_R(P_j)  <=  b_theta + 2 eps' + 2 delta_j
+
+(Lemmas 4.7-4.8; the theorem folds the factor 2 by halving eps upfront),
+with no duplicates (Lemma 4.9).
+
+The crux versus the threshold structure: an arbitrary coreset rectangle
+inside ``R`` can under-count (Figure 2), so only the *maximal* coreset
+rectangle inside ``R`` may decide membership.  Algorithm 3 realizes this by
+storing pairs ``(rho, rho_hat)`` such that a query orthant hit certifies
+``rho ⊆ R ⊂⊂ rho_hat`` — which forces ``rho`` maximal (Lemma 4.5).  The
+pair set is built by :func:`~repro.geometry.rect_enum.enumerate_maximal_pairs`
+(the exact pruning proved in that module: each inner rectangle pairs with
+its one-step neighbour expansion over the coreset-plus-bounding-box grid).
+
+Mapped points live in ``R^{4d+2}``: the 4d pair coordinates plus two shifted
+weight coordinates ``w + delta_i`` and ``w - delta_i``, so both sides of the
+per-dataset slack become global box constraints (Remark 2 support).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.core._ptile_common import PtileIndexBase, build_engine, draw_coreset
+from repro.core.results import QueryResult
+from repro.errors import ConstructionError, QueryError
+from repro.geometry.interval import Interval
+from repro.geometry.rect_enum import RectangleGrid, enumerate_generalized_pairs
+from repro.geometry.rectangle import Rectangle
+from repro.index.query_box import QueryBox
+from repro.synopsis.base import Synopsis
+
+#: Fraction of the coreset span used to pad the automatic bounding box.
+AUTO_BOX_PAD = 0.25
+
+
+class PtileRangeIndex(PtileIndexBase):
+    """The Ptile data structure for one range-predicate (Theorem 4.11).
+
+    Parameters are as in
+    :class:`~repro.core.ptile_threshold.PtileThresholdIndex`, plus:
+
+    bounding_box:
+        The box ``B`` of Section 4.3.  All data and all query rectangles are
+        assumed to lie inside ``B``; queries are clipped to (a slight
+        shrinking of) ``B``.  When omitted, a box is derived from the drawn
+        coresets, padded by ``AUTO_BOX_PAD`` of the span per axis.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.synopsis import ExactSynopsis
+    >>> rng = np.random.default_rng(1)
+    >>> data = [rng.uniform(0, 1, size=(400, 1)) for _ in range(6)]
+    >>> idx = PtileRangeIndex([ExactSynopsis(p) for p in data], eps=0.1, rng=rng)
+    >>> res = idx.query(Rectangle([0.0], [0.5]), Interval(0.3, 0.7))
+    >>> len(res.indexes) == 6   # uniform data: every dataset has mass ~0.5
+    True
+    """
+
+    def __init__(
+        self,
+        synopses: Iterable[Synopsis],
+        eps: float = 0.1,
+        phi: Optional[float] = None,
+        delta: Optional[float] = None,
+        sample_size: Optional[int] = None,
+        bounding_box: Optional[Rectangle] = None,
+        engine: str = "kd",
+        leaf_size: int = 16,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(synopses, eps, phi, delta, sample_size, engine, leaf_size, rng)
+        # Draw all coresets first: the automatic bounding box must cover
+        # every coreset point before pair enumeration can begin.
+        for synopsis, delta_i in self._pending:
+            self._register(synopsis, delta_i)
+        del self._pending
+        self.bounding_box = (
+            bounding_box
+            if bounding_box is not None
+            else self._auto_bounding_box()
+        )
+        all_points: list[np.ndarray] = []
+        all_ids: list = []
+        for key in list(self._synopses):
+            pts, ids = self._mapped_points(key)
+            all_points.append(pts)
+            all_ids.extend(ids)
+        self._tree = build_engine(
+            np.vstack(all_points), all_ids, self.engine_kind, self._leaf_size
+        )
+
+    # ------------------------------------------------------------------
+    # Construction (Algorithm 3)
+    # ------------------------------------------------------------------
+    def _register(self, synopsis: Synopsis, delta_i: float) -> int:
+        key = self._next_key
+        self._next_key += 1
+        self._synopses[key] = synopsis
+        self._deltas[key] = delta_i
+        self._coresets[key] = draw_coreset(synopsis, self._sample_size, self._rng)
+        return key
+
+    def _auto_bounding_box(self) -> Rectangle:
+        pts = np.vstack(list(self._coresets.values()))
+        lo = pts.min(axis=0)
+        hi = pts.max(axis=0)
+        span = np.where(hi > lo, hi - lo, 1.0)
+        return Rectangle(lo - AUTO_BOX_PAD * span, hi + AUTO_BOX_PAD * span)
+
+    def _mapped_points(self, key: int) -> tuple[np.ndarray, list]:
+        """Map maximal pairs to ``(rho^-, rho_hat^-, rho^+, rho_hat^+, w±delta)``."""
+        coreset = self._coresets[key]
+        if not self.bounding_box.contains_points(coreset).all():
+            raise ConstructionError(
+                "bounding box does not contain a coreset; pass a larger box"
+            )
+        grid = RectangleGrid(coreset, bounding_box=self.bounding_box)
+        delta_i = self._deltas[key]
+        rows: list[np.ndarray] = []
+        ids: list = []
+        pairs = enumerate_generalized_pairs(grid)
+        for local, (in_lo, in_hi, out_lo, out_hi, weight) in enumerate(pairs):
+            rows.append(
+                np.concatenate(
+                    [
+                        in_lo,
+                        out_lo,
+                        in_hi,
+                        out_hi,
+                        [weight + delta_i, weight - delta_i],
+                    ]
+                )
+            )
+            ids.append((key, local))
+        self._point_ids[key] = ids
+        return np.asarray(rows), ids
+
+    # ------------------------------------------------------------------
+    # Query (Algorithm 4)
+    # ------------------------------------------------------------------
+    def _clip_to_box(self, rect: Rectangle) -> Rectangle:
+        """Clip the query to (slightly inside) the bounding box ``B``.
+
+        Section 4.3 assumes ``R ⊆ B``; clipping discards only regions where
+        no coreset point can lie.  Shrinking by a hair keeps ``R`` strictly
+        inside ``B`` so Lemma 4.6's facet expansion always has room.
+        """
+        span = self.bounding_box.hi - self.bounding_box.lo
+        nudge = 1e-9 * np.where(span > 0, span, 1.0)
+        lo = np.maximum(rect.lo, self.bounding_box.lo + nudge)
+        hi = np.minimum(rect.hi, self.bounding_box.hi - nudge)
+        hi = np.maximum(hi, lo)  # degenerate but valid if fully outside
+        return Rectangle(lo, hi)
+
+    def query(
+        self,
+        rect: Rectangle,
+        theta: Interval,
+        record_times: bool = False,
+    ) -> QueryResult:
+        """Report all datasets with (approximately) ``M_R(P_i) ∈ theta``."""
+        self._check_query_rect(rect)
+        a = max(0.0, theta.lo)
+        b = min(1.0, theta.hi)
+        if a > b:
+            raise QueryError(f"theta {theta} does not intersect [0, 1]")
+        rect = self._clip_to_box(rect)
+        cons = rect.query_orthant_4d()
+        eps = self.eps_effective
+        cons.append((a - eps, np.inf, False, False))   # w + delta_i
+        cons.append((-np.inf, b + eps, False, False))  # w - delta_i
+        return self._report_loop(QueryBox(cons), record_times)
+
+    # ------------------------------------------------------------------
+    # Dynamics (Remark 1)
+    # ------------------------------------------------------------------
+    def insert_synopsis(
+        self, synopsis: Synopsis, delta: Optional[float] = None
+    ) -> int:
+        """Add a dataset; returns its stable key."""
+        if self.engine_kind != "kd":
+            raise ConstructionError("dynamic updates require the 'kd' engine")
+        if synopsis.dim != self.dim:
+            raise ConstructionError("synopsis dimension mismatch")
+        if delta is None:
+            delta = synopsis.delta_ptile
+            if delta is None:
+                raise ConstructionError("synopsis does not support class F_□")
+        key = self._register(synopsis, float(delta))
+        pts, ids = self._mapped_points(key)
+        self._tree.insert(pts, ids)
+        return key
+
+    def delete_synopsis(self, key: int) -> None:
+        """Remove a dataset by key."""
+        if key not in self._synopses:
+            raise KeyError(f"unknown dataset key {key}")
+        for pid in self._point_ids[key]:
+            self._tree.remove(pid)
+        del self._synopses[key], self._deltas[key]
+        del self._coresets[key], self._point_ids[key]
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def coreset_mass(self, key: int, rect: Rectangle) -> float:
+        """``|S_i ∩ R| / |S_i|`` — the coreset's estimate of ``M_R(P_i)``."""
+        coreset = self._coresets[key]
+        return rect.count_inside(coreset) / coreset.shape[0]

@@ -1,0 +1,213 @@
+"""Approximate Ptile index for threshold-predicates (Section 4.2).
+
+Implements Algorithms 1 (construction) and 2 (query) and therefore
+Theorem 4.4: ``~O(N)`` space and preprocessing, ``~O(1 + OUT)`` query time,
+and for ``theta = [a_theta, 1]`` the returned set ``J`` satisfies
+
+- (recall)    ``q_Pi(P) ⊆ J`` with probability ``>= 1 - phi``, and
+- (precision) every ``j ∈ J`` has ``M_R(P_j) >= a_theta - 2 eps' - 2 delta_j``
+  where ``eps'`` is the coreset sampling error (Lemma 4.2; the theorem
+  statement folds the factor 2 away by halving eps upfront).
+
+Construction maps every combinatorially different rectangle ``rho`` of every
+coreset to the point ``(rho^-, rho^+, w + delta_i) ∈ R^{2d+1}`` — weight as
+an extra coordinate, shifted by the per-dataset synopsis error so that
+Remark 2's unknown-deltas setting works with a single structure.  A query
+``(R, a_theta)`` becomes the orthant of Algorithm 2 crossed with
+``[a_theta - eps, inf)`` on the weight coordinate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.core._ptile_common import PtileIndexBase, build_engine, draw_coreset
+from repro.core.results import QueryResult
+from repro.errors import ConstructionError, QueryError
+from repro.geometry.interval import Interval
+from repro.geometry.rect_enum import RectangleGrid, enumerate_rectangles
+from repro.geometry.rectangle import Rectangle
+from repro.index.query_box import QueryBox
+from repro.synopsis.base import Synopsis
+
+#: Sentinel "empty rectangle" coordinates: lo >= any R^- and hi <= any R^+,
+#: so the sentinel point lies in every query orthant.
+_SENTINEL_LO = 1e300
+_SENTINEL_HI = -1e300
+
+
+class PtileThresholdIndex(PtileIndexBase):
+    """The Ptile data structure for one threshold-predicate (Theorem 4.4).
+
+    Parameters
+    ----------
+    synopses:
+        One synopsis per dataset, all of the same dimension.  Use
+        :class:`~repro.synopsis.exact.ExactSynopsis` for the centralized
+        setting (``delta = 0``).
+    eps:
+        Coreset accuracy parameter (the paper's ``eps``).
+    phi:
+        Failure probability for the coreset union bound; default ``1/N``.
+    delta:
+        Optional global synopsis-error bound overriding the per-synopsis
+        advertised ``delta_ptile`` values.
+    sample_size:
+        Optional explicit coreset size (overrides the eps/phi bound).
+    engine:
+        ``"kd"`` (default, dynamic) or ``"rangetree"`` (static, faithful
+        textbook range tree; practical only at small scale).
+    leaf_size:
+        kd-tree leaf size.
+    rng:
+        Source of randomness for coreset sampling.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.synopsis import ExactSynopsis
+    >>> rng = np.random.default_rng(0)
+    >>> data = [rng.uniform(0, 1, size=(500, 1)) for _ in range(8)]
+    >>> idx = PtileThresholdIndex([ExactSynopsis(p) for p in data], eps=0.1, rng=rng)
+    >>> res = idx.query(Rectangle([0.0], [1.0]), a_theta=0.5)
+    >>> sorted(res.indexes)
+    [0, 1, 2, 3, 4, 5, 6, 7]
+    """
+
+    def __init__(
+        self,
+        synopses: Iterable[Synopsis],
+        eps: float = 0.1,
+        phi: Optional[float] = None,
+        delta: Optional[float] = None,
+        sample_size: Optional[int] = None,
+        engine: str = "kd",
+        leaf_size: int = 16,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(synopses, eps, phi, delta, sample_size, engine, leaf_size, rng)
+        all_points: list[np.ndarray] = []
+        all_ids: list = []
+        for synopsis, delta_i in self._pending:
+            key = self._register(synopsis, delta_i)
+            pts, ids = self._mapped_points(key)
+            all_points.append(pts)
+            all_ids.extend(ids)
+        del self._pending
+        self._tree = build_engine(
+            np.vstack(all_points), all_ids, self.engine_kind, self._leaf_size
+        )
+
+    # ------------------------------------------------------------------
+    # Construction (Algorithm 1)
+    # ------------------------------------------------------------------
+    def _register(self, synopsis: Synopsis, delta_i: float) -> int:
+        key = self._next_key
+        self._next_key += 1
+        self._synopses[key] = synopsis
+        self._deltas[key] = delta_i
+        self._coresets[key] = draw_coreset(synopsis, self._sample_size, self._rng)
+        return key
+
+    def _mapped_points(self, key: int) -> tuple[np.ndarray, list]:
+        """Map every coreset rectangle to ``(rho^-, rho^+, w + delta_i)``.
+
+        One extra *sentinel* point per dataset represents the empty
+        rectangle (inner constraints vacuously satisfied for every query,
+        weight ``0 + delta_i``): a dataset whose coreset entirely misses the
+        query region must still be reported whenever
+        ``a_theta - eps - delta_i <= 0`` — a corner case Lemma 4.1 glosses
+        by assuming a largest rectangle inside ``R`` exists.  The sentinel
+        never harms precision: if it matches, ``a_theta <= eps + delta_i``,
+        and every dataset trivially satisfies the Lemma 4.2 bound then.
+        """
+        grid = RectangleGrid(self._coresets[key])
+        delta_i = self._deltas[key]
+        rows: list[np.ndarray] = []
+        ids: list = []
+        for local, (rect, weight) in enumerate(enumerate_rectangles(grid)):
+            rows.append(
+                np.concatenate([rect.to_point_2d(), [weight + delta_i]])
+            )
+            ids.append((key, local))
+        sentinel = np.concatenate(
+            [
+                np.full(self.dim, _SENTINEL_LO),
+                np.full(self.dim, _SENTINEL_HI),
+                [0.0 + delta_i],
+            ]
+        )
+        rows.append(sentinel)
+        ids.append((key, len(ids)))
+        self._point_ids[key] = ids
+        return np.asarray(rows), ids
+
+    # ------------------------------------------------------------------
+    # Query (Algorithm 2)
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        rect: Rectangle,
+        a_theta: float,
+        record_times: bool = False,
+    ) -> QueryResult:
+        """Report all datasets with (approximately) ``M_R(P_i) >= a_theta``.
+
+        Returns a :class:`~repro.core.results.QueryResult` whose index set
+        ``J`` satisfies the Theorem 4.4 guarantees.
+        """
+        self._check_query_rect(rect)
+        if not 0.0 <= a_theta <= 1.0:
+            raise QueryError(f"a_theta must be in [0, 1], got {a_theta}")
+        cons = rect.query_orthant_2d()
+        cons.append((a_theta - self.eps_effective, math.inf, False, False))
+        return self._report_loop(QueryBox(cons), record_times)
+
+    def query_expression(self, rect: Rectangle, theta: Interval, **kwargs) -> QueryResult:
+        """Interval-flavoured entry point (requires a threshold interval)."""
+        if not theta.is_threshold:
+            raise QueryError(
+                "PtileThresholdIndex supports one-sided theta = [a, 1]; use "
+                "PtileRangeIndex for general intervals"
+            )
+        return self.query(rect, theta.lo, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Dynamics (Remark 1 after Theorem 4.4/4.11)
+    # ------------------------------------------------------------------
+    def insert_synopsis(
+        self, synopsis: Synopsis, delta: Optional[float] = None
+    ) -> int:
+        """Add a dataset; returns its stable key.  ``~O(1)`` amortized."""
+        if self.engine_kind != "kd":
+            raise ConstructionError("dynamic updates require the 'kd' engine")
+        if synopsis.dim != self.dim:
+            raise ConstructionError("synopsis dimension mismatch")
+        if delta is None:
+            delta = synopsis.delta_ptile
+            if delta is None:
+                raise ConstructionError("synopsis does not support class F_□")
+        key = self._register(synopsis, float(delta))
+        pts, ids = self._mapped_points(key)
+        self._tree.insert(pts, ids)
+        return key
+
+    def delete_synopsis(self, key: int) -> None:
+        """Remove a dataset by key.  ``~O(1)`` amortized per mapped point."""
+        if key not in self._synopses:
+            raise KeyError(f"unknown dataset key {key}")
+        for pid in self._point_ids[key]:
+            self._tree.remove(pid)
+        del self._synopses[key], self._deltas[key]
+        del self._coresets[key], self._point_ids[key]
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def coreset_mass(self, key: int, rect: Rectangle) -> float:
+        """``|S_i ∩ R| / |S_i|`` — the coreset's estimate of ``M_R(P_i)``."""
+        coreset = self._coresets[key]
+        return rect.count_inside(coreset) / coreset.shape[0]

@@ -1,0 +1,62 @@
+"""Query results with reporting-order metadata.
+
+The paper's data structures are *enumeration* structures: indexes are
+reported one at a time with bounded delay (Section 2, "Delay guarantees").
+``QueryResult`` therefore records the order in which indexes were emitted
+and per-emission timestamps, so the T-DELAY benchmark can measure the gap
+between consecutive reports directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class QueryResult:
+    """The outcome of one distribution-aware query.
+
+    Attributes
+    ----------
+    indexes:
+        Reported dataset indexes, in emission order (no duplicates).
+    emit_times:
+        ``time.perf_counter()`` stamps, one per emitted index (same order),
+        plus the query start time in ``start_time`` — enabling delay
+        measurements.  Populated only when the query was issued with
+        ``record_times=True``.
+    stats:
+        Free-form per-query counters (nodes visited, points deleted, ...).
+    """
+
+    indexes: list[int] = field(default_factory=list)
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    emit_times: list[float] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def index_set(self) -> set[int]:
+        """The reported indexes as a set ``J``."""
+        return set(self.indexes)
+
+    @property
+    def out_size(self) -> int:
+        """``OUT = |J|``."""
+        return len(self.indexes)
+
+    def delays(self) -> list[float]:
+        """Gaps between consecutive emissions (incl. start→first, last→end).
+
+        Empty when timing was not recorded.
+        """
+        if self.start_time is None or self.end_time is None or not self.emit_times:
+            return []
+        stamps = [self.start_time, *self.emit_times, self.end_time]
+        return [b - a for a, b in zip(stamps, stamps[1:])]
+
+    def max_delay(self) -> Optional[float]:
+        """Largest inter-report gap, or None without timing data."""
+        gaps = self.delays()
+        return max(gaps) if gaps else None

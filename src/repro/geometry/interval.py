@@ -1,0 +1,138 @@
+"""Intervals of the real line.
+
+The paper uses intervals in two roles:
+
+- as the query predicate ``theta = [a_theta, b_theta]`` applied to a measure
+  value (Section 1.1), where ``theta = [a_theta, 1]`` (or ``[a_theta, inf)``)
+  is called a *threshold* interval and a general ``[a_theta, b_theta]`` a
+  *range* interval; and
+- as the weight filter ``I'`` handed to the range tree during a query
+  (Algorithms 2, 4, 6).
+
+Endpoints may be open or closed so that the strict/non-strict comparisons of
+the orthant mappings in Sections 4.2-4.3 are represented exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A (possibly unbounded, possibly open-ended) interval of the real line.
+
+    Parameters
+    ----------
+    lo, hi:
+        Endpoints.  Use ``-math.inf`` / ``math.inf`` for unbounded sides.
+    lo_open, hi_open:
+        Whether each endpoint is excluded.  Infinite endpoints are always
+        treated as open.
+
+    Examples
+    --------
+    >>> theta = Interval(0.2, 1.0)          # the paper's theta = [0.2, 1]
+    >>> 0.2 in theta, 1.0 in theta, 0.1 in theta
+    (True, True, False)
+    >>> Interval.at_least(0.5).is_threshold
+    True
+    """
+
+    lo: float
+    hi: float
+    lo_open: bool = False
+    hi_open: bool = False
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lo) or math.isnan(self.hi):
+            raise ValueError("interval endpoints must not be NaN")
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval: lo={self.lo} > hi={self.hi}")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def at_least(lo: float) -> "Interval":
+        """The one-sided threshold interval ``[lo, inf)``."""
+        return Interval(lo, math.inf)
+
+    @staticmethod
+    def at_most(hi: float) -> "Interval":
+        """The one-sided interval ``(-inf, hi]``."""
+        return Interval(-math.inf, hi)
+
+    @staticmethod
+    def closed(lo: float, hi: float) -> "Interval":
+        """The closed interval ``[lo, hi]``."""
+        return Interval(lo, hi)
+
+    @staticmethod
+    def everything() -> "Interval":
+        """The whole real line."""
+        return Interval(-math.inf, math.inf)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def is_threshold(self) -> bool:
+        """True when the interval is one-sided above (``hi`` unbounded or 1).
+
+        The paper treats ``theta = [a, 1]`` over percentile measures as a
+        threshold predicate because percentile mass never exceeds 1.
+        """
+        return math.isinf(self.hi) or self.hi >= 1.0
+
+    def __contains__(self, value: float) -> bool:
+        if self.lo_open:
+            if not value > self.lo:
+                return False
+        elif not value >= self.lo:
+            return False
+        if self.hi_open:
+            return value < self.hi
+        return value <= self.hi
+
+    def contains(self, value: float) -> bool:
+        """Alias for ``value in self`` (readability at call sites)."""
+        return value in self
+
+    def expand(self, slack: float) -> "Interval":
+        """Widen both finite endpoints by ``slack`` (used for ``I'``).
+
+        The query procedures of Algorithms 2 and 4 search weights inside
+        ``[a_theta - eps - delta, b_theta + eps + delta]``; ``expand`` builds
+        that widened interval.  Open endpoints become closed because the
+        widened filter is a superset.
+        """
+        lo = self.lo - slack if math.isfinite(self.lo) else self.lo
+        hi = self.hi + slack if math.isfinite(self.hi) else self.hi
+        return Interval(lo, hi)
+
+    def clamp(self, lo: float, hi: float) -> "Interval":
+        """Intersect with ``[lo, hi]`` (e.g. percentile mass lives in [0,1])."""
+        new_lo = max(self.lo, lo)
+        new_hi = min(self.hi, hi)
+        if new_lo > new_hi:
+            # Degenerate after clamping; collapse to a point at the clamp
+            # boundary so membership tests are all False except exact hits.
+            return Interval(new_lo, new_lo, lo_open=True, hi_open=True)
+        return Interval(new_lo, new_hi, self.lo_open, self.hi_open)
+
+    def intersects(self, other: "Interval") -> bool:
+        """Whether the two intervals share at least one point."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return False
+        if lo == hi:
+            return lo in self and lo in other
+        return True
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        left = "(" if self.lo_open or math.isinf(self.lo) else "["
+        right = ")" if self.hi_open or math.isinf(self.hi) else "]"
+        return f"{left}{self.lo}, {self.hi}{right}"

@@ -1,0 +1,190 @@
+"""Axis-parallel hyper-rectangles and the orthant mappings of Section 4.
+
+A hyper-rectangle ``R`` in ``R^d`` is stored by its two opposite corners
+``R- , R+`` (Section 2).  Besides the usual containment predicates the class
+implements the two point/orthant mappings at the heart of the Ptile data
+structures:
+
+- ``to_point_2d()`` maps a precomputed rectangle ``rho`` to the point
+  ``q_rho = (rho-_1, ..., rho-_d, rho+_1, ..., rho+_d)`` in ``R^{2d}``
+  (Algorithm 1, line 7), and ``query_orthant_2d()`` maps a query rectangle
+  ``R`` to the orthant ``R' = [R-_1, inf) x ... x (-inf, R+_d]``
+  (Algorithm 2, line 1) such that ``rho ⊆ R  ⇔  q_rho ∈ R'``.
+- ``pair_to_point_4d()`` and ``query_orthant_4d()`` are the analogous
+  mappings for pairs ``(rho, rho_hat)`` in ``R^{4d}`` (Algorithms 3-4) such
+  that ``rho ⊆ R ⊂⊂ rho_hat  ⇔  q_(rho,rho_hat) ∈ R'`` where ``⊂⊂`` denotes
+  strict containment with disjoint boundaries.
+
+Orthants are represented as lists of per-dimension one-sided constraints
+compatible with :mod:`repro.index` query boxes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.geometry.interval import Interval
+
+
+class Rectangle:
+    """An axis-parallel hyper-rectangle ``[lo_1, hi_1] x ... x [lo_d, hi_d]``.
+
+    Parameters
+    ----------
+    lo, hi:
+        Sequences of length ``d`` with ``lo[h] <= hi[h]`` for every axis.
+        Degenerate rectangles (``lo[h] == hi[h]``) are allowed — the paper's
+        combinatorial rectangles include single points.
+
+    Examples
+    --------
+    >>> r = Rectangle([3.0], [8.0])          # the paper's R = [3, 8], d = 1
+    >>> r.contains_point([4.0])
+    True
+    >>> Rectangle([4.0], [6.0]).contained_in(r)
+    True
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Sequence[float], hi: Sequence[float]) -> None:
+        self.lo = np.asarray(lo, dtype=float)
+        self.hi = np.asarray(hi, dtype=float)
+        if self.lo.ndim != 1 or self.lo.shape != self.hi.shape:
+            raise ValueError("lo and hi must be 1-d sequences of equal length")
+        if self.lo.size == 0:
+            raise ValueError("rectangle must have at least one dimension")
+        if np.any(self.lo > self.hi):
+            raise ValueError(f"rectangle has lo > hi: lo={self.lo}, hi={self.hi}")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_intervals(intervals: Iterable[Interval]) -> "Rectangle":
+        """Build a rectangle as a product of closed intervals."""
+        ivs = list(intervals)
+        return Rectangle([iv.lo for iv in ivs], [iv.hi for iv in ivs])
+
+    @staticmethod
+    def bounding(points: np.ndarray, pad: float = 0.0) -> "Rectangle":
+        """The bounding box ``B`` of a point set, optionally padded.
+
+        Section 4.3 assumes all datasets lie in a bounding box ``B``; the
+        padding keeps sample projections strictly outside the data range so
+        that facet expansion (Lemma 4.6) always terminates.
+        """
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[0] == 0:
+            raise ValueError("points must be a non-empty (n, d) array")
+        return Rectangle(pts.min(axis=0) - pad, pts.max(axis=0) + pad)
+
+    @property
+    def dim(self) -> int:
+        """Dimension ``d`` of the ambient space."""
+        return int(self.lo.size)
+
+    # ------------------------------------------------------------------
+    # Point / rectangle predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, point: Sequence[float]) -> bool:
+        """Closed containment of a single point."""
+        p = np.asarray(point, dtype=float)
+        return bool(np.all(self.lo <= p) and np.all(p <= self.hi))
+
+    def contains_points(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized closed containment for an ``(n, d)`` array of points."""
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2:
+            raise ValueError("points must be an (n, d) array")
+        return np.all((pts >= self.lo) & (pts <= self.hi), axis=1)
+
+    def count_inside(self, points: np.ndarray) -> int:
+        """``|R ∩ P|`` for a point set ``P``."""
+        return int(np.count_nonzero(self.contains_points(points)))
+
+    def contained_in(self, other: "Rectangle") -> bool:
+        """Whether ``self ⊆ other`` (closed containment)."""
+        return bool(np.all(other.lo <= self.lo) and np.all(self.hi <= other.hi))
+
+    def strictly_inside(self, other: "Rectangle") -> bool:
+        """The paper's ``self ⊂⊂ other``: contained with disjoint boundaries.
+
+        Every facet of ``self`` is strictly inside ``other`` — i.e.
+        ``other.lo < self.lo`` and ``self.hi < other.hi`` on all axes.
+        """
+        return bool(np.all(other.lo < self.lo) and np.all(self.hi < other.hi))
+
+    def intersects(self, other: "Rectangle") -> bool:
+        """Whether the closed rectangles share at least one point."""
+        return bool(np.all(self.lo <= other.hi) and np.all(other.lo <= self.hi))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rectangle):
+            return NotImplemented
+        return bool(np.array_equal(self.lo, other.lo) and np.array_equal(self.hi, other.hi))
+
+    def __hash__(self) -> int:
+        return hash((self.lo.tobytes(), self.hi.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"[{a:g}, {b:g}]" for a, b in zip(self.lo, self.hi))
+        return f"Rectangle({parts})"
+
+    # ------------------------------------------------------------------
+    # Orthant mappings (Sections 4.2 and 4.3)
+    # ------------------------------------------------------------------
+    def to_point_2d(self) -> np.ndarray:
+        """``q_rho = (rho-_1, ..., rho-_d, rho+_1, ..., rho+_d)`` in R^{2d}."""
+        return np.concatenate([self.lo, self.hi])
+
+    def query_orthant_2d(self) -> list[tuple[float, float, bool, bool]]:
+        """The orthant ``R'`` of Algorithm 2 as per-dimension constraints.
+
+        Returns a list of ``(lo, hi, lo_open, hi_open)`` tuples over the
+        ``2d`` mapped coordinates: ``[R-_h, inf)`` for the first ``d`` and
+        ``(-inf, R+_h]`` for the last ``d``.  A mapped point ``q_rho`` lies in
+        the orthant iff ``rho ⊆ R``.
+        """
+        cons: list[tuple[float, float, bool, bool]] = []
+        for h in range(self.dim):
+            cons.append((float(self.lo[h]), math.inf, False, False))
+        for h in range(self.dim):
+            cons.append((-math.inf, float(self.hi[h]), False, False))
+        return cons
+
+    def pair_to_point_4d(self, outer: "Rectangle") -> np.ndarray:
+        """``q_(rho, rho_hat)`` in ``R^{4d}`` (Algorithm 3, line 10).
+
+        Coordinate order follows the paper:
+        ``(rho-_1..d, rho_hat-_1..d, rho+_1..d, rho_hat+_1..d)``.
+        """
+        if outer.dim != self.dim:
+            raise ValueError("inner and outer rectangles must share dimension")
+        return np.concatenate([self.lo, outer.lo, self.hi, outer.hi])
+
+    def query_orthant_4d(self) -> list[tuple[float, float, bool, bool]]:
+        """The orthant ``R'`` of Algorithm 4 as per-dimension constraints.
+
+        Over the ``4d`` mapped coordinates:
+
+        - ``[R-_h, inf)``   — rho must start at or after ``R-`` (rho ⊆ R),
+        - ``(-inf, R-_h)``  — rho_hat must start strictly before ``R-``,
+        - ``(-inf, R+_h]``  — rho must end at or before ``R+``,
+        - ``(R+_h, inf)``   — rho_hat must end strictly after ``R+``,
+
+        so a mapped pair lies in the orthant iff ``rho ⊆ R ⊂⊂ rho_hat``.
+        """
+        cons: list[tuple[float, float, bool, bool]] = []
+        for h in range(self.dim):
+            cons.append((float(self.lo[h]), math.inf, False, False))
+        for h in range(self.dim):
+            cons.append((-math.inf, float(self.lo[h]), False, True))
+        for h in range(self.dim):
+            cons.append((-math.inf, float(self.hi[h]), False, False))
+        for h in range(self.dim):
+            cons.append((float(self.hi[h]), math.inf, True, False))
+        return cons

@@ -1,0 +1,44 @@
+"""Range-searching substrate (Section 2: range trees, dynamic variants).
+
+The paper's data structures reduce every query to *orthogonal range
+reporting over weighted points*: find/report points of a mapped point set
+inside an axis-parallel box (an orthant crossed with a weight interval).
+This subpackage provides that machinery:
+
+- :class:`~repro.index.query_box.QueryBox` — axis-parallel boxes with
+  per-side open/closed bounds (needed for the strict inequalities of the
+  ``R^{4d}`` orthant of Algorithm 4).
+- :class:`~repro.index.fenwick.FenwickTree` — binary indexed tree over 0/1
+  activity flags with ``find_first`` support.
+- :class:`~repro.index.sorted_list.SortedListIndex` — the 1-dimensional
+  range tree: a static sorted array with Fenwick-indexed activation,
+  supporting ``report`` / ``report_first`` / ``count`` over active entries.
+- :class:`~repro.index.range_tree.RangeTree` — the classic multi-level
+  range tree (tree over the first coordinate, associated structures on the
+  rest), faithful to the textbook construction [de Berg et al.]; practical
+  for low mapped dimension.
+- :class:`~repro.index.kd_tree.DynamicKDTree` — the general engine: a
+  median-split kd-tree with per-node active counters supporting
+  ``report_first`` over *active* points, ``deactivate``/``activate`` (the
+  delete/re-insert trick of Algorithms 2 and 4), and bulk insertion with
+  amortized rebuilds for the dynamic-synopsis remarks.
+
+Both multi-dimensional structures implement the same
+``report / report_first / count / deactivate / activate`` protocol, so the
+core indexes are parameterized by an engine choice (see
+``DESIGN.md``, substitution 2).
+"""
+
+from repro.index.query_box import QueryBox
+from repro.index.fenwick import FenwickTree
+from repro.index.sorted_list import SortedListIndex
+from repro.index.range_tree import RangeTree
+from repro.index.kd_tree import DynamicKDTree
+
+__all__ = [
+    "QueryBox",
+    "FenwickTree",
+    "SortedListIndex",
+    "RangeTree",
+    "DynamicKDTree",
+]

@@ -1,0 +1,101 @@
+"""Fenwick (binary indexed) tree over integer counters.
+
+Used as the activation bookkeeping inside the 1-dimensional level of the
+range tree: each slot holds 0 (deactivated) or 1 (active), and the tree
+answers prefix sums and "first active position at or after i" in
+``O(log n)`` — exactly what ``ReportFirst`` (Section 2) needs after points
+have been deleted mid-query.
+"""
+
+from __future__ import annotations
+
+
+class FenwickTree:
+    """A Fenwick tree over ``n`` non-negative integer counters.
+
+    Examples
+    --------
+    >>> ft = FenwickTree.all_ones(4)
+    >>> ft.prefix_sum(4)
+    4
+    >>> ft.add(1, -1)
+    >>> ft.range_sum(0, 4), ft.find_first_positive(0, 4)
+    (3, 0)
+    >>> ft.add(0, -1)
+    >>> ft.find_first_positive(0, 2)
+    2
+    """
+
+    __slots__ = ("n", "_tree")
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("size must be non-negative")
+        self.n = n
+        self._tree = [0] * (n + 1)
+
+    @staticmethod
+    def all_ones(n: int) -> "FenwickTree":
+        """A tree initialized with every counter equal to one (all active)."""
+        ft = FenwickTree(n)
+        # O(n) bulk build: tree[i] aggregates the block ending at i.
+        for i in range(1, n + 1):
+            ft._tree[i] += 1
+            j = i + (i & -i)
+            if j <= n:
+                ft._tree[j] += ft._tree[i]
+        return ft
+
+    def add(self, index: int, delta: int) -> None:
+        """Add ``delta`` to the counter at ``index`` (0-based)."""
+        if not 0 <= index < self.n:
+            raise IndexError(f"index {index} out of range [0, {self.n})")
+        i = index + 1
+        while i <= self.n:
+            self._tree[i] += delta
+            i += i & -i
+
+    def prefix_sum(self, count: int) -> int:
+        """Sum of the first ``count`` counters (indices ``0..count-1``)."""
+        if count < 0 or count > self.n:
+            raise IndexError(f"prefix length {count} out of range [0, {self.n}]")
+        total = 0
+        i = count
+        while i > 0:
+            total += self._tree[i]
+            i -= i & -i
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum of counters in the half-open index range ``[lo, hi)``."""
+        if lo >= hi:
+            return 0
+        return self.prefix_sum(hi) - self.prefix_sum(lo)
+
+    def find_first_positive(self, lo: int, hi: int) -> int:
+        """Smallest index in ``[lo, hi)`` with a positive counter, else ``hi``.
+
+        Runs in ``O(log n)`` via a descent over the implicit binary
+        structure: find the smallest prefix whose sum exceeds
+        ``prefix_sum(lo)``.
+        """
+        if lo >= hi:
+            return hi
+        target = self.prefix_sum(lo)  # we want the (target+1)-th positive slot
+        if self.prefix_sum(hi) <= target:
+            return hi
+        # Standard Fenwick binary-lifting descent.
+        pos = 0
+        remaining = target
+        bit = 1
+        while (bit << 1) <= self.n:
+            bit <<= 1
+        while bit:
+            nxt = pos + bit
+            if nxt <= self.n and self._tree[nxt] <= remaining:
+                pos = nxt
+                remaining -= self._tree[nxt]
+            bit >>= 1
+        # pos = number of slots whose cumulative sum is <= target, i.e. the
+        # 0-based index of the (target+1)-th positive counter.
+        return pos

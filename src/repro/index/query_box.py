@@ -1,0 +1,106 @@
+"""Axis-parallel query boxes with per-side open/closed bounds.
+
+The orthant of Algorithm 4 mixes closed constraints (``[R-_h, inf)``) with
+*strict* ones (``(-inf, R-_h)``), so the range-searching substrate must
+distinguish open and closed endpoints exactly — floating-point "nudging" is
+not acceptable in a correctness-first reproduction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+class QueryBox:
+    """A product of per-dimension intervals, each side open or closed.
+
+    Parameters
+    ----------
+    constraints:
+        Sequence of ``(lo, hi, lo_open, hi_open)`` tuples, one per dimension
+        of the indexed point set.  Use ``-math.inf`` / ``math.inf`` for
+        unbounded sides.
+
+    Examples
+    --------
+    >>> box = QueryBox([(0.0, 1.0, False, True)])   # [0, 1)
+    >>> box.contains_point([0.0]), box.contains_point([1.0])
+    (True, False)
+    """
+
+    __slots__ = ("lo", "hi", "lo_open", "hi_open", "dim")
+
+    def __init__(self, constraints: Sequence[tuple[float, float, bool, bool]]) -> None:
+        if len(constraints) == 0:
+            raise ValueError("query box needs at least one dimension")
+        self.lo = np.array([c[0] for c in constraints], dtype=float)
+        self.hi = np.array([c[1] for c in constraints], dtype=float)
+        self.lo_open = np.array([bool(c[2]) for c in constraints])
+        self.hi_open = np.array([bool(c[3]) for c in constraints])
+        self.dim = len(constraints)
+        if np.any(np.isnan(self.lo)) or np.any(np.isnan(self.hi)):
+            raise ValueError("query box bounds must not be NaN")
+
+    @staticmethod
+    def closed(lo: Sequence[float], hi: Sequence[float]) -> "QueryBox":
+        """A fully closed box ``[lo_1, hi_1] x ... x [lo_k, hi_k]``."""
+        return QueryBox([(float(a), float(b), False, False) for a, b in zip(lo, hi)])
+
+    @staticmethod
+    def unbounded(dim: int) -> "QueryBox":
+        """The whole space (useful for weight-only filters)."""
+        return QueryBox([(-math.inf, math.inf, False, False)] * dim)
+
+    def with_dimension(
+        self, axis: int, lo: float, hi: float, lo_open: bool = False, hi_open: bool = False
+    ) -> "QueryBox":
+        """A copy with one dimension's constraint replaced."""
+        cons = [
+            (float(self.lo[i]), float(self.hi[i]), bool(self.lo_open[i]), bool(self.hi_open[i]))
+            for i in range(self.dim)
+        ]
+        cons[axis] = (lo, hi, lo_open, hi_open)
+        return QueryBox(cons)
+
+    # ------------------------------------------------------------------
+    # Point tests
+    # ------------------------------------------------------------------
+    def contains_point(self, point: Sequence[float]) -> bool:
+        """Whether a single point satisfies every constraint."""
+        p = np.asarray(point, dtype=float)
+        ok_lo = np.where(self.lo_open, p > self.lo, p >= self.lo)
+        ok_hi = np.where(self.hi_open, p < self.hi, p <= self.hi)
+        return bool(np.all(ok_lo) and np.all(ok_hi))
+
+    def contains_points(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized membership for an ``(n, k)`` array of points."""
+        pts = np.asarray(points, dtype=float)
+        ok_lo = np.where(self.lo_open, pts > self.lo, pts >= self.lo)
+        ok_hi = np.where(self.hi_open, pts < self.hi, pts <= self.hi)
+        return np.all(ok_lo & ok_hi, axis=1)
+
+    # ------------------------------------------------------------------
+    # Bounding-box tests (used by tree traversals for pruning)
+    # ------------------------------------------------------------------
+    def intersects_bbox(self, blo: np.ndarray, bhi: np.ndarray) -> bool:
+        """Whether some point of the closed bbox ``[blo, bhi]`` may qualify."""
+        ok_lo = np.where(self.lo_open, bhi > self.lo, bhi >= self.lo)
+        ok_hi = np.where(self.hi_open, blo < self.hi, blo <= self.hi)
+        return bool(np.all(ok_lo) and np.all(ok_hi))
+
+    def contains_bbox(self, blo: np.ndarray, bhi: np.ndarray) -> bool:
+        """Whether *every* point of the closed bbox ``[blo, bhi]`` qualifies."""
+        ok_lo = np.where(self.lo_open, blo > self.lo, blo >= self.lo)
+        ok_hi = np.where(self.hi_open, bhi < self.hi, bhi <= self.hi)
+        return bool(np.all(ok_lo) and np.all(ok_hi))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = []
+        for i in range(self.dim):
+            left = "(" if self.lo_open[i] else "["
+            right = ")" if self.hi_open[i] else "]"
+            parts.append(f"{left}{self.lo[i]:g}, {self.hi[i]:g}{right}")
+        return "QueryBox(" + " x ".join(parts) + ")"

@@ -1,0 +1,208 @@
+"""Classic multi-level range tree over weighted points (Section 2).
+
+The textbook construction [de Berg et al., Computational Geometry]: a
+balanced binary tree over the first coordinate whose every node stores an
+*associated structure* — a range tree over the remaining coordinates of the
+points in the node's subtree; the last level is a
+:class:`~repro.index.sorted_list.SortedListIndex`.  A ``k``-dimensional
+query decomposes the first coordinate's range into ``O(log n)`` canonical
+nodes and recurses into their associated structures.
+
+Dynamics are provided by activation flags (the paper only ever deletes
+points *temporarily* during a query and re-inserts them afterwards —
+Algorithms 2 and 4 — which maps exactly to deactivate/activate).  A
+deactivation updates the ``O(log^{k-1} n)`` associated structures on the
+root-to-leaf path, each in ``O(log n)``, matching the
+``O(log^{k} n)``-style update bounds quoted in Section 2.
+
+Memory is ``Theta(n log^{k-1} n)``, which in pure Python is practical only
+for small ``k``; the higher-dimensional mapped spaces of the Ptile indexes
+default to :class:`~repro.index.kd_tree.DynamicKDTree` instead (see
+``DESIGN.md``, substitution 2).  Both engines share the same protocol and
+the test suite cross-checks them against each other.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.interval import Interval
+from repro.index.query_box import QueryBox
+from repro.index.sorted_list import SortedListIndex
+
+
+class _Node:
+    """A node of the primary tree: a contiguous slice of the sorted order."""
+
+    __slots__ = ("lo", "hi", "left", "right", "assoc")
+
+    def __init__(self, lo: int, hi: int) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+        self.assoc = None  # RangeTree over remaining dims, or SortedListIndex
+
+
+class RangeTree:
+    """A ``k``-dimensional range tree with activation-based dynamics.
+
+    Parameters
+    ----------
+    points:
+        ``(n, k)`` array.
+    ids:
+        Optional unique identifiers (default: positional indices).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rt = RangeTree(np.array([[0.0, 0.0], [1.0, 2.0], [2.0, 1.0]]))
+    >>> sorted(rt.report(QueryBox.closed([0.5, 0.5], [2.5, 2.5])))
+    [1, 2]
+    """
+
+    def __init__(self, points: np.ndarray, ids: Optional[Iterable] = None) -> None:
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[0] == 0:
+            raise ValueError("points must be a non-empty (n, k) array")
+        self.dim = pts.shape[1]
+        id_list = list(ids) if ids is not None else list(range(pts.shape[0]))
+        if len(id_list) != pts.shape[0]:
+            raise ValueError("points and ids must have equal length")
+        order = np.argsort(pts[:, 0], kind="stable")
+        self._keys = pts[order, 0]
+        self._ids = [id_list[i] for i in order]
+        self._pos_of_id = {pid: pos for pos, pid in enumerate(self._ids)}
+        if len(self._pos_of_id) != len(self._ids):
+            raise ValueError("ids must be unique")
+        self._rest = pts[order, 1:]
+        self._root = self._build(0, pts.shape[0])
+
+    def _build(self, lo: int, hi: int) -> _Node:
+        node = _Node(lo, hi)
+        if self.dim == 1:
+            node.assoc = SortedListIndex(self._keys[lo:hi], ids=self._ids[lo:hi])
+        else:
+            node.assoc = RangeTree(self._rest[lo:hi], ids=self._ids[lo:hi])
+        if hi - lo > 1:
+            mid = (lo + hi) // 2
+            node.left = self._build(lo, mid)
+            node.right = self._build(mid, hi)
+        return node
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    # ------------------------------------------------------------------
+    # Activation
+    # ------------------------------------------------------------------
+    def deactivate(self, entry_id) -> None:
+        """Hide a point from all queries (O(polylog n))."""
+        self._set_active(entry_id, active=False)
+
+    def activate(self, entry_id) -> None:
+        """Re-show a previously deactivated point."""
+        self._set_active(entry_id, active=True)
+
+    def _set_active(self, entry_id, active: bool) -> None:
+        pos = self._pos_of_id[entry_id]
+        node = self._root
+        while node is not None:
+            if isinstance(node.assoc, SortedListIndex):
+                if active:
+                    node.assoc.activate(entry_id)
+                else:
+                    node.assoc.deactivate(entry_id)
+            else:
+                node.assoc._set_active(entry_id, active)
+            if node.left is None:
+                break
+            node = node.left if pos < node.left.hi else node.right
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _key_range(self, box: QueryBox) -> tuple[int, int]:
+        lo, hi = box.lo[0], box.hi[0]
+        if box.lo_open[0]:
+            left = bisect.bisect_right(self._keys, lo)
+        else:
+            left = bisect.bisect_left(self._keys, lo)
+        if box.hi_open[0]:
+            right = bisect.bisect_left(self._keys, hi)
+        else:
+            right = bisect.bisect_right(self._keys, hi)
+        return left, max(left, right)
+
+    def _canonical(self, node: _Node, lo: int, hi: int, out: list) -> None:
+        """Collect the O(log n) nodes exactly covering positions [lo, hi)."""
+        if lo >= node.hi or hi <= node.lo:
+            return
+        if lo <= node.lo and node.hi <= hi:
+            out.append(node)
+            return
+        if node.left is not None:
+            self._canonical(node.left, lo, hi, out)
+            self._canonical(node.right, lo, hi, out)
+
+    def _sub_box(self, box: QueryBox) -> Optional[QueryBox]:
+        if box.dim == 1:
+            return None
+        cons = [
+            (float(box.lo[i]), float(box.hi[i]), bool(box.lo_open[i]), bool(box.hi_open[i]))
+            for i in range(1, box.dim)
+        ]
+        return QueryBox(cons)
+
+    def _last_interval(self, box: QueryBox) -> Interval:
+        return Interval(
+            float(box.lo[0]), float(box.hi[0]), bool(box.lo_open[0]), bool(box.hi_open[0])
+        )
+
+    def _check_box(self, box: QueryBox) -> None:
+        if box.dim != self.dim:
+            raise ValueError(f"query box has dim {box.dim}, tree has dim {self.dim}")
+
+    def report(self, box: QueryBox) -> list:
+        """All active point ids inside the box."""
+        self._check_box(box)
+        if self.dim == 1:
+            return self._root.assoc.report(self._last_interval(box))
+        left, right = self._key_range(box)
+        nodes: list[_Node] = []
+        self._canonical(self._root, left, right, nodes)
+        sub = self._sub_box(box)
+        out: list = []
+        for node in nodes:
+            out.extend(node.assoc.report(sub))
+        return out
+
+    def report_first(self, box: QueryBox):
+        """One arbitrary active point id inside the box, or None."""
+        self._check_box(box)
+        if self.dim == 1:
+            return self._root.assoc.report_first(self._last_interval(box))
+        left, right = self._key_range(box)
+        nodes: list[_Node] = []
+        self._canonical(self._root, left, right, nodes)
+        sub = self._sub_box(box)
+        for node in nodes:
+            found = node.assoc.report_first(sub)
+            if found is not None:
+                return found
+        return None
+
+    def count(self, box: QueryBox) -> int:
+        """Number of active points inside the box."""
+        self._check_box(box)
+        if self.dim == 1:
+            return self._root.assoc.count(self._last_interval(box))
+        left, right = self._key_range(box)
+        nodes: list[_Node] = []
+        self._canonical(self._root, left, right, nodes)
+        sub = self._sub_box(box)
+        return sum(node.assoc.count(sub) for node in nodes)

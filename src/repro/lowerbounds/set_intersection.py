@@ -1,0 +1,164 @@
+"""Uniform set intersection → CPtile reduction (Appendix B.1, Figure 4).
+
+The construction (following Rahul-Janardan [50]):
+
+- A *uniform* collection of sets ``S_1..S_g`` over universe ``{0..q-1}``
+  (every element belongs to the same number ``c`` of sets).
+- Every occurrence ``s_{i,k}`` (k-th item of ``S_i``; items at global
+  offsets ``m_{i-1} + k``) creates two points, one on line ``L: y = x + M``
+  at ``x = -(k + m_{i-1})`` and one on ``L': y = x - M`` at
+  ``x = +(k + m_{i-1})``; both join the dataset ``P_u`` of the *element*
+  ``u = s_{i,k}``.  Uniformity makes all ``|P_u| = 2c =: t`` equal.
+- For indices ``i, j`` the rectangle
+  ``rho_{i,j} = [-m_i, m_j] x [m_{j-1}+1-M, M-m_{i-1}-1]`` intersects the
+  point set exactly in ``G_i ∪ G'_j`` (set i's points on L, set j's points
+  on L'), so ``u ∈ S_i ∩ S_j  ⇔  |P_u ∩ rho_{i,j}| = 2
+  ⇔ M_{rho_{i,j}}(P_u) ∈ [1.5/t, 1]``.
+
+Hence any CPtile structure answers set-intersection queries: a small & fast
+CPtile structure would refute the strong set-intersection conjecture
+(Theorem 3.4).  The FIG4 benchmark runs this reduction end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import ConstructionError
+from repro.geometry.interval import Interval
+from repro.geometry.rectangle import Rectangle
+
+@dataclass
+class UniformSetIntersectionInstance:
+    """A uniform set collection plus its geometric CPtile encoding."""
+
+    sets: list[set[int]]          # S_1..S_g (0-based)
+    universe_size: int            # q
+    occurrences: int              # c — sets per element (uniformity)
+    offsets: list[int]            # m_0..m_g (global item offsets)
+    datasets: list[np.ndarray]    # P_0..P_{q-1}, each (2c, 2)
+    total_size: int               # M = sum |S_i|
+
+    @property
+    def n_sets(self) -> int:
+        """``g``."""
+        return len(self.sets)
+
+    @property
+    def points_per_dataset(self) -> int:
+        """``t = 2c`` — every dataset has the same size (uniformity)."""
+        return 2 * self.occurrences
+
+    def brute_force_intersection(self, i: int, j: int) -> set[int]:
+        """``S_i ∩ S_j`` directly."""
+        return self.sets[i] & self.sets[j]
+
+
+def make_uniform_instance(
+    n_sets: int,
+    set_size: int,
+    occurrences: int,
+    rng: np.random.Generator,
+) -> UniformSetIntersectionInstance:
+    """Sample a random uniform collection and build its CPtile encoding.
+
+    Construction: lay out the elements ``0..q-1`` repeated ``occurrences``
+    times in stride order (position ``p`` holds element ``p mod q``) and cut
+    the sequence into ``n_sets`` consecutive blocks of ``set_size``.  Two
+    occurrences of the same element are exactly ``q`` positions apart, and
+    ``q = n_sets * set_size / occurrences >= set_size`` whenever
+    ``occurrences <= n_sets``, so no block repeats an element — the
+    collection is simple and uniform by construction.  Element labels are
+    then randomly permuted so intersections are randomized.
+    """
+    if n_sets < 2 or set_size < 1 or occurrences < 1:
+        raise ConstructionError("need n_sets >= 2, set_size >= 1, occurrences >= 1")
+    total = n_sets * set_size
+    if total % occurrences != 0:
+        raise ConstructionError(
+            "n_sets * set_size must be divisible by occurrences for uniformity"
+        )
+    q = total // occurrences
+    if occurrences > n_sets:
+        raise ConstructionError("occurrences cannot exceed n_sets")
+    relabel = rng.permutation(q)
+    sets: list[set[int]] = []
+    for i in range(n_sets):
+        block = range(i * set_size, (i + 1) * set_size)
+        members = {int(relabel[p % q]) for p in block}
+        if len(members) != set_size:  # pragma: no cover - guarded above
+            raise ConstructionError("stride construction produced a duplicate")
+        sets.append(members)
+    return _encode(sets, q, occurrences)
+
+
+def _encode(
+    sets: list[set[int]], q: int, occurrences: int
+) -> UniformSetIntersectionInstance:
+    """Build the two-line point sets of Appendix B.1."""
+    big_m = sum(len(s) for s in sets)
+    offsets = [0]
+    per_element: dict[int, list[tuple[float, float]]] = {u: [] for u in range(q)}
+    for s in sets:
+        m_prev = offsets[-1]
+        for k, u in enumerate(sorted(s), start=1):
+            pos = k + m_prev
+            per_element[u].append((-pos, -pos + big_m))   # on L: y = x + M
+            per_element[u].append((pos, pos - big_m))     # on L': y = x - M
+        offsets.append(m_prev + len(s))
+    datasets = [np.asarray(per_element[u], dtype=float) for u in range(q)]
+    return UniformSetIntersectionInstance(
+        sets=sets,
+        universe_size=q,
+        occurrences=occurrences,
+        offsets=offsets,
+        datasets=datasets,
+        total_size=big_m,
+    )
+
+
+def intersection_query_rectangle(
+    instance: UniformSetIntersectionInstance, i: int, j: int
+) -> Rectangle:
+    """The rectangle ``rho_{i,j}`` isolating ``G_i ∪ G'_j`` (Figure 4)."""
+    g = instance.n_sets
+    if not (0 <= i < g and 0 <= j < g):
+        raise ConstructionError("set indices out of range")
+    m = instance.offsets
+    big_m = instance.total_size
+    x_lo = -float(m[i + 1])
+    x_hi = float(m[j + 1])
+    y_lo = float(m[j] + 1 - big_m)
+    y_hi = float(big_m - m[i] - 1)
+    return Rectangle([x_lo, y_lo], [x_hi, y_hi])
+
+
+def intersection_theta(instance: UniformSetIntersectionInstance) -> Interval:
+    """The fixed interval ``[1.5/t, 1]`` certifying two hits."""
+    return Interval(1.5 / instance.points_per_dataset, 1.0)
+
+
+def intersect_via_cptile(
+    instance: UniformSetIntersectionInstance,
+    i: int,
+    j: int,
+    cptile_query: Optional[Callable[[Rectangle, Interval], set[int]]] = None,
+) -> set[int]:
+    """Answer ``S_i ∩ S_j`` through a CPtile oracle.
+
+    ``cptile_query(rect, theta)`` must return the exact index set
+    ``{u : M_rect(P_u) ∈ theta}``; defaults to direct counting over the
+    instance's datasets (the semantics any exact CPtile structure provides).
+    """
+    rect = intersection_query_rectangle(instance, i, j)
+    theta = intersection_theta(instance)
+    if cptile_query is None:
+        out = set()
+        for u, pts in enumerate(instance.datasets):
+            if rect.count_inside(pts) / pts.shape[0] in theta:
+                out.add(u)
+        return out
+    return set(cptile_query(rect, theta))

@@ -1,0 +1,45 @@
+"""Synopses: compressed dataset representations for the federated setting.
+
+A synopsis ``S_P`` (Section 1.1) is a compressed representation of a dataset
+``P`` that supports, depending on the measure-function class:
+
+- for the percentile class ``F_□``: random sampling over (an approximation
+  of) ``P`` — ``Sample(kappa)`` in Algorithm 1 — and mass estimation for
+  rectangles, with error ``Err_{S_P}(F_□) <= delta``;
+- for the top-k preference class ``F_k``: a ``Score(v, k)`` procedure that
+  estimates the k-th largest projection of ``P`` on a unit vector ``v``
+  (Algorithm 5), with error ``Err_{S_P}(F_k) <= delta``.
+
+Implementations (the kinds the paper names in Section 1.2):
+
+- :class:`~repro.synopsis.exact.ExactSynopsis` — the dataset itself
+  (centralized setting, ``delta = 0``).
+- :class:`~repro.synopsis.sample.EpsilonSampleSynopsis` — a uniform
+  subsample (an ε-sample).
+- :class:`~repro.synopsis.histogram.HistogramSynopsis` — a d-dimensional
+  equi-width histogram.
+- :class:`~repro.synopsis.gmm.GMMSynopsis` — a diagonal Gaussian mixture
+  model fitted with EM.
+- :class:`~repro.synopsis.kernel.DirectionQuantileSynopsis` — a kernel-style
+  direction/quantile sketch for preference queries [Yu-Agarwal-Yang 2012].
+"""
+
+from repro.synopsis.base import Synopsis
+from repro.synopsis.exact import ExactSynopsis
+from repro.synopsis.sample import EpsilonSampleSynopsis
+from repro.synopsis.histogram import HistogramSynopsis
+from repro.synopsis.gmm import GMMSynopsis
+from repro.synopsis.kernel import DirectionQuantileSynopsis
+from repro.synopsis.cover import CoverSynopsis
+from repro.synopsis.quantile import QuantileHistogramSynopsis
+
+__all__ = [
+    "Synopsis",
+    "ExactSynopsis",
+    "EpsilonSampleSynopsis",
+    "HistogramSynopsis",
+    "GMMSynopsis",
+    "DirectionQuantileSynopsis",
+    "CoverSynopsis",
+    "QuantileHistogramSynopsis",
+]

@@ -1,0 +1,92 @@
+"""The exact synopsis: the dataset itself (centralized setting, delta = 0)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.rectangle import Rectangle
+from repro.synopsis.base import Synopsis
+
+
+class ExactSynopsis(Synopsis):
+    """Wraps the raw dataset; every estimate is exact.
+
+    Setting ``S_{P_i} = P_i`` for every dataset makes the federated problem
+    coincide with the centralized one (Section 1.1), so the centralized
+    CPtile/CPref indexes are simply the federated indexes instantiated with
+    exact synopses.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` array — the dataset ``P``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> syn = ExactSynopsis(np.array([[0.0], [1.0], [2.0], [3.0]]))
+    >>> syn.mass(Rectangle([0.5], [2.5]))
+    0.5
+    >>> syn.score(np.array([1.0]), k=2)
+    2.0
+    """
+
+    def __init__(self, points: np.ndarray) -> None:
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[0] == 0:
+            raise ValueError("points must be a non-empty (n, d) array")
+        self._points = pts
+
+    @property
+    def points(self) -> np.ndarray:
+        """The underlying dataset (read-only view)."""
+        return self._points
+
+    @property
+    def dim(self) -> int:
+        return int(self._points.shape[1])
+
+    @property
+    def n_points(self) -> int:
+        return int(self._points.shape[0])
+
+    # -- percentile class (exact) ---------------------------------------
+    @property
+    def delta_ptile(self) -> float:
+        return 0.0
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_sample_args(size)
+        idx = rng.integers(0, self.n_points, size=size)
+        return self._points[idx]
+
+    def mass(self, rect: Rectangle) -> float:
+        return rect.count_inside(self._points) / self.n_points
+
+    # -- preference class (exact) ---------------------------------------
+    @property
+    def delta_pref(self) -> float:
+        return 0.0
+
+    def score(self, vector: np.ndarray, k: int) -> float:
+        """Exact ``omega_k(P, v)``; ``-inf`` when ``k > |P|`` (undefined)."""
+        v = self._check_score_args(vector, k)
+        if k > self.n_points:
+            return float("-inf")
+        proj = self._points @ v
+        # k-th largest = (n-k)-th order statistic.
+        return float(np.partition(proj, self.n_points - k)[self.n_points - k])
+
+    def score_batch(self, vectors: np.ndarray, k: int) -> np.ndarray:
+        """Vectorized exact scoring over many unit vectors at once."""
+        vs = np.atleast_2d(np.asarray(vectors, dtype=float))
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if k > self.n_points:
+            return np.full(vs.shape[0], float("-inf"))
+        norms = np.linalg.norm(vs, axis=1, keepdims=True)
+        if np.any(norms == 0.0):
+            raise ValueError("preference vectors must be nonzero")
+        proj = self._points @ (vs / norms).T  # (n, m)
+        order = self.n_points - k
+        return np.partition(proj, order, axis=0)[order]

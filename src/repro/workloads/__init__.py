@@ -1,0 +1,44 @@
+"""Synthetic data-lake workloads.
+
+The paper motivates the problems on open-data repositories of ~100K
+datasets (Example 1.1).  Those repositories are proprietary-ish and huge;
+we substitute controlled synthetic generators (DESIGN.md, substitution 1)
+with known ground truth:
+
+- :mod:`~repro.workloads.generators` — parametric dataset families
+  (uniform, Gaussian mixtures, skewed, controlled-mass) with realistic
+  dataset-size skew;
+- :mod:`~repro.workloads.queries` — query workloads (rectangles with
+  controlled selectivity, random preference vectors and thresholds);
+- :mod:`~repro.workloads.opendata` — the running example: city incident
+  records for percentile queries and neighborhood quality-of-life tables
+  for preference queries.
+"""
+
+from repro.workloads.generators import (
+    lognormal_sizes,
+    synthetic_data_lake,
+    dataset_with_mass,
+)
+from repro.workloads.queries import (
+    random_rectangles,
+    random_unit_vectors,
+    threshold_grid,
+)
+from repro.workloads.opendata import (
+    city_incident_repository,
+    city_quality_repository,
+    BROOKLYN_REGION,
+)
+
+__all__ = [
+    "lognormal_sizes",
+    "synthetic_data_lake",
+    "dataset_with_mass",
+    "random_rectangles",
+    "random_unit_vectors",
+    "threshold_grid",
+    "city_incident_repository",
+    "city_quality_repository",
+    "BROOKLYN_REGION",
+]

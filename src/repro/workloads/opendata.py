@@ -1,0 +1,94 @@
+"""The paper's running example as a synthetic workload (Example 1.1).
+
+Two repositories model the economist's two needs:
+
+- :func:`city_incident_repository` — percentile queries.  Each dataset is a
+  table of crime-incident records with (longitude, latitude) coordinates in
+  a normalized ``[0, 1]^2`` map.  A designated "Brooklyn" region
+  (:data:`BROOKLYN_REGION`) receives a per-dataset fraction of incidents,
+  so "datasets with at least 10% of points from Brooklyn" has controlled
+  ground truth.
+- :func:`city_quality_repository` — preference queries.  Each dataset is a
+  city: one row per neighborhood with columns
+  ``(safety, clean_air, healthcare, education)`` in ``[0, 1]`` (higher is
+  better).  "Cities with at least k neighborhoods of quality-of-life
+  score >= tau" is a top-k preference query with a user-chosen linear
+  weighting of the four factors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.framework import Dataset, Repository
+from repro.errors import ConstructionError
+from repro.geometry.rectangle import Rectangle
+from repro.workloads.generators import dataset_with_mass
+
+#: The "Brooklyn" query region on the normalized map.
+BROOKLYN_REGION = Rectangle([0.55, 0.15], [0.8, 0.4])
+
+#: Attribute schema of the quality-of-life tables.
+QUALITY_SCHEMA = ("safety", "clean_air", "healthcare", "education")
+
+
+def city_incident_repository(
+    n_cities: int,
+    rng: np.random.Generator,
+    median_incidents: int = 1500,
+    brooklyn_fractions: np.ndarray | None = None,
+) -> tuple[Repository, np.ndarray]:
+    """Crime-incident datasets with controlled Brooklyn mass.
+
+    Returns ``(repository, fractions)`` where ``fractions[i]`` is the exact
+    fraction of dataset ``i``'s incidents inside :data:`BROOKLYN_REGION`.
+    """
+    if n_cities < 1:
+        raise ConstructionError("n_cities must be positive")
+    if brooklyn_fractions is None:
+        # A mix of cities: many with little Brooklyn data, some with a lot.
+        brooklyn_fractions = rng.beta(1.2, 6.0, size=n_cities)
+    fractions = np.asarray(brooklyn_fractions, dtype=float)
+    if fractions.shape != (n_cities,):
+        raise ConstructionError("one Brooklyn fraction per city required")
+    datasets = []
+    for i in range(n_cities):
+        n = max(50, int(rng.normal(median_incidents, median_incidents / 4)))
+        pts = dataset_with_mass(n, BROOKLYN_REGION, float(fractions[i]), rng)
+        exact = BROOKLYN_REGION.count_inside(pts) / n
+        fractions[i] = exact
+        datasets.append(
+            Dataset(pts, name=f"crime-city-{i:03d}", schema=("lon", "lat"))
+        )
+    return Repository(datasets), fractions
+
+
+def city_quality_repository(
+    n_cities: int,
+    rng: np.random.Generator,
+    min_neighborhoods: int = 20,
+    max_neighborhoods: int = 120,
+) -> Repository:
+    """Quality-of-life tables: one row per neighborhood, four factors.
+
+    Cities differ in overall quality level and in within-city inequality,
+    so top-k preference queries separate them meaningfully.
+    """
+    if n_cities < 1:
+        raise ConstructionError("n_cities must be positive")
+    if not 1 <= min_neighborhoods <= max_neighborhoods:
+        raise ConstructionError("invalid neighborhood count range")
+    datasets = []
+    for i in range(n_cities):
+        n = int(rng.integers(min_neighborhoods, max_neighborhoods + 1))
+        city_level = rng.uniform(0.25, 0.75, size=4)     # per-factor mean
+        inequality = rng.uniform(0.05, 0.25)             # within-city spread
+        rows = rng.normal(city_level, inequality, size=(n, 4))
+        # Factors are correlated in reality (safe areas tend to have better
+        # services); blend in a shared per-neighborhood latent level.
+        latent = rng.normal(0.0, inequality, size=(n, 1))
+        rows = np.clip(rows + 0.5 * latent, 0.0, 1.0)
+        datasets.append(
+            Dataset(rows, name=f"quality-city-{i:03d}", schema=QUALITY_SCHEMA)
+        )
+    return Repository(datasets)

@@ -1,0 +1,53 @@
+"""Query workload generators: rectangles, vectors, thresholds."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConstructionError
+from repro.geometry.rectangle import Rectangle
+
+
+def random_rectangles(
+    n: int,
+    dim: int,
+    rng: np.random.Generator,
+    ambient: Optional[Rectangle] = None,
+    min_extent: float = 0.05,
+    max_extent: float = 0.6,
+) -> list[Rectangle]:
+    """Random axis-parallel query rectangles inside an ambient box.
+
+    Extents are drawn per axis as a fraction of the ambient span, then the
+    rectangle is placed uniformly at random so it stays inside the box.
+    """
+    if n < 1:
+        raise ConstructionError("n must be positive")
+    if not 0.0 < min_extent <= max_extent <= 1.0:
+        raise ConstructionError("need 0 < min_extent <= max_extent <= 1")
+    if ambient is None:
+        ambient = Rectangle([0.0] * dim, [1.0] * dim)
+    span = ambient.hi - ambient.lo
+    out: list[Rectangle] = []
+    for _ in range(n):
+        extent = rng.uniform(min_extent, max_extent, size=dim) * span
+        lo = ambient.lo + rng.uniform(0.0, 1.0, size=dim) * (span - extent)
+        out.append(Rectangle(lo, lo + extent))
+    return out
+
+
+def random_unit_vectors(n: int, dim: int, rng: np.random.Generator) -> np.ndarray:
+    """``n`` uniform random unit vectors in ``R^dim``."""
+    if n < 1 or dim < 1:
+        raise ConstructionError("n and dim must be positive")
+    v = rng.normal(size=(n, dim))
+    return v / np.linalg.norm(v, axis=1, keepdims=True)
+
+
+def threshold_grid(lo: float, hi: float, steps: int) -> np.ndarray:
+    """Evenly spaced thresholds for sweep benchmarks."""
+    if steps < 1:
+        raise ConstructionError("steps must be positive")
+    return np.linspace(lo, hi, steps)

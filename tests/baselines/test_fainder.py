@@ -1,0 +1,101 @@
+"""Tests for the Fainder-style histogram percentile baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fainder import FainderStyleIndex
+from repro.errors import ConstructionError, QueryError
+
+
+@pytest.fixture
+def lake(rng):
+    return [rng.uniform(size=(300, 2)) for _ in range(10)]
+
+
+def exact_below(lake, attr, t, frac):
+    return {i for i, d in enumerate(lake) if (d[:, attr] <= t).mean() >= frac}
+
+
+def exact_above(lake, attr, t, frac):
+    return {i for i, d in enumerate(lake) if (d[:, attr] > t).mean() >= frac}
+
+
+class TestBracketing:
+    """Fainder's over/under modes bracket the exact answer."""
+
+    @pytest.mark.parametrize("t,frac", [(0.3, 0.2), (0.5, 0.5), (0.7, 0.8)])
+    def test_below_queries(self, lake, t, frac):
+        idx = FainderStyleIndex(lake, bins=16)
+        under = idx.query(0, "below", t, frac, mode="under").index_set
+        over = idx.query(0, "below", t, frac, mode="over").index_set
+        exact = exact_below(lake, 0, t, frac)
+        assert under <= exact <= over
+
+    @pytest.mark.parametrize("t,frac", [(0.3, 0.5), (0.6, 0.3)])
+    def test_above_queries(self, lake, t, frac):
+        idx = FainderStyleIndex(lake, bins=16)
+        under = idx.query(1, "above", t, frac, mode="under").index_set
+        over = idx.query(1, "above", t, frac, mode="over").index_set
+        exact = exact_above(lake, 1, t, frac)
+        assert under <= exact <= over
+
+    def test_interp_between_brackets(self, lake):
+        idx = FainderStyleIndex(lake, bins=16)
+        under = idx.query(0, "below", 0.5, 0.4, mode="under").index_set
+        over = idx.query(0, "below", 0.5, 0.4, mode="over").index_set
+        interp = idx.query(0, "below", 0.5, 0.4, mode="interp").index_set
+        assert under <= interp <= over
+
+    def test_more_bins_tighter_brackets(self, lake):
+        coarse = FainderStyleIndex(lake, bins=4)
+        fine = FainderStyleIndex(lake, bins=64)
+        def gap(idx):
+            over = idx.query(0, "below", 0.47, 0.42, mode="over").index_set
+            under = idx.query(0, "below", 0.47, 0.42, mode="under").index_set
+            return len(over - under)
+        assert gap(fine) <= gap(coarse)
+
+
+class TestEdges:
+    def test_threshold_outside_range(self, lake):
+        idx = FainderStyleIndex(lake)
+        assert idx.query(0, "below", 2.0, 0.5).out_size == 10
+        assert idx.query(0, "below", -1.0, 0.5).out_size == 0
+
+    def test_capability_flags(self, lake):
+        idx = FainderStyleIndex(lake)
+        assert not idx.supports_rectangles()
+        assert not idx.supports_two_sided()
+
+    def test_constant_attribute(self):
+        data = [np.column_stack([np.ones(50), np.arange(50.0)])]
+        idx = FainderStyleIndex(data)
+        # All mass sits in the first bin; only the recall-safe "over" mode
+        # is guaranteed to report the dataset at its exact boundary.
+        assert idx.query(0, "below", 1.0, 0.99, mode="over").out_size == 1
+        assert idx.query(0, "below", 1.1, 0.99, mode="interp").out_size == 1
+
+
+class TestValidation:
+    def test_bad_attribute(self, lake):
+        idx = FainderStyleIndex(lake)
+        with pytest.raises(QueryError):
+            idx.query(7, "below", 0.5, 0.5)
+
+    def test_bad_op(self, lake):
+        idx = FainderStyleIndex(lake)
+        with pytest.raises(QueryError):
+            idx.query(0, "between", 0.5, 0.5)
+
+    def test_bad_mode(self, lake):
+        idx = FainderStyleIndex(lake)
+        with pytest.raises(QueryError):
+            idx.query(0, "below", 0.5, 0.5, mode="exact")
+
+    def test_bad_bins(self, lake):
+        with pytest.raises(ConstructionError):
+            FainderStyleIndex(lake, bins=1)
+
+    def test_empty(self):
+        with pytest.raises(ConstructionError):
+            FainderStyleIndex([])

@@ -1,0 +1,82 @@
+"""Tests for the exact linear-scan Ptile baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.linear_scan import LinearScanPtile
+from repro.errors import ConstructionError, QueryError
+from repro.geometry.interval import Interval
+from repro.geometry.rectangle import Rectangle
+
+
+@pytest.fixture
+def lake(rng):
+    return [rng.uniform(size=(100, 2)) for _ in range(8)]
+
+
+class TestExactness:
+    @pytest.mark.parametrize("mode", ["tree", "numpy"])
+    def test_matches_direct_counting(self, lake, mode, rng):
+        base = LinearScanPtile(lake, mode=mode)
+        for _ in range(5):
+            lo = rng.uniform(0, 0.5, size=2)
+            hi = lo + rng.uniform(0.1, 0.5, size=2)
+            rect = Rectangle(lo, hi)
+            theta = Interval(0.1, 0.6)
+            expected = [
+                i
+                for i, d in enumerate(lake)
+                if rect.count_inside(d) / d.shape[0] in theta
+            ]
+            assert base.query(rect, theta).indexes == expected
+
+    def test_modes_agree(self, lake):
+        rect = Rectangle([0.2, 0.2], [0.8, 0.8])
+        theta = Interval(0.3, 1.0)
+        a = LinearScanPtile(lake, mode="tree").query(rect, theta).indexes
+        b = LinearScanPtile(lake, mode="numpy").query(rect, theta).indexes
+        assert a == b
+
+    def test_mass(self, lake):
+        base = LinearScanPtile(lake)
+        rect = Rectangle([0.0, 0.0], [1.0, 1.0])
+        assert base.mass(0, rect) == pytest.approx(1.0)
+
+    def test_conjunction(self, lake):
+        base = LinearScanPtile(lake, mode="numpy")
+        r1 = Rectangle([0.0, 0.0], [0.5, 1.0])
+        r2 = Rectangle([0.5, 0.0], [1.0, 1.0])
+        got = base.query_conjunction(
+            [r1, r2], [Interval(0.3, 0.7), Interval(0.3, 0.7)]
+        ).indexes
+        expected = [
+            i
+            for i, d in enumerate(lake)
+            if r1.count_inside(d) / 100 in Interval(0.3, 0.7)
+            and r2.count_inside(d) / 100 in Interval(0.3, 0.7)
+        ]
+        assert got == expected
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ConstructionError):
+            LinearScanPtile([])
+
+    def test_mixed_dims_rejected(self, rng):
+        with pytest.raises(ConstructionError):
+            LinearScanPtile([rng.uniform(size=(5, 1)), rng.uniform(size=(5, 2))])
+
+    def test_unknown_mode(self, lake):
+        with pytest.raises(ConstructionError):
+            LinearScanPtile(lake, mode="gpu")
+
+    def test_query_dim_mismatch(self, lake):
+        base = LinearScanPtile(lake)
+        with pytest.raises(QueryError):
+            base.query(Rectangle([0.0], [1.0]), Interval(0.0, 1.0))
+
+    def test_conjunction_arg_mismatch(self, lake):
+        base = LinearScanPtile(lake)
+        with pytest.raises(QueryError):
+            base.query_conjunction([Rectangle([0, 0], [1, 1])], [])

@@ -1,0 +1,59 @@
+"""Tests for the exact linear-scan Pref baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pref_scan import LinearScanPref
+from repro.errors import ConstructionError, QueryError
+
+
+@pytest.fixture
+def lake(rng):
+    return [rng.normal(size=(80, 3)) for _ in range(6)]
+
+
+class TestExactness:
+    def test_matches_direct(self, lake, rng):
+        base = LinearScanPref(lake)
+        for _ in range(5):
+            v = rng.normal(size=3)
+            v /= np.linalg.norm(v)
+            k = int(rng.integers(1, 40))
+            a = float(rng.normal())
+            expected = [
+                i for i, d in enumerate(lake) if np.sort(d @ v)[80 - k] >= a
+            ]
+            assert base.query(v, k, a).indexes == expected
+
+    def test_score(self, lake):
+        base = LinearScanPref(lake)
+        v = np.array([1.0, 0.0, 0.0])
+        assert base.score(0, v, 1) == pytest.approx(lake[0][:, 0].max())
+
+    def test_k_beyond_size(self, lake):
+        base = LinearScanPref(lake)
+        assert base.score(0, np.array([1.0, 0.0, 0.0]), 100) == float("-inf")
+
+    def test_vector_normalized(self, lake):
+        base = LinearScanPref(lake)
+        a = base.query(np.array([2.0, 0.0, 0.0]), 3, 0.5).indexes
+        b = base.query(np.array([1.0, 0.0, 0.0]), 3, 0.5).indexes
+        assert a == b
+
+
+class TestValidation:
+    def test_empty(self):
+        with pytest.raises(ConstructionError):
+            LinearScanPref([])
+
+    def test_zero_vector(self, lake):
+        with pytest.raises(QueryError):
+            LinearScanPref(lake).query(np.zeros(3), 1, 0.0)
+
+    def test_bad_k(self, lake):
+        with pytest.raises(QueryError):
+            LinearScanPref(lake).query(np.ones(3), 0, 0.0)
+
+    def test_bad_shape(self, lake):
+        with pytest.raises(QueryError):
+            LinearScanPref(lake).query(np.ones(2), 1, 0.0)

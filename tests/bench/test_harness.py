@@ -1,0 +1,52 @@
+"""Tests for the benchmark harness utilities."""
+
+import pytest
+
+from repro.bench.harness import TableReporter, fit_loglog_slope, time_callable
+
+
+class TestTiming:
+    def test_time_callable_positive(self):
+        assert time_callable(lambda: sum(range(100)), repeats=3) >= 0.0
+
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+
+
+class TestSlope:
+    def test_linear(self):
+        assert fit_loglog_slope([1, 10, 100], [2, 20, 200]) == pytest.approx(1.0)
+
+    def test_quadratic(self):
+        assert fit_loglog_slope([1, 10, 100], [1, 100, 10000]) == pytest.approx(2.0)
+
+    def test_constant(self):
+        assert fit_loglog_slope([1, 10, 100], [5, 5, 5]) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_loglog_slope([1], [1])
+        with pytest.raises(ValueError):
+            fit_loglog_slope([1, 2], [1])
+
+
+class TestTable:
+    def test_render(self):
+        t = TableReporter("demo", ["N", "time"])
+        t.add_row([10, 0.123456])
+        t.add_row(["big", 1.0])
+        out = t.render()
+        assert "demo" in out and "0.1235" in out and "big" in out
+        assert len(out.splitlines()) == 5
+
+    def test_row_width_checked(self):
+        t = TableReporter("demo", ["a"])
+        with pytest.raises(ValueError):
+            t.add_row([1, 2])
+
+    def test_print(self, capsys):
+        t = TableReporter("demo", ["a"])
+        t.add_row([1])
+        t.print()
+        assert "demo" in capsys.readouterr().out

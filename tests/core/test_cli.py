@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_ptile_defaults(self):
+        args = build_parser().parse_args(["demo-ptile"])
+        assert args.n == 40 and args.dim == 2 and args.theta == (0.2, 0.6)
+
+    def test_demo_pref_args(self):
+        args = build_parser().parse_args(["demo-pref", "--k", "3", "--tau", "0.5"])
+        assert args.k == 3 and args.tau == 0.5
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lake-stats", "--family", "fractal"])
+
+
+class TestCommands:
+    def test_demo_ptile_runs_and_reports_recall(self, capsys):
+        code = main(
+            ["demo-ptile", "--n", "10", "--dim", "1", "--median-size", "150",
+             "--seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recall" in out and "Ptile demo" in out
+
+    def test_demo_pref_runs(self, capsys):
+        code = main(
+            ["demo-pref", "--n", "8", "--dim", "2", "--median-size", "150",
+             "--k", "3", "--tau", "0.5", "--eps", "0.2", "--seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Pref demo" in out and "net directions" in out
+
+    def test_lake_stats(self, capsys):
+        code = main(["lake-stats", "--n", "4", "--dim", "2", "--median-size", "64"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "synthetic lake" in out
+        assert out.count("\n") >= 7  # header + 4 rows + separators

@@ -1,0 +1,103 @@
+"""Tests for the Section 6 diversity extension index."""
+
+import numpy as np
+import pytest
+
+from repro.core.diversity_index import DiversityIndex, diameter
+from repro.errors import ConstructionError, QueryError
+from repro.geometry.rectangle import Rectangle
+from repro.synopsis.cover import CoverSynopsis
+
+RADIUS = 0.04
+WHOLE = Rectangle([0.0, 0.0], [1.0, 1.0])
+
+
+@pytest.fixture
+def planted(rng):
+    """Datasets with controlled spread: from tight blobs to full coverage."""
+    datasets = []
+    for i in range(10):
+        half_width = 0.03 + 0.05 * i
+        center = np.full(2, 0.5)
+        pts = rng.uniform(center - half_width, center + half_width, size=(400, 2))
+        datasets.append(np.clip(pts, 0.0, 1.0))
+    return datasets
+
+
+@pytest.fixture
+def index(planted):
+    return DiversityIndex([CoverSynopsis(p, RADIUS) for p in planted])
+
+
+class TestDiameter:
+    def test_trivial_sets(self):
+        assert diameter(np.empty((0, 2))) == 0.0
+        assert diameter(np.array([[1.0, 1.0]])) == 0.0
+
+    def test_two_points(self):
+        assert diameter(np.array([[0.0, 0.0], [3.0, 4.0]])) == pytest.approx(5.0)
+
+    def test_matches_bruteforce(self, rng):
+        pts = rng.uniform(size=(40, 3))
+        best = max(
+            float(np.linalg.norm(a - b)) for a in pts for b in pts
+        )
+        assert diameter(pts) == pytest.approx(best)
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("tau", [0.1, 0.4, 0.8])
+    def test_recall_whole_space(self, index, planted, tau):
+        truth = {i for i, p in enumerate(planted) if diameter(p) >= tau}
+        assert truth <= index.query(WHOLE, tau).index_set
+
+    @pytest.mark.parametrize("tau", [0.3, 0.6])
+    def test_precision_additive(self, index, planted, tau):
+        """Reported j has diam(P_j ∩ R^{+2r}) >= tau - 4r."""
+        for j in index.query(WHOLE, tau).indexes:
+            expanded = Rectangle(WHOLE.lo - 2 * RADIUS, WHOLE.hi + 2 * RADIUS)
+            pts = planted[j][expanded.contains_points(planted[j])]
+            assert diameter(pts) >= tau - 4 * RADIUS - 1e-9
+
+    def test_sub_rectangle_queries(self, index, planted, rng):
+        rect = Rectangle([0.4, 0.4], [0.6, 0.6])
+        tau = 0.15
+        truth = {
+            i
+            for i, p in enumerate(planted)
+            if diameter(p[rect.contains_points(p)]) >= tau
+        }
+        assert truth <= index.query(rect, tau).index_set
+
+    def test_empty_region(self, index):
+        rect = Rectangle([5.0, 5.0], [6.0, 6.0])
+        assert index.query(rect, 0.1).index_set == set()
+
+    def test_candidates_are_output_sensitive(self, index):
+        """A region only some datasets touch yields fewer candidates than N."""
+        rect = Rectangle([0.05, 0.05], [0.15, 0.15])  # only the widest blobs
+        res = index.query(rect, 0.0)
+        assert res.stats["candidates"] < index.n_datasets
+
+    def test_estimate_sandwich(self, index, planted):
+        rect = Rectangle([0.3, 0.3], [0.7, 0.7])
+        for key, pts in enumerate(planted):
+            exact = diameter(pts[rect.contains_points(pts)])
+            est = index.estimate(key, rect)
+            assert est >= exact - 2 * RADIUS - 1e-9
+
+
+class TestValidation:
+    def test_empty(self):
+        with pytest.raises(ConstructionError):
+            DiversityIndex([])
+
+    def test_bad_query(self, index):
+        with pytest.raises(QueryError):
+            index.query(Rectangle([0.0], [1.0]), 0.1)
+        with pytest.raises(QueryError):
+            index.query(WHOLE, -0.5)
+
+    def test_record_times(self, index):
+        res = index.query(WHOLE, 0.0, record_times=True)
+        assert len(res.emit_times) == res.out_size == 10

@@ -1,0 +1,123 @@
+"""End-to-end tests for DatasetSearchEngine."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import DatasetSearchEngine
+from repro.core.framework import Repository
+from repro.core.measures import PercentileMeasure, PreferenceMeasure
+from repro.core.predicates import And, Or, pred
+from repro.errors import ConstructionError, QueryError
+from repro.geometry.rectangle import Rectangle
+from repro.synopsis.exact import ExactSynopsis
+from repro.synopsis.sample import EpsilonSampleSynopsis
+
+REGION = Rectangle([0.0, 0.0], [0.5, 0.5])
+
+
+@pytest.fixture
+def repo(rng):
+    arrays = []
+    for i in range(10):
+        center = rng.uniform(0.2, 0.8, size=2)
+        arrays.append(np.clip(rng.normal(center, 0.15, size=(250, 2)), 0.0, 1.0))
+    return Repository.from_arrays(arrays)
+
+
+@pytest.fixture
+def engine(repo, rng):
+    return DatasetSearchEngine(repository=repo, eps=0.15, sample_size=10, rng=rng)
+
+
+class TestRouting:
+    def test_percentile_leaf(self, engine):
+        expr = pred(PercentileMeasure(REGION), 0.3)
+        q = engine.evaluate_quality(expr)
+        assert q["recall"] == 1.0
+
+    def test_percentile_range_leaf(self, engine):
+        expr = pred(PercentileMeasure(REGION), 0.2, 0.6)
+        assert engine.evaluate_quality(expr)["recall"] == 1.0
+
+    def test_preference_leaf(self, engine):
+        expr = pred(PreferenceMeasure(np.array([1.0, 1.0]), 3), 0.8)
+        assert engine.evaluate_quality(expr)["recall"] == 1.0
+
+    def test_mixed_conjunction(self, engine):
+        expr = And(
+            [
+                pred(PercentileMeasure(REGION), 0.2),
+                pred(PreferenceMeasure(np.array([1.0, 0.0]), 5), 0.3),
+            ]
+        )
+        assert engine.evaluate_quality(expr)["recall"] == 1.0
+
+    def test_mixed_disjunction(self, engine):
+        expr = Or(
+            [
+                pred(PercentileMeasure(REGION), 0.9),
+                pred(PreferenceMeasure(np.array([0.0, 1.0]), 3), 0.9),
+            ]
+        )
+        assert engine.evaluate_quality(expr)["recall"] == 1.0
+
+    def test_two_sided_preference_rejected(self, engine):
+        expr = pred(PreferenceMeasure(np.array([1.0, 0.0]), 1), 0.2, 0.4)
+        with pytest.raises(QueryError):
+            engine.search(expr)
+
+
+class TestConstructionModes:
+    def test_requires_some_input(self):
+        with pytest.raises(ConstructionError):
+            DatasetSearchEngine()
+
+    def test_federated_without_repository(self, repo, rng):
+        syns = [
+            EpsilonSampleSynopsis.from_points(ds.points, size=100, rng=rng)
+            for ds in repo
+        ]
+        eng = DatasetSearchEngine(synopses=syns, eps=0.15, sample_size=10, rng=rng)
+        res = eng.search(pred(PercentileMeasure(REGION), 0.3))
+        assert res.out_size >= 0  # runs fine
+        with pytest.raises(QueryError):
+            eng.ground_truth(pred(PercentileMeasure(REGION), 0.3))
+
+    def test_synopsis_count_mismatch(self, repo, rng):
+        with pytest.raises(ConstructionError):
+            DatasetSearchEngine(
+                synopses=[ExactSynopsis(repo[0].points)], repository=repo
+            )
+
+    def test_lazy_indexes(self, engine):
+        assert engine._ptile is None and not engine._pref
+        engine.search(pred(PercentileMeasure(REGION), 0.5))
+        assert engine._ptile is not None and not engine._pref
+        engine.search(pred(PreferenceMeasure(np.array([1.0, 0.0]), 2), 0.0))
+        assert 2 in engine._pref
+
+    def test_pref_index_cached_per_k(self, engine):
+        a = engine.pref_index(3)
+        assert engine.pref_index(3) is a
+        assert engine.pref_index(4) is not a
+
+    def test_n_datasets(self, engine):
+        assert engine.n_datasets == 10
+
+
+class TestQuality:
+    def test_quality_fields(self, engine):
+        q = engine.evaluate_quality(pred(PercentileMeasure(REGION), 0.4))
+        assert set(q) == {
+            "truth_size",
+            "reported_size",
+            "recall",
+            "precision",
+            "false_positives",
+            "missed",
+        }
+        assert q["missed"] == []
+
+    def test_record_times(self, engine):
+        res = engine.search(pred(PercentileMeasure(REGION), 0.1), record_times=True)
+        assert res.start_time is not None and res.end_time is not None

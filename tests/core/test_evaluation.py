@@ -1,0 +1,95 @@
+"""Tests for the evaluation/audit utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.ptile_range import PtileRangeIndex
+from repro.evaluation import (
+    GuaranteeReport,
+    audit_interval_query,
+    audit_ptile_query,
+    exact_pref_scores,
+    exact_ptile_masses,
+)
+from repro.geometry.interval import Interval
+from repro.geometry.rectangle import Rectangle
+from repro.synopsis.exact import ExactSynopsis
+
+
+class TestGuaranteeReport:
+    def test_perfect(self):
+        rep = GuaranteeReport(truth={1, 2}, reported={1, 2})
+        assert rep.recall == 1.0 and rep.precision == 1.0
+        assert rep.guarantees_hold and rep.missed == set()
+
+    def test_missed(self):
+        rep = GuaranteeReport(truth={1, 2}, reported={1})
+        assert rep.missed == {2}
+        assert rep.recall == 0.5
+        assert not rep.guarantees_hold
+
+    def test_empty_truth(self):
+        rep = GuaranteeReport(truth=set(), reported={5})
+        assert rep.recall == 1.0 and rep.precision == 0.0
+
+    def test_violations_break_guarantee(self):
+        rep = GuaranteeReport(truth=set(), reported=set(),
+                              slack_violations=[(3, 0.9, 0.1)])
+        assert not rep.guarantees_hold
+
+
+class TestAuditIntervalQuery:
+    def test_within_slack_ok(self):
+        rep = audit_interval_query(
+            [0.5, 0.35, 0.1], {0, 1}, Interval(0.4, 1.0), slack_of=lambda j: 0.1
+        )
+        assert rep.truth == {0}
+        assert rep.slack_violations == []
+        assert rep.recall == 1.0
+
+    def test_outside_slack_flagged(self):
+        rep = audit_interval_query(
+            [0.5, 0.1], {0, 1}, Interval(0.4, 1.0), slack_of=lambda j: 0.05
+        )
+        assert len(rep.slack_violations) == 1
+        assert rep.slack_violations[0][0] == 1
+
+    def test_per_dataset_slack(self):
+        rep = audit_interval_query(
+            [0.3, 0.3], {0, 1}, Interval(0.4, 1.0),
+            slack_of=lambda j: 0.15 if j == 0 else 0.05,
+        )
+        violating = {v[0] for v in rep.slack_violations}
+        assert violating == {1}
+
+
+class TestExactHelpers:
+    def test_masses(self, rng):
+        datasets = [rng.uniform(size=(50, 1)) for _ in range(3)]
+        rect = Rectangle([0.0], [0.5])
+        masses = exact_ptile_masses(datasets, rect)
+        for m, d in zip(masses, datasets):
+            assert m == pytest.approx((d <= 0.5).mean())
+
+    def test_scores(self, rng):
+        datasets = [rng.normal(size=(30, 2)) for _ in range(3)]
+        v = np.array([1.0, 0.0])
+        scores = exact_pref_scores(datasets, v, 5)
+        for s, d in zip(scores, datasets):
+            assert s == pytest.approx(np.sort(d[:, 0])[-5])
+
+    def test_scores_small_dataset(self, rng):
+        scores = exact_pref_scores([rng.normal(size=(2, 1))], np.array([1.0]), 5)
+        assert scores[0] == float("-inf")
+
+
+class TestAuditPtileQuery:
+    def test_end_to_end(self, rng):
+        datasets = [rng.uniform(size=(200, 1)) for _ in range(8)]
+        index = PtileRangeIndex(
+            [ExactSynopsis(d) for d in datasets], eps=0.15, sample_size=16, rng=rng
+        )
+        rep = audit_ptile_query(
+            datasets, index, Rectangle([0.0], [0.5]), Interval(0.3, 0.7)
+        )
+        assert rep.guarantees_hold

@@ -1,0 +1,94 @@
+"""Tests for Dataset and Repository."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import Dataset, Repository
+from repro.errors import ConstructionError
+from repro.geometry.rectangle import Rectangle
+
+
+class TestDataset:
+    def test_basic_properties(self):
+        ds = Dataset(np.zeros((5, 3)), name="t")
+        assert ds.size == 5 and ds.dim == 3 and ds.name == "t"
+        assert ds.schema == ("x0", "x1", "x2")
+
+    def test_custom_schema(self):
+        ds = Dataset(np.zeros((2, 2)), schema=["lon", "lat"])
+        assert ds.schema == ("lon", "lat")
+
+    def test_schema_length_checked(self):
+        with pytest.raises(ConstructionError):
+            Dataset(np.zeros((2, 2)), schema=["only-one"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConstructionError):
+            Dataset(np.empty((0, 2)))
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ConstructionError):
+            Dataset(np.array([[np.inf]]))
+
+    def test_percentile_mass(self):
+        ds = Dataset(np.array([[0.1], [0.6], [0.9]]))
+        assert ds.percentile_mass(Rectangle([0.0], [0.5])) == pytest.approx(1 / 3)
+
+    def test_kth_score(self):
+        ds = Dataset(np.array([[1.0], [3.0], [2.0]]))
+        assert ds.kth_score(np.array([1.0]), 2) == 2.0
+
+    def test_kth_score_beyond_size(self):
+        ds = Dataset(np.array([[1.0]]))
+        assert ds.kth_score(np.array([1.0]), 2) == float("-inf")
+
+    def test_kth_score_validates(self):
+        ds = Dataset(np.array([[1.0]]))
+        with pytest.raises(ValueError):
+            ds.kth_score(np.zeros(1), 1)
+        with pytest.raises(ValueError):
+            ds.kth_score(np.array([1.0]), 0)
+
+
+class TestRepository:
+    def test_from_arrays(self):
+        repo = Repository.from_arrays([np.zeros((3, 2)), np.ones((4, 2))])
+        assert repo.n_datasets == 2
+        assert repo.total_points == 7
+        assert repo.dim == 2
+
+    def test_names_default(self):
+        repo = Repository.from_arrays([np.zeros((1, 1))])
+        assert repo[0].name == "dataset-0"
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ConstructionError):
+            Repository.from_arrays([np.zeros((2, 1)), np.zeros((2, 2))])
+
+    def test_schema_mismatch_rejected(self):
+        a = Dataset(np.zeros((1, 1)), schema=["x"])
+        b = Dataset(np.zeros((1, 1)), schema=["y"])
+        with pytest.raises(ConstructionError):
+            Repository([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConstructionError):
+            Repository([])
+
+    def test_iteration_and_indexing(self):
+        repo = Repository.from_arrays([np.zeros((1, 1)), np.ones((1, 1))])
+        assert len(repo) == 2
+        assert list(repo)[1].points[0, 0] == 1.0
+        assert repo[0].points[0, 0] == 0.0
+
+    def test_bounding_box_covers_everything(self, rng):
+        arrays = [rng.normal(size=(50, 2)) for _ in range(4)]
+        repo = Repository.from_arrays(arrays)
+        box = repo.bounding_box()
+        for a in arrays:
+            assert box.contains_points(a).all()
+
+    def test_bounding_box_padded(self):
+        repo = Repository.from_arrays([np.array([[0.0], [1.0]])])
+        box = repo.bounding_box(pad_fraction=0.1)
+        assert box.lo[0] == pytest.approx(-0.1) and box.hi[0] == pytest.approx(1.1)

@@ -1,0 +1,58 @@
+"""Tests for measure functions over datasets and synopses."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import Dataset
+from repro.core.measures import PercentileMeasure, PreferenceMeasure
+from repro.geometry.rectangle import Rectangle
+from repro.synopsis.exact import ExactSynopsis
+
+
+class TestPercentileMeasure:
+    def test_evaluate_dataset(self):
+        m = PercentileMeasure(Rectangle([0.0], [1.0]))
+        ds = Dataset(np.array([[0.5], [2.0], [0.9], [3.0]]))
+        assert m.evaluate(ds) == 0.5
+
+    def test_evaluate_synopsis_matches_exact(self, rng):
+        pts = rng.uniform(size=(500, 2))
+        m = PercentileMeasure(Rectangle([0.0, 0.0], [0.5, 0.5]))
+        assert m.evaluate(Dataset(pts)) == m.evaluate_synopsis(ExactSynopsis(pts))
+
+    def test_measure_class_tag(self):
+        assert PercentileMeasure(Rectangle([0.0], [1.0])).measure_class == "ptile"
+
+    def test_dim_mismatch(self):
+        m = PercentileMeasure(Rectangle([0.0, 0.0], [1.0, 1.0]))
+        with pytest.raises(ValueError):
+            m.evaluate(Dataset(np.zeros((2, 1))))
+
+
+class TestPreferenceMeasure:
+    def test_evaluate(self):
+        m = PreferenceMeasure(np.array([1.0, 0.0]), k=1)
+        ds = Dataset(np.array([[1.0, 9.0], [3.0, 0.0]]))
+        assert m.evaluate(ds) == 3.0
+
+    def test_vector_normalized_at_construction(self):
+        m = PreferenceMeasure(np.array([3.0, 4.0]), k=1)
+        assert np.linalg.norm(m.vector) == pytest.approx(1.0)
+
+    def test_evaluate_synopsis_matches_exact(self, rng):
+        pts = rng.normal(size=(300, 2))
+        m = PreferenceMeasure(np.array([0.6, 0.8]), k=5)
+        assert m.evaluate(Dataset(pts)) == pytest.approx(
+            m.evaluate_synopsis(ExactSynopsis(pts))
+        )
+
+    def test_measure_class_tag(self):
+        assert PreferenceMeasure(np.ones(2), 1).measure_class == "pref"
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            PreferenceMeasure(np.zeros(2), 1)
+        with pytest.raises(ValueError):
+            PreferenceMeasure(np.ones(2), 0)
+        with pytest.raises(ValueError):
+            PreferenceMeasure(np.ones((2, 2)), 1)

@@ -1,0 +1,99 @@
+"""Tests for the Section 6 nearest-neighbor extension index."""
+
+import numpy as np
+import pytest
+
+from repro.core.nn_index import NearestNeighborIndex
+from repro.errors import ConstructionError, QueryError
+from repro.synopsis.cover import CoverSynopsis
+
+RADIUS = 0.05
+
+
+@pytest.fixture
+def planted(rng):
+    """Datasets clustered at increasing distance from the origin corner."""
+    datasets = []
+    for i in range(12):
+        center = np.full(2, 0.1 + i * 0.07)
+        datasets.append(
+            np.clip(rng.normal(center, 0.02, size=(300, 2)), 0.0, 1.0)
+        )
+    return datasets
+
+
+@pytest.fixture
+def index(planted):
+    return NearestNeighborIndex([CoverSynopsis(p, RADIUS) for p in planted])
+
+
+def exact_dist(pts, q):
+    return float(np.linalg.norm(pts - q, axis=1).min())
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("tau", [0.05, 0.15, 0.3])
+    def test_recall(self, index, planted, tau, rng):
+        for _ in range(5):
+            q = rng.uniform(0.0, 1.0, size=2)
+            truth = {i for i, p in enumerate(planted) if exact_dist(p, q) <= tau}
+            assert truth <= index.query(q, tau).index_set
+
+    @pytest.mark.parametrize("tau", [0.1, 0.25])
+    def test_precision_additive_2r(self, index, planted, tau, rng):
+        for _ in range(5):
+            q = rng.uniform(0.0, 1.0, size=2)
+            for j in index.query(q, tau).indexes:
+                assert exact_dist(planted[j], q) <= tau + 2 * RADIUS + 1e-9
+
+    def test_no_duplicates(self, index, rng):
+        q = rng.uniform(size=2)
+        res = index.query(q, 2.0)
+        assert len(res.indexes) == len(res.index_set) == 12
+
+    def test_zero_tau(self, index, planted):
+        q = planted[3][0]  # an actual data point; may or may not be a cover pt
+        res = index.query(q, 0.0)
+        assert 3 in res.index_set  # dist 0 <= 0 + r slack
+
+    def test_record_times(self, index, rng):
+        res = index.query(rng.uniform(size=2), 0.5, record_times=True)
+        assert len(res.emit_times) == res.out_size
+
+
+class TestDynamics:
+    def test_insert_and_delete(self, index, rng):
+        far = np.full((50, 2), 0.95) + rng.uniform(-0.01, 0.01, (50, 2))
+        key = index.insert_cover(CoverSynopsis(far, RADIUS))
+        q = np.array([0.95, 0.95])
+        assert key in index.query(q, 0.05).index_set
+        index.delete_cover(key)
+        assert key not in index.query(q, 0.05).index_set
+        with pytest.raises(KeyError):
+            index.delete_cover(key)
+
+
+class TestValidation:
+    def test_empty(self):
+        with pytest.raises(ConstructionError):
+            NearestNeighborIndex([])
+
+    def test_dim_mismatch(self, rng):
+        with pytest.raises(ConstructionError):
+            NearestNeighborIndex(
+                [
+                    CoverSynopsis(rng.uniform(size=(5, 1)), 0.1),
+                    CoverSynopsis(rng.uniform(size=(5, 2)), 0.1),
+                ]
+            )
+
+    def test_bad_query(self, index):
+        with pytest.raises(QueryError):
+            index.query(np.zeros(3), 0.1)
+        with pytest.raises(QueryError):
+            index.query(np.zeros(2), -1.0)
+
+    def test_metadata(self, index):
+        assert index.n_datasets == 12
+        assert index.max_radius == RADIUS
+        assert index.radius_of(0) == RADIUS

@@ -1,0 +1,96 @@
+"""Tests for predicates and logical expressions."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import Dataset, Repository
+from repro.core.measures import PercentileMeasure, PreferenceMeasure
+from repro.core.predicates import And, Or, Predicate, pred
+from repro.geometry.interval import Interval
+from repro.geometry.rectangle import Rectangle
+
+
+@pytest.fixture
+def half_mass_pred():
+    return pred(PercentileMeasure(Rectangle([0.0], [0.5])), 0.5)
+
+
+@pytest.fixture
+def mixed_repo(rng):
+    arrays = []
+    for frac in (0.1, 0.4, 0.6, 0.9):
+        n_in = int(100 * frac)
+        arrays.append(
+            np.vstack(
+                [
+                    rng.uniform(0.0, 0.5, size=(n_in, 1)),
+                    rng.uniform(0.51, 1.0, size=(100 - n_in, 1)),
+                ]
+            )
+        )
+    return Repository.from_arrays(arrays)
+
+
+class TestPredicate:
+    def test_threshold_flag(self, half_mass_pred):
+        assert half_mass_pred.is_threshold
+        assert not pred(
+            PercentileMeasure(Rectangle([0.0], [0.5])), 0.2, 0.4
+        ).is_threshold
+
+    def test_evaluate(self, half_mass_pred):
+        ds_yes = Dataset(np.array([[0.1], [0.2], [0.8]]))
+        ds_no = Dataset(np.array([[0.8], [0.9], [0.1]]))
+        assert half_mass_pred.evaluate(ds_yes)
+        assert not half_mass_pred.evaluate(ds_no)
+
+    def test_leaves(self, half_mass_pred):
+        assert list(half_mass_pred.leaves()) == [half_mass_pred]
+        assert half_mass_pred.n_predicates == 1
+
+    def test_pred_helper_builds_interval(self):
+        p = pred(PercentileMeasure(Rectangle([0.0], [1.0])), 0.2, 0.6)
+        assert p.theta == Interval(0.2, 0.6)
+
+
+class TestCombinators:
+    def test_and(self, mixed_repo):
+        a = pred(PercentileMeasure(Rectangle([0.0], [0.5])), 0.3)
+        b = pred(PercentileMeasure(Rectangle([0.0], [0.5])), 0.0, 0.7)
+        expr = a & b
+        assert isinstance(expr, And)
+        truth = expr.ground_truth(mixed_repo)
+        assert truth == {1, 2}
+
+    def test_or(self, mixed_repo):
+        a = pred(PercentileMeasure(Rectangle([0.0], [0.5])), 0.8)
+        b = pred(PercentileMeasure(Rectangle([0.0], [0.5])), 0.0, 0.2)
+        expr = a | b
+        assert isinstance(expr, Or)
+        assert expr.ground_truth(mixed_repo) == {0, 3}
+
+    def test_nested(self, mixed_repo):
+        a = pred(PercentileMeasure(Rectangle([0.0], [0.5])), 0.3)
+        b = pred(PercentileMeasure(Rectangle([0.0], [0.5])), 0.8)
+        c = pred(PercentileMeasure(Rectangle([0.0], [0.5])), 0.0, 0.2)
+        expr = (a & b) | c
+        assert expr.ground_truth(mixed_repo) == {0, 3}
+        assert expr.n_predicates == 3
+
+    def test_mixed_measure_classes(self, rng):
+        pts = rng.uniform(size=(100, 2))
+        repo = Repository.from_arrays([pts])
+        expr = pred(PercentileMeasure(Rectangle([0, 0], [1, 1])), 0.9) & pred(
+            PreferenceMeasure(np.array([1.0, 0.0]), 1), 0.0
+        )
+        assert expr.ground_truth(repo) == {0}
+
+    def test_empty_children_rejected(self):
+        with pytest.raises(ValueError):
+            And([])
+        with pytest.raises(ValueError):
+            Or([])
+
+    def test_ground_truth_empty(self, mixed_repo):
+        p = pred(PercentileMeasure(Rectangle([0.0], [0.5])), 0.99)
+        assert p.ground_truth(mixed_repo) == set()

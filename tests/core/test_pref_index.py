@@ -1,0 +1,151 @@
+"""Theorem 5.4 guarantee tests for PrefIndex."""
+
+import numpy as np
+import pytest
+
+from repro.core.pref_index import PrefIndex
+from repro.errors import ConstructionError, QueryError
+from repro.geometry.interval import Interval
+from repro.synopsis.exact import ExactSynopsis
+from repro.synopsis.kernel import DirectionQuantileSynopsis
+
+K = 5
+
+
+@pytest.fixture
+def planted(rng):
+    """20 datasets in the unit ball with varying top-score levels."""
+    datasets = []
+    for i in range(20):
+        level = (i + 1) / 21  # controls how far out the blob reaches
+        pts = rng.uniform(-0.3, 0.3, size=(200, 2)) * level + rng.uniform(
+            -0.2, 0.2, size=2
+        ) * level
+        datasets.append(np.clip(pts, -0.99, 0.99))
+    return datasets
+
+
+@pytest.fixture
+def index(planted):
+    return PrefIndex([ExactSynopsis(p) for p in planted], k=K, eps=0.1)
+
+
+def exact_score(pts, u, k=K):
+    return float(np.sort(pts @ u)[len(pts) - k])
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("a_theta", [-0.2, 0.0, 0.15])
+    def test_recall(self, index, planted, a_theta, rng):
+        for _ in range(5):
+            u = rng.normal(size=2)
+            u /= np.linalg.norm(u)
+            truth = {i for i, p in enumerate(planted) if exact_score(p, u) >= a_theta}
+            assert truth <= index.query(u, a_theta).index_set
+
+    @pytest.mark.parametrize("a_theta", [0.0, 0.1])
+    def test_precision(self, index, planted, a_theta, rng):
+        """Lemma 5.2: reported j has omega_k(P_j, u) >= a - 2eps - 2delta."""
+        for _ in range(5):
+            u = rng.normal(size=2)
+            u /= np.linalg.norm(u)
+            for j in index.query(u, a_theta).indexes:
+                assert exact_score(planted[j], u) >= a_theta - 2 * index.eps - 1e-9
+
+    def test_no_duplicates(self, index, rng):
+        u = rng.normal(size=2)
+        res = index.query(u, -10.0)
+        assert len(res.indexes) == len(set(res.indexes))
+        assert res.out_size == 20
+
+    def test_negative_direction_uses_symmetric_net(self, index, planted):
+        """Central symmetry: -u queries are as accurate as +u queries."""
+        u = np.array([1.0, 0.0])
+        for j in index.query(-u, 0.0).indexes:
+            assert exact_score(planted[j], -u) >= 0.0 - 2 * index.eps - 1e-9
+
+    def test_net_size_order(self, planted):
+        fine = PrefIndex([ExactSynopsis(p) for p in planted[:3]], k=1, eps=0.05)
+        coarse = PrefIndex([ExactSynopsis(p) for p in planted[:3]], k=1, eps=0.4)
+        assert fine.n_directions > coarse.n_directions
+
+
+class TestSmallDatasets:
+    def test_k_larger_than_dataset_never_reported(self, rng):
+        tiny = ExactSynopsis(rng.uniform(-0.5, 0.5, size=(3, 2)))
+        big = ExactSynopsis(rng.uniform(-0.5, 0.5, size=(100, 2)))
+        index = PrefIndex([tiny, big], k=10, eps=0.2)
+        res = index.query(np.array([1.0, 0.0]), a_theta=-0.99)
+        assert 0 not in res.index_set
+        assert 1 in res.index_set
+
+
+class TestFederated:
+    def test_kernel_synopses(self, planted, rng):
+        syns = [DirectionQuantileSynopsis(p, eps_dir=0.1, rng=rng) for p in planted]
+        index = PrefIndex(syns, k=K, eps=0.1)
+        u = np.array([0.6, 0.8])
+        a_theta = 0.1
+        truth = {i for i, p in enumerate(planted) if exact_score(p, u) >= a_theta}
+        got = index.query(u, a_theta).index_set
+        assert truth <= got
+        for j in got:
+            slack = 2 * index.eps + 2 * index.delta_of(j)
+            assert exact_score(planted[j], u) >= a_theta - slack - 1e-9
+
+    def test_global_delta_override(self, planted):
+        index = PrefIndex(
+            [ExactSynopsis(p) for p in planted[:4]], k=1, eps=0.2, delta=0.25
+        )
+        assert all(index.delta_of(key) == 0.25 for key in range(4))
+
+
+class TestDynamics:
+    def test_insert(self, index, rng):
+        strong = ExactSynopsis(np.full((50, 2), 0.7) + rng.uniform(-0.01, 0.01, (50, 2)))
+        key = index.insert_synopsis(strong)
+        u = np.array([1.0, 1.0]) / np.sqrt(2)
+        assert key in index.query(u, 0.5).index_set
+
+    def test_delete(self, index, rng):
+        u = rng.normal(size=2)
+        res = index.query(u, -10.0)
+        victim = res.indexes[0]
+        index.delete_synopsis(victim)
+        assert victim not in index.query(u, -10.0).index_set
+        with pytest.raises(KeyError):
+            index.delete_synopsis(victim)
+
+    def test_many_inserts_trigger_rebuild(self, planted, rng):
+        index = PrefIndex([ExactSynopsis(p) for p in planted[:4]], k=1, eps=0.3)
+        keys = [
+            index.insert_synopsis(ExactSynopsis(rng.uniform(-0.5, 0.5, size=(30, 2))))
+            for _ in range(30)
+        ]
+        res = index.query(np.array([1.0, 0.0]), -10.0)
+        assert set(keys) <= res.index_set
+        assert res.out_size == 34
+
+
+class TestValidation:
+    def test_bad_constructor_args(self, planted):
+        syns = [ExactSynopsis(planted[0])]
+        with pytest.raises(ConstructionError):
+            PrefIndex([], k=1)
+        with pytest.raises(ConstructionError):
+            PrefIndex(syns, k=0)
+        with pytest.raises(ConstructionError):
+            PrefIndex(syns, k=1, eps=0.0)
+
+    def test_query_vector_shape(self, index):
+        with pytest.raises(QueryError):
+            index.query(np.ones(3), 0.0)
+
+    def test_query_expression_two_sided_rejected(self, index):
+        with pytest.raises(QueryError):
+            index.query_expression(np.array([1.0, 0.0]), Interval(0.0, 0.5))
+
+    def test_record_times(self, index):
+        res = index.query(np.array([1.0, 0.0]), -10.0, record_times=True)
+        assert len(res.emit_times) == res.out_size
+        assert res.max_delay() is not None

@@ -1,0 +1,126 @@
+"""Theorem D.4 tests: logical expressions over preference predicates."""
+
+import numpy as np
+import pytest
+
+from repro.core.pref_logical import PrefLogicalIndex
+from repro.errors import ConstructionError, QueryError
+from repro.synopsis.exact import ExactSynopsis
+
+K = 3
+E1 = np.array([1.0, 0.0])
+E2 = np.array([0.0, 1.0])
+
+
+@pytest.fixture
+def planted(rng):
+    datasets = []
+    for i in range(16):
+        center = rng.uniform(-0.4, 0.4, size=2)
+        datasets.append(np.clip(rng.normal(center, 0.15, size=(150, 2)), -0.95, 0.95))
+    return datasets
+
+
+@pytest.fixture
+def index(planted):
+    return PrefLogicalIndex([ExactSynopsis(p) for p in planted], k=K, eps=0.15)
+
+
+def exact_score(pts, u, k=K):
+    return float(np.sort(pts @ u)[len(pts) - k])
+
+
+class TestConjunction:
+    def test_recall(self, index, planted):
+        a1, a2 = 0.1, 0.1
+        truth = {
+            i
+            for i, p in enumerate(planted)
+            if exact_score(p, E1) >= a1 and exact_score(p, E2) >= a2
+        }
+        got = index.query_conjunction([E1, E2], [a1, a2]).index_set
+        assert truth <= got
+
+    def test_precision(self, index, planted):
+        a1, a2 = 0.2, 0.0
+        slack = 2 * index.eps  # exact synopses: delta = 0
+        for j in index.query_conjunction([E1, E2], [a1, a2]).indexes:
+            assert exact_score(planted[j], E1) >= a1 - slack - 1e-9
+            assert exact_score(planted[j], E2) >= a2 - slack - 1e-9
+
+    def test_three_way_conjunction(self, index, planted):
+        u3 = np.array([1.0, 1.0]) / np.sqrt(2)
+        got = index.query_conjunction([E1, E2, u3], [0.0, 0.0, 0.0]).index_set
+        truth = {
+            i
+            for i, p in enumerate(planted)
+            if all(exact_score(p, u) >= 0.0 for u in (E1, E2, u3))
+        }
+        assert truth <= got
+
+    def test_repeated_direction_takes_tightest(self, index):
+        """Two predicates snapping to one net vector keep the max threshold."""
+        loose = index.query_conjunction([E1], [0.0]).index_set
+        combined = index.query_conjunction([E1, E1], [0.0, 0.4]).index_set
+        tight = index.query_conjunction([E1], [0.4]).index_set
+        assert combined == tight
+        assert combined <= loose
+
+    def test_trivial_thresholds_report_all(self, index):
+        got = index.query_conjunction([E1, E2], [-10.0, -10.0])
+        assert got.out_size == 16
+        assert len(got.indexes) == len(set(got.indexes))
+
+
+class TestDisjunction:
+    def test_union_semantics(self, index, planted):
+        got = index.query_disjunction([E1, E2], [0.3, 0.3]).index_set
+        a = index.query_conjunction([E1], [0.3]).index_set
+        b = index.query_conjunction([E2], [0.3]).index_set
+        assert got == a | b
+
+    def test_no_duplicates(self, index):
+        res = index.query_disjunction([E1, E1], [-10.0, -10.0])
+        assert len(res.indexes) == len(set(res.indexes))
+
+
+class TestCaching:
+    def test_trees_cached_per_subset(self, index):
+        assert index.n_cached_trees == 0
+        index.query_conjunction([E1, E2], [0.0, 0.0])
+        n1 = index.n_cached_trees
+        index.query_conjunction([E1, E2], [0.5, 0.5])  # same subset
+        assert index.n_cached_trees == n1
+        u3 = np.array([-1.0, 0.0])
+        index.query_conjunction([E1, u3], [0.0, 0.0])  # new subset
+        assert index.n_cached_trees == n1 + 1
+
+    def test_precompute_all(self, planted):
+        idx = PrefLogicalIndex(
+            [ExactSynopsis(p) for p in planted[:4]],
+            k=1,
+            eps=0.45,
+            precompute_all=True,
+            max_subset_size=2,
+        )
+        n_dirs = idx.net.shape[0]
+        expected = n_dirs + n_dirs * (n_dirs - 1) // 2
+        assert idx.n_cached_trees == expected
+
+
+class TestValidation:
+    def test_bad_args(self, index):
+        with pytest.raises(QueryError):
+            index.query_conjunction([], [])
+        with pytest.raises(QueryError):
+            index.query_conjunction([E1], [0.0, 1.0])
+
+    def test_bad_constructor(self, planted):
+        with pytest.raises(ConstructionError):
+            PrefLogicalIndex([], k=1)
+        with pytest.raises(ConstructionError):
+            PrefLogicalIndex([ExactSynopsis(planted[0])], k=0)
+
+    def test_record_times(self, index):
+        res = index.query_conjunction([E1], [-10.0], record_times=True)
+        assert len(res.emit_times) == res.out_size

@@ -1,0 +1,119 @@
+"""Theorem C.5 tests: the exact 1-d CPtile index equals brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ptile_exact_1d import ExactPtile1DIndex
+from repro.errors import ConstructionError, QueryError
+from repro.geometry.interval import Interval
+
+
+def make_datasets(rng, n_datasets, max_points=60):
+    out = []
+    for _ in range(n_datasets):
+        n = int(rng.integers(3, max_points))
+        out.append(np.unique(rng.uniform(0, 1, size=n * 2))[:n])
+    return out
+
+
+class TestExactness:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 100_000),
+        a=st.floats(0.05, 0.9),
+        width=st.floats(0.0, 0.9),
+    )
+    def test_matches_brute_force(self, seed, a, width):
+        rng = np.random.default_rng(seed)
+        datasets = make_datasets(rng, 8)
+        theta = Interval(a, min(1.0, a + width))
+        index = ExactPtile1DIndex(datasets, theta)
+        r_lo, r_hi = sorted(rng.uniform(-0.1, 1.1, size=2).tolist())
+        res = index.query(r_lo, r_hi)
+        assert set(res.indexes) == index.brute_force(r_lo, r_hi)
+        assert len(res.indexes) == len(set(res.indexes))  # Lemma C.1
+
+    def test_boundary_exactness(self):
+        """Query edges exactly on data points: strictness must be exact."""
+        data = np.array([1.0, 2.0, 3.0, 4.0])
+        index = ExactPtile1DIndex([data], Interval(0.5, 0.75))
+        # [1, 3] contains 3/4 -> inside theta.
+        assert index.query(1.0, 3.0).indexes == [0]
+        # [1, 4] contains 4/4 = 1.0 -> outside theta.
+        assert index.query(1.0, 4.0).indexes == []
+        # [2, 3] contains 2/4 = 0.5 -> inside.
+        assert index.query(2.0, 3.0).indexes == [0]
+        # [2.5, 3.5] contains 1/4 -> outside.
+        assert index.query(2.5, 3.5).indexes == []
+
+    def test_one_sided_theta(self):
+        data = np.array([1.0, 2.0, 3.0, 4.0])
+        index = ExactPtile1DIndex([data], Interval(0.5, 1.0))
+        assert index.query(0.0, 10.0).indexes == [0]
+
+    def test_never_qualifying_dataset(self):
+        """A dataset too small to meet the count window is skipped."""
+        index = ExactPtile1DIndex(
+            [np.array([1.0]), np.array([1.0, 2.0, 3.0, 4.0])],
+            Interval(0.3, 0.4),  # needs count in [2, 1] for n=4... empty too
+        )
+        # n=1: ceil(0.3)=1 > floor(0.4)=0 -> never; n=4: ceil(1.2)=2 > floor(1.6)=1.
+        assert index.query(0.0, 10.0).indexes == []
+
+    def test_empty_query_interval(self):
+        index = ExactPtile1DIndex([np.array([1.0, 2.0])], Interval(0.4, 1.0))
+        assert index.query(5.0, 6.0).indexes == []
+
+
+class TestEngines:
+    def test_rangetree_matches_kd(self, rng):
+        datasets = make_datasets(rng, 6)
+        theta = Interval(0.25, 0.75)
+        kd = ExactPtile1DIndex(datasets, theta, engine="kd")
+        rt = ExactPtile1DIndex(datasets, theta, engine="rangetree")
+        for _ in range(10):
+            r_lo, r_hi = sorted(rng.uniform(0, 1, size=2).tolist())
+            assert set(kd.query(r_lo, r_hi).indexes) == set(
+                rt.query(r_lo, r_hi).indexes
+            )
+
+    def test_unknown_engine(self):
+        with pytest.raises(ConstructionError):
+            ExactPtile1DIndex([np.array([1.0])], Interval(0.5, 1.0), engine="x")
+
+
+class TestValidation:
+    def test_rejects_zero_lower_threshold(self):
+        with pytest.raises(ConstructionError):
+            ExactPtile1DIndex([np.array([1.0])], Interval(0.0, 0.5))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConstructionError):
+            ExactPtile1DIndex([np.array([1.0, 1.0])], Interval(0.5, 1.0))
+
+    def test_rejects_empty_dataset(self):
+        with pytest.raises(ConstructionError):
+            ExactPtile1DIndex([np.array([])], Interval(0.5, 1.0))
+
+    def test_rejects_inverted_query(self):
+        index = ExactPtile1DIndex([np.array([1.0])], Interval(0.5, 1.0))
+        with pytest.raises(QueryError):
+            index.query(2.0, 1.0)
+
+    def test_accepts_column_vectors(self):
+        index = ExactPtile1DIndex([np.array([[1.0], [2.0]])], Interval(0.5, 1.0))
+        assert index.query(0.5, 1.5).indexes == [0]
+
+    def test_metadata(self, rng):
+        datasets = make_datasets(rng, 5)
+        index = ExactPtile1DIndex(datasets, Interval(0.2, 0.8))
+        assert index.n_datasets == 5
+        assert index.total_points == sum(len(d) for d in datasets)
+        assert index.n_mapped_points > 0
+
+    def test_record_times(self, rng):
+        datasets = make_datasets(rng, 5)
+        index = ExactPtile1DIndex(datasets, Interval(0.1, 1.0))
+        res = index.query(0.0, 1.0, record_times=True)
+        assert len(res.emit_times) == res.out_size

@@ -1,0 +1,33 @@
+"""Tests for QueryResult delay bookkeeping."""
+
+from repro.core.results import QueryResult
+
+
+class TestQueryResult:
+    def test_defaults(self):
+        r = QueryResult()
+        assert r.indexes == [] and r.out_size == 0 and r.index_set == set()
+        assert r.delays() == [] and r.max_delay() is None
+
+    def test_index_set(self):
+        r = QueryResult(indexes=[3, 1, 2])
+        assert r.index_set == {1, 2, 3} and r.out_size == 3
+
+    def test_delays(self):
+        r = QueryResult(
+            indexes=[0, 1],
+            start_time=0.0,
+            emit_times=[1.0, 1.5],
+            end_time=4.0,
+        )
+        assert r.delays() == [1.0, 0.5, 2.5]
+        assert r.max_delay() == 2.5
+
+    def test_delays_need_all_stamps(self):
+        r = QueryResult(indexes=[0], emit_times=[1.0])
+        assert r.delays() == []
+
+    def test_stats_free_form(self):
+        r = QueryResult()
+        r.stats["x"] = 1
+        assert r.stats == {"x": 1}

@@ -1,0 +1,110 @@
+"""Tests for ε-sample sizes and the empirical Lemma 2.1 behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.epsilon_sample import (
+    draw_epsilon_sample,
+    empirical_rectangle_error,
+    epsilon_of_sample_size,
+    epsilon_sample_size,
+)
+from repro.geometry.rectangle import Rectangle
+from repro.workloads.queries import random_rectangles
+
+
+class TestSampleSize:
+    def test_monotone_in_eps(self):
+        assert epsilon_sample_size(0.05, 0.1) > epsilon_sample_size(0.2, 0.1)
+
+    def test_monotone_in_phi(self):
+        assert epsilon_sample_size(0.1, 0.001) >= epsilon_sample_size(0.1, 0.1)
+
+    def test_union_bound_grows_with_n(self):
+        assert epsilon_sample_size(0.1, 0.1, n_datasets=1000) > epsilon_sample_size(
+            0.1, 0.1, n_datasets=1
+        )
+
+    def test_capped(self):
+        assert epsilon_sample_size(0.001, 0.001) <= 4096
+
+    def test_floor(self):
+        assert epsilon_sample_size(0.99, 0.99) >= 4
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_bad_eps(self, bad):
+        with pytest.raises(ValueError):
+            epsilon_sample_size(bad, 0.1)
+
+    def test_rejects_bad_phi(self):
+        with pytest.raises(ValueError):
+            epsilon_sample_size(0.1, 0.0)
+
+
+class TestEpsilonOfSampleSize:
+    def test_roundtrip_is_consistent(self):
+        """eps_of(size_of(eps)) <= eps (the size rounds up)."""
+        for eps in (0.3, 0.2, 0.1):
+            size = epsilon_sample_size(eps, 0.05)
+            if size < 4096:  # not capped
+                assert epsilon_of_sample_size(size, 0.05) <= eps + 1e-9
+
+    def test_decreasing_in_size(self):
+        assert epsilon_of_sample_size(100, 0.1) < epsilon_of_sample_size(25, 0.1)
+
+    def test_clamped_to_one(self):
+        assert epsilon_of_sample_size(1, 0.001, n_datasets=10**6) == 1.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            epsilon_of_sample_size(0, 0.1)
+        with pytest.raises(ValueError):
+            epsilon_of_sample_size(10, 0.0)
+
+
+class TestDrawSample:
+    def test_shape(self, rng):
+        pts = rng.uniform(size=(500, 3))
+        s = draw_epsilon_sample(pts, 64, rng)
+        assert s.shape == (64, 3)
+
+    def test_samples_come_from_population(self, rng):
+        pts = rng.uniform(size=(50, 2))
+        s = draw_epsilon_sample(pts, 20, rng)
+        pop = {tuple(p) for p in pts}
+        assert all(tuple(q) in pop for q in s)
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            draw_epsilon_sample(np.empty((0, 2)), 4, rng)
+
+    def test_rejects_nonpositive_size(self, rng):
+        with pytest.raises(ValueError):
+            draw_epsilon_sample(np.zeros((5, 1)), 0, rng)
+
+
+class TestLemma21Empirical:
+    """The drawn coreset's rectangle error stays within the promised eps."""
+
+    def test_error_within_bound_uniform(self, rng):
+        pts = rng.uniform(size=(5000, 2))
+        size = epsilon_sample_size(0.15, 0.05)
+        sample = draw_epsilon_sample(pts, size, rng)
+        eps_promised = 0.15
+        rects = random_rectangles(50, 2, rng)
+        err = empirical_rectangle_error(pts, sample, rects)
+        assert err <= eps_promised + 1e-9
+
+    def test_error_shrinks_with_sample_size(self, rng):
+        pts = rng.normal(0.5, 0.2, size=(8000, 1))
+        rects = random_rectangles(60, 1, rng)
+        small = draw_epsilon_sample(pts, 16, rng)
+        large = draw_epsilon_sample(pts, 1024, rng)
+        err_small = empirical_rectangle_error(pts, small, rects)
+        err_large = empirical_rectangle_error(pts, large, rects)
+        assert err_large < err_small
+
+    def test_error_of_whole_set_is_zero(self, rng):
+        pts = rng.uniform(size=(100, 2))
+        rects = random_rectangles(10, 2, rng)
+        assert empirical_rectangle_error(pts, pts, rects) == 0.0

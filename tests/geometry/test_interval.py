@@ -1,0 +1,102 @@
+"""Unit and property tests for Interval."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.interval import Interval
+
+finite = st.floats(-1e6, 1e6, allow_nan=False)
+
+
+class TestConstruction:
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Interval(1.0, 0.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            Interval(float("nan"), 1.0)
+
+    def test_degenerate_point_allowed(self):
+        iv = Interval(0.5, 0.5)
+        assert 0.5 in iv
+
+    def test_factory_at_least(self):
+        iv = Interval.at_least(0.3)
+        assert 0.3 in iv and 1e9 in iv and 0.29 not in iv
+
+    def test_factory_at_most(self):
+        iv = Interval.at_most(0.3)
+        assert 0.3 in iv and -1e9 in iv and 0.31 not in iv
+
+    def test_factory_everything(self):
+        assert 0.0 in Interval.everything()
+
+
+class TestMembership:
+    def test_closed_endpoints(self):
+        iv = Interval(0.2, 0.8)
+        assert 0.2 in iv and 0.8 in iv
+
+    def test_open_endpoints(self):
+        iv = Interval(0.2, 0.8, lo_open=True, hi_open=True)
+        assert 0.2 not in iv and 0.8 not in iv and 0.5 in iv
+
+    def test_half_open(self):
+        iv = Interval(0.0, 1.0, hi_open=True)
+        assert 0.0 in iv and 1.0 not in iv
+
+    def test_contains_alias(self):
+        assert Interval(0.0, 1.0).contains(0.5)
+
+    @given(lo=finite, width=st.floats(0, 1e6, allow_nan=False), x=finite)
+    def test_membership_consistent_with_endpoints(self, lo, width, x):
+        iv = Interval(lo, lo + width)
+        assert (x in iv) == (lo <= x <= lo + width)
+
+
+class TestThreshold:
+    def test_unbounded_is_threshold(self):
+        assert Interval.at_least(0.5).is_threshold
+
+    def test_hi_one_is_threshold(self):
+        assert Interval(0.5, 1.0).is_threshold
+
+    def test_two_sided_not_threshold(self):
+        assert not Interval(0.2, 0.8).is_threshold
+
+
+class TestExpandClampIntersect:
+    def test_expand_widens_both_sides(self):
+        iv = Interval(0.3, 0.6).expand(0.1)
+        assert iv.lo == pytest.approx(0.2) and iv.hi == pytest.approx(0.7)
+
+    def test_expand_leaves_infinite_sides(self):
+        iv = Interval.at_least(0.5).expand(0.1)
+        assert math.isinf(iv.hi) and iv.lo == pytest.approx(0.4)
+
+    def test_clamp_restricts(self):
+        iv = Interval(-0.5, 1.5).clamp(0.0, 1.0)
+        assert iv.lo == 0.0 and iv.hi == 1.0
+
+    def test_clamp_disjoint_yields_empty(self):
+        iv = Interval(2.0, 3.0).clamp(0.0, 1.0)
+        assert 2.0 not in iv and 0.5 not in iv
+
+    def test_intersects(self):
+        assert Interval(0.0, 0.5).intersects(Interval(0.5, 1.0))
+        assert not Interval(0.0, 0.4).intersects(Interval(0.5, 1.0))
+
+    def test_touching_open_endpoints_do_not_intersect(self):
+        a = Interval(0.0, 0.5, hi_open=True)
+        b = Interval(0.5, 1.0)
+        assert not a.intersects(b)
+
+    @given(a=finite, b=finite, c=finite, d=finite)
+    def test_intersects_symmetric(self, a, b, c, d):
+        lo1, hi1 = min(a, b), max(a, b)
+        lo2, hi2 = min(c, d), max(c, d)
+        i1, i2 = Interval(lo1, hi1), Interval(lo2, hi2)
+        assert i1.intersects(i2) == i2.intersects(i1)

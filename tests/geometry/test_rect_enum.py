@@ -1,0 +1,151 @@
+"""Tests for combinatorial rectangle enumeration and maximal pairs.
+
+Includes the equivalence proof check promised in DESIGN.md (substitution
+3): the pruned pair set equals the paper's definition restricted to
+query-matchable pairs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.rect_enum import (
+    RectangleGrid,
+    enumerate_maximal_pairs,
+    enumerate_maximal_pairs_naive,
+    enumerate_rectangles,
+)
+from repro.geometry.rectangle import Rectangle
+
+
+def fig1_grid_s1():
+    """S_1 = {1, 7, 9} from the paper's Figure 1."""
+    return RectangleGrid(np.array([[1.0], [7.0], [9.0]]))
+
+
+def fig1_grid_s2():
+    """S_2 = {2, 4, 6, 10} from the paper's Figure 1."""
+    return RectangleGrid(np.array([[2.0], [4.0], [6.0], [10.0]]))
+
+
+class TestGrid:
+    def test_coords_sorted_unique(self, rng):
+        pts = rng.integers(0, 5, size=(20, 2)).astype(float)
+        grid = RectangleGrid(pts)
+        for h in range(2):
+            assert np.all(np.diff(grid.coords[h]) > 0)
+
+    def test_bounding_box_coords_added(self):
+        grid = RectangleGrid(np.array([[1.0], [2.0]]), Rectangle([0.0], [3.0]))
+        assert grid.coords[0].tolist() == [0.0, 1.0, 2.0, 3.0]
+
+    def test_rejects_points_outside_box(self):
+        with pytest.raises(ValueError):
+            RectangleGrid(np.array([[5.0]]), Rectangle([0.0], [3.0]))
+
+    def test_count_and_mass(self):
+        grid = fig1_grid_s2()
+        # [4, 6] contains {4, 6}: 2 of 4 points.
+        assert grid.count((1,), (2,)) == 2
+        assert grid.mass((1,), (2,)) == pytest.approx(0.5)
+
+    def test_n_rectangles_formula(self):
+        grid = fig1_grid_s1()  # m=3 -> 3*4/2 = 6
+        assert grid.n_rectangles() == 6
+        assert len(list(grid.index_rectangles())) == 6
+
+
+class TestEnumerateRectangles:
+    def test_fig1_example_r1(self):
+        """The paper's worked example: R_1 for S_1 = {1,7,9}."""
+        rects = enumerate_rectangles(fig1_grid_s1())
+        as_pairs = {(r.lo[0], r.hi[0]): w for r, w in rects}
+        expected = {(1, 1), (7, 7), (9, 9), (1, 7), (1, 9), (7, 9)}
+        assert set(as_pairs) == {(float(a), float(b)) for a, b in expected}
+        # The paper: weight of [1, 7] is 2/3.
+        assert as_pairs[(1.0, 7.0)] == pytest.approx(2 / 3)
+
+    def test_fig1_example_r2_size(self):
+        assert len(enumerate_rectangles(fig1_grid_s2())) == 10
+
+    def test_2d_counts(self, rng):
+        pts = rng.uniform(size=(4, 2))
+        grid = RectangleGrid(pts)
+        rects = enumerate_rectangles(grid)
+        assert len(rects) == grid.n_rectangles()
+        for rect, w in rects:
+            assert w == pytest.approx(rect.count_inside(pts) / 4)
+
+
+class TestMaximalPairs:
+    def test_fig1_pairs(self):
+        """The paper's Section 4.3 example with B = [0, 11]."""
+        box = Rectangle([0.0], [11.0])
+        g1 = RectangleGrid(np.array([[1.0], [7.0], [9.0]]), box)
+        pairs = {
+            ((i.lo[0], i.hi[0]), (o.lo[0], o.hi[0]))
+            for i, o, _w in enumerate_maximal_pairs(g1)
+        }
+        assert ((7.0, 7.0), (1.0, 9.0)) in pairs  # the paper's example pair
+        g2 = RectangleGrid(np.array([[2.0], [4.0], [6.0], [10.0]]), box)
+        pairs2 = {
+            ((i.lo[0], i.hi[0]), (o.lo[0], o.hi[0]))
+            for i, o, _w in enumerate_maximal_pairs(g2)
+        }
+        assert ((4.0, 6.0), (2.0, 10.0)) in pairs2
+        # ([6,6], [2,10]) must NOT be a pair: [4,6] sits strictly between.
+        assert ((6.0, 6.0), (2.0, 10.0)) not in pairs2
+
+    def test_pair_weights_are_inner_mass(self):
+        box = Rectangle([0.0], [11.0])
+        grid = RectangleGrid(np.array([[1.0], [7.0], [9.0]]), box)
+        for inner, _outer, w in enumerate_maximal_pairs(grid):
+            assert w == pytest.approx(inner.count_inside(grid.points) / 3)
+
+    def test_outer_strictly_contains_inner(self, rng):
+        pts = rng.uniform(0.2, 0.8, size=(5, 2))
+        grid = RectangleGrid(pts, Rectangle([0.0, 0.0], [1.0, 1.0]))
+        for inner, outer, _w in enumerate_maximal_pairs(grid):
+            assert inner.strictly_inside(outer)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(2, 5),
+        dim=st.integers(1, 2),
+        seed=st.integers(0, 10_000),
+    )
+    def test_pruning_equivalence(self, n, dim, seed):
+        """DESIGN.md substitution 3: pruned set == paper's matchable pairs."""
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0.1, 0.9, size=(n, dim))
+        box = Rectangle([0.0] * dim, [1.0] * dim)
+        grid = RectangleGrid(pts, box)
+        fast = {
+            (tuple(i.lo), tuple(i.hi), tuple(o.lo), tuple(o.hi))
+            for i, o, _w in enumerate_maximal_pairs(grid)
+        }
+        naive = {
+            (tuple(i.lo), tuple(i.hi), tuple(o.lo), tuple(o.hi))
+            for i, o, _w in enumerate_maximal_pairs_naive(grid, matchable_only=True)
+        }
+        assert fast == naive
+
+    def test_naive_unrestricted_is_superset(self, rng):
+        pts = rng.uniform(0.2, 0.8, size=(3, 1))
+        grid = RectangleGrid(pts, Rectangle([0.0], [1.0]))
+        matchable = len(enumerate_maximal_pairs_naive(grid, matchable_only=True))
+        everything = len(enumerate_maximal_pairs_naive(grid, matchable_only=False))
+        assert everything >= matchable
+
+
+class TestGuards:
+    def test_enumeration_cap(self, rng):
+        pts = rng.uniform(size=(2000, 2))
+        grid = RectangleGrid(pts)
+        with pytest.raises(ValueError):
+            list(grid.index_rectangles())
+
+    def test_expand_requires_interior(self):
+        grid = fig1_grid_s1()
+        with pytest.raises(ValueError):
+            grid.expand_once((0,), (1,))

@@ -1,0 +1,121 @@
+"""Unit and property tests for Rectangle and the orthant mappings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.interval import Interval
+from repro.geometry.rectangle import Rectangle
+from repro.index.query_box import QueryBox
+
+coord = st.floats(-100, 100, allow_nan=False)
+
+
+def rect_strategy(dim):
+    """Random rectangles of a given dimension."""
+    return st.lists(
+        st.tuples(coord, coord), min_size=dim, max_size=dim
+    ).map(lambda prs: Rectangle([min(a, b) for a, b in prs], [max(a, b) for a, b in prs]))
+
+
+class TestConstruction:
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Rectangle([1.0], [0.0])
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            Rectangle([0.0, 0.0], [1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Rectangle([], [])
+
+    def test_from_intervals(self):
+        r = Rectangle.from_intervals([Interval(0, 1), Interval(2, 3)])
+        assert r.dim == 2 and r.contains_point([0.5, 2.5])
+
+    def test_bounding(self):
+        pts = np.array([[0.0, 1.0], [2.0, -1.0]])
+        box = Rectangle.bounding(pts)
+        assert box.contains_points(pts).all()
+
+    def test_bounding_pad(self):
+        pts = np.array([[0.0], [1.0]])
+        box = Rectangle.bounding(pts, pad=0.5)
+        assert box.lo[0] == -0.5 and box.hi[0] == 1.5
+
+
+class TestContainment:
+    def test_point_on_boundary(self):
+        r = Rectangle([0.0, 0.0], [1.0, 1.0])
+        assert r.contains_point([0.0, 1.0])
+
+    def test_count_inside(self):
+        r = Rectangle([0.0], [1.0])
+        assert r.count_inside(np.array([[-1.0], [0.5], [2.0]])) == 1
+
+    def test_contained_in_reflexive(self):
+        r = Rectangle([0.0], [1.0])
+        assert r.contained_in(r)
+
+    def test_strictly_inside_requires_gap(self):
+        inner = Rectangle([0.2], [0.8])
+        outer = Rectangle([0.0], [1.0])
+        assert inner.strictly_inside(outer)
+        assert not inner.strictly_inside(Rectangle([0.2], [1.0]))
+
+    def test_intersects(self):
+        a = Rectangle([0.0, 0.0], [1.0, 1.0])
+        assert a.intersects(Rectangle([1.0, 1.0], [2.0, 2.0]))  # touching corners
+        assert not a.intersects(Rectangle([1.1, 1.1], [2.0, 2.0]))
+
+    def test_equality_and_hash(self):
+        a = Rectangle([0.0], [1.0])
+        b = Rectangle([0.0], [1.0])
+        assert a == b and hash(a) == hash(b)
+        assert a != Rectangle([0.0], [2.0])
+
+
+class TestOrthantMapping2d:
+    """rho ⊆ R  ⇔  q_rho ∈ R' (the Algorithm 1/2 correspondence)."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(rho=rect_strategy(2), query=rect_strategy(2))
+    def test_equivalence(self, rho, query):
+        point = rho.to_point_2d()
+        orthant = QueryBox(query.query_orthant_2d())
+        assert orthant.contains_point(point) == rho.contained_in(query)
+
+    def test_mapped_point_layout(self):
+        rho = Rectangle([1.0, 2.0], [3.0, 4.0])
+        assert np.array_equal(rho.to_point_2d(), [1.0, 2.0, 3.0, 4.0])
+
+
+class TestOrthantMapping4d:
+    """rho ⊆ R ⊂⊂ rho_hat  ⇔  q_(rho, rho_hat) ∈ R' (Algorithm 3/4)."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(rho=rect_strategy(1), outer=rect_strategy(1), query=rect_strategy(1))
+    def test_equivalence(self, rho, outer, query):
+        point = rho.pair_to_point_4d(outer)
+        orthant = QueryBox(query.query_orthant_4d())
+        expected = rho.contained_in(query) and query.strictly_inside(outer)
+        assert orthant.contains_point(point) == expected
+
+    def test_pair_point_layout(self):
+        rho = Rectangle([1.0], [2.0])
+        outer = Rectangle([0.0], [3.0])
+        assert np.array_equal(rho.pair_to_point_4d(outer), [1.0, 0.0, 2.0, 3.0])
+
+    def test_pair_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            Rectangle([0.0], [1.0]).pair_to_point_4d(Rectangle([0, 0], [1, 1]))
+
+    def test_boundary_touch_is_excluded(self):
+        """Strictness: rho_hat sharing a facet with R must NOT match."""
+        rho = Rectangle([0.4], [0.6])
+        outer = Rectangle([0.0], [1.0])
+        query = Rectangle([0.0], [0.8])  # query.lo == outer.lo
+        orthant = QueryBox(query.query_orthant_4d())
+        assert not orthant.contains_point(rho.pair_to_point_4d(outer))

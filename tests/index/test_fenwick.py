@@ -1,0 +1,94 @@
+"""Unit and property tests for the Fenwick tree."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.fenwick import FenwickTree
+
+
+class TestBasics:
+    def test_all_ones_prefix(self):
+        ft = FenwickTree.all_ones(10)
+        assert [ft.prefix_sum(i) for i in range(11)] == list(range(11))
+
+    def test_add_and_range_sum(self):
+        ft = FenwickTree(5)
+        ft.add(2, 3)
+        ft.add(4, 1)
+        assert ft.range_sum(0, 5) == 4
+        assert ft.range_sum(3, 5) == 1
+
+    def test_empty_range(self):
+        ft = FenwickTree.all_ones(5)
+        assert ft.range_sum(3, 3) == 0
+        assert ft.range_sum(4, 2) == 0
+
+    def test_index_bounds(self):
+        ft = FenwickTree(3)
+        with pytest.raises(IndexError):
+            ft.add(3, 1)
+        with pytest.raises(IndexError):
+            ft.prefix_sum(4)
+
+    def test_zero_size(self):
+        ft = FenwickTree(0)
+        assert ft.prefix_sum(0) == 0
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            FenwickTree(-1)
+
+
+class TestFindFirstPositive:
+    def test_all_active(self):
+        ft = FenwickTree.all_ones(8)
+        assert ft.find_first_positive(0, 8) == 0
+        assert ft.find_first_positive(3, 8) == 3
+
+    def test_skips_deactivated(self):
+        ft = FenwickTree.all_ones(8)
+        for i in (0, 1, 2, 5):
+            ft.add(i, -1)
+        assert ft.find_first_positive(0, 8) == 3
+        assert ft.find_first_positive(4, 8) == 4
+        assert ft.find_first_positive(5, 6) == 6  # none in [5, 6)
+
+    def test_none_active_returns_hi(self):
+        ft = FenwickTree(4)
+        assert ft.find_first_positive(0, 4) == 4
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        flags=st.lists(st.booleans(), min_size=1, max_size=64),
+        lo_frac=st.floats(0, 1),
+        hi_frac=st.floats(0, 1),
+    )
+    def test_matches_naive(self, flags, lo_frac, hi_frac):
+        n = len(flags)
+        lo = int(lo_frac * n)
+        hi = int(hi_frac * n)
+        if lo > hi:
+            lo, hi = hi, lo
+        ft = FenwickTree(n)
+        for i, f in enumerate(flags):
+            if f:
+                ft.add(i, 1)
+        naive = next((i for i in range(lo, hi) if flags[i]), hi)
+        assert ft.find_first_positive(lo, hi) == naive
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(st.integers(0, 5), min_size=1, max_size=40),
+        lo_frac=st.floats(0, 1),
+        hi_frac=st.floats(0, 1),
+    )
+    def test_range_sum_matches_naive(self, values, lo_frac, hi_frac):
+        n = len(values)
+        lo = int(lo_frac * n)
+        hi = int(hi_frac * n)
+        if lo > hi:
+            lo, hi = hi, lo
+        ft = FenwickTree(n)
+        for i, v in enumerate(values):
+            ft.add(i, v)
+        assert ft.range_sum(lo, hi) == sum(values[lo:hi])

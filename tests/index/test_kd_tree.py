@@ -1,0 +1,179 @@
+"""Tests for the dynamic kd-tree engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.kd_tree import DynamicKDTree
+from repro.index.query_box import QueryBox
+
+
+def naive_report(points, box):
+    return sorted(np.nonzero(box.contains_points(points))[0].tolist())
+
+
+class TestQueries:
+    def test_report_matches_naive(self, rng):
+        pts = rng.uniform(size=(300, 4))
+        tree = DynamicKDTree(pts)
+        box = QueryBox.closed([0.2] * 4, [0.8] * 4)
+        assert sorted(tree.report(box)) == naive_report(pts, box)
+
+    def test_count(self, rng):
+        pts = rng.uniform(size=(200, 2))
+        tree = DynamicKDTree(pts)
+        box = QueryBox.closed([0.0, 0.0], [0.4, 0.4])
+        assert tree.count(box) == len(naive_report(pts, box))
+
+    def test_report_first_membership(self, rng):
+        pts = rng.uniform(size=(200, 3))
+        tree = DynamicKDTree(pts)
+        box = QueryBox.closed([0.4] * 3, [0.6] * 3)
+        truth = naive_report(pts, box)
+        first = tree.report_first(box)
+        assert (first is None) == (not truth)
+        if truth:
+            assert first in truth
+
+    def test_open_bounds(self):
+        pts = np.array([[0.0], [1.0], [2.0]])
+        tree = DynamicKDTree(pts)
+        box = QueryBox([(0.0, 2.0, True, True)])
+        assert tree.report(box) == [1]
+
+    def test_custom_ids(self):
+        tree = DynamicKDTree(np.array([[0.0], [5.0]]), ids=[("a", 1), ("b", 2)])
+        assert tree.report(QueryBox.closed([4.0], [6.0])) == [("b", 2)]
+
+    def test_dim_mismatch(self):
+        tree = DynamicKDTree(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            tree.report(QueryBox.closed([0.0], [1.0]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 120), dim=st.integers(1, 5))
+    def test_property_report(self, seed, n, dim):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(size=(n, dim))
+        tree = DynamicKDTree(pts, leaf_size=4)
+        lo = rng.uniform(0, 1, size=dim)
+        hi = rng.uniform(0, 1, size=dim)
+        lo, hi = np.minimum(lo, hi), np.maximum(lo, hi)
+        box = QueryBox.closed(lo, hi)
+        assert sorted(tree.report(box)) == naive_report(pts, box)
+
+
+class TestActivation:
+    def test_deactivate_activate_roundtrip(self, rng):
+        pts = rng.uniform(size=(100, 2))
+        tree = DynamicKDTree(pts)
+        box = QueryBox.closed([0.0, 0.0], [1.0, 1.0])
+        truth = naive_report(pts, box)
+        for i in truth[:10]:
+            tree.deactivate(i)
+        assert sorted(tree.report(box)) == truth[10:]
+        assert tree.n_active == 90
+        for i in truth[:10]:
+            tree.activate(i)
+        assert sorted(tree.report(box)) == truth
+
+    def test_report_first_skips_inactive(self, rng):
+        pts = rng.uniform(size=(60, 2))
+        tree = DynamicKDTree(pts)
+        box = QueryBox.closed([0.0, 0.0], [1.0, 1.0])
+        for i in range(60):
+            got = tree.report_first(box)
+            assert got is not None
+            tree.deactivate(got)
+        assert tree.report_first(box) is None
+
+    def test_double_toggle_raises(self):
+        tree = DynamicKDTree(np.zeros((2, 1)))
+        tree.deactivate(0)
+        with pytest.raises(KeyError):
+            tree.deactivate(0)
+        tree.activate(0)
+        with pytest.raises(KeyError):
+            tree.activate(0)
+
+    def test_unknown_id_raises(self):
+        tree = DynamicKDTree(np.zeros((1, 1)))
+        with pytest.raises(KeyError):
+            tree.deactivate("nope")
+
+
+class TestDynamics:
+    def test_insert_visible(self, rng):
+        pts = rng.uniform(size=(20, 2))
+        tree = DynamicKDTree(pts)
+        tree.insert(np.array([[0.5, 0.5]]), ids=["new"])
+        box = QueryBox.closed([0.45, 0.45], [0.55, 0.55])
+        assert "new" in tree.report(box)
+
+    def test_insert_duplicate_id_rejected(self):
+        tree = DynamicKDTree(np.zeros((2, 1)))
+        with pytest.raises(KeyError):
+            tree.insert(np.array([[1.0]]), ids=[0])
+
+    def test_buffer_rebuild_preserves_state(self, rng):
+        pts = rng.uniform(size=(50, 2))
+        tree = DynamicKDTree(pts)
+        tree.deactivate(3)
+        # Insert enough to force a rebuild.
+        extra = rng.uniform(size=(100, 2))
+        tree.insert(extra, ids=[f"x{i}" for i in range(100)])
+        box = QueryBox.closed([0.0, 0.0], [1.0, 1.0])
+        got = tree.report(box)
+        assert 3 not in got
+        assert len(got) == 50 - 1 + 100
+
+    def test_remove_permanent(self, rng):
+        pts = rng.uniform(size=(30, 2))
+        tree = DynamicKDTree(pts)
+        tree.remove(5)
+        box = QueryBox.closed([0.0, 0.0], [1.0, 1.0])
+        assert 5 not in tree.report(box)
+        # Force rebuild; the removed id must stay gone and be re-insertable.
+        tree.insert(rng.uniform(size=(100, 2)), ids=[f"y{i}" for i in range(100)])
+        assert 5 not in tree.report(box)
+
+    def test_deactivate_buffered_point(self, rng):
+        tree = DynamicKDTree(np.zeros((4, 1)))
+        tree.insert(np.array([[9.0]]), ids=["b"])
+        tree.deactivate("b")
+        assert tree.report(QueryBox.closed([8.0], [10.0])) == []
+        tree.activate("b")
+        assert tree.report(QueryBox.closed([8.0], [10.0])) == ["b"]
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_churn_consistency(self, seed):
+        """Random insert/remove/deactivate churn stays consistent with naive."""
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(size=(30, 2))
+        tree = DynamicKDTree(pts, leaf_size=4)
+        alive = {i: pts[i] for i in range(30)}
+        active = set(alive)
+        next_id = 30
+        for _ in range(40):
+            op = rng.integers(0, 3)
+            if op == 0:  # insert
+                p = rng.uniform(size=(1, 2))
+                tree.insert(p, ids=[next_id])
+                alive[next_id] = p[0]
+                active.add(next_id)
+                next_id += 1
+            elif op == 1 and active:  # remove
+                victim = sorted(active)[int(rng.integers(len(active)))]
+                tree.remove(victim)
+                del alive[victim]
+                active.discard(victim)
+            elif op == 2 and active:  # toggle activation
+                victim = sorted(active)[int(rng.integers(len(active)))]
+                tree.deactivate(victim)
+                tree.activate(victim)
+        box = QueryBox.closed([0.2, 0.2], [0.9, 0.9])
+        expected = sorted(
+            k for k in active if box.contains_point(alive[k])
+        )
+        assert sorted(tree.report(box)) == expected

@@ -1,0 +1,79 @@
+"""Tests for QueryBox open/closed semantics and bbox pruning tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.query_box import QueryBox
+
+
+class TestPointMembership:
+    def test_closed(self):
+        box = QueryBox.closed([0.0], [1.0])
+        assert box.contains_point([0.0]) and box.contains_point([1.0])
+
+    def test_open_lo(self):
+        box = QueryBox([(0.0, 1.0, True, False)])
+        assert not box.contains_point([0.0]) and box.contains_point([1.0])
+
+    def test_open_hi(self):
+        box = QueryBox([(0.0, 1.0, False, True)])
+        assert box.contains_point([0.0]) and not box.contains_point([1.0])
+
+    def test_unbounded(self):
+        box = QueryBox.unbounded(3)
+        assert box.contains_point([1e9, -1e9, 0.0])
+
+    def test_vectorized_matches_scalar(self, rng):
+        box = QueryBox([(0.2, 0.8, True, False), (0.1, 0.9, False, True)])
+        pts = rng.uniform(size=(50, 2))
+        mask = box.contains_points(pts)
+        for p, m in zip(pts, mask):
+            assert box.contains_point(p) == bool(m)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            QueryBox([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            QueryBox([(math.nan, 1.0, False, False)])
+
+    def test_with_dimension(self):
+        box = QueryBox.closed([0.0, 0.0], [1.0, 1.0])
+        box2 = box.with_dimension(1, 0.5, 2.0)
+        assert not box2.contains_point([0.5, 0.2])
+        assert box2.contains_point([0.5, 1.5])
+
+
+class TestBBoxTests:
+    """Soundness of the pruning predicates used by tree traversals."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_bbox_predicates_sound(self, seed):
+        rng = np.random.default_rng(seed)
+        # Integer grid so open/closed boundary coincidences are common.
+        pts = rng.integers(0, 4, size=(20, 2)).astype(float)
+        blo, bhi = pts.min(axis=0), pts.max(axis=0)
+        cons = []
+        for _ in range(2):
+            a, b = sorted(rng.integers(0, 4, size=2).tolist())
+            cons.append((float(a), float(b), bool(rng.integers(2)), bool(rng.integers(2))))
+        box = QueryBox(cons)
+        inside = box.contains_points(pts)
+        if not box.intersects_bbox(blo, bhi):
+            assert not inside.any(), "pruned a bbox containing matches"
+        if box.contains_bbox(blo, bhi):
+            assert inside.all(), "claimed full containment wrongly"
+
+    def test_disjoint_open_boundary(self):
+        # Box is [0, 1); bbox starts exactly at 1 -> no overlap.
+        box = QueryBox([(0.0, 1.0, False, True)])
+        assert not box.intersects_bbox(np.array([1.0]), np.array([2.0]))
+
+    def test_touching_closed_boundary(self):
+        box = QueryBox([(0.0, 1.0, False, False)])
+        assert box.intersects_bbox(np.array([1.0]), np.array([2.0]))

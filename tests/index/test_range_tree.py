@@ -1,0 +1,120 @@
+"""Tests for the classic multi-level RangeTree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.query_box import QueryBox
+from repro.index.range_tree import RangeTree
+
+
+def naive_report(points, box):
+    return sorted(np.nonzero(box.contains_points(points))[0].tolist())
+
+
+class TestBasics:
+    def test_1d(self):
+        rt = RangeTree(np.array([[0.0], [1.0], [2.0]]))
+        assert sorted(rt.report(QueryBox.closed([0.5], [2.5]))) == [1, 2]
+
+    def test_2d(self, rng):
+        pts = rng.uniform(size=(100, 2))
+        rt = RangeTree(pts)
+        box = QueryBox.closed([0.2, 0.2], [0.7, 0.7])
+        assert sorted(rt.report(box)) == naive_report(pts, box)
+
+    def test_3d(self, rng):
+        pts = rng.uniform(size=(60, 3))
+        rt = RangeTree(pts)
+        box = QueryBox.closed([0.1, 0.1, 0.1], [0.8, 0.8, 0.8])
+        assert sorted(rt.report(box)) == naive_report(pts, box)
+
+    def test_count(self, rng):
+        pts = rng.uniform(size=(80, 2))
+        rt = RangeTree(pts)
+        box = QueryBox.closed([0.0, 0.0], [0.5, 0.5])
+        assert rt.count(box) == len(naive_report(pts, box))
+
+    def test_report_first_in_truth(self, rng):
+        pts = rng.uniform(size=(80, 2))
+        rt = RangeTree(pts)
+        box = QueryBox.closed([0.3, 0.3], [0.6, 0.6])
+        truth = naive_report(pts, box)
+        first = rt.report_first(box)
+        assert (first is None) == (not truth)
+        if truth:
+            assert first in truth
+
+    def test_custom_ids(self):
+        rt = RangeTree(np.array([[0.0], [1.0]]), ids=["a", "b"])
+        assert rt.report(QueryBox.closed([0.5], [1.5])) == ["b"]
+
+    def test_dim_mismatch_raises(self):
+        rt = RangeTree(np.array([[0.0, 0.0]]))
+        with pytest.raises(ValueError):
+            rt.report(QueryBox.closed([0.0], [1.0]))
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            RangeTree(np.zeros((2, 1)), ids=["x", "x"])
+
+    def test_open_bounds(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        rt = RangeTree(pts)
+        box = QueryBox([(0.0, 1.0, True, True), (-1.0, 2.0, False, False)])
+        assert rt.report(box) == []
+
+
+class TestActivation:
+    def test_deactivate_then_activate(self, rng):
+        pts = rng.uniform(size=(50, 2))
+        rt = RangeTree(pts)
+        box = QueryBox.closed([0.0, 0.0], [1.0, 1.0])
+        truth = naive_report(pts, box)
+        rt.deactivate(truth[0])
+        assert sorted(rt.report(box)) == truth[1:]
+        rt.activate(truth[0])
+        assert sorted(rt.report(box)) == truth
+
+    def test_deactivate_all(self, rng):
+        pts = rng.uniform(size=(10, 2))
+        rt = RangeTree(pts)
+        for i in range(10):
+            rt.deactivate(i)
+        box = QueryBox.closed([0.0, 0.0], [1.0, 1.0])
+        assert rt.report(box) == []
+        assert rt.report_first(box) is None
+        assert rt.count(box) == 0
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(1, 60),
+        dim=st.integers(1, 3),
+    )
+    def test_report_matches_naive(self, seed, n, dim):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(size=(n, dim))
+        rt = RangeTree(pts)
+        lo = rng.uniform(0, 1, size=dim)
+        hi = rng.uniform(0, 1, size=dim)
+        lo, hi = np.minimum(lo, hi), np.maximum(lo, hi)
+        box = QueryBox.closed(lo, hi)
+        assert sorted(rt.report(box)) == naive_report(pts, box)
+        assert rt.count(box) == len(naive_report(pts, box))
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_open_bounds_match_naive(self, seed):
+        rng = np.random.default_rng(seed)
+        # Grid-valued points so open/closed bounds actually matter.
+        pts = rng.integers(0, 4, size=(40, 2)).astype(float)
+        rt = RangeTree(pts)
+        cons = []
+        for _ in range(2):
+            a, b = sorted(rng.integers(0, 4, size=2).tolist())
+            cons.append((float(a), float(b), bool(rng.integers(2)), bool(rng.integers(2))))
+        box = QueryBox(cons)
+        assert sorted(rt.report(box)) == naive_report(pts, box)

@@ -1,0 +1,74 @@
+"""Integration tests for delay guarantees and dynamic updates."""
+
+import numpy as np
+import pytest
+
+from repro.core.ptile_range import PtileRangeIndex
+from repro.core.ptile_threshold import PtileThresholdIndex
+from repro.core.pref_index import PrefIndex
+from repro.geometry.interval import Interval
+from repro.geometry.rectangle import Rectangle
+from repro.synopsis.exact import ExactSynopsis
+
+QUERY = Rectangle([0.0], [0.5])
+
+
+@pytest.fixture
+def lake(rng):
+    return [rng.uniform(0.0, 1.0, size=(300, 1)) for _ in range(30)]
+
+
+class TestDelay:
+    def test_threshold_delay_recorded(self, lake, rng):
+        idx = PtileThresholdIndex(
+            [ExactSynopsis(p) for p in lake], eps=0.15, sample_size=24, rng=rng
+        )
+        res = idx.query(QUERY, 0.3, record_times=True)
+        assert res.out_size == 30  # uniform data, mass ~0.5 each
+        gaps = res.delays()
+        assert len(gaps) == res.out_size + 1
+        assert all(g >= 0.0 for g in gaps)
+
+    def test_pref_delay_recorded(self, lake):
+        idx = PrefIndex([ExactSynopsis(p) for p in lake], k=3, eps=0.2)
+        res = idx.query(np.array([1.0]), 0.5, record_times=True)
+        assert res.max_delay() is not None
+
+
+class TestDynamicChurn:
+    def test_threshold_index_under_churn(self, lake, rng):
+        idx = PtileThresholdIndex(
+            [ExactSynopsis(p) for p in lake[:10]], eps=0.2, sample_size=16, rng=rng
+        )
+        # Delete half, insert planted datasets, verify planted answers.
+        for key in range(0, 10, 2):
+            idx.delete_synopsis(key)
+        planted_keys = []
+        for _ in range(5):
+            planted_keys.append(
+                idx.insert_synopsis(ExactSynopsis(rng.uniform(0.0, 0.5, (150, 1))))
+            )
+        got = idx.query(QUERY, 0.8).index_set
+        assert set(planted_keys) <= got
+        assert not (set(range(0, 10, 2)) & got)
+
+    def test_range_index_insert_delete_roundtrip(self, lake, rng):
+        idx = PtileRangeIndex(
+            [ExactSynopsis(p) for p in lake[:8]], eps=0.2, sample_size=12, rng=rng
+        )
+        before = idx.query(QUERY, Interval(0.3, 0.7)).index_set
+        key = idx.insert_synopsis(ExactSynopsis(rng.uniform(0.0, 1.0, (200, 1))))
+        with_new = idx.query(QUERY, Interval(0.3, 0.7)).index_set
+        assert before <= with_new
+        idx.delete_synopsis(key)
+        after = idx.query(QUERY, Interval(0.3, 0.7)).index_set
+        assert after == before
+
+    def test_pref_index_churn(self, lake, rng):
+        idx = PrefIndex([ExactSynopsis(p) for p in lake[:6]], k=2, eps=0.25)
+        strong = ExactSynopsis(np.full((20, 1), 0.99))
+        key = idx.insert_synopsis(strong)
+        assert key in idx.query(np.array([1.0]), 0.9).index_set
+        idx.delete_synopsis(key)
+        got = idx.query(np.array([1.0]), 0.9).index_set
+        assert key not in got

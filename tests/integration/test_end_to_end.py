@@ -1,0 +1,125 @@
+"""Integration tests: full pipeline across settings and synopsis types."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import DatasetSearchEngine
+from repro.core.framework import Repository
+from repro.core.measures import PercentileMeasure, PreferenceMeasure
+from repro.core.predicates import And, pred
+from repro.core.ptile_range import PtileRangeIndex
+from repro.core.pref_index import PrefIndex
+from repro.geometry.interval import Interval
+from repro.geometry.rectangle import Rectangle
+from repro.synopsis import (
+    EpsilonSampleSynopsis,
+    ExactSynopsis,
+    GMMSynopsis,
+    HistogramSynopsis,
+)
+from repro.workloads.opendata import (
+    BROOKLYN_REGION,
+    city_incident_repository,
+    city_quality_repository,
+)
+
+
+class TestBrooklynScenario:
+    """Example 1.1: the economist's percentile query end to end."""
+
+    def test_centralized(self, rng):
+        repo, fractions = city_incident_repository(25, rng)
+        engine = DatasetSearchEngine(repository=repo, eps=0.1, sample_size=32, rng=rng)
+        expr = pred(PercentileMeasure(BROOKLYN_REGION), 0.10)
+        quality = engine.evaluate_quality(expr)
+        assert quality["recall"] == 1.0
+        # All false positives are within the documented slack.
+        slack = 2 * engine.ptile_index.eps_effective
+        for j in quality["false_positives"]:
+            assert fractions[j] >= 0.10 - slack - 1e-9
+
+    @pytest.mark.parametrize("synopsis_cls", ["sample", "histogram", "gmm"])
+    def test_federated_each_synopsis_type(self, rng, synopsis_cls):
+        repo, fractions = city_incident_repository(15, rng)
+        syns = []
+        for ds in repo:
+            if synopsis_cls == "sample":
+                syns.append(
+                    EpsilonSampleSynopsis.from_points(ds.points, size=300, rng=rng)
+                )
+            elif synopsis_cls == "histogram":
+                syns.append(HistogramSynopsis(ds.points, bins=24))
+            else:
+                syns.append(GMMSynopsis(ds.points, n_components=3, rng=rng, n_iter=25))
+        index = PtileRangeIndex(syns, eps=0.1, sample_size=32, rng=rng)
+        theta = Interval(0.10, 1.0)
+        truth = {i for i, f in enumerate(fractions) if f in theta}
+        got = index.query(BROOKLYN_REGION, theta).index_set
+        assert truth <= got, f"missed {truth - got} with {synopsis_cls}"
+        for j in got:
+            slack = 2 * index.eps_effective + 2 * index.delta_of(j)
+            assert fractions[j] >= 0.10 - slack - 1e-9
+
+
+class TestQualityOfLifeScenario:
+    """Example 1.1: cities with k high-quality neighborhoods (Pref)."""
+
+    def test_top_k_quality_query(self, rng):
+        repo = city_quality_repository(20, rng)
+        weights = np.array([0.4, 0.2, 0.2, 0.2])
+        k = 5
+        index = PrefIndex([ExactSynopsis(ds.points) for ds in repo], k=k, eps=0.1)
+        unit = weights / np.linalg.norm(weights)
+        tau = 0.35
+        truth = {i for i, ds in enumerate(repo) if ds.kth_score(weights, k) >= tau}
+        got = index.query(weights, tau).index_set
+        assert truth <= got
+        for j in got:
+            assert repo[j].kth_score(weights, k) >= tau - 2 * 0.1 - 1e-9
+        del unit
+
+
+class TestMixedExpression:
+    def test_percentile_and_preference_conjunction(self, rng):
+        arrays = [
+            np.clip(rng.normal(rng.uniform(0.3, 0.7, 2), 0.15, (300, 2)), 0, 1)
+            for _ in range(12)
+        ]
+        repo = Repository.from_arrays(arrays)
+        engine = DatasetSearchEngine(repository=repo, eps=0.12, sample_size=10, rng=rng)
+        expr = And(
+            [
+                pred(PercentileMeasure(Rectangle([0.0, 0.0], [0.5, 0.5])), 0.1),
+                pred(PreferenceMeasure(np.array([1.0, 1.0]), 10), 0.9),
+            ]
+        )
+        assert engine.evaluate_quality(expr)["recall"] == 1.0
+
+
+class TestCentralizedFederatedConsistency:
+    def test_federated_superset_shrinks_with_better_synopses(self, rng):
+        """Better synopses (smaller delta) yield tighter result sets."""
+        repo, _ = city_incident_repository(15, rng)
+        coarse = [
+            EpsilonSampleSynopsis.from_points(ds.points, size=40, rng=rng)
+            for ds in repo
+        ]
+        fine = [ExactSynopsis(ds.points) for ds in repo]
+        seed = 33
+        idx_coarse = PtileRangeIndex(
+            coarse, eps=0.1, sample_size=24, rng=np.random.default_rng(seed)
+        )
+        idx_fine = PtileRangeIndex(
+            fine, eps=0.1, sample_size=24, rng=np.random.default_rng(seed)
+        )
+        theta = Interval(0.2, 0.6)
+        got_coarse = idx_coarse.query(BROOKLYN_REGION, theta).index_set
+        got_fine = idx_fine.query(BROOKLYN_REGION, theta).index_set
+        # Not a strict superset theorem, but the slack ordering should show:
+        # the coarse index cannot report fewer of the exact answers.
+        truth = {
+            i
+            for i, ds in enumerate(repo)
+            if ds.percentile_mass(BROOKLYN_REGION) in theta
+        }
+        assert truth <= got_fine and truth <= got_coarse

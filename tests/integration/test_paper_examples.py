@@ -1,0 +1,112 @@
+"""The paper's worked examples, verified literally (Figures 1-3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ptile_range import PtileRangeIndex
+from repro.core.ptile_threshold import PtileThresholdIndex
+from repro.geometry.interval import Interval
+from repro.geometry.rect_enum import RectangleGrid, enumerate_rectangles
+from repro.geometry.rectangle import Rectangle
+from repro.synopsis.exact import ExactSynopsis
+
+S1 = np.array([[1.0], [7.0], [9.0]])
+S2 = np.array([[2.0], [4.0], [6.0], [10.0]])
+
+
+class _FixedSynopsis(ExactSynopsis):
+    """A synopsis whose Sample() returns the stored points verbatim,
+    reproducing the paper's hand-picked coresets S_1, S_2."""
+
+    def sample(self, size, rng):
+        reps = -(-size // self.n_points)
+        return np.tile(self.points, (reps, 1))[: max(size, self.n_points)]
+
+
+def build_threshold_index():
+    idx = PtileThresholdIndex(
+        [_FixedSynopsis(S1), _FixedSynopsis(S2)],
+        eps=0.005,
+        sample_size=4,
+        rng=np.random.default_rng(0),
+    )
+    # The paper's toy coresets ARE the datasets (sampling error 0), so the
+    # conservative eps_effective bound is overridden to the nominal eps.
+    idx.eps_effective = idx.eps
+    return idx
+
+
+class TestFigure1:
+    """Section 4.2's running example."""
+
+    def test_precomputed_intervals(self):
+        rects = enumerate_rectangles(RectangleGrid(S1))
+        intervals = {(r.lo[0], r.hi[0]) for r, _ in rects}
+        assert intervals == {(1, 1), (7, 7), (9, 9), (1, 7), (1, 9), (7, 9)}
+
+    def test_weight_of_1_7(self):
+        rects = dict(
+            ((r.lo[0], r.hi[0]), w) for r, w in enumerate_rectangles(RectangleGrid(S1))
+        )
+        assert rects[(1.0, 7.0)] == pytest.approx(2 / 3)
+
+    def test_query_r_3_8_theta_02(self):
+        """R = [3, 8], theta = [0.2, 1] reports both datasets."""
+        idx = build_threshold_index()
+        res = idx.query(Rectangle([3.0], [8.0]), a_theta=0.2)
+        assert res.index_set == {0, 1}
+
+    def test_tight_threshold_excludes_sparse_dataset(self):
+        """With theta = [0.6, 1]: S_1 has 1/3 of its coreset in [3, 8] and
+        S_2 has 2/4 — only a dataset meeting 0.6 - eps may be reported."""
+        idx = build_threshold_index()
+        res = idx.query(Rectangle([3.0], [8.0]), a_theta=0.6)
+        assert 0 not in res.index_set  # 1/3 < 0.6 - eps
+
+
+class TestSection43Example:
+    """The range-predicate continuation: R = [3, 8], theta = [0.2, 0.4]."""
+
+    def build(self):
+        idx = PtileRangeIndex(
+            [_FixedSynopsis(S1), _FixedSynopsis(S2)],
+            eps=0.005,
+            sample_size=4,
+            bounding_box=Rectangle([0.0], [11.0]),
+            rng=np.random.default_rng(0),
+        )
+        idx.eps_effective = idx.eps  # exact toy coresets; see above
+        return idx
+
+    def test_index_1_reported_index_2_not(self):
+        """The paper: index 1 (mass 1/3 ∈ [0.2-eps, 0.4+eps]) is reported;
+        index 2 (maximal interval [4, 6] has weight 0.5 > 0.4+eps) is not."""
+        idx = self.build()
+        res = idx.query(Rectangle([3.0], [8.0]), Interval(0.2, 0.4))
+        assert res.index_set == {0}
+
+    def test_figure_2_failure_mode_absent(self):
+        """The threshold structure would match S_2's sub-interval [4, 4]
+        (weight 1/4 ∈ theta) — the maximal-pair structure must not."""
+        idx = self.build()
+        res = idx.query(Rectangle([3.0], [8.0]), Interval(0.2, 0.3))
+        assert 1 not in res.index_set
+
+
+class TestFigure3Property:
+    """Any matched pair certifies the maximal rectangle (Lemma 4.5)."""
+
+    def test_maximal_interval_weights_drive_answers(self):
+        idx = PtileRangeIndex(
+            [_FixedSynopsis(S2)],
+            eps=0.005,
+            sample_size=4,
+            bounding_box=Rectangle([0.0], [11.0]),
+            rng=np.random.default_rng(0),
+        )
+        idx.eps_effective = idx.eps  # exact toy coreset
+        # Query exactly around the maximal interval [4, 6]: weight 0.5.
+        res = idx.query(Rectangle([3.0], [8.0]), Interval(0.45, 0.55))
+        assert res.index_set == {0}
+        res2 = idx.query(Rectangle([3.0], [8.0]), Interval(0.7, 0.9))
+        assert res2.index_set == set()

@@ -1,0 +1,82 @@
+"""Tests for the halfspace-reporting → CPref reduction (Thm 3.5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pref_index import PrefIndex
+from repro.errors import ConstructionError
+from repro.lowerbounds.halfspace import (
+    halfspace_report_brute_force,
+    halfspace_report_via_cpref,
+    normalize_to_unit_ball,
+    translate_to_first_orthant,
+)
+from repro.synopsis.exact import ExactSynopsis
+
+
+class TestNormalization:
+    def test_unit_ball(self, rng):
+        pts = rng.normal(size=(100, 3)) * 5
+        scaled, scale = normalize_to_unit_ball(pts)
+        assert np.linalg.norm(scaled, axis=1).max() <= 1.0 + 1e-12
+        assert np.allclose(scaled * scale, pts)
+
+    def test_membership_preserved_by_scaling(self, rng):
+        pts = rng.normal(size=(50, 2)) * 3
+        v = rng.normal(size=2)
+        tau = 0.7
+        scaled, scale = normalize_to_unit_ball(pts)
+        before = halfspace_report_brute_force(pts, v, tau)
+        after = halfspace_report_brute_force(scaled, v, tau / scale)
+        assert before == after
+
+    def test_first_orthant(self, rng):
+        pts = rng.normal(size=(40, 4))
+        moved, shift = translate_to_first_orthant(pts)
+        assert moved.min() >= 0.0
+        assert np.allclose(moved - shift, pts)
+
+    def test_membership_preserved_by_translation(self, rng):
+        pts = rng.normal(size=(40, 2))
+        v = rng.normal(size=2)
+        tau = 0.2
+        moved, shift = translate_to_first_orthant(pts)
+        before = halfspace_report_brute_force(pts, v, tau)
+        norm = np.linalg.norm(v)
+        after = halfspace_report_brute_force(moved, v, tau + float(shift @ v / norm) * norm)
+        assert before == after
+
+
+class TestReduction:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), dim=st.integers(2, 5))
+    def test_default_oracle_exact(self, seed, dim):
+        rng = np.random.default_rng(seed)
+        pts = rng.normal(size=(60, dim))
+        v = rng.normal(size=dim)
+        tau = float(rng.normal())
+        got = halfspace_report_via_cpref(pts, v, tau)
+        assert got == halfspace_report_brute_force(pts, v, tau)
+
+    def test_through_approximate_pref_index(self, rng):
+        """Our Pref structure answers the reduction within its eps slack."""
+        pts, _ = normalize_to_unit_ball(rng.normal(size=(40, 2)))
+        index = PrefIndex([ExactSynopsis(p.reshape(1, 2)) for p in pts], k=1, eps=0.05)
+
+        def oracle(unit, k, a):
+            return index.query(unit, a).index_set
+
+        v = np.array([0.6, 0.8])
+        tau = 0.2
+        exact = halfspace_report_brute_force(pts, v, tau)
+        approx = halfspace_report_via_cpref(pts, v, tau, cpref_query=oracle)
+        assert exact <= approx  # full recall
+        # False positives only within the 2*eps margin.
+        proj = pts @ v
+        for i in approx - exact:
+            assert proj[i] >= tau - 2 * 0.05 - 1e-9
+
+    def test_zero_normal_rejected(self, rng):
+        with pytest.raises(ConstructionError):
+            halfspace_report_via_cpref(rng.normal(size=(5, 2)), np.zeros(2), 0.0)

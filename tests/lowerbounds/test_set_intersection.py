@@ -1,0 +1,94 @@
+"""Tests for the set-intersection → CPtile reduction (Fig. 4, Thm 3.4)."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ptile_exact_1d import ExactPtile1DIndex  # noqa: F401 (engine demo elsewhere)
+from repro.errors import ConstructionError
+from repro.lowerbounds.set_intersection import (
+    intersect_via_cptile,
+    intersection_query_rectangle,
+    intersection_theta,
+    make_uniform_instance,
+)
+
+
+class TestUniformInstance:
+    def test_uniformity(self, rng):
+        inst = make_uniform_instance(8, 10, 4, rng)
+        counts = Counter(u for s in inst.sets for u in s)
+        assert set(counts.values()) == {4}
+        assert all(len(s) == 10 for s in inst.sets)
+        assert inst.universe_size == 8 * 10 // 4
+
+    def test_all_datasets_equal_size(self, rng):
+        inst = make_uniform_instance(6, 6, 3, rng)
+        assert {d.shape[0] for d in inst.datasets} == {inst.points_per_dataset}
+
+    def test_points_on_two_lines(self, rng):
+        inst = make_uniform_instance(5, 4, 2, rng)
+        big_m = inst.total_size
+        for d in inst.datasets:
+            on_l = d[d[:, 0] < 0]
+            on_lp = d[d[:, 0] > 0]
+            assert np.allclose(on_l[:, 1], on_l[:, 0] + big_m)
+            assert np.allclose(on_lp[:, 1], on_lp[:, 0] - big_m)
+
+    def test_divisibility_checked(self, rng):
+        with pytest.raises(ConstructionError):
+            make_uniform_instance(3, 5, 2, rng)
+
+    def test_occurrences_bounded(self, rng):
+        with pytest.raises(ConstructionError):
+            make_uniform_instance(2, 4, 4, rng)
+
+
+class TestReduction:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_reduction_is_exact_everywhere(self, seed):
+        rng = np.random.default_rng(seed)
+        inst = make_uniform_instance(6, 8, 3, rng)
+        for i in range(inst.n_sets):
+            for j in range(inst.n_sets):
+                assert intersect_via_cptile(inst, i, j) == inst.brute_force_intersection(i, j)
+
+    def test_rectangle_isolates_gi_gpj(self, rng):
+        """rho_{i,j} ∩ H = G_i ∪ G'_j: exactly |S_i| + |S_j| points total."""
+        inst = make_uniform_instance(6, 8, 3, rng)
+        rect = intersection_query_rectangle(inst, 2, 4)
+        total = sum(rect.count_inside(d) for d in inst.datasets)
+        assert total == len(inst.sets[2]) + len(inst.sets[4])
+
+    def test_theta_certifies_double_hits(self, rng):
+        inst = make_uniform_instance(4, 4, 2, rng)
+        theta = intersection_theta(inst)
+        t = inst.points_per_dataset
+        assert 2 / t in theta and 1 / t not in theta and 0.0 not in theta
+
+    def test_custom_oracle_is_used(self, rng):
+        inst = make_uniform_instance(4, 4, 2, rng)
+        calls = []
+
+        def oracle(rect, theta):
+            calls.append((rect, theta))
+            out = set()
+            for u, pts in enumerate(inst.datasets):
+                if rect.count_inside(pts) / pts.shape[0] in theta:
+                    out.add(u)
+            return out
+
+        got = intersect_via_cptile(inst, 0, 1, cptile_query=oracle)
+        assert calls and got == inst.brute_force_intersection(0, 1)
+
+    def test_self_intersection(self, rng):
+        inst = make_uniform_instance(5, 4, 2, rng)
+        assert intersect_via_cptile(inst, 3, 3) == inst.sets[3]
+
+    def test_index_bounds_checked(self, rng):
+        inst = make_uniform_instance(4, 4, 2, rng)
+        with pytest.raises(ConstructionError):
+            intersection_query_rectangle(inst, 0, 9)

@@ -1,0 +1,64 @@
+"""Tests for the r-cover synopsis (Section 6 extensions substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConstructionError
+from repro.synopsis.cover import CoverSynopsis
+
+
+class TestConstruction:
+    def test_cover_property(self, rng):
+        data = rng.uniform(size=(3000, 2))
+        cov = CoverSynopsis(data, radius=0.1)
+        assert cov.covers(data)
+
+    def test_cover_points_are_data_points(self, rng):
+        data = rng.uniform(size=(500, 2))
+        cov = CoverSynopsis(data, radius=0.2)
+        pop = {tuple(p) for p in data}
+        assert all(tuple(c) in pop for c in cov.cover_points)
+
+    def test_smaller_radius_more_points(self, rng):
+        data = rng.uniform(size=(3000, 2))
+        fine = CoverSynopsis(data, radius=0.05)
+        coarse = CoverSynopsis(data, radius=0.3)
+        assert fine.size > coarse.size
+
+    def test_compression(self, rng):
+        data = rng.uniform(size=(5000, 2))
+        cov = CoverSynopsis(data, radius=0.1)
+        assert cov.size < 1000
+        assert cov.n_points == 5000
+
+    def test_validation(self, rng):
+        with pytest.raises(ConstructionError):
+            CoverSynopsis(np.empty((0, 2)), radius=0.1)
+        with pytest.raises(ConstructionError):
+            CoverSynopsis(rng.uniform(size=(5, 2)), radius=0.0)
+
+    def test_negative_coordinates(self, rng):
+        data = rng.uniform(-5, -4, size=(500, 3))
+        cov = CoverSynopsis(data, radius=0.2)
+        assert cov.covers(data)
+
+
+class TestDistance:
+    def test_additive_error_bound(self, rng):
+        data = rng.uniform(size=(2000, 2))
+        cov = CoverSynopsis(data, radius=0.1)
+        for _ in range(25):
+            q = rng.uniform(-0.5, 1.5, size=2)
+            exact = float(np.linalg.norm(data - q, axis=1).min())
+            est = cov.distance_to(q)
+            assert exact <= est <= exact + cov.radius + 1e-9
+
+    def test_zero_distance_on_cover_point(self, rng):
+        data = rng.uniform(size=(100, 2))
+        cov = CoverSynopsis(data, radius=0.2)
+        assert cov.distance_to(cov.cover_points[0]) == 0.0
+
+    def test_shape_validation(self, rng):
+        cov = CoverSynopsis(rng.uniform(size=(10, 2)), radius=0.2)
+        with pytest.raises(ValueError):
+            cov.distance_to(np.zeros(3))

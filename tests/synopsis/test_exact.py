@@ -1,0 +1,69 @@
+"""Tests for ExactSynopsis (centralized setting, delta = 0)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.rectangle import Rectangle
+from repro.synopsis.exact import ExactSynopsis
+
+
+@pytest.fixture
+def syn():
+    return ExactSynopsis(np.array([[0.0], [1.0], [2.0], [3.0]]))
+
+
+class TestBasics:
+    def test_deltas_are_zero(self, syn):
+        assert syn.delta_ptile == 0.0 and syn.delta_pref == 0.0
+
+    def test_dims(self, syn):
+        assert syn.dim == 1 and syn.n_points == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ExactSynopsis(np.empty((0, 2)))
+
+    def test_mass_exact(self, syn):
+        assert syn.mass(Rectangle([0.5], [2.5])) == 0.5
+
+    def test_sample_from_population(self, syn, rng):
+        s = syn.sample(100, rng)
+        assert s.shape == (100, 1)
+        assert set(s.ravel()) <= {0.0, 1.0, 2.0, 3.0}
+
+    def test_sample_rejects_nonpositive(self, syn, rng):
+        with pytest.raises(ValueError):
+            syn.sample(0, rng)
+
+
+class TestScore:
+    def test_kth_largest(self, syn):
+        v = np.array([1.0])
+        assert syn.score(v, 1) == 3.0
+        assert syn.score(v, 2) == 2.0
+        assert syn.score(v, 4) == 0.0
+
+    def test_k_beyond_size_is_minus_inf(self, syn):
+        assert syn.score(np.array([1.0]), 5) == float("-inf")
+
+    def test_vector_normalized(self, syn):
+        assert syn.score(np.array([2.0]), 1) == pytest.approx(3.0)
+
+    def test_negative_direction(self, syn):
+        assert syn.score(np.array([-1.0]), 1) == pytest.approx(0.0)
+
+    def test_rejects_zero_vector(self, syn):
+        with pytest.raises(ValueError):
+            syn.score(np.zeros(1), 1)
+
+    def test_rejects_bad_k(self, syn):
+        with pytest.raises(ValueError):
+            syn.score(np.array([1.0]), 0)
+
+    def test_matches_sort_on_random_data(self, rng):
+        pts = rng.normal(size=(200, 3))
+        syn = ExactSynopsis(pts)
+        v = rng.normal(size=3)
+        v /= np.linalg.norm(v)
+        for k in (1, 7, 50, 200):
+            assert syn.score(v, k) == pytest.approx(np.sort(pts @ v)[200 - k])

@@ -1,0 +1,81 @@
+"""Tests for the diagonal-GMM synopsis (EM fit + measured deltas)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.rectangle import Rectangle
+from repro.synopsis.gmm import GMMSynopsis
+from repro.workloads.queries import random_rectangles
+
+
+@pytest.fixture(scope="module")
+def bimodal_data():
+    rng = np.random.default_rng(77)
+    return np.vstack(
+        [rng.normal(-2.0, 0.4, size=(2000, 2)), rng.normal(2.0, 0.6, size=(2000, 2))]
+    )
+
+
+@pytest.fixture(scope="module")
+def gmm(bimodal_data):
+    return GMMSynopsis(bimodal_data, n_components=2, rng=np.random.default_rng(7), n_iter=40)
+
+
+class TestFit:
+    def test_finds_both_modes(self, gmm):
+        centers = sorted(gmm._means[:, 0].tolist())
+        assert centers[0] == pytest.approx(-2.0, abs=0.3)
+        assert centers[1] == pytest.approx(2.0, abs=0.3)
+
+    def test_weights_balanced(self, gmm):
+        assert gmm._weights.min() > 0.3
+
+    def test_n_components_clamped(self, rng):
+        syn = GMMSynopsis(rng.normal(size=(3, 1)), n_components=10, rng=rng, n_iter=5)
+        assert syn.n_components <= 3
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            GMMSynopsis(np.empty((0, 2)), rng=rng)
+
+
+class TestMass:
+    def test_total_mass_near_one(self, gmm):
+        assert gmm.mass(Rectangle([-10, -10], [10, 10])) == pytest.approx(1.0, abs=1e-3)
+
+    def test_one_mode_half_mass(self, gmm):
+        assert gmm.mass(Rectangle([-4, -4], [0, 0])) == pytest.approx(0.5, abs=0.05)
+
+    def test_error_within_measured_delta(self, bimodal_data, gmm):
+        rng = np.random.default_rng(3)
+        ambient = Rectangle.bounding(bimodal_data)
+        for rect in random_rectangles(25, 2, rng, ambient=ambient):
+            exact = rect.count_inside(bimodal_data) / bimodal_data.shape[0]
+            assert abs(gmm.mass(rect) - exact) <= gmm.delta_ptile + 0.01
+
+
+class TestSample:
+    def test_shape_and_spread(self, gmm, rng):
+        s = gmm.sample(2000, rng)
+        assert s.shape == (2000, 2)
+        # Both modes should be represented.
+        assert (s[:, 0] < 0).mean() == pytest.approx(0.5, abs=0.1)
+
+
+class TestScore:
+    def test_score_error_within_measured_delta(self, bimodal_data, gmm):
+        rng = np.random.default_rng(9)
+        n = bimodal_data.shape[0]
+        for _ in range(10):
+            v = rng.normal(size=2)
+            v /= np.linalg.norm(v)
+            k = int(rng.integers(1, n // 4))
+            exact = np.sort(bimodal_data @ v)[n - k]
+            assert abs(gmm.score(v, k) - exact) <= gmm.delta_pref + 0.05
+
+    def test_k_beyond_population(self, gmm, bimodal_data):
+        assert gmm.score(np.array([1.0, 0.0]), bimodal_data.shape[0] + 1) == float("-inf")
+
+    def test_monotone_in_k(self, gmm):
+        v = np.array([1.0, 0.0])
+        assert gmm.score(v, 1) >= gmm.score(v, 100) >= gmm.score(v, 1000)

@@ -1,0 +1,91 @@
+"""Tests for the equi-width histogram synopsis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapabilityError
+from repro.geometry.rectangle import Rectangle
+from repro.synopsis.histogram import HistogramSynopsis
+from repro.workloads.queries import random_rectangles
+
+
+class TestConstruction:
+    def test_bins_per_axis(self, rng):
+        syn = HistogramSynopsis(rng.uniform(size=(100, 2)), bins=[8, 16])
+        assert syn.bins_per_axis == [8, 16]
+
+    def test_rejects_bad_bins(self, rng):
+        with pytest.raises(ValueError):
+            HistogramSynopsis(rng.uniform(size=(10, 2)), bins=[8])
+        with pytest.raises(ValueError):
+            HistogramSynopsis(rng.uniform(size=(10, 2)), bins=0)
+
+    def test_constant_column_handled(self):
+        data = np.column_stack([np.ones(50), np.arange(50, dtype=float)])
+        syn = HistogramSynopsis(data, bins=4)
+        assert syn.mass(Rectangle([0.5, 0.0], [1.5, 100.0])) == pytest.approx(1.0)
+
+
+class TestMass:
+    def test_full_box_mass_one(self, rng):
+        data = rng.uniform(size=(1000, 2))
+        syn = HistogramSynopsis(data, bins=10)
+        assert syn.mass(Rectangle([-1, -1], [2, 2])) == pytest.approx(1.0)
+
+    def test_empty_region(self, rng):
+        data = rng.uniform(0.5, 1.0, size=(500, 1))
+        syn = HistogramSynopsis(data, bins=8)
+        assert syn.mass(Rectangle([0.0], [0.4])) == pytest.approx(0.0, abs=1e-9)
+
+    def test_error_within_delta(self, rng):
+        data = rng.normal(0.5, 0.15, size=(20_000, 2))
+        syn = HistogramSynopsis(data, bins=24)
+        for rect in random_rectangles(30, 2, rng):
+            exact = rect.count_inside(data) / data.shape[0]
+            assert abs(syn.mass(rect) - exact) <= syn.delta_ptile + 1e-9
+
+    def test_finer_bins_tighter_delta(self, rng):
+        data = rng.normal(0.5, 0.15, size=(5000, 1))
+        coarse = HistogramSynopsis(data, bins=4)
+        fine = HistogramSynopsis(data, bins=64)
+        assert fine.delta_ptile < coarse.delta_ptile
+
+    def test_dim_mismatch(self, rng):
+        syn = HistogramSynopsis(rng.uniform(size=(10, 2)), bins=4)
+        with pytest.raises(ValueError):
+            syn.mass(Rectangle([0.0], [1.0]))
+
+
+class TestSample:
+    def test_samples_in_data_range(self, rng):
+        data = rng.uniform(3.0, 5.0, size=(1000, 2))
+        syn = HistogramSynopsis(data, bins=8)
+        s = syn.sample(500, rng)
+        assert s.shape == (500, 2)
+        assert s.min() >= 3.0 - 1e-6 and s.max() <= 5.0 + 1e-3
+
+    def test_sample_distribution_roughly_matches(self, rng):
+        """Mass of a region under sampling tracks the histogram mass."""
+        data = np.vstack(
+            [rng.uniform(0, 0.2, size=(800, 1)), rng.uniform(0.8, 1.0, size=(200, 1))]
+        )
+        syn = HistogramSynopsis(data, bins=10)
+        s = syn.sample(4000, rng)
+        frac_low = float((s <= 0.2).mean())
+        assert frac_low == pytest.approx(0.8, abs=0.05)
+
+
+class TestScore:
+    def test_score_error_within_cell_radius(self, rng):
+        data = rng.uniform(-1, 1, size=(4000, 2))
+        syn = HistogramSynopsis(data, bins=32)
+        for _ in range(10):
+            v = rng.normal(size=2)
+            v /= np.linalg.norm(v)
+            k = int(rng.integers(1, 400))
+            exact = np.sort(data @ v)[4000 - k]
+            assert abs(syn.score(v, k) - exact) <= syn.delta_pref + 1e-9
+
+    def test_k_beyond_population(self, rng):
+        syn = HistogramSynopsis(rng.uniform(size=(10, 1)), bins=4)
+        assert syn.score(np.array([1.0]), 11) == float("-inf")

@@ -1,0 +1,70 @@
+"""Tests for the direction/quantile kernel synopsis (Pref-only)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapabilityError
+from repro.geometry.rectangle import Rectangle
+from repro.synopsis.kernel import DirectionQuantileSynopsis
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(21)
+    return rng.uniform(-0.5, 0.5, size=(3000, 2))
+
+
+@pytest.fixture(scope="module")
+def kernel(data):
+    return DirectionQuantileSynopsis(
+        data, eps_dir=0.1, n_quantiles=128, rng=np.random.default_rng(2)
+    )
+
+
+class TestCapabilities:
+    def test_no_sampling_support(self, kernel, rng):
+        with pytest.raises(CapabilityError):
+            kernel.sample(10, rng)
+        with pytest.raises(CapabilityError):
+            kernel.mass(Rectangle([0, 0], [1, 1]))
+        assert kernel.delta_ptile is None
+
+    def test_metadata(self, kernel, data):
+        assert kernel.dim == 2
+        assert kernel.n_points == data.shape[0]
+        assert kernel.n_directions >= 8
+
+
+class TestScore:
+    def test_error_within_delta_on_net_directions(self, kernel, data):
+        v = kernel._net[3]
+        for k in (1, 10, 100):
+            exact = np.sort(data @ v)[data.shape[0] - k]
+            assert abs(kernel.score(v, k) - exact) <= kernel.delta_pref + 1e-9
+
+    def test_error_within_delta_on_random_directions(self, kernel, data):
+        rng = np.random.default_rng(5)
+        n = data.shape[0]
+        for _ in range(20):
+            v = rng.normal(size=2)
+            v /= np.linalg.norm(v)
+            k = int(rng.integers(1, n // 4))
+            exact = np.sort(data @ v)[n - k]
+            assert abs(kernel.score(v, k) - exact) <= kernel.delta_pref + 1e-9
+
+    def test_k_beyond_population(self, kernel, data):
+        assert kernel.score(np.array([1.0, 0.0]), data.shape[0] + 1) == float("-inf")
+
+    def test_monotone_in_k(self, kernel):
+        v = np.array([0.6, 0.8])
+        scores = [kernel.score(v, k) for k in (1, 30, 300, 1500)]
+        assert all(a >= b - 1e-12 for a, b in zip(scores, scores[1:]))
+
+    def test_finer_net_tighter_delta(self, data):
+        coarse = DirectionQuantileSynopsis(data, eps_dir=0.4, rng=np.random.default_rng(1))
+        fine = DirectionQuantileSynopsis(data, eps_dir=0.05, rng=np.random.default_rng(1))
+        assert fine.delta_pref < coarse.delta_pref
+
+    def test_rejects_bad_quantiles(self, data):
+        with pytest.raises(ValueError):
+            DirectionQuantileSynopsis(data, n_quantiles=1)

@@ -1,0 +1,75 @@
+"""Tests for the ε-sample synopsis."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.rectangle import Rectangle
+from repro.synopsis.sample import EpsilonSampleSynopsis, epsilon_for_sample_size
+from repro.workloads.queries import random_rectangles
+
+
+class TestConstruction:
+    def test_from_points_size(self, rng):
+        data = rng.uniform(size=(1000, 2))
+        syn = EpsilonSampleSynopsis.from_points(data, size=200, rng=rng)
+        assert syn.size == 200 and syn.n_points == 1000 and syn.dim == 2
+
+    def test_size_clamped_to_population(self, rng):
+        data = rng.uniform(size=(50, 1))
+        syn = EpsilonSampleSynopsis.from_points(data, size=500, rng=rng)
+        assert syn.size == 50
+
+    def test_rejects_inconsistent_n(self):
+        with pytest.raises(ValueError):
+            EpsilonSampleSynopsis(np.zeros((10, 1)), n_points=5)
+
+    def test_explicit_delta_respected(self):
+        syn = EpsilonSampleSynopsis(np.zeros((10, 1)), n_points=100, delta=0.25)
+        assert syn.delta_ptile == 0.25
+
+    def test_default_delta_formula(self):
+        syn = EpsilonSampleSynopsis(np.zeros((100, 1)), n_points=1000)
+        assert syn.delta_ptile == pytest.approx(epsilon_for_sample_size(100))
+
+    def test_delta_decreases_with_size(self):
+        assert epsilon_for_sample_size(400) < epsilon_for_sample_size(100)
+
+
+class TestPercentileClass:
+    def test_mass_error_within_delta(self, rng):
+        data = rng.normal(0.5, 0.2, size=(20_000, 2))
+        syn = EpsilonSampleSynopsis.from_points(data, size=800, rng=rng)
+        for rect in random_rectangles(30, 2, rng):
+            exact = rect.count_inside(data) / data.shape[0]
+            assert abs(syn.mass(rect) - exact) <= syn.delta_ptile + 1e-9
+
+    def test_sample_draws_from_subsample(self, rng):
+        data = rng.uniform(size=(500, 1))
+        syn = EpsilonSampleSynopsis.from_points(data, size=50, rng=rng)
+        pop = {float(x) for x in syn.subsample.ravel()}
+        drawn = syn.sample(200, rng)
+        assert all(float(x) in pop for x in drawn.ravel())
+
+
+class TestPreferenceClass:
+    def test_score_error_within_measured_delta(self, rng):
+        data = rng.uniform(-1, 1, size=(5000, 2))
+        syn = EpsilonSampleSynopsis.from_points(data, size=600, rng=rng)
+        for _ in range(20):
+            v = rng.normal(size=2)
+            v /= np.linalg.norm(v)
+            k = int(rng.integers(1, 500))
+            exact = np.sort(data @ v)[5000 - k]
+            assert abs(syn.score(v, k) - exact) <= syn.delta_pref + 1e-9
+
+    def test_k_beyond_population(self, rng):
+        data = rng.uniform(size=(20, 1))
+        syn = EpsilonSampleSynopsis.from_points(data, size=10, rng=rng)
+        assert syn.score(np.array([1.0]), 21) == float("-inf")
+
+    def test_rank_scaling_hits_right_region(self, rng):
+        """k = n/2 should estimate the median projection."""
+        data = rng.uniform(0, 1, size=(10_000, 1))
+        syn = EpsilonSampleSynopsis.from_points(data, size=1000, rng=rng)
+        est = syn.score(np.array([1.0]), 5000)
+        assert est == pytest.approx(0.5, abs=0.1)

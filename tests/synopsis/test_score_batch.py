@@ -1,0 +1,64 @@
+"""score_batch must agree with per-vector score for every synopsis type."""
+
+import numpy as np
+import pytest
+
+from repro.synopsis import (
+    DirectionQuantileSynopsis,
+    EpsilonSampleSynopsis,
+    ExactSynopsis,
+    GMMSynopsis,
+    HistogramSynopsis,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(17)
+    return rng.uniform(-0.5, 0.5, size=(800, 2))
+
+
+@pytest.fixture(scope="module")
+def directions():
+    rng = np.random.default_rng(18)
+    v = rng.normal(size=(12, 2))
+    return v / np.linalg.norm(v, axis=1, keepdims=True)
+
+
+def synopses(data):
+    rng = np.random.default_rng(19)
+    return {
+        "exact": ExactSynopsis(data),
+        "sample": EpsilonSampleSynopsis.from_points(data, size=200, rng=rng),
+        "hist": HistogramSynopsis(data, bins=12),
+        "gmm": GMMSynopsis(data, n_components=2, rng=rng, n_iter=15),
+        "kernel": DirectionQuantileSynopsis(data, eps_dir=0.2, rng=rng),
+    }
+
+
+@pytest.mark.parametrize("kind", ["exact", "sample", "hist", "gmm", "kernel"])
+def test_batch_matches_scalar(data, directions, kind):
+    syn = synopses(data)[kind]
+    for k in (1, 10, 100):
+        batch = syn.score_batch(directions, k)
+        scalar = np.array([syn.score(v, k) for v in directions])
+        assert np.allclose(batch, scalar, atol=1e-9)
+
+
+def test_batch_k_beyond_size(data, directions):
+    syn = ExactSynopsis(data)
+    out = syn.score_batch(directions, data.shape[0] + 1)
+    assert np.all(np.isneginf(out))
+
+
+def test_batch_single_vector(data):
+    syn = ExactSynopsis(data)
+    v = np.array([1.0, 0.0])
+    assert syn.score_batch(v, 5).shape == (1,)
+    assert syn.score_batch(v, 5)[0] == pytest.approx(syn.score(v, 5))
+
+
+def test_batch_rejects_zero_vector(data):
+    syn = ExactSynopsis(data)
+    with pytest.raises(ValueError):
+        syn.score_batch(np.zeros((2, 2)), 1)

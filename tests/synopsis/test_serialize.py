@@ -1,0 +1,76 @@
+"""Round-trip tests for the synopsis wire format."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConstructionError
+from repro.geometry.rectangle import Rectangle
+from repro.synopsis.cover import CoverSynopsis
+from repro.synopsis.exact import ExactSynopsis
+from repro.synopsis.quantile import QuantileHistogramSynopsis
+from repro.synopsis.sample import EpsilonSampleSynopsis
+from repro.synopsis.serialize import dumps, from_dict, loads, to_dict
+
+
+@pytest.fixture(scope="module")
+def data():
+    return np.random.default_rng(41).uniform(size=(1500, 2))
+
+
+class TestEpsilonSampleRoundTrip:
+    def test_queries_identical(self, data, rng):
+        original = EpsilonSampleSynopsis.from_points(
+            data, size=200, rng=np.random.default_rng(2)
+        )
+        restored = loads(dumps(original))
+        rect = Rectangle([0.1, 0.1], [0.6, 0.6])
+        assert restored.mass(rect) == original.mass(rect)
+        assert restored.delta_ptile == original.delta_ptile
+        assert restored.delta_pref == original.delta_pref
+        v = np.array([0.6, 0.8])
+        assert restored.score(v, 30) == original.score(v, 30)
+        assert restored.n_points == original.n_points
+
+
+class TestCoverRoundTrip:
+    def test_queries_identical(self, data):
+        original = CoverSynopsis(data, radius=0.08)
+        restored = loads(dumps(original))
+        q = np.array([0.3, 0.9])
+        assert restored.distance_to(q) == original.distance_to(q)
+        assert restored.radius == original.radius
+        assert np.array_equal(restored.cover_points, original.cover_points)
+
+
+class TestQuantileRoundTrip:
+    def test_queries_identical(self, data, rng):
+        original = QuantileHistogramSynopsis(data, rng=np.random.default_rng(3))
+        restored = loads(dumps(original))
+        rect = Rectangle([0.2, 0.0], [0.8, 0.5])
+        assert restored.mass(rect) == original.mass(rect)
+        v = np.array([1.0, 1.0])
+        assert restored.score(v, 15) == original.score(v, 15)
+        s1 = restored.sample(50, np.random.default_rng(5))
+        s2 = original.sample(50, np.random.default_rng(5))
+        assert np.array_equal(s1, s2)
+
+
+class TestFormat:
+    def test_payload_is_json(self, data):
+        payload = dumps(CoverSynopsis(data, radius=0.1))
+        parsed = json.loads(payload)
+        assert parsed["kind"] == "cover" and parsed["format"] == 1
+
+    def test_unsupported_kind_rejected(self, data):
+        with pytest.raises(ConstructionError):
+            to_dict(ExactSynopsis(data))
+
+    def test_bad_payloads_rejected(self):
+        with pytest.raises(ConstructionError):
+            from_dict({"kind": "alien", "format": 1})
+        with pytest.raises(ConstructionError):
+            from_dict({"kind": "cover", "format": 99})
+        with pytest.raises(ConstructionError):
+            from_dict("not a dict")  # type: ignore[arg-type]

@@ -1,0 +1,76 @@
+"""Tests for the synthetic data-lake generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConstructionError
+from repro.geometry.rectangle import Rectangle
+from repro.workloads.generators import (
+    FAMILIES,
+    dataset_with_mass,
+    lognormal_sizes,
+    synthetic_data_lake,
+)
+
+
+class TestSizes:
+    def test_lognormal_minimum(self, rng):
+        sizes = lognormal_sizes(100, median=50, sigma=1.5, rng=rng)
+        assert sizes.min() >= 8 and len(sizes) == 100
+
+    def test_median_roughly_respected(self, rng):
+        sizes = lognormal_sizes(2000, median=100, sigma=0.5, rng=rng)
+        assert 70 <= np.median(sizes) <= 140
+
+    def test_validation(self, rng):
+        with pytest.raises(ConstructionError):
+            lognormal_sizes(0, 10, 1.0, rng)
+
+
+class TestLake:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_families_produce_valid_data(self, family, rng):
+        lake = synthetic_data_lake(6, 2, rng, family=family, median_size=100)
+        assert len(lake) == 6
+        for d in lake:
+            assert d.shape[1] == 2
+            assert d.min() >= 0.0 and d.max() <= 1.0
+
+    def test_explicit_sizes(self, rng):
+        lake = synthetic_data_lake(3, 1, rng, sizes=[10, 20, 30])
+        assert [d.shape[0] for d in lake] == [10, 20, 30]
+
+    def test_sizes_length_checked(self, rng):
+        with pytest.raises(ConstructionError):
+            synthetic_data_lake(3, 1, rng, sizes=[10])
+
+    def test_unknown_family(self, rng):
+        with pytest.raises(ConstructionError):
+            synthetic_data_lake(3, 1, rng, family="fractal")
+
+    def test_clustered_datasets_differ(self, rng):
+        lake = synthetic_data_lake(2, 2, rng, family="clustered", median_size=500)
+        assert not np.allclose(lake[0].mean(axis=0), lake[1].mean(axis=0), atol=1e-3)
+
+
+class TestDatasetWithMass:
+    @pytest.mark.parametrize("mass", [0.0, 0.13, 0.5, 1.0])
+    def test_exact_mass(self, mass, rng):
+        rect = Rectangle([0.2, 0.2], [0.5, 0.5])
+        pts = dataset_with_mass(200, rect, mass, rng)
+        assert rect.count_inside(pts) == int(round(mass * 200))
+        assert pts.shape == (200, 2)
+
+    def test_points_in_ambient(self, rng):
+        rect = Rectangle([0.1], [0.3])
+        ambient = Rectangle([0.0], [2.0])
+        pts = dataset_with_mass(100, rect, 0.4, rng, ambient=ambient)
+        assert ambient.contains_points(pts).all()
+
+    def test_rect_must_be_inside_ambient(self, rng):
+        with pytest.raises(ConstructionError):
+            dataset_with_mass(10, Rectangle([0.0], [2.0]), 0.5, rng)
+
+    def test_bad_mass(self, rng):
+        with pytest.raises(ConstructionError):
+            dataset_with_mass(10, Rectangle([0.1], [0.2]), 1.5, rng)

@@ -1,0 +1,71 @@
+"""Tests for the Example-1.1 open-data workloads."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConstructionError
+from repro.workloads.opendata import (
+    BROOKLYN_REGION,
+    QUALITY_SCHEMA,
+    city_incident_repository,
+    city_quality_repository,
+)
+
+
+class TestIncidentRepository:
+    def test_fractions_are_exact(self, rng):
+        repo, fractions = city_incident_repository(10, rng)
+        for ds, frac in zip(repo, fractions):
+            measured = BROOKLYN_REGION.count_inside(ds.points) / ds.size
+            assert measured == pytest.approx(frac)
+
+    def test_schema_and_range(self, rng):
+        repo, _ = city_incident_repository(5, rng)
+        assert repo.schema == ("lon", "lat")
+        for ds in repo:
+            assert ds.points.min() >= 0.0 and ds.points.max() <= 1.0
+
+    def test_explicit_fractions(self, rng):
+        target = np.array([0.0, 0.25, 0.5])
+        repo, fractions = city_incident_repository(
+            3, rng, brooklyn_fractions=target
+        )
+        # Rounding to integer counts only: within 1/n of the target.
+        for ds, want, got in zip(repo, target, fractions):
+            assert abs(got - want) <= 1.0 / ds.size + 1e-12
+
+    def test_validation(self, rng):
+        with pytest.raises(ConstructionError):
+            city_incident_repository(0, rng)
+        with pytest.raises(ConstructionError):
+            city_incident_repository(3, rng, brooklyn_fractions=np.array([0.5]))
+
+
+class TestQualityRepository:
+    def test_schema(self, rng):
+        repo = city_quality_repository(6, rng)
+        assert repo.schema == QUALITY_SCHEMA
+        assert repo.n_datasets == 6
+
+    def test_values_in_unit_interval(self, rng):
+        repo = city_quality_repository(4, rng)
+        for ds in repo:
+            assert ds.points.min() >= 0.0 and ds.points.max() <= 1.0
+
+    def test_neighborhood_counts(self, rng):
+        repo = city_quality_repository(8, rng, min_neighborhoods=5, max_neighborhoods=9)
+        for ds in repo:
+            assert 5 <= ds.size <= 9
+
+    def test_cities_differ_in_quality(self, rng):
+        """Top-k preference queries must meaningfully separate cities."""
+        repo = city_quality_repository(20, rng)
+        w = np.ones(4) / 2.0
+        scores = [ds.kth_score(w, 3) for ds in repo]
+        assert np.std(scores) > 0.02
+
+    def test_validation(self, rng):
+        with pytest.raises(ConstructionError):
+            city_quality_repository(0, rng)
+        with pytest.raises(ConstructionError):
+            city_quality_repository(3, rng, min_neighborhoods=9, max_neighborhoods=5)

@@ -1,0 +1,54 @@
+"""Tests for the query workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConstructionError
+from repro.geometry.rectangle import Rectangle
+from repro.workloads.queries import (
+    random_rectangles,
+    random_unit_vectors,
+    threshold_grid,
+)
+
+
+class TestRectangles:
+    def test_inside_ambient(self, rng):
+        ambient = Rectangle([1.0, 2.0], [3.0, 5.0])
+        rects = random_rectangles(20, 2, rng, ambient=ambient)
+        assert len(rects) == 20
+        for r in rects:
+            assert r.contained_in(ambient)
+
+    def test_extent_bounds(self, rng):
+        rects = random_rectangles(50, 1, rng, min_extent=0.2, max_extent=0.3)
+        for r in rects:
+            extent = r.hi[0] - r.lo[0]
+            assert 0.2 - 1e-9 <= extent <= 0.3 + 1e-9
+
+    def test_validation(self, rng):
+        with pytest.raises(ConstructionError):
+            random_rectangles(0, 2, rng)
+        with pytest.raises(ConstructionError):
+            random_rectangles(5, 2, rng, min_extent=0.5, max_extent=0.1)
+
+
+class TestVectors:
+    def test_unit_norm(self, rng):
+        vs = random_unit_vectors(30, 4, rng)
+        assert vs.shape == (30, 4)
+        assert np.allclose(np.linalg.norm(vs, axis=1), 1.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ConstructionError):
+            random_unit_vectors(0, 2, rng)
+
+
+class TestThresholds:
+    def test_grid(self):
+        g = threshold_grid(0.1, 0.9, 5)
+        assert g[0] == 0.1 and g[-1] == 0.9 and len(g) == 5
+
+    def test_validation(self):
+        with pytest.raises(ConstructionError):
+            threshold_grid(0.0, 1.0, 0)

@@ -10,10 +10,12 @@ Run ``python benchmarks/bench_thm411_ptile_range.py`` for the tables.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.baselines.linear_scan import LinearScanPtile
-from repro.bench.harness import TableReporter, fit_loglog_slope, time_callable
+from repro.bench.harness import TableReporter, fit_loglog_slope, json_report, time_callable
 from repro.core.ptile_range import PtileRangeIndex
 from repro.geometry.interval import Interval
 from repro.geometry.rectangle import Rectangle
@@ -79,7 +81,7 @@ def main() -> None:
         ["N", "build (s)", "mapped pts", "OUT", "recall", "2-sided ok",
          "no dups", "query (s)", "scan (s)"],
     )
-    ns, builds = [], []
+    ns, builds, rows = [], [], []
     for n in (40, 80, 160):
         r = run_scale(n, seed=n)
         table.add_row(
@@ -89,9 +91,19 @@ def main() -> None:
         assert r["recall"] == 1.0 and r["two_sided_ok"] and r["no_dups"]
         ns.append(n)
         builds.append(r["build"])
+        rows.append(r)
     table.print()
-    print(f"construction slope vs N: {fit_loglog_slope(ns, builds):.2f} (paper: ~1)")
+    slope = fit_loglog_slope(ns, builds)
+    print(f"construction slope vs N: {slope:.2f} (paper: ~1)")
     print("All Theorem 4.11 guarantees held on every sweep point.")
+    path = json_report(
+        os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                     "BENCH_thm411_ptile_range.json"),
+        rows,
+        meta={"bench": "thm411_ptile_range", "sample_size": SAMPLE_SIZE,
+              "construction_slope_vs_n": slope},
+    )
+    print(f"wrote {path}")
 
 
 def test_thm411_query(range_index_1d, benchmark):

@@ -10,13 +10,16 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.framework import Repository
 from repro.core.ptile_range import PtileRangeIndex
 from repro.core.ptile_threshold import PtileThresholdIndex
 from repro.core.pref_index import PrefIndex
 from repro.baselines.linear_scan import LinearScanPtile
 from repro.baselines.pref_scan import LinearScanPref
+from repro.service import QueryService
 from repro.synopsis.exact import ExactSynopsis
 from repro.workloads.generators import synthetic_data_lake
+from repro.workloads.queries import batched_query_workload
 
 #: Default repository size for single-shot benchmark targets.
 BENCH_N = 120
@@ -71,6 +74,27 @@ def pref_index_2d(lake_2d):
 @pytest.fixture(scope="session")
 def scan_1d(lake_1d):
     return LinearScanPtile(lake_1d, mode="tree")
+
+
+@pytest.fixture(scope="session")
+def service_1d(lake_1d):
+    service = QueryService(
+        repository=Repository.from_arrays(lake_1d),
+        n_shards=4,
+        eps=0.1,
+        sample_size=BENCH_SAMPLE,
+        seed=7,
+    )
+    service.warm()
+    yield service
+    service.close()
+
+
+@pytest.fixture(scope="session")
+def service_queries_1d():
+    return batched_query_workload(
+        50, 1, np.random.default_rng(11), duplicate_leaf_rate=0.5
+    )
 
 
 @pytest.fixture(scope="session")

@@ -1,3 +1,55 @@
-from setuptools import setup
+"""Packaging for the ``repro`` distribution-aware dataset search library."""
 
-setup()
+import os
+import re
+
+from setuptools import find_packages, setup
+
+HERE = os.path.abspath(os.path.dirname(__file__))
+
+
+def read_version() -> str:
+    # Regex instead of import: setup must not require numpy at build time.
+    init_path = os.path.join(HERE, "src", "repro", "__init__.py")
+    with open(init_path, encoding="utf-8") as fh:
+        match = re.search(r'^__version__ = "([^"]+)"', fh.read(), re.MULTILINE)
+    if match is None:
+        raise RuntimeError("__version__ not found in src/repro/__init__.py")
+    return match.group(1)
+
+
+def read_long_description() -> str:
+    readme = os.path.join(HERE, "README.md")
+    if not os.path.exists(readme):
+        return ""
+    with open(readme, encoding="utf-8") as fh:
+        return fh.read()
+
+
+setup(
+    name="repro",
+    version=read_version(),
+    description=(
+        "Distribution-aware dataset search: Ptile/Pref indexing with a "
+        "sharded, cached query service layer (PODS 2025 reproduction)"
+    ),
+    long_description=read_long_description(),
+    long_description_content_type="text/markdown",
+    author="repro contributors",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.22"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering :: Information Analysis",
+    ],
+)

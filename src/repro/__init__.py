@@ -19,8 +19,12 @@ Quick start::
     result = engine.search(pred(PercentileMeasure(brooklyn), 0.10))
     print(result.indexes)   # datasets with >= 10% of points in the region
 
-See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
-the paper-versus-measured record of every reproduced claim.
+For heavy query traffic, the :mod:`repro.service` layer wraps the engine in
+a :class:`~repro.service.QueryService` — expression canonicalization, an
+LRU leaf-result cache, and a sharded batch executor — and ``repro serve``
+exposes it over HTTP.  See ``README.md`` for install, quickstart, and
+service-layer usage; benchmark scripts under ``benchmarks/`` record the
+paper-versus-measured evidence for every reproduced claim.
 """
 
 from repro.errors import CapabilityError, ConstructionError, QueryError, ReproError
@@ -48,8 +52,9 @@ from repro.synopsis import (
     HistogramSynopsis,
     Synopsis,
 )
+from repro.service import LeafResultCache, QueryService, ShardedBatchExecutor
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ReproError",
@@ -77,6 +82,9 @@ __all__ = [
     "DatasetSearchEngine",
     "NearestNeighborIndex",
     "DiversityIndex",
+    "QueryService",
+    "LeafResultCache",
+    "ShardedBatchExecutor",
     "Synopsis",
     "ExactSynopsis",
     "EpsilonSampleSynopsis",

@@ -7,9 +7,11 @@ theorem/figure) and, where scaling shape matters, a log-log slope fit.
 
 from __future__ import annotations
 
+import json
 import math
+import os
 import time
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 
 def time_callable(fn: Callable[[], object], repeats: int = 5) -> float:
@@ -42,6 +44,46 @@ def fit_loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
     if denom == 0.0:
         return 0.0
     return sum((a - mx) * (b - my) for a, b in zip(lx, ly)) / denom
+
+
+def json_report(
+    path: str, rows: Sequence[dict], meta: Optional[dict] = None
+) -> str:
+    """Write a machine-readable benchmark report and return its path.
+
+    The report is ``{"meta": {...}, "rows": [...]}`` — one dict per sweep
+    point, exactly the rows the text table shows — so the perf trajectory
+    across PRs can be tracked by diffing ``BENCH_*.json`` files instead of
+    scraping stdout.  Parent directories are created as needed; numpy
+    scalars are coerced to plain Python numbers.
+
+    Examples
+    --------
+    >>> import tempfile, os, json
+    >>> p = os.path.join(tempfile.mkdtemp(), "BENCH_demo.json")
+    >>> _ = json_report(p, [{"n": 10, "time": 0.5}], meta={"bench": "demo"})
+    >>> json.load(open(p))["rows"][0]["n"]
+    10
+    """
+
+    def coerce(value: object) -> object:
+        if isinstance(value, dict):
+            return {str(k): coerce(v) for k, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [coerce(v) for v in value]
+        if isinstance(value, (bool, int, float, str)) or value is None:
+            return value
+        if hasattr(value, "item"):  # numpy scalar
+            return value.item()
+        return str(value)
+
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    payload = {"meta": coerce(meta or {}), "rows": [coerce(r) for r in rows]}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 class TableReporter:

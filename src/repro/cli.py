@@ -9,6 +9,10 @@ Subcommands
     Same for the preference index.
 ``lake-stats``
     Generate a lake and print per-dataset summary statistics.
+``serve``
+    Build a :class:`~repro.service.QueryService` over a synthetic lake and
+    expose it over a stdlib-HTTP JSON endpoint (see
+    :mod:`repro.service.server` for the wire format).
 
 Examples
 --------
@@ -17,6 +21,7 @@ Examples
     python -m repro.cli demo-ptile --n 40 --dim 2 --theta 0.2 0.6
     python -m repro.cli demo-pref --n 40 --k 5 --tau 0.8
     python -m repro.cli lake-stats --n 10 --family gaussian
+    python -m repro.cli serve --n 100 --shards 4 --port 8765
 """
 
 from __future__ import annotations
@@ -99,6 +104,46 @@ def cmd_demo_pref(args: argparse.Namespace) -> int:
     return 0 if truth <= result.index_set else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.framework import Repository
+    from repro.service import QueryService, serve
+
+    lake, _rng = _make_lake(args)
+    repo = Repository.from_arrays(lake)
+    service = QueryService(
+        repository=repo,
+        n_shards=args.shards,
+        cache_capacity=args.cache_capacity,
+        eps=args.eps,
+        sample_size=args.sample_size,
+        seed=args.seed,
+    )
+    print(
+        f"serving {repo.n_datasets} datasets (d = {repo.dim}, family = "
+        f"{args.family}) over {service.n_shards} shard(s), "
+        f"cache capacity {args.cache_capacity}"
+    )
+    if args.warm:
+        print("warming shard indexes ...")
+        service.warm()
+    import json as _json
+
+    example = _json.dumps(
+        {
+            "expression": {
+                "op": "ptile",
+                "lo": [0.0] * repo.dim,
+                "hi": [0.5] * repo.dim,
+                "theta": [0.1],
+            }
+        }
+    )
+    print(f"try: curl -s -X POST -d '{example}' "
+          f"http://{args.host}:{args.port}/search")
+    serve(service, host=args.host, port=args.port)
+    return 0
+
+
 def cmd_lake_stats(args: argparse.Namespace) -> int:
     lake, _rng = _make_lake(args)
     table = TableReporter(
@@ -141,6 +186,23 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("lake-stats", help="summarize a generated lake")
     _add_lake_args(p)
     p.set_defaults(func=cmd_lake_stats)
+
+    p = sub.add_parser(
+        "serve", help="serve a query service over HTTP (JSON endpoint)"
+    )
+    _add_lake_args(p)
+    p.add_argument("--eps", type=float, default=0.1)
+    p.add_argument("--sample-size", type=int, default=None,
+                   help="coreset size override (default: theoretical bound)")
+    p.add_argument("--shards", type=int, default=4,
+                   help="number of repository shards")
+    p.add_argument("--cache-capacity", type=int, default=4096,
+                   help="leaf-result cache capacity (0 disables)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.add_argument("--warm", action="store_true",
+                   help="build shard indexes before accepting requests")
+    p.set_defaults(func=cmd_serve)
 
     return parser
 

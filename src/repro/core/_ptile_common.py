@@ -77,6 +77,15 @@ def max_sample_for_budget(dim: int, budget: int) -> int:
     return max(2, s)
 
 
+def resolve_phi(phi: Optional[float], n_datasets: int) -> float:
+    """Effective coreset failure probability: explicit, or the 1/N default.
+
+    Single owner of the default so the service-layer sharded executor
+    resolves exactly what an unsharded engine would.
+    """
+    return phi if phi is not None else 1.0 / max(2, n_datasets)
+
+
 def resolve_sample_size(
     eps: float,
     phi: Optional[float],
@@ -91,8 +100,7 @@ def resolve_sample_size(
         if sample_size < 2:
             raise ConstructionError("sample_size must be >= 2")
         return int(sample_size)
-    phi_eff = phi if phi is not None else 1.0 / max(2, n_datasets)
-    theoretical = epsilon_sample_size(eps, phi_eff, n_datasets)
+    theoretical = epsilon_sample_size(eps, resolve_phi(phi, n_datasets), n_datasets)
     return min(theoretical, max_sample_for_budget(dim, point_budget))
 
 
@@ -148,7 +156,7 @@ class PtileIndexBase:
         self._leaf_size = leaf_size
         self._rng = rng if rng is not None else np.random.default_rng()
         self._next_key = 0
-        self._phi_eff = phi if phi is not None else 1.0 / max(2, len(syn_list))
+        self._phi_eff = resolve_phi(phi, len(syn_list))
         self._sample_size = resolve_sample_size(
             eps, phi, len(syn_list), sample_size, self.dim
         )

@@ -137,19 +137,47 @@ class DatasetSearchEngine:
     # Search
     # ------------------------------------------------------------------
     def search(self, expression: Expression, record_times: bool = False) -> QueryResult:
-        """Answer ``q_Pi(P)`` approximately with the paper's guarantees."""
+        """Answer ``q_Pi(P)`` approximately with the paper's guarantees.
+
+        With ``record_times=True`` the expression is evaluated leaf by leaf
+        (deduplicated through the service planner) and each reported index
+        is stamped with the completion time of the leaf at which its
+        membership in the final answer became logically determined, so
+        ``QueryResult.delays()`` measures real inter-report gaps.  Indexes
+        are then in emission order; without timing they are sorted.
+        """
         result = QueryResult()
-        if record_times:
-            result.start_time = time.perf_counter()
-        result.indexes = sorted(self._eval(expression))
-        if record_times:
-            result.end_time = time.perf_counter()
-            result.emit_times = [result.end_time] * len(result.indexes)
+        if not record_times:
+            result.indexes = sorted(self._eval(expression))
+            return result
+        # Local import: the planner lives in the service layer, which
+        # imports this module — a module-level import would be circular.
+        from repro.service.planner import emit_schedule, plan_query
+
+        result.start_time = time.perf_counter()
+        plan = plan_query(expression)
+        leaf_results: dict = {}
+        leaf_times: dict = {}
+        order: list = []
+        for key, leaf in plan.leaves.items():
+            leaf_results[key] = frozenset(self.eval_leaf(leaf))
+            leaf_times[key] = time.perf_counter()
+            order.append(key)
+        schedule = emit_schedule(
+            plan.expression,
+            order,
+            leaf_results,
+            leaf_times,
+            frozenset(range(self.n_datasets)),
+        )
+        result.indexes = [idx for idx, _t in schedule]
+        result.emit_times = [t for _idx, t in schedule]
+        result.end_time = time.perf_counter()
         return result
 
     def _eval(self, expression: Expression) -> set[int]:
         if isinstance(expression, Predicate):
-            return self._eval_leaf(expression)
+            return self.eval_leaf(expression)
         if isinstance(expression, And):
             sets = [self._eval(c) for c in expression.children]
             return set.intersection(*sets)
@@ -158,7 +186,13 @@ class DatasetSearchEngine:
             return set.union(*sets)
         raise QueryError(f"unsupported expression node {type(expression).__name__}")
 
-    def _eval_leaf(self, leaf: Predicate) -> set[int]:
+    def eval_leaf(self, leaf: Predicate) -> set[int]:
+        """Answer one predicate leaf against the appropriate structure.
+
+        This is the reusable evaluation hook the service layer builds on:
+        the sharded executor calls it per shard and the leaf-result cache
+        stores its answers keyed by ``leaf.canonical_key()``.
+        """
         measure = leaf.measure
         if isinstance(measure, PercentileMeasure):
             return self.ptile_index.query(measure.rect, leaf.theta).index_set
@@ -171,6 +205,9 @@ class DatasetSearchEngine:
                 measure.vector, leaf.theta.lo
             ).index_set
         raise QueryError(f"unsupported measure {type(measure).__name__}")
+
+    # Backwards-compatible alias (pre-service releases named the hook this).
+    _eval_leaf = eval_leaf
 
     # ------------------------------------------------------------------
     # Ground truth (centralized only)

@@ -38,6 +38,15 @@ class MeasureFunction(ABC):
     def evaluate_synopsis(self, synopsis: Synopsis) -> float:
         """Approximate value ``M(S_P)`` on a synopsis."""
 
+    @abstractmethod
+    def canonical_key(self) -> tuple:
+        """A hashable key identifying this measure up to semantic equality.
+
+        Two measures with equal keys evaluate identically on every dataset;
+        the service-layer planner uses the key to deduplicate predicate
+        leaves within and across query batches.
+        """
+
 
 class PercentileMeasure(MeasureFunction):
     """``M_R(P) = |P ∩ R| / |P|`` for an axis-parallel rectangle ``R``.
@@ -67,6 +76,13 @@ class PercentileMeasure(MeasureFunction):
 
     def evaluate_synopsis(self, synopsis: Synopsis) -> float:
         return synopsis.mass(self.rect)
+
+    def canonical_key(self) -> tuple:
+        return (
+            "ptile",
+            tuple(float(x) for x in self.rect.lo),
+            tuple(float(x) for x in self.rect.hi),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"PercentileMeasure({self.rect!r})"
@@ -110,6 +126,9 @@ class PreferenceMeasure(MeasureFunction):
 
     def evaluate_synopsis(self, synopsis: Synopsis) -> float:
         return synopsis.score(self.vector, self.k)
+
+    def canonical_key(self) -> tuple:
+        return ("pref", self.k, tuple(float(x) for x in self.vector))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"PreferenceMeasure(v={np.round(self.vector, 3)}, k={self.k})"

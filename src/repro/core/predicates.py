@@ -34,6 +34,18 @@ class Expression(ABC):
     def leaves(self) -> Iterator["Predicate"]:
         """All predicate leaves, left to right."""
 
+    @abstractmethod
+    def canonical_key(self) -> tuple:
+        """A hashable structural key identifying the expression.
+
+        Two expressions with equal keys are semantically identical (same
+        operator tree over semantically equal leaves), so the service-layer
+        planner may evaluate one and reuse the answer for the other.  Keys
+        are order-sensitive for And/Or children; the planner's
+        canonicalization sorts children first so logically equal
+        conjunctions/disjunctions collide.
+        """
+
     def ground_truth(self, repository: Repository) -> set[int]:
         """``q_Pi(P) = {i : Pi(P_i) = True}`` by brute force (exact)."""
         return {
@@ -80,6 +92,21 @@ class Predicate(Expression):
     def leaves(self) -> Iterator["Predicate"]:
         yield self
 
+    def canonical_key(self) -> tuple:
+        return (
+            "leaf",
+            self.measure.canonical_key(),
+            (self.theta.lo, self.theta.hi, self.theta.lo_open, self.theta.hi_open),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Predicate):
+            return NotImplemented
+        return self.canonical_key() == other.canonical_key()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_key())
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Pred({self.measure!r}, theta={self.theta})"
 
@@ -99,6 +126,9 @@ class And(Expression):
         for child in self.children:
             yield from child.leaves()
 
+    def canonical_key(self) -> tuple:
+        return ("and", tuple(c.canonical_key() for c in self.children))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "And(" + ", ".join(repr(c) for c in self.children) + ")"
 
@@ -117,6 +147,9 @@ class Or(Expression):
     def leaves(self) -> Iterator[Predicate]:
         for child in self.children:
             yield from child.leaves()
+
+    def canonical_key(self) -> tuple:
+        return ("or", tuple(c.canonical_key() for c in self.children))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "Or(" + ", ".join(repr(c) for c in self.children) + ")"

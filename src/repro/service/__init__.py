@@ -1,0 +1,72 @@
+"""Query service layer: planner, leaf-result cache, sharded batch executor.
+
+The core engine (:class:`~repro.core.engine.DatasetSearchEngine`) answers one
+expression at a time and re-evaluates every predicate leaf it meets, even
+when the same leaf appears several times in one expression or across a
+batch.  This package turns the engine into a serving subsystem:
+
+- :mod:`~repro.service.planner` canonicalizes expressions (flatten nested
+  And/Or, sort and deduplicate children) and extracts stable hashable leaf
+  keys, so identical sub-predicates are evaluated once per batch and are
+  cacheable across batches;
+- :mod:`~repro.service.cache` is an LRU cache of per-leaf answer sets with
+  hit/miss/eviction accounting and explicit invalidation;
+- :mod:`~repro.service.sharding` partitions the repository into ``n_shards``
+  sub-engines and evaluates leaves shard-parallel in a thread pool — the
+  union of shard answers preserves the per-leaf guarantees because every
+  dataset lives in exactly one shard;
+- :mod:`~repro.service.service` wires the three into the
+  :class:`~repro.service.service.QueryService` facade with per-query
+  latency/throughput telemetry;
+- :mod:`~repro.service.server` exposes the service over a stdlib-HTTP JSON
+  endpoint (the ``repro serve`` CLI subcommand).
+"""
+
+from repro.service.cache import CacheStats, LeafResultCache
+from repro.service.planner import (
+    BatchPlan,
+    QueryPlan,
+    canonicalize,
+    emit_schedule,
+    evaluate_with_leaf_results,
+    leaf_key,
+    partial_bounds,
+    plan_batch,
+    plan_query,
+)
+from repro.service.sharding import (
+    SeededSampleSynopsis,
+    ShardedBatchExecutor,
+    partition_indices,
+)
+from repro.service.service import QueryService
+from repro.service.telemetry import ServiceTelemetry
+from repro.service.server import (
+    expression_from_json,
+    expression_to_json,
+    make_server,
+    serve,
+)
+
+__all__ = [
+    "BatchPlan",
+    "CacheStats",
+    "LeafResultCache",
+    "QueryPlan",
+    "QueryService",
+    "SeededSampleSynopsis",
+    "ServiceTelemetry",
+    "ShardedBatchExecutor",
+    "canonicalize",
+    "emit_schedule",
+    "evaluate_with_leaf_results",
+    "expression_from_json",
+    "expression_to_json",
+    "leaf_key",
+    "make_server",
+    "partial_bounds",
+    "partition_indices",
+    "plan_batch",
+    "plan_query",
+    "serve",
+]

@@ -1,0 +1,146 @@
+"""LRU cache of per-leaf answer sets with hit/miss/eviction accounting.
+
+The cache sits between the planner and the sharded executor: keys are the
+planner's canonical leaf keys, values are the (frozen) global index sets the
+executor computed for those leaves.  Caching at the *leaf* granularity —
+rather than whole expressions — is what makes cross-query reuse effective:
+two different expressions that share a predicate share its cached answer.
+
+Cached answers are only valid for the synopsis set they were computed
+against, so the cache exposes explicit :meth:`~LeafResultCache.invalidate`
+(called by ``QueryService.rebuild`` whenever the synopsis set changes) and
+tracks a ``generation`` counter so stale readers can detect the flush.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+
+@dataclass
+class CacheStats:
+    """Counters of one cache's lifetime activity."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    max_size_seen: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup; 0.0 before the first lookup."""
+        return 0.0 if self.lookups == 0 else self.hits / self.lookups
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+            "max_size_seen": self.max_size_seen,
+        }
+
+
+class LeafResultCache:
+    """A bounded LRU mapping leaf keys to frozen index sets.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached leaves.  ``0`` disables caching (every
+        lookup is a miss, nothing is stored) — handy for benchmarking the
+        cold path without branching at call sites.
+
+    Examples
+    --------
+    >>> cache = LeafResultCache(capacity=2)
+    >>> cache.put("a", {1, 2})
+    >>> sorted(cache.get("a"))
+    [1, 2]
+    >>> cache.get("b") is None
+    True
+    >>> cache.put("b", {3}); cache.put("c", {4})   # evicts "a" (LRU)
+    >>> cache.get("a") is None, cache.stats.evictions
+    (True, 1)
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self.stats = CacheStats()
+        self.generation = 0
+        self._entries: OrderedDict[Hashable, frozenset[int]] = OrderedDict()
+        # The service can sit behind a ThreadingHTTPServer, so the
+        # read-then-move and insert-then-evict sequences must be atomic.
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership without touching recency or hit/miss counters."""
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[frozenset[int]]:
+        """The cached answer set, or None; refreshes LRU recency on hit."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def put(
+        self,
+        key: Hashable,
+        indexes: "frozenset[int] | set[int]",
+        generation: Optional[int] = None,
+    ) -> None:
+        """Store (or refresh) an answer set, evicting the LRU entry if full.
+
+        Pass the ``generation`` observed *before* computing ``indexes`` to
+        make the write flush-safe: if an :meth:`invalidate` happened in the
+        meantime (the synopsis set changed mid-computation), the stale
+        answer is silently dropped instead of poisoning the fresh cache.
+        """
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if generation is not None and generation != self.generation:
+                return
+            self._entries[key] = frozenset(indexes)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            self.stats.max_size_seen = max(
+                self.stats.max_size_seen, len(self._entries)
+            )
+
+    def invalidate(self) -> None:
+        """Drop every entry (the synopsis set changed) and bump generation."""
+        with self._lock:
+            self._entries.clear()
+            self.stats.invalidations += 1
+            self.generation += 1
+
+    def snapshot(self) -> dict:
+        """Stats plus current occupancy, JSON-ready."""
+        with self._lock:
+            out = self.stats.as_dict()
+            out["size"] = len(self._entries)
+            out["capacity"] = self.capacity
+            out["generation"] = self.generation
+            return out

@@ -1,0 +1,241 @@
+"""Query planning: canonicalization, leaf deduplication, emit scheduling.
+
+The planner is pure expression algebra — no index structures are touched.
+It rewrites expressions into a *canonical form* so that semantically equal
+(sub-)expressions become structurally identical:
+
+- nested same-operator nodes are flattened (``And(And(a, b), c)`` becomes
+  ``And(a, b, c)`` — associativity);
+- children are deduplicated by canonical key (idempotence) and sorted by a
+  stable total order (commutativity);
+- single-child And/Or nodes collapse to the child.
+
+Canonical form makes :meth:`~repro.core.predicates.Expression.canonical_key`
+a semantic identity for the And/Or/leaf fragment, which is what the
+leaf-result cache and the batch deduplicator key on.
+
+The planner also owns the *emit schedule*: given per-leaf answer sets and
+per-leaf completion times, :func:`emit_schedule` computes, for every index
+in the final answer, the earliest leaf completion at which its membership
+was already logically determined (three-valued And/Or semantics).  This is
+what ``DatasetSearchEngine.search(record_times=True)`` and the service use
+to populate ``QueryResult.emit_times`` meaningfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.core.predicates import And, Expression, Or, Predicate
+from repro.errors import QueryError
+
+#: A stable hashable identity for a predicate leaf.
+LeafKey = Hashable
+
+
+def leaf_key(leaf: Predicate) -> LeafKey:
+    """The cache/dedup key of a predicate leaf."""
+    return leaf.canonical_key()
+
+
+def _sort_key(expr: Expression) -> str:
+    # Canonical keys are nested tuples mixing strings, ints, floats and
+    # bools; tuple comparison across those types raises TypeError, so the
+    # total order used for sorting children is the repr of the key.
+    return repr(expr.canonical_key())
+
+
+def canonicalize(expression: Expression) -> Expression:
+    """Rewrite an expression into canonical form (see module docstring).
+
+    The returned expression shares leaf objects with the input; And/Or nodes
+    are rebuilt.  Evaluation semantics are preserved exactly: flattening,
+    deduplication and sorting are sound for And/Or by associativity,
+    idempotence and commutativity.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core.measures import PercentileMeasure
+    >>> from repro.core.predicates import pred
+    >>> from repro.geometry.rectangle import Rectangle
+    >>> a = pred(PercentileMeasure(Rectangle([0.0], [0.5])), 0.2)
+    >>> b = pred(PercentileMeasure(Rectangle([0.0], [0.5])), 0.2)
+    >>> c = pred(PercentileMeasure(Rectangle([0.5], [1.0])), 0.4)
+    >>> canon = canonicalize((a & c) & b)
+    >>> canon.n_predicates          # duplicate of `a` removed
+    2
+    """
+    if isinstance(expression, Predicate):
+        return expression
+    if isinstance(expression, (And, Or)):
+        node_type = type(expression)
+        flat: list[Expression] = []
+        for child in expression.children:
+            child = canonicalize(child)
+            if isinstance(child, node_type):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        unique: dict[tuple, Expression] = {}
+        for child in flat:
+            unique.setdefault(child.canonical_key(), child)
+        children = sorted(unique.values(), key=_sort_key)
+        if len(children) == 1:
+            return children[0]
+        return node_type(children)
+    raise QueryError(f"unsupported expression node {type(expression).__name__}")
+
+
+@dataclass
+class QueryPlan:
+    """One query's canonical expression plus its deduplicated leaves.
+
+    Attributes
+    ----------
+    original:
+        The expression as submitted.
+    expression:
+        Its canonical rewrite (evaluate this one).
+    leaves:
+        Unique leaves by key, in first-appearance order of the canonical
+        expression.
+    n_leaves_raw:
+        Leaf count of the *original* expression (before dedup) — the
+        baseline an executor without a planner would evaluate.
+    """
+
+    original: Expression
+    expression: Expression
+    leaves: dict[LeafKey, Predicate]
+    n_leaves_raw: int
+
+    @property
+    def n_leaves_unique(self) -> int:
+        return len(self.leaves)
+
+    @property
+    def key(self) -> tuple:
+        """Semantic identity of the whole query (canonical structural key)."""
+        return self.expression.canonical_key()
+
+
+@dataclass
+class BatchPlan:
+    """Plans for a batch of queries plus the batch-wide unique leaf set."""
+
+    plans: list[QueryPlan]
+    unique_leaves: dict[LeafKey, Predicate] = field(default_factory=dict)
+
+    @property
+    def n_leaves_raw(self) -> int:
+        return sum(p.n_leaves_raw for p in self.plans)
+
+    @property
+    def n_leaves_unique(self) -> int:
+        return len(self.unique_leaves)
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of raw leaf evaluations saved by planning (0 = none)."""
+        raw = self.n_leaves_raw
+        return 0.0 if raw == 0 else 1.0 - self.n_leaves_unique / raw
+
+
+def plan_query(expression: Expression) -> QueryPlan:
+    """Canonicalize one expression and collect its unique leaves."""
+    canon = canonicalize(expression)
+    leaves: dict[LeafKey, Predicate] = {}
+    for leaf in canon.leaves():
+        leaves.setdefault(leaf_key(leaf), leaf)
+    return QueryPlan(
+        original=expression,
+        expression=canon,
+        leaves=leaves,
+        n_leaves_raw=expression.n_predicates,
+    )
+
+
+def plan_batch(expressions: Sequence[Expression]) -> BatchPlan:
+    """Plan every query of a batch and union their unique leaves."""
+    batch = BatchPlan(plans=[plan_query(e) for e in expressions])
+    for plan in batch.plans:
+        for key, leaf in plan.leaves.items():
+            batch.unique_leaves.setdefault(key, leaf)
+    return batch
+
+
+def evaluate_with_leaf_results(
+    expression: Expression, leaf_results: Mapping[LeafKey, frozenset[int]]
+) -> set[int]:
+    """Evaluate an expression given precomputed per-leaf answer sets."""
+    if isinstance(expression, Predicate):
+        return set(leaf_results[leaf_key(expression)])
+    if isinstance(expression, And):
+        sets = [evaluate_with_leaf_results(c, leaf_results) for c in expression.children]
+        return set.intersection(*sets)
+    if isinstance(expression, Or):
+        sets = [evaluate_with_leaf_results(c, leaf_results) for c in expression.children]
+        return set.union(*sets)
+    raise QueryError(f"unsupported expression node {type(expression).__name__}")
+
+
+def partial_bounds(
+    expression: Expression,
+    known: Mapping[LeafKey, frozenset[int]],
+    universe: frozenset[int],
+) -> tuple[set[int], set[int]]:
+    """Three-valued evaluation: (definitely-in, possibly-in) index sets.
+
+    A leaf whose answer is not yet in ``known`` contributes the trivial
+    bounds ``(∅, universe)``.  And/Or are monotone, so intersecting /
+    unioning the child bounds is exact: an index in the lower set is in the
+    final answer no matter how the unknown leaves resolve, and an index
+    outside the upper set is out no matter what.
+    """
+    if isinstance(expression, Predicate):
+        result = known.get(leaf_key(expression))
+        if result is None:
+            return set(), set(universe)
+        return set(result), set(result)
+    if isinstance(expression, (And, Or)):
+        lowers, uppers = [], []
+        for child in expression.children:
+            lo, hi = partial_bounds(child, known, universe)
+            lowers.append(lo)
+            uppers.append(hi)
+        if isinstance(expression, And):
+            return set.intersection(*lowers), set.intersection(*uppers)
+        return set.union(*lowers), set.union(*uppers)
+    raise QueryError(f"unsupported expression node {type(expression).__name__}")
+
+
+def emit_schedule(
+    expression: Expression,
+    leaf_order: Iterable[LeafKey],
+    leaf_results: Mapping[LeafKey, frozenset[int]],
+    leaf_times: Mapping[LeafKey, float],
+    universe: frozenset[int],
+) -> list[tuple[int, float]]:
+    """Per-index emission times implied by per-leaf completion times.
+
+    Replays the leaves in ``leaf_order`` (typically completion order) and,
+    after each leaf, stamps every index whose membership in the final answer
+    has just become determined with that leaf's completion time.  Returns
+    ``(index, time)`` pairs sorted by (time, index) — the order in which a
+    streaming evaluator could have emitted them.  The indexes of the result
+    are exactly the full evaluation's answer.
+    """
+    known: dict[LeafKey, frozenset[int]] = {}
+    emitted: dict[int, float] = {}
+    for key in leaf_order:
+        if key in known:
+            continue
+        known[key] = leaf_results[key]
+        lower, _upper = partial_bounds(expression, known, universe)
+        stamp = leaf_times[key]
+        for idx in lower:
+            if idx not in emitted:
+                emitted[idx] = stamp
+    return sorted(emitted.items(), key=lambda pair: (pair[1], pair[0]))

@@ -1,0 +1,258 @@
+"""Stdlib-HTTP JSON endpoint over a :class:`~repro.service.QueryService`.
+
+Wire format (all bodies JSON):
+
+``POST /search``
+    ``{"expression": EXPR, "record_times": false}`` →
+    ``{"indexes": [...], "emit_times": [...], "stats": {...}}``
+``POST /search/batch``
+    ``{"expressions": [EXPR, ...]}`` →
+    ``{"results": [{"indexes": [...], "stats": {...}}, ...]}``
+``POST /cache/invalidate``
+    → ``{"generation": n}``
+``GET /stats``
+    → the service's :meth:`~repro.service.service.QueryService.stats`
+``GET /healthz``
+    → ``{"status": "ok", "n_datasets": N, "n_shards": S}``
+
+``EXPR`` is a recursive object::
+
+    {"op": "and" | "or", "children": [EXPR, ...]}
+    {"op": "ptile", "lo": [..], "hi": [..], "theta": [a, b?]}   # b omitted/null = inf
+    {"op": "pref", "vector": [..], "k": 5, "tau": 0.8}
+
+The server is a ``ThreadingHTTPServer``; concurrency is safe because the
+service serializes shard access with per-shard locks and the cache and
+telemetry guard their mutable state with their own locks.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+import numpy as np
+
+from repro.core.measures import PercentileMeasure, PreferenceMeasure
+from repro.core.predicates import And, Expression, Or, Predicate
+from repro.errors import QueryError, ReproError
+from repro.geometry.interval import Interval
+from repro.geometry.rectangle import Rectangle
+from repro.service.service import QueryService
+
+
+# ----------------------------------------------------------------------
+# Expression (de)serialization
+# ----------------------------------------------------------------------
+def expression_from_json(obj: dict) -> Expression:
+    """Parse the wire format into a predicate expression tree."""
+    if not isinstance(obj, dict) or "op" not in obj:
+        raise QueryError("expression must be an object with an 'op' field")
+    op = obj["op"]
+    if op in ("and", "or"):
+        children = obj.get("children")
+        if not isinstance(children, list) or not children:
+            raise QueryError(f"'{op}' needs a non-empty 'children' list")
+        parsed = [expression_from_json(c) for c in children]
+        return And(parsed) if op == "and" else Or(parsed)
+    if op == "ptile":
+        try:
+            rect = Rectangle(obj["lo"], obj["hi"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise QueryError(f"bad ptile leaf: {exc}")
+        theta = obj.get("theta")
+        if not isinstance(theta, list) or not 1 <= len(theta) <= 2:
+            raise QueryError("'theta' must be [a] or [a, b]")
+        try:
+            lo = float(theta[0])
+            hi = (
+                float(theta[1])
+                if len(theta) == 2 and theta[1] is not None
+                else math.inf
+            )
+            return Predicate(PercentileMeasure(rect), Interval(lo, hi))
+        except (TypeError, ValueError) as exc:
+            raise QueryError(f"bad ptile theta: {exc}")
+    if op == "pref":
+        try:
+            measure = PreferenceMeasure(
+                np.asarray(obj["vector"], dtype=float), k=int(obj["k"])
+            )
+            tau = float(obj["tau"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise QueryError(f"bad pref leaf: {exc}")
+        return Predicate(measure, Interval.at_least(tau))
+    raise QueryError(f"unknown op {op!r}")
+
+
+def expression_to_json(expression: Expression) -> dict:
+    """Inverse of :func:`expression_from_json` (round-trips the AST)."""
+    if isinstance(expression, (And, Or)):
+        return {
+            "op": "and" if isinstance(expression, And) else "or",
+            "children": [expression_to_json(c) for c in expression.children],
+        }
+    if isinstance(expression, Predicate):
+        measure = expression.measure
+        if expression.theta.lo_open or expression.theta.hi_open:
+            # The wire format has no open/closed flags; parsing the closed
+            # form back would silently flip boundary membership.
+            raise QueryError(
+                "open-endpoint theta intervals are not representable in the "
+                "JSON wire format"
+            )
+        if isinstance(measure, PercentileMeasure):
+            theta: list = [expression.theta.lo]
+            if math.isfinite(expression.theta.hi):
+                theta.append(expression.theta.hi)
+            return {
+                "op": "ptile",
+                "lo": [float(x) for x in measure.rect.lo],
+                "hi": [float(x) for x in measure.rect.hi],
+                "theta": theta,
+            }
+        if isinstance(measure, PreferenceMeasure):
+            if math.isfinite(expression.theta.hi):
+                # The engine only answers one-sided preference predicates;
+                # dropping the upper bound here would silently weaken the
+                # query on the way back in.
+                raise QueryError(
+                    "preference predicates serialize only one-sided "
+                    "theta = [a, inf)"
+                )
+            return {
+                "op": "pref",
+                "vector": [float(x) for x in measure.vector],
+                "k": measure.k,
+                "tau": expression.theta.lo,
+            }
+    raise QueryError(f"cannot serialize {type(expression).__name__}")
+
+
+# ----------------------------------------------------------------------
+# HTTP plumbing
+# ----------------------------------------------------------------------
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs to the bound service; set via ``make_server``."""
+
+    service: QueryService  # injected by make_server
+    quiet: bool = True
+    protocol_version = "HTTP/1.1"
+
+    # -- helpers -------------------------------------------------------
+    def log_message(self, fmt: str, *args) -> None:  # pragma: no cover
+        if not self.quiet:
+            super().log_message(fmt, *args)
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            obj = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise QueryError(f"request body is not valid JSON: {exc}")
+        if not isinstance(obj, dict):
+            raise QueryError("request body must be a JSON object")
+        return obj
+
+    # -- verbs ---------------------------------------------------------
+    def do_GET(self) -> None:
+        try:
+            if self.path == "/healthz":
+                self._send_json(
+                    {
+                        "status": "ok",
+                        "n_datasets": self.service.n_datasets,
+                        "n_shards": self.service.n_shards,
+                    }
+                )
+            elif self.path == "/stats":
+                self._send_json(self.service.stats())
+            else:
+                self._send_json({"error": f"unknown path {self.path}"}, status=404)
+        except Exception as exc:  # pragma: no cover - defensive catch-all
+            self._send_json({"error": f"internal error: {exc}"}, status=500)
+
+    def do_POST(self) -> None:
+        try:
+            body = self._read_json()
+            if self.path == "/search":
+                expr = expression_from_json(body.get("expression"))
+                result = self.service.search(
+                    expr, record_times=bool(body.get("record_times", False))
+                )
+                self._send_json(
+                    {
+                        "indexes": result.indexes,
+                        "emit_times": result.emit_times,
+                        "stats": result.stats,
+                    }
+                )
+            elif self.path == "/search/batch":
+                exprs_json = body.get("expressions")
+                if not isinstance(exprs_json, list) or not exprs_json:
+                    raise QueryError("'expressions' must be a non-empty list")
+                exprs = [expression_from_json(e) for e in exprs_json]
+                results = self.service.search_batch(exprs)
+                self._send_json(
+                    {
+                        "results": [
+                            {"indexes": r.indexes, "stats": r.stats} for r in results
+                        ]
+                    }
+                )
+            elif self.path == "/cache/invalidate":
+                self.service.invalidate_cache()
+                self._send_json({"generation": self.service.cache.generation})
+            else:
+                self._send_json({"error": f"unknown path {self.path}"}, status=404)
+        except ReproError as exc:
+            self._send_json({"error": str(exc)}, status=400)
+        except Exception as exc:  # pragma: no cover - defensive catch-all
+            self._send_json({"error": f"internal error: {exc}"}, status=500)
+
+
+def make_server(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    quiet: bool = True,
+) -> ThreadingHTTPServer:
+    """A ready-to-run HTTP server bound to ``service`` (port 0 = ephemeral)."""
+    handler = type(
+        "BoundServiceRequestHandler",
+        (_ServiceRequestHandler,),
+        {"service": service, "quiet": quiet},
+    )
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def serve(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    quiet: bool = False,
+) -> None:
+    """Serve forever (Ctrl-C to stop); the ``repro serve`` entry point."""
+    httpd = make_server(service, host, port, quiet=quiet)
+    addr = httpd.server_address
+    print(f"repro service listening on http://{addr[0]}:{addr[1]}")
+    print("endpoints: GET /healthz, GET /stats, POST /search, "
+          "POST /search/batch, POST /cache/invalidate")
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("shutting down")
+    finally:
+        httpd.server_close()
+        service.close()

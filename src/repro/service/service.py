@@ -1,0 +1,269 @@
+"""The ``QueryService`` facade: planner + cache + sharded executor.
+
+Serving pipeline for a batch (``search`` is the one-element special case):
+
+1. **plan** — canonicalize every expression and collect the batch-wide set
+   of unique predicate leaves (duplicate leaves inside one expression and
+   across the batch are planned once);
+2. **cache** — look every unique leaf up in the LRU leaf-result cache;
+3. **execute** — evaluate the misses on the sharded executor (shard-parallel
+   union of per-shard answers) and write them back to the cache;
+4. **assemble** — evaluate each canonical expression over the in-memory
+   leaf results (pure set algebra, no index access) and stamp telemetry.
+
+With ``record_times=True`` the per-leaf completion times flow through the
+planner's :func:`~repro.service.planner.emit_schedule`, so
+``QueryResult.emit_times`` reflects when each index's membership actually
+became determined — not one blanket end-of-query stamp.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from repro.core.framework import Repository
+from repro.core.predicates import Expression
+from repro.core.results import QueryResult
+from repro.errors import QueryError
+from repro.geometry.rectangle import Rectangle
+from repro.service.cache import LeafResultCache
+from repro.service.planner import emit_schedule, evaluate_with_leaf_results, plan_batch
+from repro.service.sharding import ShardedBatchExecutor
+from repro.service.telemetry import QueryRecord, ServiceTelemetry
+from repro.synopsis.base import Synopsis
+
+
+class QueryService:
+    """High-throughput facade over the dataset search engine.
+
+    Parameters mirror :class:`~repro.core.engine.DatasetSearchEngine` plus
+    the serving knobs; see
+    :class:`~repro.service.sharding.ShardedBatchExecutor` for the accuracy
+    parameters (they are resolved once against the global dataset count and
+    forced onto every shard, so answers match a single engine exactly).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core.framework import Repository
+    >>> from repro.core.measures import PercentileMeasure
+    >>> from repro.core.predicates import pred
+    >>> from repro.geometry.rectangle import Rectangle
+    >>> rng = np.random.default_rng(0)
+    >>> repo = Repository.from_arrays([rng.uniform(0, 1, (300, 1)) for _ in range(8)])
+    >>> svc = QueryService(repository=repo, n_shards=2, eps=0.2, sample_size=16)
+    >>> expr = pred(PercentileMeasure(Rectangle([0.0], [0.5])), 0.2)
+    >>> svc.search(expr).indexes == sorted(svc.search(expr).indexes)
+    True
+    >>> svc.stats()["cache"]["hits"] >= 1   # second search hit the cache
+    True
+    """
+
+    def __init__(
+        self,
+        repository: Optional[Repository] = None,
+        synopses: Optional[Sequence[Synopsis]] = None,
+        n_shards: int = 1,
+        cache_capacity: int = 4096,
+        eps: float = 0.1,
+        phi: Optional[float] = None,
+        delta: Optional[float] = None,
+        sample_size: Optional[int] = None,
+        bounding_box: Optional[Rectangle] = None,
+        seed: int = 0,
+        deterministic: bool = True,
+        max_workers: Optional[int] = None,
+        telemetry_window: int = 4096,
+    ) -> None:
+        self._executor_kwargs = dict(
+            eps=eps,
+            phi=phi,
+            delta=delta,
+            sample_size=sample_size,
+            bounding_box=bounding_box,
+            seed=seed,
+            deterministic=deterministic,
+            max_workers=max_workers,
+        )
+        self.executor = ShardedBatchExecutor(
+            synopses=synopses,
+            repository=repository,
+            n_shards=n_shards,
+            **self._executor_kwargs,
+        )
+        self.cache = LeafResultCache(capacity=cache_capacity)
+        self.telemetry = ServiceTelemetry(window=telemetry_window)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_datasets(self) -> int:
+        return self.executor.n_datasets
+
+    @property
+    def n_shards(self) -> int:
+        return self.executor.n_shards
+
+    @property
+    def repository(self) -> Optional[Repository]:
+        return self.executor.repository
+
+    def stats(self) -> dict:
+        """JSON-ready service metrics: telemetry, cache, shard layout."""
+        return {
+            "n_datasets": self.n_datasets,
+            "n_shards": self.n_shards,
+            "shard_sizes": self.executor.shard_sizes(),
+            "executor": dict(self.executor.stats),
+            "cache": self.cache.snapshot(),
+            "telemetry": self.telemetry.summary(),
+        }
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def search(self, expression: Expression, record_times: bool = False) -> QueryResult:
+        """Answer one expression through the full serving pipeline."""
+        return self.search_batch([expression], record_times=record_times)[0]
+
+    def search_batch(
+        self, expressions: Sequence[Expression], record_times: bool = False
+    ) -> list[QueryResult]:
+        """Answer a batch of expressions with cross-query leaf sharing."""
+        start = time.perf_counter()
+        generation = self.cache.generation  # for flush-safe write-back
+        batch = plan_batch(expressions)
+
+        leaf_results: dict = {}
+        leaf_times: dict = {}
+        hit_keys: set = set()
+        misses: list = []
+        for key, leaf in batch.unique_leaves.items():
+            cached = self.cache.get(key)
+            if cached is None:
+                misses.append((key, leaf))
+            else:
+                leaf_results[key] = cached
+                hit_keys.add(key)
+        lookup_done = time.perf_counter()
+        for key in hit_keys:
+            leaf_times[key] = lookup_done
+
+        if misses:
+            evaluated = self.executor.eval_leaves([leaf for _, leaf in misses])
+            for (key, _leaf), (indexes, done) in zip(misses, evaluated):
+                leaf_results[key] = indexes
+                leaf_times[key] = done
+                self.cache.put(key, indexes, generation=generation)
+        shared_done = time.perf_counter()
+        shared_s = shared_done - start  # plan + cache + leaf evaluation
+
+        if record_times:
+            universe = frozenset(range(self.n_datasets))
+            completion_order = sorted(leaf_times, key=lambda k: leaf_times[k])
+        results: list[QueryResult] = []
+        for plan in batch.plans:
+            assembly_start = time.perf_counter()
+            result = QueryResult()
+            if record_times:
+                result.start_time = start
+                schedule = emit_schedule(
+                    plan.expression,
+                    [k for k in completion_order if k in plan.leaves],
+                    leaf_results,
+                    leaf_times,
+                    universe,
+                )
+                result.indexes = [idx for idx, _t in schedule]
+                result.emit_times = [t for _idx, t in schedule]
+                result.end_time = time.perf_counter()
+            else:
+                result.indexes = sorted(
+                    evaluate_with_leaf_results(plan.expression, leaf_results)
+                )
+            assembled = time.perf_counter()
+            hits = sum(1 for k in plan.leaves if k in hit_keys)
+            result.stats.update(
+                {
+                    "cache_hits": hits,
+                    "cache_misses": plan.n_leaves_unique - hits,
+                    "n_leaves_raw": plan.n_leaves_raw,
+                    "n_leaves_unique": plan.n_leaves_unique,
+                    "n_shards": self.n_shards,
+                }
+            )
+            self.telemetry.record_query(
+                QueryRecord(
+                    # The planning/cache/eval phase is shared by the whole
+                    # batch; each query is charged that phase plus its own
+                    # assembly, not the assembly of the queries before it.
+                    latency_s=shared_s + (assembled - assembly_start),
+                    n_leaves_raw=plan.n_leaves_raw,
+                    n_leaves_unique=plan.n_leaves_unique,
+                    cache_hits=hits,
+                    cache_misses=plan.n_leaves_unique - hits,
+                    out_size=len(result.indexes),
+                )
+            )
+            results.append(result)
+        self.telemetry.record_batch(len(expressions), time.perf_counter() - start)
+        return results
+
+    def ground_truth(self, expression: Expression) -> set[int]:
+        """Exact brute-force answer (requires the raw repository)."""
+        if self.repository is None:
+            raise QueryError("ground truth requires the raw repository")
+        return expression.ground_truth(self.repository)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def warm(self) -> None:
+        """Eagerly build every shard's Ptile structure."""
+        self.executor.warm()
+
+    def invalidate_cache(self) -> None:
+        """Drop all cached leaf answers (synopsis set changed)."""
+        self.cache.invalidate()
+
+    def rebuild(
+        self,
+        repository: Optional[Repository] = None,
+        synopses: Optional[Sequence[Synopsis]] = None,
+        n_shards: Optional[int] = None,
+    ) -> None:
+        """Swap the underlying data and invalidate every cached answer.
+
+        Passing nothing rebuilds over the current data (e.g. after mutating
+        synopses in place); the cache is always flushed, because cached
+        answers are only valid for the synopsis set they were computed on.
+        """
+        if repository is None and synopses is None:
+            # Keep BOTH current inputs: the synopses may be user-supplied
+            # (histograms, samples, ...) rather than derived exact ones, and
+            # dropping them would silently change answer semantics.  The
+            # executor skips re-wrapping already-seeded synopses.
+            repository = self.executor.repository
+            synopses = self.executor.synopses
+        if n_shards is None:
+            n_shards = self.n_shards
+        old = self.executor
+        self.executor = ShardedBatchExecutor(
+            synopses=synopses,
+            repository=repository,
+            n_shards=n_shards,
+            **self._executor_kwargs,
+        )
+        old.close()
+        self.invalidate_cache()
+
+    def close(self) -> None:
+        self.executor.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,372 @@
+"""Sharded batch execution: partitioned sub-engines behind a thread pool.
+
+The repository is partitioned into ``n_shards`` contiguous slices, each
+served by its own :class:`~repro.core.engine.DatasetSearchEngine`.  A leaf
+is answered by querying every shard and unioning the translated index sets.
+Because every dataset lives in exactly one shard, the union preserves the
+per-leaf paper guarantees verbatim: recall is the conjunction of per-shard
+recalls (exact), and precision slack is per-dataset, hence unchanged.
+
+Exact equivalence with a single engine needs three partition-independent
+ingredients, all handled here:
+
+- **coresets** — ``PtileIndexBase`` draws coresets from one shared rng
+  stream, so the sample a dataset gets depends on how many datasets were
+  registered before it.  :class:`SeededSampleSynopsis` re-seeds per dataset
+  (and per draw size), making each coreset a pure function of
+  ``(seed, global index, size)``;
+- **bounding box** — derived from the *global* repository (or passed in),
+  never per shard;
+- **query slack** — ``eps_effective`` depends on the engine's dataset count
+  through the ε-sample bound, so each shard's Ptile index is pinned to the
+  value a single engine over all ``N`` datasets would use (a widening for
+  every shard, hence recall-safe).
+
+Shard engines mutate internal state during Ptile queries (the report loop
+temporarily deactivates points), so one shard never runs two leaves
+concurrently: the pool parallelizes *across* shards, each shard walking its
+leaf batch sequentially under a per-shard lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core._ptile_common import resolve_phi, resolve_sample_size
+from repro.core.ptile_range import AUTO_BOX_PAD
+from repro.core.engine import DatasetSearchEngine
+from repro.core.framework import Repository
+from repro.core.measures import PercentileMeasure
+from repro.core.predicates import Predicate
+from repro.errors import CapabilityError, ConstructionError
+from repro.geometry.epsilon_sample import epsilon_of_sample_size
+from repro.geometry.rectangle import Rectangle
+from repro.synopsis.base import Synopsis
+from repro.synopsis.exact import ExactSynopsis
+
+
+def partition_indices(n: int, n_shards: int) -> list[list[int]]:
+    """Contiguous, balanced partition of ``range(n)`` into ``n_shards`` parts.
+
+    Shards differ in size by at most one; empty shards are never produced
+    (``n_shards`` is clipped to ``n``).
+
+    Examples
+    --------
+    >>> partition_indices(5, 2)
+    [[0, 1, 2], [3, 4]]
+    >>> partition_indices(2, 8)
+    [[0], [1]]
+    """
+    if n < 1:
+        raise ConstructionError("n must be positive")
+    if n_shards < 1:
+        raise ConstructionError("n_shards must be positive")
+    n_shards = min(n_shards, n)
+    base, extra = divmod(n, n_shards)
+    out: list[list[int]] = []
+    start = 0
+    for s in range(n_shards):
+        size = base + (1 if s < extra else 0)
+        out.append(list(range(start, start + size)))
+        start += size
+    return out
+
+
+class SeededSampleSynopsis(Synopsis):
+    """Delegating synopsis whose ``sample`` is deterministic per dataset.
+
+    Wraps a base synopsis and replaces the sampling stream: every call to
+    :meth:`sample` draws from a fresh generator seeded by
+    ``(seed, index, size)``, ignoring the caller's rng.  The same dataset
+    therefore receives the same coreset no matter which engine (full or
+    shard) registers it, or in which order — the property the sharded
+    executor's exact-equivalence guarantee rests on.
+    """
+
+    def __init__(self, base: Synopsis, seed: int, index: int) -> None:
+        self.base = base
+        self.seed = int(seed)
+        self.index = int(index)
+
+    @property
+    def dim(self) -> int:
+        return self.base.dim
+
+    @property
+    def n_points(self) -> int:
+        return self.base.n_points
+
+    @property
+    def delta_ptile(self) -> Optional[float]:
+        return self.base.delta_ptile
+
+    @property
+    def delta_pref(self) -> Optional[float]:
+        return self.base.delta_pref
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        del rng  # replaced by the per-dataset stream
+        own = np.random.default_rng((self.seed, self.index, int(size)))
+        return self.base.sample(size, own)
+
+    def mass(self, rect: Rectangle) -> float:
+        return self.base.mass(rect)
+
+    def score(self, vector: np.ndarray, k: int) -> float:
+        return self.base.score(vector, k)
+
+    def score_batch(self, vectors: np.ndarray, k: int) -> np.ndarray:
+        return self.base.score_batch(vectors, k)
+
+
+class ShardedBatchExecutor:
+    """Evaluate predicate leaves over ``n_shards`` partitioned sub-engines.
+
+    Parameters
+    ----------
+    synopses:
+        One synopsis per dataset; derived as exact synopses from
+        ``repository`` when omitted.
+    repository:
+        Raw repository; used for exact synopses and the shared bounding box.
+    n_shards:
+        Number of partitions (clipped to the dataset count).
+    eps, phi, delta:
+        As for :class:`~repro.core.engine.DatasetSearchEngine`; resolved
+        once against the *global* dataset count and forced onto every shard.
+    sample_size:
+        Explicit coreset size; defaults to the global-N theoretical bound.
+    bounding_box:
+        Shared Ptile bounding box; defaults to ``repository.bounding_box()``.
+    seed:
+        Seed of the per-dataset deterministic sampling streams.
+    deterministic:
+        Wrap synopses in :class:`SeededSampleSynopsis` (default).  Disable
+        only if the synopses are already deterministic samplers.
+    max_workers:
+        Thread-pool width; defaults to ``n_shards``.  ``0`` forces serial
+        in-caller execution.
+    """
+
+    def __init__(
+        self,
+        synopses: Optional[Sequence[Synopsis]] = None,
+        repository: Optional[Repository] = None,
+        n_shards: int = 1,
+        eps: float = 0.1,
+        phi: Optional[float] = None,
+        delta: Optional[float] = None,
+        sample_size: Optional[int] = None,
+        bounding_box: Optional[Rectangle] = None,
+        seed: int = 0,
+        deterministic: bool = True,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if synopses is None and repository is None:
+            raise ConstructionError("provide synopses and/or a repository")
+        if synopses is None:
+            synopses = [ExactSynopsis(ds.points) for ds in repository]
+        synopses = list(synopses)
+        if repository is not None and len(synopses) != repository.n_datasets:
+            raise ConstructionError("one synopsis per repository dataset required")
+        dims = {s.dim for s in synopses}
+        if len(dims) != 1:
+            raise ConstructionError("all synopses must share the same dimension")
+        self.dim = dims.pop()
+        self.n_datasets = len(synopses)
+        self.eps = float(eps)
+        self.seed = int(seed)
+        if deterministic:
+            # Idempotent: synopses coming back from a previous executor
+            # (QueryService.rebuild) are already seeded — re-wrapping them
+            # would be harmless but obscures `.base` introspection.
+            synopses = [
+                s
+                if isinstance(s, SeededSampleSynopsis)
+                and (s.seed, s.index) == (self.seed, i)
+                else SeededSampleSynopsis(s, seed, i)
+                for i, s in enumerate(synopses)
+            ]
+        self.synopses = synopses
+        self.repository = repository
+
+        # Resolve the Ptile accuracy parameters once, against the global N,
+        # so every shard runs with single-engine semantics.
+        self.phi_eff = resolve_phi(phi, self.n_datasets)
+        self.sample_size = resolve_sample_size(
+            eps, phi, self.n_datasets, sample_size, self.dim
+        )
+        if bounding_box is None and repository is not None:
+            bounding_box = repository.bounding_box()
+        if bounding_box is None and deterministic:
+            bounding_box = self._bounding_box_from_synopses()
+        if (
+            bounding_box is None
+            and n_shards > 1
+            and any(s.delta_ptile is not None for s in synopses)
+        ):
+            # Non-deterministic sampling, no repository, no explicit box:
+            # every shard would auto-derive a different Ptile box from its
+            # local coresets, silently breaking the partition-independence
+            # this class documents.  Refuse rather than diverge.  Pref-only
+            # synopses are exempt — no Ptile index is ever built over them.
+            raise ConstructionError(
+                "sharding non-deterministic synopses needs an explicit "
+                "bounding_box (or a repository to derive one from)"
+            )
+        self.bounding_box = bounding_box
+        self.eps_effective = max(
+            self.eps,
+            epsilon_of_sample_size(self.sample_size, self.phi_eff, self.n_datasets),
+        )
+
+        self.shards = partition_indices(self.n_datasets, n_shards)
+        self.n_shards = len(self.shards)
+        self.engines = [
+            DatasetSearchEngine(
+                synopses=[self.synopses[i] for i in shard],
+                eps=eps,
+                phi=self.phi_eff,
+                delta=delta,
+                sample_size=self.sample_size,
+                bounding_box=self.bounding_box,
+                rng=np.random.default_rng((self.seed, s)),
+            )
+            for s, shard in enumerate(self.shards)
+        ]
+        self._locks = [threading.Lock() for _ in range(self.n_shards)]
+        self._stats_lock = threading.Lock()
+        if max_workers is None:
+            max_workers = self.n_shards
+        self._pool = (
+            ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="repro-shard"
+            )
+            if max_workers > 0 and self.n_shards > 1
+            else None
+        )
+        self.stats: dict = {"leaf_evals": 0, "shard_tasks": 0}
+
+    def _bounding_box_from_synopses(self) -> Optional[Rectangle]:
+        """A shared Ptile box in the federated (synopses-only) setting.
+
+        Without a shared box, each shard's Ptile index would auto-derive its
+        own from its local coresets and shard answers could diverge from a
+        single engine's.  Deterministic sampling means the draws below are
+        exactly the coresets the shard engines will draw later, so a padded
+        bound over them contains every shard's coresets by construction.
+        Returns None for synopses without percentile support (a Ptile index
+        can never be built over them anyway).
+        """
+        try:
+            samples = [
+                s.sample(self.sample_size, np.random.default_rng(0))
+                for s in self.synopses
+            ]
+        except CapabilityError:
+            return None
+        pts = np.vstack(samples)
+        lo, hi = pts.min(axis=0), pts.max(axis=0)
+        span = np.where(hi > lo, hi - lo, 1.0)
+        return Rectangle(lo - AUTO_BOX_PAD * span, hi + AUTO_BOX_PAD * span)
+
+    # ------------------------------------------------------------------
+    # Per-shard evaluation
+    # ------------------------------------------------------------------
+    def _pin_ptile(self, engine: DatasetSearchEngine) -> None:
+        """Build the shard's Ptile index and widen its slack to global-N."""
+        index = engine.ptile_index
+        if index.eps_effective < self.eps_effective:
+            index.eps_effective = self.eps_effective
+
+    def _eval_on_shard(
+        self, shard: int, leaves: Sequence[Predicate]
+    ) -> list[tuple[set[int], float]]:
+        """All leaves on one shard, sequentially, as *global* index sets.
+
+        Each leaf's answer is paired with its per-shard completion stamp so
+        the merge can report when the whole leaf (max over shards) finished.
+        """
+        engine = self.engines[shard]
+        mapping = self.shards[shard]
+        out: list[tuple[set[int], float]] = []
+        with self._locks[shard]:
+            for leaf in leaves:
+                if isinstance(leaf.measure, PercentileMeasure):
+                    self._pin_ptile(engine)
+                local = engine.eval_leaf(leaf)
+                out.append(({mapping[i] for i in local}, time.perf_counter()))
+        with self._stats_lock:
+            self.stats["shard_tasks"] += len(out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def eval_leaf(self, leaf: Predicate) -> frozenset[int]:
+        """One leaf across all shards; union of the per-shard answers."""
+        return self.eval_leaves([leaf])[0][0]
+
+    def eval_leaves(
+        self, leaves: Sequence[Predicate]
+    ) -> list[tuple[frozenset[int], float]]:
+        """A batch of leaves across all shards.
+
+        Returns one ``(global index set, completion time)`` pair per leaf,
+        aligned with the input order.  The completion time is the
+        ``time.perf_counter()`` instant at which the last shard finished
+        that leaf — the stamp the emit scheduler attributes to it.
+        """
+        leaves = list(leaves)
+        if not leaves:
+            return []
+        if self._pool is None:
+            per_shard = [
+                self._eval_on_shard(s, leaves) for s in range(self.n_shards)
+            ]
+        else:
+            futures = [
+                self._pool.submit(self._eval_on_shard, s, leaves)
+                for s in range(self.n_shards)
+            ]
+            per_shard = [f.result() for f in futures]
+        out: list[tuple[frozenset[int], float]] = []
+        for li in range(len(leaves)):
+            merged: set[int] = set()
+            done = 0.0
+            for s in range(self.n_shards):
+                indexes, stamp = per_shard[s][li]
+                merged |= indexes
+                done = max(done, stamp)
+            out.append((frozenset(merged), done))
+        with self._stats_lock:
+            self.stats["leaf_evals"] += len(out)
+        return out
+
+    def warm(self) -> None:
+        """Eagerly build every shard's Ptile structure (pinned)."""
+        for engine, lock in zip(self.engines, self._locks):
+            with lock:
+                self._pin_ptile(engine)
+
+    def shard_sizes(self) -> list[int]:
+        """Datasets per shard."""
+        return [len(s) for s in self.shards]
+
+    def close(self) -> None:
+        """Shut the thread pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardedBatchExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,123 @@
+"""Per-query latency and throughput accounting for the query service.
+
+Lightweight, dependency-free counters: the service records one
+:class:`QueryRecord` per answered query and the telemetry object keeps a
+bounded ring of recent latencies plus lifetime aggregates.  ``summary()``
+is JSON-ready and is what ``GET /stats`` on the HTTP endpoint returns.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class QueryRecord:
+    """What the service knows about one answered query."""
+
+    latency_s: float
+    n_leaves_raw: int
+    n_leaves_unique: int
+    cache_hits: int
+    cache_misses: int
+    out_size: int
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of a pre-sorted list (``q`` in [0, 100])."""
+    if not sorted_values:
+        return float("nan")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+class ServiceTelemetry:
+    """Aggregates :class:`QueryRecord` streams into serving metrics.
+
+    Parameters
+    ----------
+    window:
+        How many recent latencies to keep for percentile estimates; lifetime
+        totals are unaffected by the window.
+    """
+
+    def __init__(self, window: int = 4096) -> None:
+        if window < 1:
+            raise ValueError("window must be positive")
+        self._latencies: deque[float] = deque(maxlen=window)
+        # /stats may be read by one server thread while another records a
+        # query; sorting the deque mid-append raises RuntimeError otherwise.
+        self._lock = threading.Lock()
+        self.n_queries = 0
+        self.n_batches = 0
+        self.total_latency_s = 0.0
+        self.total_batch_wall_s = 0.0
+        self.total_leaves_raw = 0
+        self.total_leaves_unique = 0
+        self.total_cache_hits = 0
+        self.total_cache_misses = 0
+        self.total_out = 0
+
+    def record_query(self, record: QueryRecord) -> None:
+        with self._lock:
+            self.n_queries += 1
+            self.total_latency_s += record.latency_s
+            self.total_leaves_raw += record.n_leaves_raw
+            self.total_leaves_unique += record.n_leaves_unique
+            self.total_cache_hits += record.cache_hits
+            self.total_cache_misses += record.cache_misses
+            self.total_out += record.out_size
+            self._latencies.append(record.latency_s)
+
+    def record_batch(self, n_queries: int, wall_s: float) -> None:
+        """One ``search_batch`` call: batch count and its wall-clock time."""
+        del n_queries  # queries were recorded individually
+        with self._lock:
+            self.n_batches += 1
+            self.total_batch_wall_s += wall_s
+
+    @property
+    def throughput_qps(self) -> float:
+        """Lifetime queries per second of batch wall-clock time."""
+        if self.total_batch_wall_s <= 0.0:
+            return 0.0
+        return self.n_queries / self.total_batch_wall_s
+
+    def summary(self) -> dict:
+        """JSON-ready aggregate metrics.
+
+        Undefined values (no queries yet) are ``None``, not NaN —
+        ``json.dumps`` would emit the non-standard ``NaN`` literal that
+        strict JSON parsers reject.
+        """
+        with self._lock:
+            recent = sorted(self._latencies)
+
+        def defined(value: float) -> Optional[float]:
+            return None if math.isnan(value) else value
+
+        mean = (
+            self.total_latency_s / self.n_queries if self.n_queries else float("nan")
+        )
+        return {
+            "n_queries": self.n_queries,
+            "n_batches": self.n_batches,
+            "throughput_qps": self.throughput_qps,
+            "latency_mean_s": defined(mean),
+            "latency_p50_s": defined(percentile(recent, 50.0)),
+            "latency_p95_s": defined(percentile(recent, 95.0)),
+            "latency_max_s": recent[-1] if recent else None,
+            "leaves_raw": self.total_leaves_raw,
+            "leaves_unique": self.total_leaves_unique,
+            "cache_hits": self.total_cache_hits,
+            "cache_misses": self.total_cache_misses,
+            "mean_out_size": defined(
+                self.total_out / self.n_queries if self.n_queries else float("nan")
+            ),
+        }

@@ -1,12 +1,15 @@
-"""Query workload generators: rectangles, vectors, thresholds."""
+"""Query workload generators: rectangles, vectors, thresholds, batches."""
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core.measures import PercentileMeasure, PreferenceMeasure
+from repro.core.predicates import And, Expression, Or, Predicate
 from repro.errors import ConstructionError
+from repro.geometry.interval import Interval
 from repro.geometry.rectangle import Rectangle
 
 
@@ -51,3 +54,86 @@ def threshold_grid(lo: float, hi: float, steps: int) -> np.ndarray:
     if steps < 1:
         raise ConstructionError("steps must be positive")
     return np.linspace(lo, hi, steps)
+
+
+def _fresh_leaf(
+    dim: int,
+    rng: np.random.Generator,
+    pref_fraction: float,
+    ambient: Optional[Rectangle],
+    ks: Sequence[int],
+    tau_range: tuple[float, float],
+) -> Predicate:
+    if rng.uniform() < pref_fraction:
+        vector = random_unit_vectors(1, dim, rng)[0]
+        k = int(rng.choice(np.asarray(ks)))
+        tau = float(rng.uniform(*tau_range))
+        return Predicate(PreferenceMeasure(vector, k=k), Interval.at_least(tau))
+    rect = random_rectangles(1, dim, rng, ambient=ambient)[0]
+    lo = float(rng.uniform(0.0, 0.6))
+    if rng.uniform() < 0.5:
+        theta = Interval.at_least(lo)
+    else:
+        theta = Interval(lo, min(1.0, lo + float(rng.uniform(0.1, 0.4))))
+    return Predicate(PercentileMeasure(rect), theta)
+
+
+def batched_query_workload(
+    n_queries: int,
+    dim: int,
+    rng: np.random.Generator,
+    pref_fraction: float = 0.3,
+    duplicate_leaf_rate: float = 0.5,
+    max_leaves: int = 3,
+    ambient: Optional[Rectangle] = None,
+    ks: Sequence[int] = (3, 5),
+    tau_range: tuple[float, float] = (0.2, 1.0),
+) -> list[Expression]:
+    """A batch of mixed Ptile/Pref logical expressions with shared leaves.
+
+    Models the leaf-repetition structure of production query streams: many
+    queries reuse popular sub-predicates ("crime rate in Brooklyn above
+    10%") while the rest of the expression varies.  Each query draws
+    1..``max_leaves`` leaves; every leaf slot is, with probability
+    ``duplicate_leaf_rate``, a uniform draw from the pool of previously
+    generated leaves (both within and across queries), and otherwise a
+    fresh leaf appended to the pool.  Multi-leaf queries combine their
+    leaves with uniformly random And/Or folds.
+
+    ``duplicate_leaf_rate = 0`` yields an all-distinct workload (worst case
+    for a leaf cache); rates close to 1 yield heavy sharing (best case).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> batch = batched_query_workload(8, 2, np.random.default_rng(0),
+    ...                                duplicate_leaf_rate=0.8)
+    >>> len(batch)
+    8
+    """
+    if n_queries < 1:
+        raise ConstructionError("n_queries must be positive")
+    if not 0.0 <= duplicate_leaf_rate <= 1.0:
+        raise ConstructionError("duplicate_leaf_rate must be in [0, 1]")
+    if not 0.0 <= pref_fraction <= 1.0:
+        raise ConstructionError("pref_fraction must be in [0, 1]")
+    if max_leaves < 1:
+        raise ConstructionError("max_leaves must be positive")
+    pool: list[Predicate] = []
+
+    def draw_leaf() -> Predicate:
+        if pool and rng.uniform() < duplicate_leaf_rate:
+            return pool[int(rng.integers(0, len(pool)))]
+        leaf = _fresh_leaf(dim, rng, pref_fraction, ambient, ks, tau_range)
+        pool.append(leaf)
+        return leaf
+
+    queries: list[Expression] = []
+    for _ in range(n_queries):
+        n_leaves = int(rng.integers(1, max_leaves + 1))
+        expr: Expression = draw_leaf()
+        for _ in range(n_leaves - 1):
+            other = draw_leaf()
+            expr = And([expr, other]) if rng.uniform() < 0.5 else Or([expr, other])
+        queries.append(expr)
+    return queries

@@ -1,0 +1,92 @@
+"""Tests for the LRU leaf-result cache."""
+
+import pytest
+
+from repro.service.cache import LeafResultCache
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self):
+        cache = LeafResultCache(capacity=4)
+        assert cache.get("k") is None
+        cache.put("k", {1, 2})
+        assert cache.get("k") == frozenset({1, 2})
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_values_are_frozen(self):
+        cache = LeafResultCache(capacity=4)
+        source = {1, 2}
+        cache.put("k", source)
+        source.add(99)  # mutating the caller's set must not leak in
+        assert cache.get("k") == frozenset({1, 2})
+
+    def test_contains_does_not_touch_stats(self):
+        cache = LeafResultCache(capacity=4)
+        cache.put("k", {1})
+        assert "k" in cache and "other" not in cache
+        assert cache.stats.lookups == 0
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache = LeafResultCache(capacity=2)
+        cache.put("a", {1})
+        cache.put("b", {2})
+        assert cache.get("a") is not None  # refresh `a`; `b` is now LRU
+        cache.put("c", {3})
+        assert cache.get("b") is None and cache.get("a") is not None
+        assert cache.stats.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = LeafResultCache(capacity=2)
+        cache.put("a", {1})
+        cache.put("b", {2})
+        cache.put("a", {1, 5})  # refresh value + recency
+        cache.put("c", {3})
+        assert cache.get("a") == frozenset({1, 5})
+        assert cache.get("b") is None
+
+    def test_zero_capacity_disables(self):
+        cache = LeafResultCache(capacity=0)
+        cache.put("a", {1})
+        assert cache.get("a") is None and len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LeafResultCache(capacity=-1)
+
+
+class TestInvalidation:
+    def test_invalidate_clears_and_bumps_generation(self):
+        cache = LeafResultCache(capacity=4)
+        cache.put("a", {1})
+        cache.put("b", {2})
+        gen = cache.generation
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.get("a") is None
+        assert cache.generation == gen + 1
+        assert cache.stats.invalidations == 1
+
+    def test_stale_generation_write_dropped(self):
+        # A computation that began before invalidate() must not poison the
+        # fresh cache with answers for the old synopsis set.
+        cache = LeafResultCache(capacity=4)
+        gen = cache.generation
+        cache.invalidate()  # synopsis set changes mid-computation
+        cache.put("a", {1, 2}, generation=gen)
+        assert cache.get("a") is None
+        cache.put("a", {3}, generation=cache.generation)  # current gen: kept
+        assert cache.get("a") == frozenset({3})
+
+    def test_snapshot_shape(self):
+        cache = LeafResultCache(capacity=4)
+        cache.put("a", {1})
+        cache.get("a")
+        snap = cache.snapshot()
+        assert snap["size"] == 1 and snap["capacity"] == 4
+        assert snap["hits"] == 1 and snap["hit_rate"] == 1.0
+        assert {"evictions", "invalidations", "generation", "max_size_seen"} <= set(
+            snap
+        )

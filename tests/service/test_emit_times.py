@@ -1,0 +1,83 @@
+"""Tests for the per-leaf emit-time fix in ``DatasetSearchEngine.search``.
+
+The seed stamped every emitted index with ``end_time``, making every delay
+diagnostic read zero-gap-then-everything.  Now leaves are evaluated one at a
+time (deduplicated through the planner) and each index is stamped with the
+completion time of the leaf at which its membership became determined.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import DatasetSearchEngine
+from repro.core.framework import Repository
+from repro.core.measures import PercentileMeasure
+from repro.core.predicates import And, Or, pred
+from repro.geometry.rectangle import Rectangle
+
+
+@pytest.fixture(scope="module")
+def engine():
+    # Datasets 0-4 live entirely in [0, 0.5], datasets 5-9 entirely in
+    # (0.5, 1]: with thresholds at 0.9 the two leaves report disjoint
+    # halves even after the eps + 2*delta precision slack widens them.
+    rng = np.random.default_rng(6)
+    arrays = [rng.uniform(0.0, 0.5, size=(200, 1)) for _ in range(5)]
+    arrays += [rng.uniform(0.5000001, 1.0, size=(200, 1)) for _ in range(5)]
+    repo = Repository.from_arrays(arrays)
+    return DatasetSearchEngine(
+        repository=repo, eps=0.2, sample_size=16, rng=np.random.default_rng(1)
+    )
+
+
+LEFT = pred(PercentileMeasure(Rectangle([0.0], [0.5])), 0.9)
+RIGHT = pred(PercentileMeasure(Rectangle([0.5], [1.0])), 0.9)
+
+
+class TestEmitTimes:
+    def test_stamps_are_within_query_window_and_monotone(self, engine):
+        res = engine.search(Or([LEFT, RIGHT]), record_times=True)
+        assert len(res.emit_times) == len(res.indexes) > 0
+        for t in res.emit_times:
+            assert res.start_time < t < res.end_time
+        assert res.emit_times == sorted(res.emit_times)
+
+    def test_not_all_stamps_equal_end_time(self, engine):
+        # The seed bug: every stamp was exactly end_time.  An Or of two
+        # leaves must stamp the first leaf's contribution strictly earlier.
+        res = engine.search(Or([LEFT, RIGHT]), record_times=True)
+        assert any(t < res.end_time for t in res.emit_times)
+        assert len(set(res.emit_times)) >= 2
+
+    def test_or_emits_before_second_leaf(self, engine):
+        res = engine.search(Or([LEFT, RIGHT]), record_times=True)
+        # Some dataset satisfies the first-evaluated leaf, so at least one
+        # emission happens at the first leaf's completion — i.e. strictly
+        # before the last stamp.
+        assert min(res.emit_times) < max(res.emit_times)
+
+    def test_and_emits_only_at_final_leaf(self, engine):
+        res = engine.search(And([LEFT, RIGHT]), record_times=True)
+        if res.indexes:  # conjunction membership needs every leaf known
+            assert len(set(res.emit_times)) == 1
+
+    def test_same_answer_as_untimed_search(self, engine):
+        for expr in (LEFT, Or([LEFT, RIGHT]), And([LEFT, RIGHT])):
+            timed = engine.search(expr, record_times=True)
+            untimed = engine.search(expr)
+            assert sorted(timed.indexes) == untimed.indexes
+
+    def test_duplicate_leaf_evaluated_once(self, engine):
+        # And(x, x) must produce the same schedule as x alone: the planner
+        # deduplicates, so there is exactly one leaf completion.
+        res = engine.search(And([LEFT, LEFT]), record_times=True)
+        assert len(set(res.emit_times)) <= 1 or res.indexes == []
+        single = engine.search(LEFT, record_times=True)
+        assert sorted(res.indexes) == sorted(single.indexes)
+
+    def test_delays_are_meaningful(self, engine):
+        res = engine.search(Or([LEFT, RIGHT]), record_times=True)
+        gaps = res.delays()
+        assert len(gaps) == len(res.indexes) + 1
+        assert all(g >= 0.0 for g in gaps)
+        assert res.max_delay() > 0.0

@@ -1,0 +1,171 @@
+"""Tests for the HTTP JSON endpoint and the expression wire format."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.framework import Repository
+from repro.core.measures import PercentileMeasure, PreferenceMeasure
+from repro.core.predicates import And, Or, Predicate, pred
+from repro.errors import QueryError
+from repro.geometry.interval import Interval
+from repro.geometry.rectangle import Rectangle
+from repro.service import QueryService
+from repro.service.server import (
+    expression_from_json,
+    expression_to_json,
+    make_server,
+)
+from repro.workloads.generators import synthetic_data_lake
+
+
+class TestWireFormat:
+    def test_leaf_round_trip(self):
+        ptile = pred(PercentileMeasure(Rectangle([0.0, 0.1], [0.5, 0.9])), 0.2, 0.6)
+        pref = Predicate(
+            PreferenceMeasure(np.array([1.0, 0.0]), k=3), Interval.at_least(0.7)
+        )
+        for leaf in (ptile, pref):
+            back = expression_from_json(expression_to_json(leaf))
+            assert back.canonical_key() == leaf.canonical_key()
+
+    def test_threshold_theta_round_trip(self):
+        leaf = pred(PercentileMeasure(Rectangle([0.0], [1.0])), 0.3)  # [0.3, inf)
+        obj = expression_to_json(leaf)
+        assert obj["theta"] == [0.3]
+        back = expression_from_json(obj)
+        assert back.canonical_key() == leaf.canonical_key()
+
+    def test_open_interval_refuses_to_serialize(self):
+        # The wire format carries no open/closed flags; round-tripping an
+        # open interval as closed would flip boundary membership.
+        leaf = Predicate(
+            PercentileMeasure(Rectangle([0.0], [1.0])),
+            Interval(0.2, 0.6, lo_open=True),
+        )
+        with pytest.raises(QueryError):
+            expression_to_json(leaf)
+
+    def test_pref_range_interval_refuses_to_serialize(self):
+        # The engine answers only one-sided pref predicates; a silent
+        # round-trip through [a, inf) would weaken [a, b].
+        leaf = Predicate(
+            PreferenceMeasure(np.array([1.0]), k=2), Interval(0.2, 0.5)
+        )
+        with pytest.raises(QueryError):
+            expression_to_json(leaf)
+
+    def test_nested_round_trip(self):
+        a = pred(PercentileMeasure(Rectangle([0.0], [0.5])), 0.2)
+        b = pred(PercentileMeasure(Rectangle([0.5], [1.0])), 0.1, 0.8)
+        c = Predicate(
+            PreferenceMeasure(np.array([1.0]), k=2), Interval.at_least(0.5)
+        )
+        expr = And([Or([a, b]), c])
+        back = expression_from_json(expression_to_json(expr))
+        assert back.canonical_key() == expr.canonical_key()
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            42,
+            {"no_op": 1},
+            {"op": "nand", "children": []},
+            {"op": "and", "children": []},
+            {"op": "ptile", "lo": [0.0]},  # missing hi/theta
+            {"op": "ptile", "lo": [0.0], "hi": [1.0], "theta": []},
+            {"op": "pref", "vector": [1.0]},  # missing k/tau
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(QueryError):
+            expression_from_json(bad)
+
+
+@pytest.fixture(scope="module")
+def server_url():
+    lake = synthetic_data_lake(
+        10, 1, np.random.default_rng(0), family="clustered", median_size=120
+    )
+    service = QueryService(
+        repository=Repository.from_arrays(lake),
+        n_shards=2,
+        eps=0.2,
+        sample_size=8,
+        seed=1,
+    )
+    httpd = make_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address
+    yield f"http://{host}:{port}"
+    httpd.shutdown()
+    httpd.server_close()
+    service.close()
+
+
+def _get(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def _post(url: str, payload: dict) -> dict:
+    req = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"), method="POST"
+    )
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+PTILE = {"op": "ptile", "lo": [0.0], "hi": [0.6], "theta": [0.05]}
+PREF = {"op": "pref", "vector": [1.0], "k": 2, "tau": 0.1}
+
+
+class TestEndpoints:
+    def test_healthz(self, server_url):
+        out = _get(server_url + "/healthz")
+        assert out == {"status": "ok", "n_datasets": 10, "n_shards": 2}
+
+    def test_search(self, server_url):
+        out = _post(server_url + "/search", {"expression": PTILE})
+        assert sorted(out["indexes"]) == out["indexes"]
+        assert set(out["indexes"]) <= set(range(10))
+        assert out["stats"]["n_leaves_unique"] == 1
+
+    def test_search_and_expression(self, server_url):
+        out = _post(
+            server_url + "/search",
+            {"expression": {"op": "and", "children": [PTILE, PREF]}},
+        )
+        both = _post(server_url + "/search", {"expression": PTILE})
+        assert set(out["indexes"]) <= set(both["indexes"])
+
+    def test_batch(self, server_url):
+        out = _post(
+            server_url + "/search/batch", {"expressions": [PTILE, PREF, PTILE]}
+        )
+        assert len(out["results"]) == 3
+        assert out["results"][0]["indexes"] == out["results"][2]["indexes"]
+
+    def test_stats_and_invalidate(self, server_url):
+        _post(server_url + "/search", {"expression": PTILE})
+        stats = _get(server_url + "/stats")
+        assert stats["telemetry"]["n_queries"] >= 1
+        gen = stats["cache"]["generation"]
+        out = _post(server_url + "/cache/invalidate", {})
+        assert out["generation"] == gen + 1
+
+    def test_bad_expression_is_400(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(server_url + "/search", {"expression": {"op": "nope"}})
+        assert err.value.code == 400
+        assert "error" in json.loads(err.value.read().decode("utf-8"))
+
+    def test_unknown_path_404(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server_url + "/nope")
+        assert err.value.code == 404

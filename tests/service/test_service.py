@@ -1,0 +1,301 @@
+"""Tests for the sharded executor and the QueryService facade.
+
+The load-bearing property is *shard-merge equivalence*: on fixed seeds a
+``QueryService`` with any shard count must return exactly the index sets a
+single ``DatasetSearchEngine`` returns, because each dataset lives in one
+shard and the executor pins sampling and query slack to global-N semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import DatasetSearchEngine
+from repro.core.framework import Repository
+from repro.errors import ConstructionError
+from repro.service import QueryService
+from repro.service.sharding import (
+    SeededSampleSynopsis,
+    ShardedBatchExecutor,
+    partition_indices,
+)
+from repro.synopsis.exact import ExactSynopsis
+from repro.workloads.generators import synthetic_data_lake
+from repro.workloads.queries import batched_query_workload
+
+N_DATASETS = 24
+EPS = 0.2
+SAMPLE_SIZE = 12
+SEED = 17
+
+
+@pytest.fixture(scope="module")
+def lake():
+    return synthetic_data_lake(
+        N_DATASETS, 1, np.random.default_rng(2), family="clustered", median_size=150
+    )
+
+
+@pytest.fixture(scope="module")
+def repo(lake):
+    return Repository.from_arrays(lake)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return batched_query_workload(
+        24, 1, np.random.default_rng(3), duplicate_leaf_rate=0.5, max_leaves=3
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_engine(lake, repo):
+    """A single engine with the service's deterministic sampling semantics."""
+    probe = ShardedBatchExecutor(
+        repository=repo, n_shards=1, eps=EPS, sample_size=SAMPLE_SIZE, seed=SEED
+    )
+    engine = DatasetSearchEngine(
+        synopses=[
+            SeededSampleSynopsis(ExactSynopsis(p), SEED, i)
+            for i, p in enumerate(lake)
+        ],
+        repository=repo,
+        eps=EPS,
+        phi=probe.phi_eff,
+        sample_size=probe.sample_size,
+        bounding_box=repo.bounding_box(),
+        rng=np.random.default_rng(0),
+    )
+    probe.close()
+    return engine
+
+
+class TestPartition:
+    def test_balanced_contiguous(self):
+        parts = partition_indices(10, 3)
+        assert parts == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+        assert [i for p in parts for i in p] == list(range(10))
+
+    def test_clips_to_n(self):
+        assert partition_indices(2, 8) == [[0], [1]]
+
+    def test_validation(self):
+        with pytest.raises(ConstructionError):
+            partition_indices(0, 2)
+        with pytest.raises(ConstructionError):
+            partition_indices(5, 0)
+
+
+class TestSeededSynopsis:
+    def test_sample_is_partition_independent(self, lake):
+        base = ExactSynopsis(lake[0])
+        w1 = SeededSampleSynopsis(base, seed=5, index=3)
+        w2 = SeededSampleSynopsis(base, seed=5, index=3)
+        # Different caller streams, identical draws:
+        s1 = w1.sample(8, np.random.default_rng(111))
+        s2 = w2.sample(8, np.random.default_rng(999))
+        assert np.array_equal(s1, s2)
+        # Repeated draws are stable too:
+        assert np.array_equal(s1, w1.sample(8, np.random.default_rng(0)))
+
+    def test_distinct_index_distinct_sample(self, lake):
+        base = ExactSynopsis(lake[0])
+        a = SeededSampleSynopsis(base, seed=5, index=0).sample(
+            8, np.random.default_rng(0)
+        )
+        b = SeededSampleSynopsis(base, seed=5, index=1).sample(
+            8, np.random.default_rng(0)
+        )
+        assert not np.array_equal(a, b)
+
+    def test_delegates_metadata(self, lake):
+        base = ExactSynopsis(lake[0])
+        w = SeededSampleSynopsis(base, seed=0, index=0)
+        assert w.dim == base.dim and w.n_points == base.n_points
+        assert w.delta_ptile == base.delta_ptile
+        assert w.delta_pref == base.delta_pref
+
+
+class TestShardMergeEquivalence:
+    @pytest.mark.parametrize("n_shards", [1, 3, 4])
+    def test_identical_to_single_engine(
+        self, repo, queries, reference_engine, n_shards
+    ):
+        with QueryService(
+            repository=repo,
+            n_shards=n_shards,
+            eps=EPS,
+            sample_size=SAMPLE_SIZE,
+            seed=SEED,
+        ) as service:
+            got = [r.indexes for r in service.search_batch(queries)]
+        expected = [sorted(reference_engine._eval(q)) for q in queries]
+        assert got == expected
+
+    def test_serial_pool_matches_threaded(self, repo, queries):
+        kwargs = dict(repository=repo, eps=EPS, sample_size=SAMPLE_SIZE, seed=SEED)
+        with QueryService(n_shards=4, **kwargs) as threaded, QueryService(
+            n_shards=4, max_workers=0, **kwargs
+        ) as serial:
+            a = [r.indexes for r in threaded.search_batch(queries)]
+            b = [r.indexes for r in serial.search_batch(queries)]
+        assert a == b
+
+    def test_federated_synopses_only_matches_single_engine(self, lake, queries):
+        # No repository, no explicit bounding box: the executor must derive
+        # one shared box (from the deterministic coresets) instead of
+        # letting every shard auto-derive its own.
+        synopses = [ExactSynopsis(p) for p in lake]
+        with QueryService(
+            synopses=synopses, n_shards=4, eps=EPS, sample_size=SAMPLE_SIZE,
+            seed=SEED,
+        ) as service:
+            assert service.executor.bounding_box is not None
+            got = [r.indexes for r in service.search_batch(queries)]
+        single = DatasetSearchEngine(
+            synopses=list(service.executor.synopses),
+            eps=EPS,
+            phi=service.executor.phi_eff,
+            sample_size=service.executor.sample_size,
+            bounding_box=service.executor.bounding_box,
+            rng=np.random.default_rng(0),
+        )
+        assert got == [sorted(single._eval(q)) for q in queries]
+
+    def test_every_dataset_in_exactly_one_shard(self, repo):
+        with QueryService(
+            repository=repo, n_shards=5, eps=EPS, sample_size=SAMPLE_SIZE
+        ) as service:
+            shards = service.executor.shards
+            flat = [i for shard in shards for i in shard]
+            assert sorted(flat) == list(range(repo.n_datasets))
+            assert sum(service.executor.shard_sizes()) == repo.n_datasets
+
+
+class TestServiceFacade:
+    @pytest.fixture(scope="class")
+    def service(self, repo):
+        with QueryService(
+            repository=repo,
+            n_shards=3,
+            eps=EPS,
+            sample_size=SAMPLE_SIZE,
+            seed=SEED,
+            cache_capacity=1024,
+        ) as svc:
+            yield svc
+
+    def test_single_equals_batch(self, service, queries):
+        batch = service.search_batch(queries[:6])
+        singles = [service.search(q) for q in queries[:6]]
+        assert [r.indexes for r in batch] == [r.indexes for r in singles]
+
+    def test_cache_hits_on_repeat(self, repo, queries):
+        with QueryService(
+            repository=repo, n_shards=2, eps=EPS, sample_size=SAMPLE_SIZE
+        ) as svc:
+            svc.search_batch(queries)
+            misses_after_cold = svc.cache.stats.misses
+            svc.search_batch(queries)
+            assert svc.cache.stats.misses == misses_after_cold  # all warm
+            assert svc.cache.stats.hit_rate > 0.0
+            # invalidation forces recomputation
+            svc.invalidate_cache()
+            svc.search_batch(queries)
+            assert svc.cache.stats.misses > misses_after_cold
+
+    def test_answers_unchanged_after_invalidate(self, service, queries):
+        before = [r.indexes for r in service.search_batch(queries[:8])]
+        service.invalidate_cache()
+        after = [r.indexes for r in service.search_batch(queries[:8])]
+        assert before == after
+
+    def test_record_times_schedule(self, service, queries):
+        result = service.search(queries[0], record_times=True)
+        assert len(result.emit_times) == len(result.indexes)
+        assert result.start_time is not None and result.end_time is not None
+        for t in result.emit_times:
+            assert result.start_time <= t <= result.end_time
+        assert result.emit_times == sorted(result.emit_times)
+        # emission order, not sorted index order — but same set as untimed
+        untimed = service.search(queries[0])
+        assert sorted(result.indexes) == untimed.indexes
+
+    def test_stats_shape(self, service, queries):
+        service.search_batch(queries[:4])
+        stats = service.stats()
+        assert stats["n_datasets"] == N_DATASETS
+        assert stats["n_shards"] == 3
+        assert sum(stats["shard_sizes"]) == N_DATASETS
+        assert stats["telemetry"]["n_queries"] >= 4
+        assert stats["telemetry"]["throughput_qps"] > 0.0
+        assert 0.0 <= stats["cache"]["hit_rate"] <= 1.0
+
+    def test_ground_truth_requires_repository(self, lake, queries):
+        with QueryService(
+            synopses=[ExactSynopsis(p) for p in lake],
+            eps=EPS,
+            sample_size=SAMPLE_SIZE,
+        ) as svc:
+            from repro.errors import QueryError
+
+            with pytest.raises(QueryError):
+                svc.ground_truth(queries[0])
+
+    def test_recall_against_ground_truth(self, service, repo, queries):
+        # The paper's guarantee survives the service layer: exact recall.
+        for q in queries[:10]:
+            truth = service.ground_truth(q)
+            got = set(service.search(q).indexes)
+            assert truth <= got
+
+    def test_rebuild_keeps_user_synopses(self, lake, repo, queries):
+        # rebuild() without arguments must not swap user-supplied synopses
+        # for repository-derived exact ones.
+        synopses = [ExactSynopsis(p) for p in lake]
+        with QueryService(
+            repository=repo,
+            synopses=synopses,
+            n_shards=2,
+            eps=EPS,
+            sample_size=SAMPLE_SIZE,
+            seed=SEED,
+        ) as svc:
+            before = [s.base for s in svc.executor.synopses]
+            assert before == synopses
+            svc.rebuild(n_shards=3)
+            assert [s.base for s in svc.executor.synopses] == synopses
+
+    def test_rebuild_invalidates_and_reshards(self, repo, queries):
+        with QueryService(
+            repository=repo, n_shards=2, eps=EPS, sample_size=SAMPLE_SIZE, seed=SEED
+        ) as svc:
+            before = [r.indexes for r in svc.search_batch(queries[:5])]
+            svc.rebuild(n_shards=4)
+            assert svc.n_shards == 4
+            assert svc.cache.generation == 1 and len(svc.cache) == 0
+            after = [r.indexes for r in svc.search_batch(queries[:5])]
+            assert before == after  # same data, same answers
+
+    def test_construction_validation(self):
+        with pytest.raises(ConstructionError):
+            QueryService()
+
+    def test_nondeterministic_sharding_needs_box(self, lake):
+        # deterministic=False with neither repository nor bounding_box would
+        # give every shard a different auto-derived Ptile box.
+        synopses = [ExactSynopsis(p) for p in lake]
+        with pytest.raises(ConstructionError):
+            QueryService(
+                synopses=synopses, n_shards=2, deterministic=False, eps=EPS,
+                sample_size=SAMPLE_SIZE,
+            )
+
+    def test_stats_json_clean_before_first_query(self, repo):
+        import json
+
+        with QueryService(
+            repository=repo, n_shards=2, eps=EPS, sample_size=SAMPLE_SIZE
+        ) as svc:
+            body = json.dumps(svc.stats())
+            assert "NaN" not in body
+            assert json.loads(body)["telemetry"]["latency_p50_s"] is None

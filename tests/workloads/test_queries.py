@@ -3,9 +3,12 @@
 import numpy as np
 import pytest
 
+from repro.core.measures import PercentileMeasure, PreferenceMeasure
+from repro.core.predicates import Predicate
 from repro.errors import ConstructionError
 from repro.geometry.rectangle import Rectangle
 from repro.workloads.queries import (
+    batched_query_workload,
     random_rectangles,
     random_unit_vectors,
     threshold_grid,
@@ -52,3 +55,49 @@ class TestThresholds:
     def test_validation(self):
         with pytest.raises(ConstructionError):
             threshold_grid(0.0, 1.0, 0)
+
+
+def _leaf_keys(expressions):
+    return [leaf.canonical_key() for e in expressions for leaf in e.leaves()]
+
+
+class TestBatchedWorkload:
+    def test_shapes_and_leaf_mix(self, rng):
+        batch = batched_query_workload(
+            40, 2, rng, pref_fraction=0.5, duplicate_leaf_rate=0.3, max_leaves=4
+        )
+        assert len(batch) == 40
+        kinds = set()
+        for expr in batch:
+            leaves = list(expr.leaves())
+            assert 1 <= len(leaves) <= 4
+            for leaf in leaves:
+                assert isinstance(leaf, Predicate)
+                kinds.add(type(leaf.measure))
+        assert kinds == {PercentileMeasure, PreferenceMeasure}
+
+    def test_duplicate_rate_controls_sharing(self):
+        dup = batched_query_workload(
+            60, 1, np.random.default_rng(3), duplicate_leaf_rate=0.9, max_leaves=3
+        )
+        fresh = batched_query_workload(
+            60, 1, np.random.default_rng(3), duplicate_leaf_rate=0.0, max_leaves=3
+        )
+        dup_keys = _leaf_keys(dup)
+        fresh_keys = _leaf_keys(fresh)
+        assert len(set(dup_keys)) < len(dup_keys)          # heavy reuse
+        assert len(set(fresh_keys)) == len(fresh_keys)     # all distinct
+        assert len(set(dup_keys)) < len(set(fresh_keys))
+
+    def test_deterministic_given_seed(self):
+        a = batched_query_workload(10, 2, np.random.default_rng(5))
+        b = batched_query_workload(10, 2, np.random.default_rng(5))
+        assert [e.canonical_key() for e in a] == [e.canonical_key() for e in b]
+
+    def test_validation(self, rng):
+        with pytest.raises(ConstructionError):
+            batched_query_workload(0, 2, rng)
+        with pytest.raises(ConstructionError):
+            batched_query_workload(5, 2, rng, duplicate_leaf_rate=1.5)
+        with pytest.raises(ConstructionError):
+            batched_query_workload(5, 2, rng, max_leaves=0)

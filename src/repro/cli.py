@@ -12,7 +12,12 @@ Subcommands
 ``serve``
     Build a :class:`~repro.service.QueryService` over a synthetic lake and
     expose it over a stdlib-HTTP JSON endpoint (see
-    :mod:`repro.service.server` for the wire format).
+    :mod:`repro.service.server` for the wire format), including the live
+    mutation API (``POST /datasets`` / ``DELETE /datasets``).
+``demo-mutation``
+    Run a churn stream (query batches interleaved with live dataset
+    ingestion and removal) against a query service and report per-event
+    latencies plus how warm the leaf cache stayed across mutations.
 
 Examples
 --------
@@ -22,6 +27,7 @@ Examples
     python -m repro.cli demo-pref --n 40 --k 5 --tau 0.8
     python -m repro.cli lake-stats --n 10 --family gaussian
     python -m repro.cli serve --n 100 --shards 4 --port 8765
+    python -m repro.cli demo-mutation --n 24 --events 20 --shards 2
 """
 
 from __future__ import annotations
@@ -117,6 +123,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         eps=args.eps,
         sample_size=args.sample_size,
         seed=args.seed,
+        capacity=args.capacity,
     )
     print(
         f"serving {repo.n_datasets} datasets (d = {repo.dim}, family = "
@@ -141,6 +148,73 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"try: curl -s -X POST -d '{example}' "
           f"http://{args.host}:{args.port}/search")
     serve(service, host=args.host, port=args.port)
+    return 0
+
+
+def cmd_demo_mutation(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.framework import Repository
+    from repro.geometry.rectangle import Rectangle
+    from repro.service import QueryService
+    from repro.workloads.queries import ambient_gaussian_dataset, mutation_workload
+
+    rng = np.random.default_rng(args.seed)
+    ambient = Rectangle([0.0] * args.dim, [1.0] * args.dim)
+    lake = [
+        ambient_gaussian_dataset(rng, ambient, args.median_size)
+        for _ in range(args.n)
+    ]
+    service = QueryService(
+        repository=Repository.from_arrays(lake),
+        n_shards=args.shards,
+        eps=args.eps,
+        sample_size=args.sample_size,
+        seed=args.seed,
+        bounding_box=ambient,
+        capacity=args.capacity if args.capacity is not None else 4 * args.n,
+    )
+    service.warm()
+    events = mutation_workload(
+        args.events, args.dim, rng, n_initial=args.n, ambient=ambient
+    )
+    table = TableReporter(
+        f"churn stream: {args.n} initial datasets, {args.events} events, "
+        f"{service.n_shards} shard(s)",
+        ["event", "kind", "detail", "latency (ms)", "hits", "upgrades",
+         "misses", "live"],
+    )
+    for ei, (kind, payload) in enumerate(events):
+        before = service.cache.snapshot()
+        t0 = time.perf_counter()
+        if kind == "queries":
+            service.search_batch(payload)
+            detail = f"{len(payload)} queries"
+        elif kind == "add":
+            receipt = service.add_datasets(payload)
+            detail = f"+{len(payload)} datasets" + (
+                " (rebuilt)" if receipt["rebuilt"] else ""
+            )
+        else:
+            service.remove_datasets(payload)
+            detail = f"-{payload}"
+        ms = (time.perf_counter() - t0) * 1e3
+        after = service.cache.snapshot()
+        table.add_row(
+            [ei, kind, detail, ms,
+             after["hits"] - before["hits"],
+             after["upgrades"] - before["upgrades"],
+             after["misses"] - before["misses"],
+             service.n_live]
+        )
+    table.print()
+    snap = service.cache.snapshot()
+    print(
+        f"cache after churn: hit rate {snap['hit_rate']:.2f}, "
+        f"{snap['upgrades']} upgrades, {snap['invalidations']} invalidations "
+        f"(mutations do not flush the cache)"
+    )
+    service.close()
     return 0
 
 
@@ -202,7 +276,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=8765)
     p.add_argument("--warm", action="store_true",
                    help="build shard indexes before accepting requests")
+    p.add_argument("--capacity", type=int, default=None,
+                   help="dataset capacity the accuracy contract is sized "
+                        "for (enables live ingestion up to this count "
+                        "without precision drift)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "demo-mutation",
+        help="run a churn stream (queries + live ingest/remove) and report "
+             "cache warmth",
+    )
+    # Not _add_lake_args: churn data is always ambient Gaussian blobs (the
+    # mutation_workload distribution), so a --family flag would be a no-op.
+    p.add_argument("--n", type=int, default=24, help="initial dataset count")
+    p.add_argument("--dim", type=int, default=1, help="dimension d")
+    p.add_argument("--median-size", type=int, default=150,
+                   help="points per dataset")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--eps", type=float, default=0.2)
+    p.add_argument("--sample-size", type=int, default=16,
+                   help="coreset size override (default 16: keeps the demo "
+                        "interactive)")
+    p.add_argument("--shards", type=int, default=2)
+    p.add_argument("--events", type=int, default=20,
+                   help="length of the churn stream")
+    p.add_argument("--capacity", type=int, default=None,
+                   help="accuracy-contract capacity (default: 4x the "
+                        "initial dataset count)")
+    p.set_defaults(func=cmd_demo_mutation)
 
     return parser
 

@@ -210,6 +210,30 @@ class DatasetSearchEngine:
     _eval_leaf = eval_leaf
 
     # ------------------------------------------------------------------
+    # Dynamics (Remark 1)
+    # ------------------------------------------------------------------
+    def insert_synopsis(self, synopsis: Synopsis, delta: Optional[float] = None) -> int:
+        """Dynamically add a dataset; returns its index (``= old N``).
+
+        Structures that are already built are updated in place (the Ptile
+        range structure and every cached Pref structure support Remark 1
+        insertions); lazily-built ones will simply include the new synopsis
+        when first constructed.  The raw ``repository`` — used only for
+        ground truth — is not extended here; callers that track it (e.g. the
+        service layer) extend it themselves.
+        """
+        if synopsis.dim != self.dim:
+            raise ConstructionError("synopsis dimension mismatch")
+        if delta is None:
+            delta = self._delta
+        self.synopses.append(synopsis)
+        if self._ptile is not None:
+            self._ptile.insert_synopsis(synopsis, delta=delta)
+        for index in self._pref.values():
+            index.insert_synopsis(synopsis, delta=delta)
+        return len(self.synopses) - 1
+
+    # ------------------------------------------------------------------
     # Ground truth (centralized only)
     # ------------------------------------------------------------------
     def ground_truth(self, expression: Expression) -> set[int]:

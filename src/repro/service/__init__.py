@@ -14,7 +14,10 @@ batch.  This package turns the engine into a serving subsystem:
 - :mod:`~repro.service.sharding` partitions the repository into ``n_shards``
   sub-engines and evaluates leaves shard-parallel in a thread pool — the
   union of shard answers preserves the per-leaf guarantees because every
-  dataset lives in exactly one shard;
+  dataset lives in exactly one shard — and supports live mutation: new
+  datasets enter an append-only delta shard, removals become a read-time
+  index mask, and cached leaf answers are upgraded from the delta shard
+  instead of flushed;
 - :mod:`~repro.service.service` wires the three into the
   :class:`~repro.service.service.QueryService` facade with per-query
   latency/throughput telemetry;
@@ -22,7 +25,7 @@ batch.  This package turns the engine into a serving subsystem:
   endpoint (the ``repro serve`` CLI subcommand).
 """
 
-from repro.service.cache import CacheStats, LeafResultCache
+from repro.service.cache import CacheEntry, CacheStats, LeafResultCache
 from repro.service.planner import (
     BatchPlan,
     QueryPlan,
@@ -50,6 +53,7 @@ from repro.service.server import (
 
 __all__ = [
     "BatchPlan",
+    "CacheEntry",
     "CacheStats",
     "LeafResultCache",
     "QueryPlan",

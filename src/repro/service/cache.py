@@ -10,13 +10,21 @@ Cached answers are only valid for the synopsis set they were computed
 against, so the cache exposes explicit :meth:`~LeafResultCache.invalidate`
 (called by ``QueryService.rebuild`` whenever the synopsis set changes) and
 tracks a ``generation`` counter so stale readers can detect the flush.
+
+Live repository mutation deliberately does *not* flush the cache.  Every
+entry carries the dataset-count **watermark** it was computed at: an entry
+whose watermark trails the current count is still exact for every dataset
+below the watermark, so the service upgrades it by evaluating the leaf on
+the delta shard only and unioning (see
+``ShardedBatchExecutor.eval_delta_leaves``).  Removals never touch entries
+at all — tombstone masks are applied when answers are read.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Optional
 
 
@@ -26,6 +34,7 @@ class CacheStats:
 
     hits: int = 0
     misses: int = 0
+    upgrades: int = 0
     evictions: int = 0
     invalidations: int = 0
     max_size_seen: int = 0
@@ -43,11 +52,20 @@ class CacheStats:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "upgrades": self.upgrades,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
             "hit_rate": self.hit_rate,
             "max_size_seen": self.max_size_seen,
         }
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached leaf answer plus the dataset-count it was computed at."""
+
+    indexes: frozenset
+    watermark: int = 0
 
 
 class LeafResultCache:
@@ -71,6 +89,15 @@ class LeafResultCache:
     >>> cache.put("b", {3}); cache.put("c", {4})   # evicts "a" (LRU)
     >>> cache.get("a") is None, cache.stats.evictions
     (True, 1)
+
+    Watermarked entries support warm-cache ingestion: the service stores the
+    dataset count an answer was computed at and upgrades stale entries from
+    the delta shard instead of flushing.
+
+    >>> cache.put("leaf", {0, 2}, watermark=3)
+    >>> entry = cache.get_entry("leaf")
+    >>> (sorted(entry.indexes), entry.watermark)
+    ([0, 2], 3)
     """
 
     def __init__(self, capacity: int = 4096) -> None:
@@ -79,7 +106,7 @@ class LeafResultCache:
         self.capacity = int(capacity)
         self.stats = CacheStats()
         self.generation = 0
-        self._entries: OrderedDict[Hashable, frozenset[int]] = OrderedDict()
+        self._entries: OrderedDict[Hashable, CacheEntry] = OrderedDict()
         # The service can sit behind a ThreadingHTTPServer, so the
         # read-then-move and insert-then-evict sequences must be atomic.
         self._lock = threading.Lock()
@@ -89,10 +116,21 @@ class LeafResultCache:
 
     def __contains__(self, key: Hashable) -> bool:
         """Membership without touching recency or hit/miss counters."""
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
-    def get(self, key: Hashable) -> Optional[frozenset[int]]:
+    def get(self, key: Hashable) -> Optional[frozenset]:
         """The cached answer set, or None; refreshes LRU recency on hit."""
+        entry = self.get_entry(key)
+        return None if entry is None else entry.indexes
+
+    def get_entry(self, key: Hashable) -> Optional[CacheEntry]:
+        """The cached :class:`CacheEntry` (answer + watermark), or None.
+
+        Counts a hit/miss and refreshes LRU recency exactly like
+        :meth:`get`; callers that care about staleness compare the entry's
+        ``watermark`` against the current dataset count.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -105,8 +143,9 @@ class LeafResultCache:
     def put(
         self,
         key: Hashable,
-        indexes: "frozenset[int] | set[int]",
+        indexes: "frozenset | set",
         generation: Optional[int] = None,
+        watermark: int = 0,
     ) -> None:
         """Store (or refresh) an answer set, evicting the LRU entry if full.
 
@@ -114,13 +153,14 @@ class LeafResultCache:
         make the write flush-safe: if an :meth:`invalidate` happened in the
         meantime (the synopsis set changed mid-computation), the stale
         answer is silently dropped instead of poisoning the fresh cache.
+        ``watermark`` records the dataset count the answer covers.
         """
         if self.capacity == 0:
             return
         with self._lock:
             if generation is not None and generation != self.generation:
                 return
-            self._entries[key] = frozenset(indexes)
+            self._entries[key] = CacheEntry(frozenset(indexes), int(watermark))
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
@@ -128,6 +168,11 @@ class LeafResultCache:
             self.stats.max_size_seen = max(
                 self.stats.max_size_seen, len(self._entries)
             )
+
+    def note_upgrades(self, n: int = 1) -> None:
+        """Count ``n`` stale entries refreshed in place from the delta shard."""
+        with self._lock:
+            self.stats.upgrades += int(n)
 
     def invalidate(self) -> None:
         """Drop every entry (the synopsis set changed) and bump generation."""

@@ -4,16 +4,29 @@ Wire format (all bodies JSON):
 
 ``POST /search``
     ``{"expression": EXPR, "record_times": false}`` →
-    ``{"indexes": [...], "emit_times": [...], "stats": {...}}``
+    ``{"indexes": [...], "emit_times": [...], "stats": {...}}``; with
+    ``record_times`` the emit stamps are *relative to the query start* (a
+    ``duration_s`` field is included) — absolute ``perf_counter`` values
+    are meaningless outside the server process.
 ``POST /search/batch``
     ``{"expressions": [EXPR, ...]}`` →
     ``{"results": [{"indexes": [...], "stats": {...}}, ...]}``
+``POST /datasets``
+    ``{"datasets": [[[x, y], ...], ...]}`` (one point array per new
+    dataset) → the :meth:`~repro.service.service.QueryService.add_datasets`
+    receipt ``{"indexes": [...], "rebuilt": false, ...}``.  Ingestion is
+    live: cached leaf answers are upgraded from the delta shard, not
+    flushed.
+``DELETE /datasets``
+    ``{"indexes": [i, ...]}`` → the
+    :meth:`~repro.service.service.QueryService.remove_datasets` receipt;
+    removal is a read-time mask (indexes are stable, never reused).
 ``POST /cache/invalidate``
     → ``{"generation": n}``
 ``GET /stats``
     → the service's :meth:`~repro.service.service.QueryService.stats`
 ``GET /healthz``
-    → ``{"status": "ok", "n_datasets": N, "n_shards": S}``
+    → ``{"status": "ok", "n_datasets": N, "n_live": L, "n_shards": S}``
 
 ``EXPR`` is a recursive object::
 
@@ -173,6 +186,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                     {
                         "status": "ok",
                         "n_datasets": self.service.n_datasets,
+                        "n_live": self.service.n_live,
                         "n_shards": self.service.n_shards,
                     }
                 )
@@ -191,13 +205,19 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 result = self.service.search(
                     expr, record_times=bool(body.get("record_times", False))
                 )
-                self._send_json(
-                    {
-                        "indexes": result.indexes,
-                        "emit_times": result.emit_times,
-                        "stats": result.stats,
-                    }
-                )
+                payload = {
+                    "indexes": result.indexes,
+                    "emit_times": result.emit_times,
+                    "stats": result.stats,
+                }
+                if result.start_time is not None:
+                    # Absolute perf_counter stamps are process-local and
+                    # meaningless on the wire; ship start-relative offsets.
+                    payload["emit_times"] = [
+                        t - result.start_time for t in result.emit_times
+                    ]
+                    payload["duration_s"] = result.end_time - result.start_time
+                self._send_json(payload)
             elif self.path == "/search/batch":
                 exprs_json = body.get("expressions")
                 if not isinstance(exprs_json, list) or not exprs_json:
@@ -211,9 +231,41 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                         ]
                     }
                 )
+            elif self.path == "/datasets":
+                arrays = body.get("datasets")
+                if not isinstance(arrays, list) or not arrays:
+                    raise QueryError(
+                        "'datasets' must be a non-empty list of point arrays"
+                    )
+                parsed = []
+                for a in arrays:
+                    try:
+                        parsed.append(np.asarray(a, dtype=float))
+                    except (TypeError, ValueError) as exc:
+                        raise QueryError(f"bad dataset array: {exc}")
+                self._send_json(self.service.add_datasets(datasets=parsed))
             elif self.path == "/cache/invalidate":
                 self.service.invalidate_cache()
                 self._send_json({"generation": self.service.cache.generation})
+            else:
+                self._send_json({"error": f"unknown path {self.path}"}, status=404)
+        except ReproError as exc:
+            self._send_json({"error": str(exc)}, status=400)
+        except Exception as exc:  # pragma: no cover - defensive catch-all
+            self._send_json({"error": f"internal error: {exc}"}, status=500)
+
+    def do_DELETE(self) -> None:
+        try:
+            body = self._read_json()
+            if self.path == "/datasets":
+                indexes = body.get("indexes")
+                if not isinstance(indexes, list) or not indexes:
+                    raise QueryError("'indexes' must be a non-empty list of ints")
+                try:
+                    parsed = [int(i) for i in indexes]
+                except (TypeError, ValueError) as exc:
+                    raise QueryError(f"bad dataset index: {exc}")
+                self._send_json(self.service.remove_datasets(parsed))
             else:
                 self._send_json({"error": f"unknown path {self.path}"}, status=404)
         except ReproError as exc:
@@ -248,7 +300,8 @@ def serve(
     addr = httpd.server_address
     print(f"repro service listening on http://{addr[0]}:{addr[1]}")
     print("endpoints: GET /healthz, GET /stats, POST /search, "
-          "POST /search/batch, POST /cache/invalidate")
+          "POST /search/batch, POST /datasets, DELETE /datasets, "
+          "POST /cache/invalidate")
     try:
         httpd.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive only

@@ -5,7 +5,9 @@ Serving pipeline for a batch (``search`` is the one-element special case):
 1. **plan** — canonicalize every expression and collect the batch-wide set
    of unique predicate leaves (duplicate leaves inside one expression and
    across the batch are planned once);
-2. **cache** — look every unique leaf up in the LRU leaf-result cache;
+2. **cache** — look every unique leaf up in the LRU leaf-result cache; an
+   entry whose dataset-count watermark trails the current repository is
+   *upgraded* (delta-shard evaluation unioned in) rather than discarded;
 3. **execute** — evaluate the misses on the sharded executor (shard-parallel
    union of per-shard answers) and write them back to the cache;
 4. **assemble** — evaluate each canonical expression over the in-memory
@@ -15,23 +17,38 @@ With ``record_times=True`` the per-leaf completion times flow through the
 planner's :func:`~repro.service.planner.emit_schedule`, so
 ``QueryResult.emit_times`` reflects when each index's membership actually
 became determined — not one blanket end-of-query stamp.
+
+Live mutation (:meth:`QueryService.add_datasets` /
+:meth:`QueryService.remove_datasets`) keeps the cache warm: additions land
+in the executor's append-only delta shard and removals become a read-time
+mask, so a single ingest event no longer costs a full rebuild plus a cold
+cache.  The full rebuild path remains for rebalancing (delta shard
+outgrowing the mean base shard) and for data outside the frozen bounding
+box.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
-from repro.core.framework import Repository
+import numpy as np
+
+from repro.core.framework import Dataset, Repository
 from repro.core.predicates import Expression
 from repro.core.results import QueryResult
-from repro.errors import QueryError
+from repro.errors import ConstructionError, QueryError
 from repro.geometry.rectangle import Rectangle
 from repro.service.cache import LeafResultCache
 from repro.service.planner import emit_schedule, evaluate_with_leaf_results, plan_batch
 from repro.service.sharding import ShardedBatchExecutor
 from repro.service.telemetry import QueryRecord, ServiceTelemetry
 from repro.synopsis.base import Synopsis
+from repro.synopsis.exact import ExactSynopsis
+
+#: Accepted dataset collections for :meth:`QueryService.add_datasets`.
+DatasetsLike = Union[Repository, Sequence[Dataset], Sequence[np.ndarray]]
 
 
 class QueryService:
@@ -58,6 +75,19 @@ class QueryService:
     True
     >>> svc.stats()["cache"]["hits"] >= 1   # second search hit the cache
     True
+
+    Live mutation keeps the leaf cache warm (additions are upgraded in from
+    the delta shard, removals are masked on read):
+
+    >>> out = svc.add_datasets([rng.uniform(0, 1, (300, 1)) for _ in range(2)])
+    >>> out["indexes"], out["rebuilt"]
+    ([8, 9], False)
+    >>> svc.search(expr).indexes == sorted(svc.search(expr).indexes)
+    True
+    >>> svc.remove_datasets([0])["n_live"]
+    9
+    >>> 0 in svc.search(expr).indexes
+    False
     """
 
     def __init__(
@@ -75,6 +105,7 @@ class QueryService:
         deterministic: bool = True,
         max_workers: Optional[int] = None,
         telemetry_window: int = 4096,
+        capacity: Optional[int] = None,
     ) -> None:
         self._executor_kwargs = dict(
             eps=eps,
@@ -85,6 +116,7 @@ class QueryService:
             seed=seed,
             deterministic=deterministic,
             max_workers=max_workers,
+            capacity=capacity,
         )
         self.executor = ShardedBatchExecutor(
             synopses=synopses,
@@ -94,6 +126,10 @@ class QueryService:
         )
         self.cache = LeafResultCache(capacity=cache_capacity)
         self.telemetry = ServiceTelemetry(window=telemetry_window)
+        # Serializes add/remove/rebuild against each other.  Queries do not
+        # take it: they capture the executor reference once per batch and
+        # the cache write-back is generation-guarded against rebuilds.
+        self._mutation_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -110,13 +146,22 @@ class QueryService:
     def repository(self) -> Optional[Repository]:
         return self.executor.repository
 
+    @property
+    def n_live(self) -> int:
+        return self.executor.n_live
+
     def stats(self) -> dict:
         """JSON-ready service metrics: telemetry, cache, shard layout."""
+        executor = self.executor
         return {
-            "n_datasets": self.n_datasets,
-            "n_shards": self.n_shards,
-            "shard_sizes": self.executor.shard_sizes(),
-            "executor": dict(self.executor.stats),
+            "n_datasets": executor.n_datasets,
+            "n_live": executor.n_live,
+            "n_removed": len(executor.removed),
+            "n_shards": executor.n_shards,
+            "shard_sizes": executor.shard_sizes(),
+            "delta_size": executor.delta_size,
+            "capacity": executor.capacity,
+            "executor": executor.stats_snapshot(),
             "cache": self.cache.snapshot(),
             "telemetry": self.telemetry.summary(),
         }
@@ -133,38 +178,82 @@ class QueryService:
     ) -> list[QueryResult]:
         """Answer a batch of expressions with cross-query leaf sharing."""
         start = time.perf_counter()
+        # Capture order matters against a concurrent rebuild (which flushes,
+        # publishes the new executor, then flushes again): reading the
+        # generation BEFORE the executor guarantees that a batch holding the
+        # final generation also holds the new executor, so no answer
+        # computed on the old one can ever be stored as current.
         generation = self.cache.generation  # for flush-safe write-back
+        executor = self.executor  # one executor per batch, even mid-rebuild
+        watermark = executor.n_datasets  # dataset count answers will cover
+        removed = executor.removed  # tombstones, masked on read
         batch = plan_batch(expressions)
 
         leaf_results: dict = {}
         leaf_times: dict = {}
         hit_keys: set = set()
+        upgrades: list = []
         misses: list = []
         for key, leaf in batch.unique_leaves.items():
-            cached = self.cache.get(key)
-            if cached is None:
+            entry = self.cache.get_entry(key)
+            if entry is None:
                 misses.append((key, leaf))
-            else:
-                leaf_results[key] = cached
+            elif entry.watermark >= watermark:
+                # Entries are stored masked-at-write; masks only grow
+                # between rebuilds, so re-masking on read stays exact.
+                leaf_results[key] = entry.indexes - removed
                 hit_keys.add(key)
+            else:
+                upgrades.append((key, leaf, entry))
         lookup_done = time.perf_counter()
         for key in hit_keys:
             leaf_times[key] = lookup_done
 
-        if misses:
-            evaluated = self.executor.eval_leaves([leaf for _, leaf in misses])
-            for (key, _leaf), (indexes, done) in zip(misses, evaluated):
-                leaf_results[key] = indexes
+        upgrade_keys: set = set()
+        if upgrades:
+            # Warm-cache ingestion: every dataset above the entry watermark
+            # lives in the delta shard (rebuilds flush the cache), so the
+            # cached answer plus a delta-only evaluation is the full answer.
+            delta_answers = executor.eval_delta_leaves(
+                [leaf for _key, leaf, _entry in upgrades]
+            )
+            for (key, _leaf, entry), (delta_idx, done) in zip(
+                upgrades, delta_answers
+            ):
+                merged = frozenset((entry.indexes | delta_idx) - removed)
+                leaf_results[key] = merged
                 leaf_times[key] = done
-                self.cache.put(key, indexes, generation=generation)
+                upgrade_keys.add(key)
+                self.cache.put(key, merged, generation=generation,
+                               watermark=watermark)
+            self.cache.note_upgrades(len(upgrades))
+        miss_keys: set = set()
+        if misses:
+            evaluated = executor.eval_leaves([leaf for _, leaf in misses])
+            for (key, _leaf), (indexes, done) in zip(misses, evaluated):
+                leaf_results[key] = indexes  # executor masks tombstones
+                leaf_times[key] = done
+                miss_keys.add(key)
+                self.cache.put(key, indexes, generation=generation,
+                               watermark=watermark)
         shared_done = time.perf_counter()
         shared_s = shared_done - start  # plan + cache + leaf evaluation
 
+        # A leaf evaluated once for the batch is *charged* to the first
+        # query that uses it; other queries sharing it report it under
+        # ``shared_leaves`` instead of inflating the miss counters.
+        evaluated_keys = miss_keys | upgrade_keys
+        charge_owner: dict = {}
+        for qi, plan in enumerate(batch.plans):
+            for key in plan.leaves:
+                if key in evaluated_keys and key not in charge_owner:
+                    charge_owner[key] = qi
+
         if record_times:
-            universe = frozenset(range(self.n_datasets))
+            universe = frozenset(range(watermark)) - removed
             completion_order = sorted(leaf_times, key=lambda k: leaf_times[k])
         results: list[QueryResult] = []
-        for plan in batch.plans:
+        for qi, plan in enumerate(batch.plans):
             assembly_start = time.perf_counter()
             result = QueryResult()
             if record_times:
@@ -185,13 +274,30 @@ class QueryService:
                 )
             assembled = time.perf_counter()
             hits = sum(1 for k in plan.leaves if k in hit_keys)
+            charged_misses = sum(
+                1
+                for k in plan.leaves
+                if k in miss_keys and charge_owner[k] == qi
+            )
+            charged_upgrades = sum(
+                1
+                for k in plan.leaves
+                if k in upgrade_keys and charge_owner[k] == qi
+            )
+            shared = sum(
+                1
+                for k in plan.leaves
+                if k in evaluated_keys and charge_owner[k] != qi
+            )
             result.stats.update(
                 {
                     "cache_hits": hits,
-                    "cache_misses": plan.n_leaves_unique - hits,
+                    "cache_misses": charged_misses,
+                    "cache_upgrades": charged_upgrades,
+                    "shared_leaves": shared,
                     "n_leaves_raw": plan.n_leaves_raw,
                     "n_leaves_unique": plan.n_leaves_unique,
-                    "n_shards": self.n_shards,
+                    "n_shards": executor.n_shards,
                 }
             )
             self.telemetry.record_query(
@@ -203,7 +309,9 @@ class QueryService:
                     n_leaves_raw=plan.n_leaves_raw,
                     n_leaves_unique=plan.n_leaves_unique,
                     cache_hits=hits,
-                    cache_misses=plan.n_leaves_unique - hits,
+                    cache_misses=charged_misses,
+                    cache_upgrades=charged_upgrades,
+                    shared_leaves=shared,
                     out_size=len(result.indexes),
                 )
             )
@@ -212,16 +320,154 @@ class QueryService:
         return results
 
     def ground_truth(self, expression: Expression) -> set[int]:
-        """Exact brute-force answer (requires the raw repository)."""
+        """Exact brute-force answer over *live* datasets (needs the raw
+        repository; tombstoned datasets are masked out)."""
         if self.repository is None:
             raise QueryError("ground truth requires the raw repository")
-        return expression.ground_truth(self.repository)
+        return expression.ground_truth(self.repository) - self.executor.removed
+
+    # ------------------------------------------------------------------
+    # Live mutation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalize_datasets(datasets: DatasetsLike) -> list[Dataset]:
+        """Coerce a Repository / Dataset list / array list into datasets."""
+        if isinstance(datasets, Repository):
+            return list(datasets.datasets)
+        out = []
+        for d in datasets:
+            out.append(d if isinstance(d, Dataset) else Dataset(np.asarray(d)))
+        return out
+
+    def add_datasets(
+        self,
+        datasets: Optional[DatasetsLike] = None,
+        synopses: Optional[Sequence[Synopsis]] = None,
+    ) -> dict:
+        """Ingest new datasets live; returns a JSON-ready receipt.
+
+        New datasets go into the executor's append-only delta shard, so
+        every cached leaf answer stays valid (it is upgraded from the delta
+        shard on its next read) and the warm-path advantage survives the
+        ingest.  A full rebuild is triggered instead when the new data falls
+        outside the frozen bounding box, or — after the delta append — when
+        the delta shard outgrows the mean base shard size (rebalance).
+
+        Pass raw ``datasets`` (a :class:`~repro.core.framework.Repository`,
+        a sequence of :class:`~repro.core.framework.Dataset`, or raw point
+        arrays), explicit ``synopses``, or both (one synopsis per dataset).
+        A repository-backed service requires raw datasets so ground truth
+        stays available.
+
+        The receipt maps ``indexes`` to the stable global indexes assigned
+        to the new datasets, and ``rebuilt`` tells whether the ingest fell
+        back to (or triggered) the full rebuild path — which flushes the
+        cache, exactly like :meth:`rebuild`.
+        """
+        if datasets is None and synopses is None:
+            raise QueryError("provide datasets and/or synopses to add")
+        with self._mutation_lock:
+            new_datasets = (
+                self._normalize_datasets(datasets) if datasets is not None else None
+            )
+            if synopses is not None:
+                new_synopses = list(synopses)
+                if new_datasets is not None and len(new_synopses) != len(
+                    new_datasets
+                ):
+                    raise ConstructionError(
+                        "one synopsis per added dataset required"
+                    )
+            elif new_datasets is not None:
+                new_synopses = [ExactSynopsis(d.points) for d in new_datasets]
+            if not new_synopses:
+                raise QueryError("nothing to add")
+            if self.repository is not None and new_datasets is None:
+                raise QueryError(
+                    "a repository-backed service needs raw datasets (not "
+                    "just synopses) so ground truth stays available"
+                )
+
+            executor = self.executor
+            start_index = executor.n_datasets
+            indexes = list(range(start_index, start_index + len(new_synopses)))
+            fits = all(
+                executor.fits(
+                    s,
+                    points=(
+                        new_datasets[j].points if new_datasets is not None else None
+                    ),
+                    index=start_index + j,
+                )
+                for j, s in enumerate(new_synopses)
+            )
+            if not fits:
+                if self._executor_kwargs["bounding_box"] is not None:
+                    # The box was pinned explicitly at construction; a
+                    # rebuild would keep it and fail at the next Ptile
+                    # build, so refuse up front instead.
+                    raise ConstructionError(
+                        "new datasets fall outside the explicitly pinned "
+                        "bounding box; construct a service with a larger box"
+                    )
+                # Outside the frozen bounding box: grow the data, then take
+                # the full rebuild path (the box is re-derived from the
+                # grown repository/synopses).
+                self._apply_additions(executor, new_datasets)
+                all_synopses = list(executor.synopses) + new_synopses
+                self._rebuild_locked(
+                    repository=executor.repository,
+                    synopses=all_synopses,
+                    carry_removed=True,  # same identity space, grown
+                )
+                reason = "bounding_box"
+                rebuilt = True
+            else:
+                executor.add_synopses(new_synopses)
+                self._apply_additions(executor, new_datasets)
+                rebuilt = executor.needs_rebalance()
+                reason = "rebalance" if rebuilt else None
+                if rebuilt:
+                    # Fold the delta shard into a fresh base partition.
+                    self._rebuild_locked()
+            return {
+                "indexes": indexes,
+                "rebuilt": rebuilt,
+                "reason": reason,
+                "n_datasets": self.executor.n_datasets,
+                "n_live": self.executor.n_live,
+                "delta_size": self.executor.delta_size,
+            }
+
+    @staticmethod
+    def _apply_additions(executor, new_datasets) -> None:
+        """Extend the executor's raw repository with the new datasets."""
+        if new_datasets is not None and executor.repository is not None:
+            executor.repository = Repository(
+                list(executor.repository.datasets) + new_datasets
+            )
+
+    def remove_datasets(self, indexes: Sequence[int]) -> dict:
+        """Tombstone datasets by global index; returns a JSON-ready receipt.
+
+        Removal is a mask applied when answers are read — no structure is
+        rebuilt and no cached answer is flushed.  Tombstones are compacted
+        out of the shard engines at the next :meth:`rebuild`; global indexes
+        are stable identities and are never reused.
+        """
+        with self._mutation_lock:
+            removed_now = self.executor.remove_indexes(indexes)
+            return {
+                "removed": removed_now,
+                "n_datasets": self.executor.n_datasets,
+                "n_live": self.executor.n_live,
+            }
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def warm(self) -> None:
-        """Eagerly build every shard's Ptile structure."""
+        """Eagerly build every shard's Ptile structure (delta included)."""
         self.executor.warm()
 
     def invalidate_cache(self) -> None:
@@ -239,7 +485,28 @@ class QueryService:
         Passing nothing rebuilds over the current data (e.g. after mutating
         synopses in place); the cache is always flushed, because cached
         answers are only valid for the synopsis set they were computed on.
+        On that no-argument path, delta-shard datasets are folded into the
+        new base partition and tombstoned datasets are compacted out of the
+        shard engines (their indexes stay reserved; the removal mask
+        survives the rebuild).  Passing a repository or synopses swaps in a
+        *new* identity space, so the mask is reset — index ``i`` of the new
+        data has nothing to do with a previously removed index ``i``.
         """
+        with self._mutation_lock:
+            self._rebuild_locked(
+                repository=repository,
+                synopses=synopses,
+                n_shards=n_shards,
+                carry_removed=repository is None and synopses is None,
+            )
+
+    def _rebuild_locked(
+        self,
+        repository: Optional[Repository] = None,
+        synopses: Optional[Sequence[Synopsis]] = None,
+        n_shards: Optional[int] = None,
+        carry_removed: bool = True,
+    ) -> None:
         if repository is None and synopses is None:
             # Keep BOTH current inputs: the synopses may be user-supplied
             # (histograms, samples, ...) rather than derived exact ones, and
@@ -250,14 +517,23 @@ class QueryService:
         if n_shards is None:
             n_shards = self.n_shards
         old = self.executor
-        self.executor = ShardedBatchExecutor(
+        new = ShardedBatchExecutor(
             synopses=synopses,
             repository=repository,
             n_shards=n_shards,
+            removed=old.removed if carry_removed else None,
             **self._executor_kwargs,
         )
-        old.close()
+        # Flush on BOTH sides of the publication (see search_batch's capture
+        # ordering): the first invalidate dooms every in-flight write-back
+        # that predates the swap; the second clears anything a racing batch
+        # managed to store between the two while still seeing the old
+        # executor.  A batch that captures the final generation necessarily
+        # captures the new executor.
         self.invalidate_cache()
+        self.executor = new
+        self.invalidate_cache()
+        old.close()
 
     def close(self) -> None:
         self.executor.close()

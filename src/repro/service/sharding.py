@@ -26,6 +26,29 @@ Shard engines mutate internal state during Ptile queries (the report loop
 temporarily deactivates points), so one shard never runs two leaves
 concurrently: the pool parallelizes *across* shards, each shard walking its
 leaf batch sequentially under a per-shard lock.
+
+Live mutation
+-------------
+The executor supports repository churn without a full rebuild:
+
+- **additions** go into an append-only *delta shard*: an extra engine whose
+  datasets keep global indexes ``N, N+1, ...``.  Coresets stay a pure
+  function of ``(seed, global index, size)``, the delta engine shares the
+  frozen bounding box, and its Ptile slack is pinned to the same
+  ``eps_effective`` as every base shard, so the union over base + delta is
+  exactly what a fresh build over the grown repository would answer;
+- **removals** are an index mask (:attr:`removed`) applied when per-shard
+  answers are merged — a tombstone, not a structural delete.  Masks only
+  grow between rebuilds, so answers masked at any point stay valid under
+  later masking;
+- the **accuracy contract** ``(phi_eff, sample_size, eps_effective,
+  bounding_box)`` is frozen at construction, resolved against
+  ``max(n_live, capacity)``.  A serving system must not let its advertised
+  precision drift as datasets arrive; size ``capacity`` for the expected
+  repository growth and the contract (hence every cached answer) remains
+  exact across ingests.  Growth beyond the contract only degrades the union
+  bound gracefully (per-dataset failure budget ``phi/N`` is fixed), and the
+  rebalance threshold triggers a full rebuild long before it matters.
 """
 
 from __future__ import annotations
@@ -33,7 +56,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -43,7 +66,7 @@ from repro.core.engine import DatasetSearchEngine
 from repro.core.framework import Repository
 from repro.core.measures import PercentileMeasure
 from repro.core.predicates import Predicate
-from repro.errors import CapabilityError, ConstructionError
+from repro.errors import CapabilityError, ConstructionError, QueryError
 from repro.geometry.epsilon_sample import epsilon_of_sample_size
 from repro.geometry.rectangle import Rectangle
 from repro.synopsis.base import Synopsis
@@ -152,6 +175,16 @@ class ShardedBatchExecutor:
     max_workers:
         Thread-pool width; defaults to ``n_shards``.  ``0`` forces serial
         in-caller execution.
+    capacity:
+        Expected repository size the accuracy contract is resolved against:
+        ``phi_eff``, ``sample_size`` and ``eps_effective`` are computed for
+        ``max(n_live, capacity)`` datasets, so live ingestion up to
+        ``capacity`` keeps single-engine semantics exactly.  ``None`` sizes
+        the contract for the construction-time count (static behaviour).
+    removed:
+        Global dataset indexes to tombstone from the start; these stay in
+        ``synopses`` (positions are stable identities) but are excluded from
+        the shard engines and masked out of every answer.
     """
 
     def __init__(
@@ -167,6 +200,8 @@ class ShardedBatchExecutor:
         seed: int = 0,
         deterministic: bool = True,
         max_workers: Optional[int] = None,
+        capacity: Optional[int] = None,
+        removed: Optional[Iterable[int]] = None,
     ) -> None:
         if synopses is None and repository is None:
             raise ConstructionError("provide synopses and/or a repository")
@@ -179,9 +214,10 @@ class ShardedBatchExecutor:
         if len(dims) != 1:
             raise ConstructionError("all synopses must share the same dimension")
         self.dim = dims.pop()
-        self.n_datasets = len(synopses)
         self.eps = float(eps)
         self.seed = int(seed)
+        self._deterministic = bool(deterministic)
+        self._delta_param = delta
         if deterministic:
             # Idempotent: synopses coming back from a previous executor
             # (QueryService.rebuild) are already seeded — re-wrapping them
@@ -196,11 +232,22 @@ class ShardedBatchExecutor:
         self.synopses = synopses
         self.repository = repository
 
-        # Resolve the Ptile accuracy parameters once, against the global N,
-        # so every shard runs with single-engine semantics.
-        self.phi_eff = resolve_phi(phi, self.n_datasets)
+        self.removed = frozenset(int(i) for i in (removed or ()))
+        if any(i < 0 or i >= len(synopses) for i in self.removed):
+            raise ConstructionError("removed indexes must lie in [0, n_datasets)")
+        live = [i for i in range(len(synopses)) if i not in self.removed]
+        if not live:
+            raise ConstructionError("cannot tombstone every dataset")
+
+        # Resolve the Ptile accuracy parameters once, against the global
+        # live count (or the declared capacity, whichever is larger), so
+        # every shard runs with single-engine semantics and the contract
+        # survives live ingestion up to ``capacity``.
+        self.capacity = int(capacity) if capacity is not None else None
+        n_acc = max(len(live), self.capacity or 0)
+        self.phi_eff = resolve_phi(phi, n_acc)
         self.sample_size = resolve_sample_size(
-            eps, phi, self.n_datasets, sample_size, self.dim
+            eps, phi, n_acc, sample_size, self.dim
         )
         if bounding_box is None and repository is not None:
             bounding_box = repository.bounding_box()
@@ -223,10 +270,11 @@ class ShardedBatchExecutor:
         self.bounding_box = bounding_box
         self.eps_effective = max(
             self.eps,
-            epsilon_of_sample_size(self.sample_size, self.phi_eff, self.n_datasets),
+            epsilon_of_sample_size(self.sample_size, self.phi_eff, n_acc),
         )
 
-        self.shards = partition_indices(self.n_datasets, n_shards)
+        parts = partition_indices(len(live), n_shards)
+        self.shards = [[live[p] for p in part] for part in parts]
         self.n_shards = len(self.shards)
         self.engines = [
             DatasetSearchEngine(
@@ -242,6 +290,12 @@ class ShardedBatchExecutor:
         ]
         self._locks = [threading.Lock() for _ in range(self.n_shards)]
         self._stats_lock = threading.Lock()
+
+        # Delta shard: lazily created on the first add_synopses call.
+        self.delta_engine: Optional[DatasetSearchEngine] = None
+        self.delta_ids: list[int] = []
+        self._delta_lock = threading.Lock()
+
         if max_workers is None:
             max_workers = self.n_shards
         self._pool = (
@@ -251,7 +305,22 @@ class ShardedBatchExecutor:
             if max_workers > 0 and self.n_shards > 1
             else None
         )
-        self.stats: dict = {"leaf_evals": 0, "shard_tasks": 0}
+        self.stats: dict = {"leaf_evals": 0, "shard_tasks": 0, "delta_evals": 0}
+
+    @property
+    def n_datasets(self) -> int:
+        """Total datasets ever registered (including tombstoned ones)."""
+        return len(self.synopses)
+
+    @property
+    def n_live(self) -> int:
+        """Datasets currently served (total minus removal mask)."""
+        return len(self.synopses) - len(self.removed)
+
+    @property
+    def delta_size(self) -> int:
+        """Datasets sitting in the append-only delta shard."""
+        return len(self.delta_ids)
 
     def _bounding_box_from_synopses(self) -> Optional[Rectangle]:
         """A shared Ptile box in the federated (synopses-only) setting.
@@ -285,18 +354,20 @@ class ShardedBatchExecutor:
         if index.eps_effective < self.eps_effective:
             index.eps_effective = self.eps_effective
 
-    def _eval_on_shard(
-        self, shard: int, leaves: Sequence[Predicate]
+    def _eval_on_unit(
+        self,
+        engine: DatasetSearchEngine,
+        mapping: Sequence[int],
+        lock: threading.Lock,
+        leaves: Sequence[Predicate],
     ) -> list[tuple[set[int], float]]:
         """All leaves on one shard, sequentially, as *global* index sets.
 
         Each leaf's answer is paired with its per-shard completion stamp so
         the merge can report when the whole leaf (max over shards) finished.
         """
-        engine = self.engines[shard]
-        mapping = self.shards[shard]
         out: list[tuple[set[int], float]] = []
-        with self._locks[shard]:
+        with lock:
             for leaf in leaves:
                 if isinstance(leaf.measure, PercentileMeasure):
                     self._pin_ptile(engine)
@@ -304,6 +375,53 @@ class ShardedBatchExecutor:
                 out.append(({mapping[i] for i in local}, time.perf_counter()))
         with self._stats_lock:
             self.stats["shard_tasks"] += len(out)
+        return out
+
+    def _units(
+        self, delta_only: bool = False
+    ) -> list[tuple[DatasetSearchEngine, Sequence[int], threading.Lock]]:
+        """The (engine, global-index mapping, lock) tuples to fan out over."""
+        units: list = []
+        if not delta_only:
+            units.extend(zip(self.engines, self.shards, self._locks))
+        if self.delta_engine is not None:
+            units.append((self.delta_engine, self.delta_ids, self._delta_lock))
+        return units
+
+    def _eval_on_units(
+        self, units: Sequence[tuple], leaves: Sequence[Predicate]
+    ) -> list[tuple[frozenset[int], float]]:
+        """Fan a leaf batch over the given units and merge (masked) answers."""
+        if not units:
+            stamp = time.perf_counter()
+            return [(frozenset(), stamp) for _ in leaves]
+        pool = self._pool  # snapshot: close() may null it concurrently
+        if pool is None or len(units) == 1:
+            per_unit = [self._eval_on_unit(*unit, leaves) for unit in units]
+        else:
+            try:
+                futures = [
+                    pool.submit(self._eval_on_unit, *unit, leaves)
+                    for unit in units
+                ]
+            except RuntimeError:
+                # The pool was shut down between the snapshot and submit (a
+                # rebuild closed this executor mid-batch).  The engines and
+                # locks are still intact, so finish the batch serially.
+                per_unit = [self._eval_on_unit(*unit, leaves) for unit in units]
+            else:
+                per_unit = [f.result() for f in futures]
+        removed = self.removed
+        out: list[tuple[frozenset[int], float]] = []
+        for li in range(len(leaves)):
+            merged: set[int] = set()
+            done = 0.0
+            for answers in per_unit:
+                indexes, stamp = answers[li]
+                merged |= indexes
+                done = max(done, stamp)
+            merged -= removed
+            out.append((frozenset(merged), done))
         return out
 
     # ------------------------------------------------------------------
@@ -316,48 +434,180 @@ class ShardedBatchExecutor:
     def eval_leaves(
         self, leaves: Sequence[Predicate]
     ) -> list[tuple[frozenset[int], float]]:
-        """A batch of leaves across all shards.
+        """A batch of leaves across base shards plus the delta shard.
 
         Returns one ``(global index set, completion time)`` pair per leaf,
-        aligned with the input order.  The completion time is the
-        ``time.perf_counter()`` instant at which the last shard finished
-        that leaf — the stamp the emit scheduler attributes to it.
+        aligned with the input order; tombstoned datasets are masked out.
+        The completion time is the ``time.perf_counter()`` instant at which
+        the last shard finished that leaf — the stamp the emit scheduler
+        attributes to it.
         """
         leaves = list(leaves)
         if not leaves:
             return []
-        if self._pool is None:
-            per_shard = [
-                self._eval_on_shard(s, leaves) for s in range(self.n_shards)
-            ]
-        else:
-            futures = [
-                self._pool.submit(self._eval_on_shard, s, leaves)
-                for s in range(self.n_shards)
-            ]
-            per_shard = [f.result() for f in futures]
-        out: list[tuple[frozenset[int], float]] = []
-        for li in range(len(leaves)):
-            merged: set[int] = set()
-            done = 0.0
-            for s in range(self.n_shards):
-                indexes, stamp = per_shard[s][li]
-                merged |= indexes
-                done = max(done, stamp)
-            out.append((frozenset(merged), done))
+        out = self._eval_on_units(self._units(), leaves)
         with self._stats_lock:
             self.stats["leaf_evals"] += len(out)
         return out
 
+    def eval_delta_leaves(
+        self, leaves: Sequence[Predicate]
+    ) -> list[tuple[frozenset[int], float]]:
+        """A leaf batch on the delta shard only (masked global index sets).
+
+        This is the cache-upgrade primitive: a leaf answer cached before an
+        ingest covers exactly the datasets below its watermark, and every
+        dataset added since lives in the delta shard (rebuilds flush the
+        cache), so ``cached ∪ delta answer`` reconstructs the full answer
+        without touching any base shard.  With no delta shard the answers
+        are empty sets.
+        """
+        leaves = list(leaves)
+        if not leaves:
+            return []
+        out = self._eval_on_units(self._units(delta_only=True), leaves)
+        with self._stats_lock:
+            self.stats["delta_evals"] += len(out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Live mutation
+    # ------------------------------------------------------------------
+    def fits(
+        self,
+        synopsis: Synopsis,
+        points: Optional[np.ndarray] = None,
+        index: Optional[int] = None,
+    ) -> bool:
+        """Whether a new dataset can enter the delta shard under the frozen
+        accuracy contract (i.e. its Ptile coreset lies inside the shared
+        bounding box).
+
+        Pref-only synopses always fit (no Ptile structure is built over
+        them).  With deterministic sampling the check draws exactly the
+        coreset the delta engine will use for global index ``index``
+        (default: the next index), so it is exact; otherwise it checks the
+        raw ``points`` — and without them it refuses (a heuristic draw
+        could admit a synopsis whose real build-time coreset then falls
+        outside the box, poisoning the delta shard with no rollback).
+        """
+        if synopsis.dim != self.dim:
+            raise ConstructionError("synopsis dimension mismatch")
+        if synopsis.delta_ptile is None:
+            return True
+        if self.bounding_box is None:
+            return False
+        if self._deterministic:
+            gid = self.n_datasets if index is None else int(index)
+            own = np.random.default_rng((self.seed, gid, int(self.sample_size)))
+            sample = synopsis.sample(self.sample_size, own)
+        elif points is not None:
+            sample = points
+        else:
+            return False
+        pts = np.asarray(sample, dtype=float)
+        return bool(self.bounding_box.contains_points(pts).all())
+
+    def add_synopses(self, synopses: Sequence[Synopsis]) -> list[int]:
+        """Append datasets to the delta shard; returns their global indexes.
+
+        New synopses are wrapped for per-dataset deterministic sampling
+        keyed by their global index, so the coreset each dataset gets is the
+        one a fresh build over the grown repository would draw.  The delta
+        engine shares the frozen bounding box and accuracy contract; its
+        Ptile index is pinned to the executor ``eps_effective`` on first
+        use, exactly like every base shard.
+        """
+        new = list(synopses)
+        if not new:
+            return []
+        for s in new:
+            if s.dim != self.dim:
+                raise ConstructionError("synopsis dimension mismatch")
+        with self._delta_lock:
+            # Publication order matters for the lock-free query path: the
+            # delta engine (and its id mapping) must be fully visible
+            # BEFORE ``synopses`` grows.  A concurrent batch reads its
+            # watermark from ``len(synopses)``; if it saw the new count but
+            # not the new engine, it would cache an answer *without* the
+            # new datasets under a watermark that claims to cover them —
+            # and that entry would never be upgraded.  The reverse window
+            # (engine visible, old count) is harmless: the answer includes
+            # datasets above the stored watermark and the next upgrade
+            # union is idempotent.
+            start = len(self.synopses)
+            ids: list[int] = []
+            wrapped: list[Synopsis] = []
+            for offset, s in enumerate(new):
+                gid = start + offset
+                if self._deterministic and not (
+                    isinstance(s, SeededSampleSynopsis)
+                    and (s.seed, s.index) == (self.seed, gid)
+                ):
+                    s = SeededSampleSynopsis(s, self.seed, gid)
+                wrapped.append(s)
+                ids.append(gid)
+            if self.delta_engine is None:
+                engine = DatasetSearchEngine(
+                    synopses=wrapped,
+                    eps=self.eps,
+                    phi=self.phi_eff,
+                    delta=self._delta_param,
+                    sample_size=self.sample_size,
+                    bounding_box=self.bounding_box,
+                    rng=np.random.default_rng((self.seed, self.n_shards)),
+                )
+                # Mapping before engine: _units() gates on the engine, so
+                # a racing reader must never pair it with the old mapping.
+                self.delta_ids = list(ids)
+                self.delta_engine = engine
+            else:
+                for s in wrapped:
+                    self.delta_engine.insert_synopsis(s, delta=self._delta_param)
+                # In-place extend: _units() snapshots the list object.
+                self.delta_ids.extend(ids)
+            self.synopses.extend(wrapped)
+        return ids
+
+    def remove_indexes(self, indexes: Iterable[int]) -> list[int]:
+        """Tombstone datasets by global index (masked at merge time).
+
+        The structures are untouched — and so is the cache layered above,
+        because masks are applied when answers are read.  Tombstones are
+        compacted out of the shard engines at the next rebuild.
+        """
+        idx = sorted({int(i) for i in indexes})
+        for i in idx:
+            if not 0 <= i < self.n_datasets:
+                raise QueryError(f"unknown dataset index {i}")
+            if i in self.removed:
+                raise QueryError(f"dataset {i} is already removed")
+        if len(self.removed) + len(idx) >= self.n_datasets:
+            raise QueryError("cannot remove every dataset")
+        self.removed = self.removed | frozenset(idx)
+        return idx
+
+    def needs_rebalance(self) -> bool:
+        """True when the delta shard outgrew the mean base shard size."""
+        if not self.delta_ids:
+            return False
+        mean = sum(len(s) for s in self.shards) / len(self.shards)
+        return len(self.delta_ids) > mean
+
     def warm(self) -> None:
         """Eagerly build every shard's Ptile structure (pinned)."""
-        for engine, lock in zip(self.engines, self._locks):
+        for engine, _mapping, lock in self._units():
             with lock:
                 self._pin_ptile(engine)
 
     def shard_sizes(self) -> list[int]:
-        """Datasets per shard."""
+        """Datasets per base shard (the delta shard is reported separately)."""
         return [len(s) for s in self.shards]
+
+    def stats_snapshot(self) -> dict:
+        """A consistent copy of the counters (taken under the stats lock)."""
+        with self._stats_lock:
+            return dict(self.stats)
 
     def close(self) -> None:
         """Shut the thread pool down (idempotent)."""

@@ -17,7 +17,14 @@ from typing import Optional
 
 @dataclass
 class QueryRecord:
-    """What the service knows about one answered query."""
+    """What the service knows about one answered query.
+
+    ``cache_misses`` counts the leaves whose executor evaluation this query
+    *caused* (a leaf shared across a batch is charged to the first query
+    that uses it); ``shared_leaves`` counts leaves this query consumed that
+    another query of the same batch already paid for; ``cache_upgrades``
+    counts stale cached answers refreshed from the delta shard.
+    """
 
     latency_s: float
     n_leaves_raw: int
@@ -25,6 +32,8 @@ class QueryRecord:
     cache_hits: int
     cache_misses: int
     out_size: int
+    cache_upgrades: int = 0
+    shared_leaves: int = 0
 
 
 def percentile(sorted_values: list[float], q: float) -> float:
@@ -62,6 +71,8 @@ class ServiceTelemetry:
         self.total_leaves_unique = 0
         self.total_cache_hits = 0
         self.total_cache_misses = 0
+        self.total_cache_upgrades = 0
+        self.total_shared_leaves = 0
         self.total_out = 0
 
     def record_query(self, record: QueryRecord) -> None:
@@ -72,6 +83,8 @@ class ServiceTelemetry:
             self.total_leaves_unique += record.n_leaves_unique
             self.total_cache_hits += record.cache_hits
             self.total_cache_misses += record.cache_misses
+            self.total_cache_upgrades += record.cache_upgrades
+            self.total_shared_leaves += record.shared_leaves
             self.total_out += record.out_size
             self._latencies.append(record.latency_s)
 
@@ -82,12 +95,18 @@ class ServiceTelemetry:
             self.n_batches += 1
             self.total_batch_wall_s += wall_s
 
-    @property
-    def throughput_qps(self) -> float:
-        """Lifetime queries per second of batch wall-clock time."""
+    def _throughput_qps_locked(self) -> float:
         if self.total_batch_wall_s <= 0.0:
             return 0.0
         return self.n_queries / self.total_batch_wall_s
+
+    @property
+    def throughput_qps(self) -> float:
+        """Lifetime queries per second of batch wall-clock time."""
+        # Two counters are read; without the lock a recorder thread could
+        # update one between the reads (a torn ratio).
+        with self._lock:
+            return self._throughput_qps_locked()
 
     def summary(self) -> dict:
         """JSON-ready aggregate metrics.
@@ -95,29 +114,46 @@ class ServiceTelemetry:
         Undefined values (no queries yet) are ``None``, not NaN —
         ``json.dumps`` would emit the non-standard ``NaN`` literal that
         strict JSON parsers reject.
+
+        The whole snapshot is taken under the telemetry lock: ``/stats`` is
+        served by one ``ThreadingHTTPServer`` thread while others record
+        queries, and counters read outside the lock could tear (e.g.
+        ``n_queries`` from one batch with ``total_latency_s`` from the
+        next).
         """
         with self._lock:
             recent = sorted(self._latencies)
+            n_queries = self.n_queries
+            n_batches = self.n_batches
+            qps = self._throughput_qps_locked()
+            total_latency_s = self.total_latency_s
+            leaves_raw = self.total_leaves_raw
+            leaves_unique = self.total_leaves_unique
+            cache_hits = self.total_cache_hits
+            cache_misses = self.total_cache_misses
+            cache_upgrades = self.total_cache_upgrades
+            shared_leaves = self.total_shared_leaves
+            total_out = self.total_out
 
         def defined(value: float) -> Optional[float]:
             return None if math.isnan(value) else value
 
-        mean = (
-            self.total_latency_s / self.n_queries if self.n_queries else float("nan")
-        )
+        mean = total_latency_s / n_queries if n_queries else float("nan")
         return {
-            "n_queries": self.n_queries,
-            "n_batches": self.n_batches,
-            "throughput_qps": self.throughput_qps,
+            "n_queries": n_queries,
+            "n_batches": n_batches,
+            "throughput_qps": qps,
             "latency_mean_s": defined(mean),
             "latency_p50_s": defined(percentile(recent, 50.0)),
             "latency_p95_s": defined(percentile(recent, 95.0)),
             "latency_max_s": recent[-1] if recent else None,
-            "leaves_raw": self.total_leaves_raw,
-            "leaves_unique": self.total_leaves_unique,
-            "cache_hits": self.total_cache_hits,
-            "cache_misses": self.total_cache_misses,
+            "leaves_raw": leaves_raw,
+            "leaves_unique": leaves_unique,
+            "cache_hits": cache_hits,
+            "cache_misses": cache_misses,
+            "cache_upgrades": cache_upgrades,
+            "shared_leaves": shared_leaves,
             "mean_out_size": defined(
-                self.total_out / self.n_queries if self.n_queries else float("nan")
+                total_out / n_queries if n_queries else float("nan")
             ),
         }

@@ -21,6 +21,9 @@ from repro.workloads.generators import (
     dataset_with_mass,
 )
 from repro.workloads.queries import (
+    ambient_gaussian_dataset,
+    batched_query_workload,
+    mutation_workload,
     random_rectangles,
     random_unit_vectors,
     threshold_grid,
@@ -35,6 +38,9 @@ __all__ = [
     "lognormal_sizes",
     "synthetic_data_lake",
     "dataset_with_mass",
+    "ambient_gaussian_dataset",
+    "batched_query_workload",
+    "mutation_workload",
     "random_rectangles",
     "random_unit_vectors",
     "threshold_grid",

@@ -1,4 +1,5 @@
-"""Query workload generators: rectangles, vectors, thresholds, batches."""
+"""Query workload generators: rectangles, vectors, thresholds, batches,
+and churn streams mixing query batches with live repository mutations."""
 
 from __future__ import annotations
 
@@ -137,3 +138,122 @@ def batched_query_workload(
             expr = And([expr, other]) if rng.uniform() < 0.5 else Or([expr, other])
         queries.append(expr)
     return queries
+
+
+def ambient_gaussian_dataset(
+    rng: np.random.Generator,
+    ambient: Rectangle,
+    size: int,
+    spread: float = 0.15,
+) -> np.ndarray:
+    """One clipped-Gaussian dataset inside an ambient box.
+
+    The churn-stream primitive: a blob centered uniformly in the middle
+    60% of ``ambient`` with per-axis sigma ``spread`` of the span, clipped
+    to the box — so a service whose bounding box covers ``ambient`` always
+    ingests it on the delta path.
+    """
+    span = ambient.hi - ambient.lo
+    dim = ambient.dim
+    center = ambient.lo + rng.uniform(0.2, 0.8, size=dim) * span
+    pts = rng.normal(center, spread * span, size=(int(size), dim))
+    return np.clip(pts, ambient.lo, ambient.hi)
+
+
+def mutation_workload(
+    n_events: int,
+    dim: int,
+    rng: np.random.Generator,
+    n_initial: int,
+    add_fraction: float = 0.15,
+    remove_fraction: float = 0.1,
+    batch_size: int = 8,
+    datasets_per_add: int = 2,
+    dataset_size: int = 150,
+    pref_fraction: float = 0.3,
+    duplicate_leaf_rate: float = 0.6,
+    max_leaves: int = 3,
+    ambient: Optional[Rectangle] = None,
+    ks: Sequence[int] = (3, 5),
+    tau_range: tuple[float, float] = (0.2, 1.0),
+) -> list[tuple[str, object]]:
+    """A churn stream: query batches interleaved with repository mutations.
+
+    Models a live data lake under continuous dataset arrival (the
+    Fainder-style dataset-search setting): most events are query batches
+    that reuse popular leaves across the whole stream (so a leaf cache has
+    something to hold on to *across* mutations), the rest ingest new
+    datasets or retire old ones.  Events are ``(kind, payload)`` pairs:
+
+    - ``("queries", [Expression, ...])`` — a batch to ``search_batch``;
+    - ``("add", [np.ndarray, ...])`` — new point arrays for
+      ``add_datasets``; points are drawn inside ``ambient`` (default unit
+      box), so a service whose bounding box covers ``ambient`` ingests them
+      on the delta path;
+    - ``("remove", [int, ...])`` — global dataset indexes for
+      ``remove_datasets``.  The generator tracks live indexes exactly as
+      the service assigns them (appends get ``n_initial, n_initial+1, ...``)
+      and never retires the last two datasets.
+
+    The shared leaf pool spans the entire stream, so ``duplicate_leaf_rate``
+    controls how much of the post-mutation traffic is cache-upgradeable.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> events = mutation_workload(12, 1, np.random.default_rng(0), n_initial=8)
+    >>> len(events)
+    12
+    >>> sorted({kind for kind, _ in events}) in (
+    ...     ["add", "queries"], ["add", "queries", "remove"], ["queries"],
+    ...     ["queries", "remove"])
+    True
+    """
+    if n_events < 1:
+        raise ConstructionError("n_events must be positive")
+    if n_initial < 1:
+        raise ConstructionError("n_initial must be positive")
+    if not 0.0 <= add_fraction <= 1.0 or not 0.0 <= remove_fraction <= 1.0:
+        raise ConstructionError("event fractions must be in [0, 1]")
+    if add_fraction + remove_fraction > 1.0:
+        raise ConstructionError("add_fraction + remove_fraction must be <= 1")
+    if ambient is None:
+        ambient = Rectangle([0.0] * dim, [1.0] * dim)
+    pool: list[Predicate] = []
+
+    def draw_leaf() -> Predicate:
+        if pool and rng.uniform() < duplicate_leaf_rate:
+            return pool[int(rng.integers(0, len(pool)))]
+        leaf = _fresh_leaf(dim, rng, pref_fraction, ambient, ks, tau_range)
+        pool.append(leaf)
+        return leaf
+
+    def draw_query() -> Expression:
+        n_leaves = int(rng.integers(1, max_leaves + 1))
+        expr: Expression = draw_leaf()
+        for _ in range(n_leaves - 1):
+            other = draw_leaf()
+            expr = And([expr, other]) if rng.uniform() < 0.5 else Or([expr, other])
+        return expr
+
+    live: list[int] = list(range(n_initial))
+    next_index = n_initial
+    events: list[tuple[str, object]] = []
+    for _ in range(n_events):
+        u = rng.uniform()
+        if u < add_fraction:
+            arrays = [
+                ambient_gaussian_dataset(rng, ambient, dataset_size)
+                for _ in range(datasets_per_add)
+            ]
+            live.extend(range(next_index, next_index + len(arrays)))
+            next_index += len(arrays)
+            events.append(("add", arrays))
+        elif u < add_fraction + remove_fraction and len(live) > 2:
+            victim = live.pop(int(rng.integers(0, len(live))))
+            events.append(("remove", [victim]))
+        else:
+            events.append(
+                ("queries", [draw_query() for _ in range(batch_size)])
+            )
+    return events

@@ -1,5 +1,6 @@
 """Tests for the LRU leaf-result cache."""
 
+import numpy as np
 import pytest
 
 from repro.service.cache import LeafResultCache
@@ -87,6 +88,69 @@ class TestInvalidation:
         snap = cache.snapshot()
         assert snap["size"] == 1 and snap["capacity"] == 4
         assert snap["hits"] == 1 and snap["hit_rate"] == 1.0
-        assert {"evictions", "invalidations", "generation", "max_size_seen"} <= set(
-            snap
+        assert {"evictions", "invalidations", "generation", "max_size_seen",
+                "upgrades"} <= set(snap)
+
+
+class TestWatermarks:
+    def test_entry_carries_watermark(self):
+        cache = LeafResultCache(capacity=4)
+        cache.put("a", {1, 2}, watermark=7)
+        entry = cache.get_entry("a")
+        assert entry.indexes == frozenset({1, 2}) and entry.watermark == 7
+        # get() remains the watermark-oblivious view of the same entry
+        assert cache.get("a") == frozenset({1, 2})
+        assert cache.stats.hits == 2
+
+    def test_default_watermark_zero(self):
+        cache = LeafResultCache(capacity=4)
+        cache.put("a", {1})
+        assert cache.get_entry("a").watermark == 0
+
+    def test_note_upgrades_counts(self):
+        cache = LeafResultCache(capacity=4)
+        cache.note_upgrades(3)
+        assert cache.stats.upgrades == 3 and cache.snapshot()["upgrades"] == 3
+
+
+class TestStaleDropThroughRebuild:
+    def test_put_after_inflight_rebuild_is_dropped(self):
+        """The generation guard end to end: a rebuild that lands while a
+        batch is evaluating leaves must win over the batch's write-back."""
+        from repro.core.framework import Repository
+        from repro.service import QueryService
+        from repro.workloads.generators import synthetic_data_lake
+        from repro.workloads.queries import batched_query_workload
+
+        lake = synthetic_data_lake(
+            8, 1, np.random.default_rng(0), family="clustered", median_size=100
         )
+        queries = batched_query_workload(
+            4, 1, np.random.default_rng(1), duplicate_leaf_rate=0.0
+        )
+        with QueryService(
+            repository=Repository.from_arrays(lake),
+            n_shards=2,
+            eps=0.2,
+            sample_size=8,
+            seed=1,
+        ) as svc:
+            old_executor = svc.executor
+            orig = old_executor.eval_leaves
+
+            def eval_then_rebuild(leaves):
+                out = orig(leaves)
+                svc.rebuild()  # flushes the cache mid-batch
+                return out
+
+            old_executor.eval_leaves = eval_then_rebuild
+            results = svc.search_batch(queries)
+            # The stale write-backs were dropped: the rebuild flushed the
+            # cache and the in-flight batch must not repopulate it with
+            # answers computed against the pre-rebuild synopsis set.
+            assert svc.cache.generation >= 1  # a rebuild flushes (possibly
+            assert svc.cache.stats.invalidations >= 1  # on both swap sides)
+            assert len(svc.cache) == 0
+            # The in-flight batch still answered from its own evaluation.
+            expected = [r.indexes for r in svc.search_batch(queries)]
+            assert [r.indexes for r in results] == expected

@@ -128,7 +128,9 @@ PREF = {"op": "pref", "vector": [1.0], "k": 2, "tau": 0.1}
 class TestEndpoints:
     def test_healthz(self, server_url):
         out = _get(server_url + "/healthz")
-        assert out == {"status": "ok", "n_datasets": 10, "n_shards": 2}
+        assert out == {
+            "status": "ok", "n_datasets": 10, "n_live": 10, "n_shards": 2,
+        }
 
     def test_search(self, server_url):
         out = _post(server_url + "/search", {"expression": PTILE})
@@ -168,4 +170,94 @@ class TestEndpoints:
     def test_unknown_path_404(self, server_url):
         with pytest.raises(urllib.error.HTTPError) as err:
             _get(server_url + "/nope")
+        assert err.value.code == 404
+
+    def test_record_times_are_relative_with_duration(self, server_url):
+        # Absolute perf_counter stamps are process-local; the wire carries
+        # offsets from the query start plus the total duration.
+        out = _post(
+            server_url + "/search",
+            {"expression": PTILE, "record_times": True},
+        )
+        assert "duration_s" in out and out["duration_s"] > 0.0
+        assert len(out["emit_times"]) == len(out["indexes"])
+        for t in out["emit_times"]:
+            assert 0.0 <= t <= out["duration_s"]
+
+    def test_untimed_search_has_no_duration(self, server_url):
+        out = _post(server_url + "/search", {"expression": PTILE})
+        assert "duration_s" not in out and out["emit_times"] == []
+
+
+def _request(url: str, payload: dict, method: str) -> dict:
+    req = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"), method=method
+    )
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+@pytest.fixture()
+def mutable_server_url():
+    """A per-test server: mutation tests must not disturb the shared one."""
+    lake = synthetic_data_lake(
+        10, 1, np.random.default_rng(0), family="clustered", median_size=120
+    )
+    service = QueryService(
+        repository=Repository.from_arrays(lake),
+        n_shards=2,
+        eps=0.2,
+        sample_size=8,
+        seed=1,
+        capacity=20,
+    )
+    httpd = make_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address
+    yield f"http://{host}:{port}"
+    httpd.shutdown()
+    httpd.server_close()
+    service.close()
+
+
+class TestMutationEndpoints:
+    def test_post_datasets_ingests_live(self, mutable_server_url):
+        url = mutable_server_url
+        _post(url + "/search", {"expression": PTILE})  # warm one leaf
+        new = np.random.default_rng(3).uniform(0.0, 0.6, (50, 1)).tolist()
+        out = _post(url + "/datasets", {"datasets": [new, new]})
+        assert out["indexes"] == [10, 11]
+        assert out["rebuilt"] is False and out["n_datasets"] == 12
+        health = _get(url + "/healthz")
+        assert health["n_datasets"] == 12 and health["n_live"] == 12
+        # The new datasets are servable and the cache was not flushed.
+        search = _post(url + "/search", {"expression": PTILE})
+        assert set(search["indexes"]) <= set(range(12))
+        stats = _get(url + "/stats")
+        assert stats["cache"]["invalidations"] == 0
+        assert stats["cache"]["upgrades"] >= 1
+        assert stats["delta_size"] == 2
+
+    def test_delete_datasets_masks(self, mutable_server_url):
+        url = mutable_server_url
+        out = _request(url + "/datasets", {"indexes": [0, 3]}, "DELETE")
+        assert out["removed"] == [0, 3] and out["n_live"] == 8
+        search = _post(url + "/search", {"expression": PTILE})
+        assert 0 not in search["indexes"] and 3 not in search["indexes"]
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _request(url + "/datasets", {"indexes": [0]}, "DELETE")
+        assert err.value.code == 400  # already removed
+
+    def test_malformed_mutations_are_400(self, mutable_server_url):
+        url = mutable_server_url
+        for payload in ({}, {"datasets": []}, {"datasets": "nope"}):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _post(url + "/datasets", payload)
+            assert err.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _request(url + "/datasets", {"indexes": []}, "DELETE")
+        assert err.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _request(url + "/nope", {"indexes": [1]}, "DELETE")
         assert err.value.code == 404

@@ -272,7 +272,7 @@ class TestServiceFacade:
             before = [r.indexes for r in svc.search_batch(queries[:5])]
             svc.rebuild(n_shards=4)
             assert svc.n_shards == 4
-            assert svc.cache.generation == 1 and len(svc.cache) == 0
+            assert svc.cache.generation >= 1 and len(svc.cache) == 0
             after = [r.indexes for r in svc.search_batch(queries[:5])]
             assert before == after  # same data, same answers
 

@@ -1,0 +1,88 @@
+"""Tests for the service telemetry aggregates and their thread safety."""
+
+import json
+import threading
+
+import pytest
+
+from repro.service.telemetry import QueryRecord, ServiceTelemetry, percentile
+
+
+def record(latency: float = 0.01, **overrides) -> QueryRecord:
+    kwargs = dict(
+        latency_s=latency,
+        n_leaves_raw=3,
+        n_leaves_unique=2,
+        cache_hits=1,
+        cache_misses=1,
+        out_size=4,
+        cache_upgrades=1,
+        shared_leaves=1,
+    )
+    kwargs.update(overrides)
+    return QueryRecord(**kwargs)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == 2.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 100.0) == 4.0
+        assert percentile([5.0], 0.0) == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+
+class TestSummary:
+    def test_aggregates_and_new_counters(self):
+        tel = ServiceTelemetry(window=8)
+        tel.record_query(record(0.01))
+        tel.record_query(record(0.03))
+        tel.record_batch(2, 0.05)
+        out = tel.summary()
+        assert out["n_queries"] == 2 and out["n_batches"] == 1
+        assert out["cache_hits"] == 2 and out["cache_misses"] == 2
+        assert out["cache_upgrades"] == 2 and out["shared_leaves"] == 2
+        assert out["latency_mean_s"] == pytest.approx(0.02)
+        assert out["throughput_qps"] == pytest.approx(2 / 0.05)
+        assert "NaN" not in json.dumps(out)
+
+    def test_throughput_zero_before_first_batch(self):
+        assert ServiceTelemetry().throughput_qps == 0.0
+
+    def test_summary_is_consistent_under_concurrent_recording(self):
+        """/stats is read by one server thread while others record; the
+        snapshot must be taken under the lock so the derived ratios are
+        internally consistent (no torn counter pairs)."""
+        tel = ServiceTelemetry(window=64)
+        stop = threading.Event()
+        errors: list = []
+
+        def writer():
+            while not stop.is_set():
+                tel.record_query(record(0.001))
+                tel.record_batch(1, 0.001)
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    out = tel.summary()
+                    # mean is derived from two counters read atomically:
+                    # with n recorded identical latencies the mean is exact.
+                    if out["n_queries"]:
+                        assert out["latency_mean_s"] == pytest.approx(0.001)
+                    _ = tel.throughput_qps
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(2)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        stop_timer = threading.Timer(0.5, stop.set)
+        stop_timer.start()
+        for t in threads:
+            t.join(timeout=10)
+        stop_timer.cancel()
+        assert not errors

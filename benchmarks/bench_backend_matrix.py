@@ -1,0 +1,206 @@
+"""BACKEND-MATRIX — kd vs range-tree vs columnar across sizes and batches.
+
+The pluggable-backend refactor promises that the vectorized columnar
+engine beats the interpreter-bound kd-tree walk on the Theorem 4.11
+workload at service scale.  This benchmark measures exactly that claim:
+
+- repository sizes ``N`` sweep the Ptile range structure (T-4.11 planted
+  lake, fixed coreset size) per backend;
+- batch shapes: a single hot query repeated, and a batch of distinct
+  queries (the shape the service's leaf executor sees);
+- every backend must return *identical* answer sets — the run asserts it.
+
+The textbook range tree is ``Theta(n log^{k-1} n)`` memory in the
+``R^{4d+2}`` mapped space, so it only participates at the smallest size;
+larger sizes report ``None`` for it rather than silently dropping the
+column.
+
+Run ``python benchmarks/bench_backend_matrix.py`` for the full sweep and
+``BENCH_backend_matrix.json``; ``--smoke`` runs a single small size (no
+JSON write) as a CI regression guard.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+import numpy as np
+
+from repro.bench.harness import TableReporter, json_report, time_callable
+from repro.core.ptile_range import PtileRangeIndex
+from repro.geometry.interval import Interval
+from repro.geometry.rectangle import Rectangle
+from repro.index.backend import ENGINES
+from repro.synopsis.exact import ExactSynopsis
+from repro.workloads.generators import dataset_with_mass
+
+QUERY = Rectangle([0.0], [0.25])
+THETA = Interval(0.3, 0.6)
+SAMPLE_SIZE = 16
+#: The multi-level range tree participates up to this repository size only:
+#: its ``Theta(n log^5 n)`` pure-Python construction in the ``R^6`` mapped
+#: space takes ~30 s for a few hundred points already.
+RANGETREE_MAX_N = 8
+
+
+def planted_lake(n: int, rng: np.random.Generator):
+    datasets = []
+    for i in range(n):
+        mass = (i % 20) / 20 + 0.025
+        datasets.append(dataset_with_mass(400, QUERY, mass, rng))
+    return datasets
+
+
+def batch_queries(q: int, rng: np.random.Generator):
+    """Distinct (rect, theta) pairs shaped like the service leaf stream."""
+    out = []
+    for _ in range(q):
+        lo = float(rng.uniform(0.0, 0.4))
+        hi = float(rng.uniform(lo + 0.1, 1.0))
+        a = float(rng.uniform(0.0, 0.5))
+        b = float(rng.uniform(a, 1.0))
+        out.append((Rectangle([lo], [hi]), Interval(a, b)))
+    return out
+
+
+def build(engine: str, syns):
+    return PtileRangeIndex(
+        syns,
+        eps=0.1,
+        sample_size=SAMPLE_SIZE,
+        engine=engine,
+        rng=np.random.default_rng(1),
+    )
+
+
+def run_scale(n: int, batch_q: int, repeats: int, seed: int) -> list[dict]:
+    rng = np.random.default_rng(seed)
+    datasets = planted_lake(n, rng)
+    syns = [ExactSynopsis(p) for p in datasets]
+    batch = batch_queries(batch_q, np.random.default_rng(seed + 1))
+    rows = []
+    answers: dict[str, list] = {}
+    for engine in ENGINES:
+        if engine == "rangetree" and n > RANGETREE_MAX_N:
+            rows.append(
+                {
+                    "engine": engine,
+                    "n": n,
+                    "mapped_pts": None,
+                    "build_s": None,
+                    "query_s": None,
+                    "batch_s_per_query": None,
+                    "out": None,
+                    "skipped": f"n > {RANGETREE_MAX_N} (Theta(n log^5 n) memory)",
+                }
+            )
+            continue
+        # Release the previous engine's structure BEFORE the timer starts:
+        # tearing down a Theta(n log^5 n) range tree takes seconds of
+        # refcount work and must not be billed to the next build.
+        index = None
+        t0 = time.perf_counter()
+        index = build(engine, syns)
+        build_s = time.perf_counter() - t0
+        result = index.query(QUERY, THETA)
+        answers[engine] = sorted(result.index_set)
+        query_s = time_callable(lambda: index.query(QUERY, THETA), repeats=repeats)
+        batch_s = time_callable(
+            lambda: [index.query(r, t) for r, t in batch], repeats=repeats
+        )
+        rows.append(
+            {
+                "engine": engine,
+                "n": n,
+                "mapped_pts": index.n_mapped_points,
+                "build_s": build_s,
+                "query_s": query_s,
+                "batch_s_per_query": batch_s / batch_q,
+                "out": len(result.indexes),
+                "skipped": None,
+            }
+        )
+    reference = answers["kd"]
+    for engine, got in answers.items():
+        assert got == reference, (
+            f"answer mismatch: {engine} disagrees with kd at n={n}"
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="one small size, single repeat, no JSON write (CI guard)",
+    )
+    args = parser.parse_args(argv)
+    # Smoke skips the rangetree tier (size 8) entirely: a ~minute-long
+    # pure-Python build has no place in a PR-time regression guard.
+    sizes = (40,) if args.smoke else (8, 40, 160, 320)
+    repeats = 1 if args.smoke else 5
+    batch_q = 8 if args.smoke else 32
+    table = TableReporter(
+        f"BACKEND-MATRIX: Ptile range (T-4.11) per engine "
+        f"(theta = [{THETA.lo}, {THETA.hi}], batch = {batch_q})",
+        ["engine", "N", "mapped pts", "build (s)", "query (s)",
+         "batch s/query", "OUT"],
+    )
+    rows: list[dict] = []
+    for n in sizes:
+        for r in run_scale(n, batch_q, repeats, seed=n):
+            rows.append(r)
+            table.add_row(
+                [r["engine"], r["n"],
+                 r["mapped_pts"] if r["mapped_pts"] is not None else "-",
+                 r["build_s"] if r["build_s"] is not None else "-",
+                 r["query_s"] if r["query_s"] is not None else "-",
+                 r["batch_s_per_query"]
+                 if r["batch_s_per_query"] is not None else "-",
+                 r["out"] if r["out"] is not None else "-"]
+            )
+    table.print()
+    largest = max(sizes)
+    by_engine = {
+        r["engine"]: r for r in rows if r["n"] == largest and not r["skipped"]
+    }
+    speedup = by_engine["kd"]["query_s"] / by_engine["columnar"]["query_s"]
+    batch_speedup = (
+        by_engine["kd"]["batch_s_per_query"]
+        / by_engine["columnar"]["batch_s_per_query"]
+    )
+    print(f"All backends returned identical answer sets at every size.")
+    print(f"columnar vs kd at N={largest}: {speedup:.1f}x single-query, "
+          f"{batch_speedup:.1f}x batched")
+    if args.smoke:
+        print("(smoke mode: no JSON written)")
+        return 0
+    path = json_report(
+        os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                     "BENCH_backend_matrix.json"),
+        rows,
+        meta={
+            "bench": "backend_matrix",
+            "sample_size": SAMPLE_SIZE,
+            "batch_q": batch_q,
+            "rangetree_max_n": RANGETREE_MAX_N,
+            "columnar_vs_kd_query_speedup_at_largest_n": speedup,
+            "columnar_vs_kd_batch_speedup_at_largest_n": batch_speedup,
+        },
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+def test_backend_matrix_columnar_query(benchmark):
+    rng = np.random.default_rng(17)
+    syns = [ExactSynopsis(p) for p in planted_lake(60, rng)]
+    index = build("columnar", syns)
+    benchmark(lambda: index.query(QUERY, THETA))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.bench.harness import TableReporter
 from repro.core.pref_index import PrefIndex
+from repro.index.backend import DYNAMIC_ENGINES, ENGINES
 from repro.core.ptile_range import PtileRangeIndex
 from repro.geometry.interval import Interval
 from repro.geometry.rectangle import Rectangle
@@ -123,12 +124,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         eps=args.eps,
         sample_size=args.sample_size,
         seed=args.seed,
+        engine=args.engine,
         capacity=args.capacity,
     )
     print(
         f"serving {repo.n_datasets} datasets (d = {repo.dim}, family = "
         f"{args.family}) over {service.n_shards} shard(s), "
-        f"cache capacity {args.cache_capacity}"
+        f"engine {args.engine!r}, cache capacity {args.cache_capacity}"
     )
     if args.warm:
         print("warming shard indexes ...")
@@ -172,6 +174,7 @@ def cmd_demo_mutation(args: argparse.Namespace) -> int:
         sample_size=args.sample_size,
         seed=args.seed,
         bounding_box=ambient,
+        engine=args.engine,
         capacity=args.capacity if args.capacity is not None else 4 * args.n,
     )
     service.warm()
@@ -272,6 +275,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="number of repository shards")
     p.add_argument("--cache-capacity", type=int, default=4096,
                    help="leaf-result cache capacity (0 disables)")
+    p.add_argument("--engine", choices=ENGINES, default="kd",
+                   help="range-search backend for every shard ('columnar' "
+                        "is fastest at scale; 'rangetree' is static and "
+                        "refuses live ingestion)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8765)
     p.add_argument("--warm", action="store_true",
@@ -299,6 +306,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="coreset size override (default 16: keeps the demo "
                         "interactive)")
     p.add_argument("--shards", type=int, default=2)
+    p.add_argument("--engine", choices=DYNAMIC_ENGINES, default="kd",
+                   help="range-search backend (must be dynamic: the churn "
+                        "stream ingests live)")
     p.add_argument("--events", type=int, default=20,
                    help="length of the churn stream")
     p.add_argument("--capacity", type=int, default=None,

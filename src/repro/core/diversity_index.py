@@ -127,7 +127,7 @@ class DiversityIndex:
         # Candidates: datasets with a cover point near R.
         max_r = max(c.radius for c in self._covers.values())
         box = QueryBox.closed(rect.lo - max_r, rect.hi + max_r)
-        candidates = {key for key, _local in self._tree.report(box)}
+        candidates = self._tree.report_groups(box)
         for key in sorted(candidates):
             r_j = self._covers[key].radius
             if self.estimate(key, rect) >= tau - 2.0 * r_j:

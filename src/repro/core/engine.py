@@ -31,6 +31,7 @@ from repro.core.pref_index import PrefIndex
 from repro.core.results import QueryResult
 from repro.errors import ConstructionError, QueryError
 from repro.geometry.rectangle import Rectangle
+from repro.index.backend import check_engine
 from repro.synopsis.base import Synopsis
 from repro.synopsis.exact import ExactSynopsis
 
@@ -52,6 +53,12 @@ class DatasetSearchEngine:
         Coreset failure probability (default ``1/N``).
     delta:
         Optional global synopsis-error bound.
+    engine:
+        Range-search backend name shared by every structure the engine
+        builds (``"kd"`` default, ``"columnar"``, ``"rangetree"`` — see
+        :mod:`repro.index.backend`).
+    leaf_size:
+        kd-tree leaf size (ignored by the other backends).
     rng:
         Randomness for coreset sampling.
 
@@ -76,6 +83,8 @@ class DatasetSearchEngine:
         delta: Optional[float] = None,
         sample_size: Optional[int] = None,
         bounding_box: Optional[Rectangle] = None,
+        engine: str = "kd",
+        leaf_size: int = 16,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         if synopses is None and repository is None:
@@ -95,6 +104,8 @@ class DatasetSearchEngine:
         self._delta = delta
         self._sample_size = sample_size
         self._bounding_box = bounding_box
+        self.engine_kind = check_engine(engine)
+        self._leaf_size = int(leaf_size)
         self._rng = rng if rng is not None else np.random.default_rng()
         self._ptile: Optional[PtileRangeIndex] = None
         self._pref: dict[int, PrefIndex] = {}
@@ -116,6 +127,8 @@ class DatasetSearchEngine:
                 delta=self._delta,
                 sample_size=self._sample_size,
                 bounding_box=box,
+                engine=self.engine_kind,
+                leaf_size=self._leaf_size,
                 rng=self._rng,
             )
         return self._ptile
@@ -124,7 +137,8 @@ class DatasetSearchEngine:
         """The (lazily built, cached) Pref structure for rank ``k``."""
         if k not in self._pref:
             self._pref[k] = PrefIndex(
-                self.synopses, k=k, eps=self.eps, delta=self._delta
+                self.synopses, k=k, eps=self.eps, delta=self._delta,
+                engine=self.engine_kind,
             )
         return self._pref[k]
 

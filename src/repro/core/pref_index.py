@@ -34,6 +34,7 @@ from repro.core.results import QueryResult
 from repro.errors import ConstructionError, QueryError
 from repro.geometry.epsilon_net import build_epsilon_net, nearest_net_vector
 from repro.geometry.interval import Interval
+from repro.index.backend import check_engine
 from repro.index.sorted_list import SortedListIndex
 from repro.synopsis.base import Synopsis
 
@@ -83,6 +84,68 @@ class _DirectionList:
                 yield pid
 
 
+class _SortedListScores:
+    """Per-direction sorted score lists — the paper's Algorithm 5 layout."""
+
+    def __init__(self, matrix: np.ndarray, keys: list) -> None:
+        self._lists = [
+            _DirectionList(matrix[vi].tolist(), list(keys))
+            for vi in range(matrix.shape[0])
+        ]
+
+    def insert(self, key, shifted: np.ndarray) -> None:
+        for vi, lst in enumerate(self._lists):
+            lst.insert(key, float(shifted[vi]))
+
+    def remove(self, key) -> None:
+        for lst in self._lists:
+            lst.remove(key)
+
+    def iter_at_least(self, vi: int, threshold: float):
+        yield from self._lists[vi].iter_at_least(threshold)
+
+
+class _ColumnarScores:
+    """Columnar score backend: one ``(|C|, N)`` matrix + live mask.
+
+    A query reads one row and answers the threshold with a single
+    vectorized comparison — the Pref analogue of the columnar orthant
+    store.  Inserts append columns into amortized-doubling capacity.
+    """
+
+    def __init__(self, matrix: np.ndarray, keys: list) -> None:
+        self._scores = np.array(matrix, dtype=float)  # (m, n)
+        self._keys = list(keys)
+        self._n = len(self._keys)
+        self._live = np.ones(self._n, dtype=bool)
+        self._pos_of_key = {k: pos for pos, k in enumerate(self._keys)}
+
+    def insert(self, key, shifted: np.ndarray) -> None:
+        if self._n == self._scores.shape[1]:
+            cap = max(self._n + 1, 2 * self._n)
+            grown = np.empty((self._scores.shape[0], cap))
+            grown[:, : self._n] = self._scores[:, : self._n]
+            self._scores = grown
+            live = np.zeros(cap, dtype=bool)
+            live[: self._n] = self._live[: self._n]
+            self._live = live
+        pos = self._n
+        self._scores[:, pos] = np.asarray(shifted, dtype=float)
+        self._keys.append(key)
+        self._live[pos] = True
+        self._pos_of_key[key] = pos
+        self._n += 1
+
+    def remove(self, key) -> None:
+        self._live[self._pos_of_key.pop(key)] = False
+
+    def iter_at_least(self, vi: int, threshold: float):
+        row = self._scores[vi, : self._n]
+        mask = self._live[: self._n] & (row >= threshold)
+        for pos in np.flatnonzero(mask):
+            yield self._keys[int(pos)]
+
+
 class PrefIndex:
     """The Pref data structure for one threshold-predicate (Theorem 5.4).
 
@@ -98,6 +161,13 @@ class PrefIndex:
     delta:
         Optional global synopsis-error bound; default: per-synopsis
         ``delta_pref`` (Remark 2 semantics).
+    engine:
+        Score-store backend, using the shared backend vocabulary
+        (:data:`repro.index.backend.ENGINES`): ``"columnar"`` keeps one
+        ``(|C|, N)`` score matrix and answers thresholds with a vectorized
+        comparison; ``"kd"`` (default) and ``"rangetree"`` both select the
+        per-direction sorted lists of Algorithm 5 (the Pref structure has
+        no orthant search for a tree to accelerate).
 
     Examples
     --------
@@ -117,6 +187,7 @@ class PrefIndex:
         k: int,
         eps: float = 0.1,
         delta: Optional[float] = None,
+        engine: str = "kd",
     ) -> None:
         syn_list = list(synopses)
         if not syn_list:
@@ -131,6 +202,7 @@ class PrefIndex:
         self.dim = dims.pop()
         self.k = int(k)
         self.eps = float(eps)
+        self.engine_kind = check_engine(engine)
         self.net = build_epsilon_net(self.dim, eps)
         self._synopses: dict[int, Synopsis] = {}
         self._deltas: dict[int, float] = {}
@@ -142,10 +214,8 @@ class PrefIndex:
             ids.append(key)
             per_dataset.append(self._shifted_scores(key))
         score_matrix = np.column_stack(per_dataset)  # (|C|, N)
-        self._lists = [
-            _DirectionList(score_matrix[vi].tolist(), list(ids))
-            for vi in range(self.net.shape[0])
-        ]
+        store = _ColumnarScores if engine == "columnar" else _SortedListScores
+        self._scores_store = store(score_matrix, ids)
 
     # ------------------------------------------------------------------
     def _admit(self, synopsis: Synopsis, delta: Optional[float]) -> int:
@@ -204,7 +274,7 @@ class PrefIndex:
         if record_times:
             result.start_time = time.perf_counter()
         threshold = a_theta - self.eps
-        for key in self._lists[vi].iter_at_least(threshold):
+        for key in self._scores_store.iter_at_least(vi, threshold):
             result.indexes.append(key)
             if record_times:
                 result.emit_times.append(time.perf_counter())
@@ -231,15 +301,12 @@ class PrefIndex:
     def insert_synopsis(self, synopsis: Synopsis, delta: Optional[float] = None) -> int:
         """Add a dataset in ``O(Lambda_S + |C| log N)`` amortized."""
         key = self._admit(synopsis, delta)
-        shifted = self._shifted_scores(key)
-        for vi in range(self.net.shape[0]):
-            self._lists[vi].insert(key, float(shifted[vi]))
+        self._scores_store.insert(key, self._shifted_scores(key))
         return key
 
     def delete_synopsis(self, key: int) -> None:
         """Remove a dataset by key."""
         if key not in self._synopses:
             raise KeyError(f"unknown dataset key {key}")
-        for lst in self._lists:
-            lst.remove(key)
+        self._scores_store.remove(key)
         del self._synopses[key], self._deltas[key]

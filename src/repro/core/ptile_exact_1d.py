@@ -34,9 +34,8 @@ import numpy as np
 from repro.core.results import QueryResult
 from repro.errors import ConstructionError, QueryError
 from repro.geometry.interval import Interval
-from repro.index.kd_tree import DynamicKDTree
+from repro.index.backend import build_backend
 from repro.index.query_box import QueryBox
-from repro.index.range_tree import RangeTree
 
 #: Sentinels standing in for -inf/+inf coordinates (kd bboxes need finites).
 _NEG = -1e300
@@ -55,7 +54,8 @@ class ExactPtile1DIndex:
         The fixed query interval ``[a_theta, b_theta] ⊆ (0, 1]`` —
         ``a_theta`` must be positive so the count window ``A >= 1`` exists.
     engine:
-        ``"kd"`` (default) or ``"rangetree"``.
+        Any registered range-search backend (``"kd"`` default,
+        ``"rangetree"``, ``"columnar"``).
 
     Examples
     --------
@@ -114,12 +114,9 @@ class ExactPtile1DIndex:
             # No dataset can ever qualify; keep a stub tree for uniformity.
             rows = [(_NEG, _NEG, _NEG, _NEG)]
             ids = [(-1, -1)]
-        if engine == "kd":
-            self._tree = DynamicKDTree(np.asarray(rows), ids=ids, leaf_size=leaf_size)
-        elif engine == "rangetree":
-            self._tree = RangeTree(np.asarray(rows), ids=ids)
-        else:
-            raise ConstructionError(f"unknown engine {engine!r}")
+        self._tree = build_backend(
+            np.asarray(rows), ids, engine=engine, leaf_size=leaf_size
+        )
 
     @property
     def n_mapped_points(self) -> int:

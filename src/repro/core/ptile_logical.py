@@ -39,6 +39,7 @@ from repro.errors import ConstructionError, QueryError
 from repro.geometry.interval import Interval
 from repro.geometry.rect_enum import RectangleGrid, enumerate_generalized_pairs
 from repro.geometry.rectangle import Rectangle
+from repro.index.backend import build_backend
 from repro.index.kd_tree import DynamicKDTree
 from repro.index.query_box import QueryBox
 from repro.synopsis.base import Synopsis
@@ -102,6 +103,8 @@ class PtileLogicalIndex:
         self.eps = self._range_index.eps
         self.eps_effective = self._range_index.eps_effective
         self.dim = self._range_index.dim
+        self.engine_kind = self._range_index.engine_kind
+        self._leaf_size = leaf_size
         # Tensor structures are built lazily, keyed by m.
         self._tensor_trees: dict[int, DynamicKDTree] = {}
         self._tensor_ids: dict[int, dict[int, list]] = {}
@@ -185,7 +188,10 @@ class PtileLogicalIndex:
                 pid = (key, local)
                 ids.append(pid)
                 id_map[key].append(pid)
-        self._tensor_trees[m] = DynamicKDTree(np.asarray(rows), ids=ids)
+        self._tensor_trees[m] = build_backend(
+            np.asarray(rows), ids, engine=self.engine_kind,
+            leaf_size=self._leaf_size,
+        )
         self._tensor_ids[m] = id_map
 
     def query_conjunction_tensor(
@@ -215,8 +221,12 @@ class PtileLogicalIndex:
             cons.append((-math.inf, b + eps, False, False))  # w_l - delta_i
         box = QueryBox(cons)
         result = QueryResult()
-        if record_times:
-            result.start_time = time.perf_counter()
+        if not record_times:
+            # Batched form of the report loop: one report_groups bulk pass
+            # (identical answer set; see _ptile_common._report_loop).
+            result.indexes = sorted(tree.report_groups(box))
+            return result
+        result.start_time = time.perf_counter()
         reported: list[int] = []
         guard = self.n_datasets + 1
         while True:
@@ -226,8 +236,7 @@ class PtileLogicalIndex:
             key = hit[0]
             reported.append(key)
             result.indexes.append(key)
-            if record_times:
-                result.emit_times.append(time.perf_counter())
+            result.emit_times.append(time.perf_counter())
             for pid in id_map[key]:
                 tree.deactivate(pid)
             guard -= 1
@@ -236,8 +245,7 @@ class PtileLogicalIndex:
         for key in reported:
             for pid in id_map[key]:
                 tree.activate(pid)
-        if record_times:
-            result.end_time = time.perf_counter()
+        result.end_time = time.perf_counter()
         return result
 
 

@@ -188,8 +188,11 @@ class PtileRangeIndex(PtileIndexBase):
         self, synopsis: Synopsis, delta: Optional[float] = None
     ) -> int:
         """Add a dataset; returns its stable key."""
-        if self.engine_kind != "kd":
-            raise ConstructionError("dynamic updates require the 'kd' engine")
+        if not self._tree.supports_insert:
+            raise ConstructionError(
+                f"engine {self.engine_kind!r} is static; dynamic updates "
+                "require a dynamic backend ('kd' or 'columnar')"
+            )
         if synopsis.dim != self.dim:
             raise ConstructionError("synopsis dimension mismatch")
         if delta is None:

@@ -58,8 +58,10 @@ class PtileThresholdIndex(PtileIndexBase):
     sample_size:
         Optional explicit coreset size (overrides the eps/phi bound).
     engine:
-        ``"kd"`` (default, dynamic) or ``"rangetree"`` (static, faithful
-        textbook range tree; practical only at small scale).
+        Range-search backend: ``"kd"`` (default, dynamic),
+        ``"columnar"`` (vectorized scans, dynamic, fastest at scale) or
+        ``"rangetree"`` (static, faithful textbook range tree; practical
+        only at small scale).  See :mod:`repro.index.backend`.
     leaf_size:
         kd-tree leaf size.
     rng:
@@ -182,8 +184,11 @@ class PtileThresholdIndex(PtileIndexBase):
         self, synopsis: Synopsis, delta: Optional[float] = None
     ) -> int:
         """Add a dataset; returns its stable key.  ``~O(1)`` amortized."""
-        if self.engine_kind != "kd":
-            raise ConstructionError("dynamic updates require the 'kd' engine")
+        if not self._tree.supports_insert:
+            raise ConstructionError(
+                f"engine {self.engine_kind!r} is static; dynamic updates "
+                "require a dynamic backend ('kd' or 'columnar')"
+            )
         if synopsis.dim != self.dim:
             raise ConstructionError("synopsis dimension mismatch")
         if delta is None:

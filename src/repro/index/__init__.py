@@ -17,23 +17,37 @@ This subpackage provides that machinery:
   range tree (tree over the first coordinate, associated structures on the
   rest), faithful to the textbook construction [de Berg et al.]; practical
   for low mapped dimension.
-- :class:`~repro.index.kd_tree.DynamicKDTree` — the general engine: a
+- :class:`~repro.index.kd_tree.DynamicKDTree` — the default engine: a
   median-split kd-tree with per-node active counters supporting
   ``report_first`` over *active* points, ``deactivate``/``activate`` (the
   delete/re-insert trick of Algorithms 2 and 4), and bulk insertion with
   amortized rebuilds for the dynamic-synopsis remarks.
+- :class:`~repro.index.columnar.ColumnarStore` — a vectorized columnar
+  engine: contiguous point matrix + boolean active mask, answering orthant
+  queries (and the bulk ``report_groups`` group-by) with single NumPy
+  passes; the fastest backend at service scale.
 
-Both multi-dimensional structures implement the same
-``report / report_first / count / deactivate / activate`` protocol, so the
-core indexes are parameterized by an engine choice (see
-``DESIGN.md``, substitution 2).
+All engines implement the :class:`~repro.index.backend.RangeSearchBackend`
+protocol (``report / report_first / report_groups / count / deactivate /
+activate / insert / remove``), so every layer above — the Ptile/Pref
+structures, :class:`~repro.core.engine.DatasetSearchEngine`, the service
+shards, ``repro serve --engine`` — is parameterized by a backend name
+resolved through :func:`~repro.index.backend.build_backend`.
 """
 
+from repro.index.backend import (
+    DYNAMIC_ENGINES,
+    ENGINES,
+    RangeSearchBackend,
+    build_backend,
+    group_of,
+)
 from repro.index.query_box import QueryBox
 from repro.index.fenwick import FenwickTree
 from repro.index.sorted_list import SortedListIndex
 from repro.index.range_tree import RangeTree
 from repro.index.kd_tree import DynamicKDTree
+from repro.index.columnar import ColumnarStore
 
 __all__ = [
     "QueryBox",
@@ -41,4 +55,10 @@ __all__ = [
     "SortedListIndex",
     "RangeTree",
     "DynamicKDTree",
+    "ColumnarStore",
+    "RangeSearchBackend",
+    "ENGINES",
+    "DYNAMIC_ENGINES",
+    "build_backend",
+    "group_of",
 ]

@@ -1,0 +1,173 @@
+"""The pluggable range-search backend contract and registry.
+
+Every Ptile query (Theorems 4.11/5.4) bottoms out in mapped-space orthant
+reporting, so the engine behind it is a first-class substitution point.
+This module formalizes the seam that used to be an ad-hoc string dispatch:
+
+- :class:`RangeSearchBackend` — the structural protocol every engine
+  implements: ``report`` / ``report_first`` / ``report_groups`` /
+  ``count`` over *active* points, ``activate``/``deactivate`` toggles (the
+  temporary deletions of Algorithms 2 and 4), and ``insert``/``remove``
+  dynamics (static backends advertise ``supports_insert = False`` and
+  raise :class:`~repro.errors.CapabilityError`).
+- :func:`build_backend` — the registry: ``"kd"`` (dynamic kd-tree,
+  default), ``"rangetree"`` (textbook multi-level range tree, static,
+  small scale only), ``"columnar"`` (vectorized columnar scan store,
+  dynamic, fastest at service scale).
+
+Entry ids follow one convention across the codebase: a mapped point of
+dataset ``key`` carries id ``(key, local)``, so the *group* of an entry is
+its first tuple element (:func:`group_of`).  ``report_groups(box)`` returns
+the set of groups with at least one active point in the box — exactly the
+answer set of the paper's ReportFirst-and-delete loop, computed in one
+pass.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ConstructionError
+from repro.index.query_box import QueryBox
+
+
+def object_array(items: list) -> np.ndarray:
+    """A 1-d object array that keeps tuple elements intact.
+
+    ``np.array`` would try to broadcast a list of equal-length tuples into
+    a 2-d array; element-wise assignment is the one reliable construction.
+    """
+    out = np.empty(len(items), dtype=object)
+    for i, item in enumerate(items):
+        out[i] = item
+    return out
+
+
+def group_of(entry_id):
+    """The dataset/group key of an entry id.
+
+    Mapped points are registered with ``(key, local)`` tuple ids; plain
+    (non-tuple) ids are their own group.
+
+    Examples
+    --------
+    >>> group_of((3, 17)), group_of("solo")
+    (3, 'solo')
+    """
+    return entry_id[0] if isinstance(entry_id, tuple) else entry_id
+
+
+@runtime_checkable
+class RangeSearchBackend(Protocol):
+    """Structural contract of a mapped-space range-search engine.
+
+    All query methods see only *active* points.  ``insert``/``remove`` are
+    the dynamic-synopsis operations (Remark 1); a static backend keeps the
+    methods but raises :class:`~repro.errors.CapabilityError` and reports
+    ``supports_insert = False`` so callers can refuse up front.
+    """
+
+    dim: int
+
+    def __len__(self) -> int:
+        """Total stored points (active or not)."""
+        ...
+
+    @property
+    def n_active(self) -> int:
+        """Number of points currently visible to queries."""
+        ...
+
+    @property
+    def supports_insert(self) -> bool:
+        """Whether ``insert``/``remove`` are usable on this backend."""
+        ...
+
+    def report(self, box: QueryBox) -> list:
+        """All active point ids inside the box."""
+        ...
+
+    def report_first(self, box: QueryBox):
+        """One arbitrary active point id inside the box, or None."""
+        ...
+
+    def report_groups(self, box: QueryBox) -> set:
+        """All groups (``group_of`` of the ids) with >= 1 active point in
+        the box — the bulk form of the ReportFirst/deactivate loop."""
+        ...
+
+    def count(self, box: QueryBox) -> int:
+        """Number of active points inside the box."""
+        ...
+
+    def deactivate(self, entry_id) -> None:
+        """Hide a point from queries."""
+        ...
+
+    def activate(self, entry_id) -> None:
+        """Re-show a previously deactivated point."""
+        ...
+
+    def insert(self, points: np.ndarray, ids: Iterable) -> None:
+        """Add new points (dynamic backends only)."""
+        ...
+
+    def remove(self, entry_id) -> None:
+        """Permanently remove a point (dynamic backends only).
+
+        Works on active and deactivated points alike; removing an unknown
+        or already-removed id raises ``KeyError``.  After a remove, when
+        the id becomes reusable for ``insert`` is backend-dependent
+        (immediately on the columnar store, only after the next amortized
+        rebuild on the kd-tree) — portable callers use fresh ids, as the
+        Ptile structures' monotonically increasing keys do.
+        """
+        ...
+
+
+#: Registered backend names, in documentation order.
+ENGINES = ("kd", "rangetree", "columnar")
+
+#: Backends whose ``insert``/``remove`` work (live mutation, delta shards).
+DYNAMIC_ENGINES = ("kd", "columnar")
+
+
+def build_backend(
+    points: np.ndarray, ids: list, engine: str = "kd", leaf_size: int = 16
+) -> RangeSearchBackend:
+    """Instantiate a registered backend over ``(n, k)`` mapped points.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> pts = np.array([[0.0, 1.0], [2.0, 3.0]])
+    >>> for name in ENGINES:
+    ...     eng = build_backend(pts, [("a", 0), ("b", 0)], name)
+    ...     assert eng.report_groups(QueryBox.closed([-1, 0], [3, 4])) == {"a", "b"}
+    """
+    # Local imports: the implementations import QueryBox from this package,
+    # and the registry must stay importable from any of them.
+    if engine == "kd":
+        from repro.index.kd_tree import DynamicKDTree
+
+        return DynamicKDTree(points, ids=ids, leaf_size=leaf_size)
+    if engine == "rangetree":
+        from repro.index.range_tree import RangeTree
+
+        return RangeTree(points, ids=ids)
+    if engine == "columnar":
+        from repro.index.columnar import ColumnarStore
+
+        return ColumnarStore(points, ids=ids)
+    raise ConstructionError(f"unknown engine {engine!r}; choose from {ENGINES}")
+
+
+def check_engine(engine: str) -> str:
+    """Validate a backend name early (construction-time, not first query)."""
+    if engine not in ENGINES:
+        raise ConstructionError(
+            f"unknown engine {engine!r}; choose from {ENGINES}"
+        )
+    return engine

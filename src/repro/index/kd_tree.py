@@ -2,18 +2,25 @@
 
 This is the practical engine behind the mapped-space orthant queries of the
 Ptile data structures (points live in ``R^{2d+1}`` / ``R^{4d+1}`` once the
-weight is appended as a coordinate).  It supports the exact protocol the
-algorithms need:
+weight is appended as a coordinate).  It implements the
+:class:`~repro.index.backend.RangeSearchBackend` protocol:
 
 - ``report(box)`` — all active points in an axis-parallel
   :class:`~repro.index.query_box.QueryBox`;
 - ``report_first(box)`` — one arbitrary active point (``ReportFirst``),
   found by a pruned descent that skips subtrees with zero active points;
+- ``report_groups(box)`` — all dataset keys with an active point in the
+  box (derived from ``report``; the columnar backend specializes this);
 - ``deactivate(id)`` / ``activate(id)`` — O(depth) activation toggles (the
   temporary deletions of Algorithms 2 and 4);
 - ``insert(points, ids)`` / ``remove(id)`` — the dynamic-synopsis remarks,
   via a side buffer with amortized full rebuilds (logarithmic-rebuilding in
   the style of Overmars [47]).
+
+The hot loops are vectorized: leaf hits are gathered by boolean-mask
+indexing over an object-dtype id array (no per-point Python appends), and
+the side buffer is a contiguous point matrix scanned with one
+``contains_points`` call per query rather than point by point.
 
 Median splits keep the tree balanced: depth is ``O(log n)`` and the classic
 kd-tree analysis gives ``O(n^{1-1/k} + OUT)`` worst-case reporting, while
@@ -28,6 +35,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from repro.index.backend import group_of, object_array
 from repro.index.query_box import QueryBox
 
 #: Rebuild the main tree when the side buffer exceeds this fraction of it.
@@ -86,24 +94,31 @@ class DynamicKDTree:
         id_list = list(ids) if ids is not None else list(range(pts.shape[0]))
         if len(id_list) != pts.shape[0]:
             raise ValueError("points and ids must have equal length")
-        self._buffer_pts: list[np.ndarray] = []
-        self._buffer_ids: list = []
-        self._buffer_active: list[bool] = []
+        self._init_buffer()
         self._removed: set = set()
         self._build_main(pts, id_list)
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    def _init_buffer(self) -> None:
+        # Contiguous side-buffer storage (amortized-doubling capacity), so
+        # the per-query buffer scan is one vectorized mask, not a loop.
+        self._buf_pts = np.empty((0, 0))
+        self._buf_ids = np.empty(0, dtype=object)
+        self._buf_active = np.empty(0, dtype=bool)
+        self._buf_n = 0
+        self._buf_pos: dict = {}
+
     def _build_main(self, pts: np.ndarray, id_list: list) -> None:
         order = np.arange(pts.shape[0])
         self._pts = pts.copy()
         self._perm = order
         # _pts is reordered in-place during the build so that each node owns
         # a contiguous slice [start, end).
-        self._ids = list(id_list)
         self._root = self._build(0, pts.shape[0])
         self._ids = [id_list[i] for i in self._perm]
+        self._ids_arr = object_array(self._ids)
         self._pos_of_id = {pid: pos for pos, pid in enumerate(self._ids)}
         if len(self._pos_of_id) != len(self._ids):
             raise ValueError("ids must be unique")
@@ -135,22 +150,22 @@ class DynamicKDTree:
             self._assign_leaves(node.right)
 
     def __len__(self) -> int:
-        return len(self._ids) + len(self._buffer_ids)
+        return len(self._ids) + self._buf_n
 
     @property
     def n_active(self) -> int:
         """Number of points currently visible to queries."""
-        return self._root.active + sum(self._buffer_active)
+        return self._root.active + int(
+            np.count_nonzero(self._buf_active[: self._buf_n])
+        )
+
+    @property
+    def supports_insert(self) -> bool:
+        return True
 
     # ------------------------------------------------------------------
     # Activation and dynamics
     # ------------------------------------------------------------------
-    def _buffer_pos(self, entry_id) -> Optional[int]:
-        try:
-            return self._buffer_ids.index(entry_id)
-        except ValueError:
-            return None
-
     def deactivate(self, entry_id) -> None:
         """Hide a point from queries in O(depth)."""
         pos = self._pos_of_id.get(entry_id)
@@ -163,12 +178,12 @@ class DynamicKDTree:
                 node.active -= 1
                 node = node.parent
             return
-        bpos = self._buffer_pos(entry_id)
+        bpos = self._buf_pos.get(entry_id)
         if bpos is None:
             raise KeyError(f"unknown entry {entry_id!r}")
-        if not self._buffer_active[bpos]:
+        if not self._buf_active[bpos]:
             raise KeyError(f"entry {entry_id!r} is already inactive")
-        self._buffer_active[bpos] = False
+        self._buf_active[bpos] = False
 
     def activate(self, entry_id) -> None:
         """Re-show a previously deactivated point."""
@@ -182,20 +197,20 @@ class DynamicKDTree:
                 node.active += 1
                 node = node.parent
             return
-        bpos = self._buffer_pos(entry_id)
+        bpos = self._buf_pos.get(entry_id)
         if bpos is None:
             raise KeyError(f"unknown entry {entry_id!r}")
-        if self._buffer_active[bpos]:
+        if self._buf_active[bpos]:
             raise KeyError(f"entry {entry_id!r} is already active")
-        self._buffer_active[bpos] = True
+        self._buf_active[bpos] = True
 
     def insert(self, points: np.ndarray, ids: Iterable) -> None:
         """Insert new points (dynamic-synopsis support).
 
-        New points land in a linear side buffer that every query also scans;
-        when the buffer outgrows ``REBUILD_FRACTION`` of the main tree, the
-        whole structure is rebuilt — the classic amortized-logarithmic
-        rebuilding trick [Overmars 1983].
+        New points land in a contiguous side buffer that every query also
+        scans (vectorized); when the buffer outgrows ``REBUILD_FRACTION``
+        of the main tree, the whole structure is rebuilt — the classic
+        amortized-logarithmic rebuilding trick [Overmars 1983].
         """
         pts = np.atleast_2d(np.asarray(points, dtype=float))
         id_list = list(ids)
@@ -204,20 +219,46 @@ class DynamicKDTree:
         if pts.shape[1] != self.dim:
             raise ValueError("dimension mismatch")
         for pid in id_list:
-            if pid in self._pos_of_id or pid in self._buffer_ids:
+            if pid in self._pos_of_id or pid in self._buf_pos:
                 raise KeyError(f"duplicate entry id {pid!r}")
+        need = self._buf_n + len(id_list)
+        if need > self._buf_pts.shape[0] or self._buf_pts.shape[1] != self.dim:
+            cap = max(need, 2 * self._buf_pts.shape[0])
+            grown = np.empty((cap, self.dim))
+            if self._buf_n:
+                grown[: self._buf_n] = self._buf_pts[: self._buf_n]
+            self._buf_pts = grown
+            self._buf_ids = np.resize(self._buf_ids, cap)
+            active = np.zeros(cap, dtype=bool)
+            active[: self._buf_n] = self._buf_active[: self._buf_n]
+            self._buf_active = active
         for row, pid in zip(pts, id_list):
-            self._buffer_pts.append(row)
-            self._buffer_ids.append(pid)
-            self._buffer_active.append(True)
-        if len(self._buffer_ids) >= max(
+            pos = self._buf_n
+            self._buf_pts[pos] = row
+            self._buf_ids[pos] = pid
+            self._buf_active[pos] = True
+            self._buf_pos[pid] = pos
+            self._buf_n += 1
+        if self._buf_n >= max(
             MIN_BUFFER_FOR_REBUILD, int(REBUILD_FRACTION * max(1, len(self._ids)))
         ):
             self._rebuild()
 
     def remove(self, entry_id) -> None:
-        """Permanently remove a point (deactivate + drop at next rebuild)."""
-        self.deactivate(entry_id)
+        """Permanently remove a point (deactivate + drop at next rebuild).
+
+        Deactivated points can be removed too; removing an unknown or
+        already-removed id raises ``KeyError`` (matching the columnar
+        backend's semantics).
+        """
+        if entry_id in self._removed:
+            raise KeyError(f"unknown entry {entry_id!r}")
+        try:
+            self.deactivate(entry_id)
+        except KeyError:
+            # Already-inactive is fine for a removal; unknown ids are not.
+            if entry_id not in self._pos_of_id and entry_id not in self._buf_pos:
+                raise
         self._removed.add(entry_id)
 
     def _rebuild(self) -> None:
@@ -232,14 +273,15 @@ class DynamicKDTree:
             for pos, pid in enumerate(self._ids)
             if not self._active[pos] and pid not in self._removed
         }
-        for bpos, pid in enumerate(self._buffer_ids):
+        for bpos in range(self._buf_n):
+            pid = self._buf_ids[bpos]
             if pid in self._removed:
                 continue
-            keep_pts.append(self._buffer_pts[bpos])
+            keep_pts.append(self._buf_pts[bpos].copy())
             keep_ids.append(pid)
-            if not self._buffer_active[bpos]:
+            if not self._buf_active[bpos]:
                 inactive.add(pid)
-        self._buffer_pts, self._buffer_ids, self._buffer_active = [], [], []
+        self._init_buffer()
         self._removed = set()
         self._build_main(np.asarray(keep_pts), keep_ids)
         for pid in inactive:
@@ -251,6 +293,14 @@ class DynamicKDTree:
     def _check_box(self, box: QueryBox) -> None:
         if box.dim != self.dim:
             raise ValueError(f"query box has dim {box.dim}, tree has dim {self.dim}")
+
+    def _buffer_mask(self, box: QueryBox) -> Optional[np.ndarray]:
+        """Active-and-inside mask over the side buffer, or None if empty."""
+        if self._buf_n == 0:
+            return None
+        mask = box.contains_points(self._buf_pts[: self._buf_n])
+        mask &= self._buf_active[: self._buf_n]
+        return mask
 
     def report(self, box: QueryBox) -> list:
         """All active point ids inside the box."""
@@ -266,20 +316,21 @@ class DynamicKDTree:
             elif node.left is None:
                 mask = box.contains_points(self._pts[node.start : node.end])
                 mask &= self._active[node.start : node.end]
-                for off in np.nonzero(mask)[0]:
-                    out.append(self._ids[node.start + int(off)])
+                out.extend(self._ids_arr[node.start : node.end][mask].tolist())
             else:
                 stack.append(node.left)
                 stack.append(node.right)
-        for bpos, pid in enumerate(self._buffer_ids):
-            if self._buffer_active[bpos] and box.contains_point(self._buffer_pts[bpos]):
-                out.append(pid)
+        bmask = self._buffer_mask(box)
+        if bmask is not None:
+            out.extend(self._buf_ids[: self._buf_n][bmask].tolist())
         return out
 
     def _collect_active(self, node: _KDNode, out: list) -> None:
-        mask = self._active[node.start : node.end]
-        for off in np.nonzero(mask)[0]:
-            out.append(self._ids[node.start + int(off)])
+        if node.active == node.end - node.start:
+            out.extend(self._ids_arr[node.start : node.end].tolist())
+        else:
+            mask = self._active[node.start : node.end]
+            out.extend(self._ids_arr[node.start : node.end][mask].tolist())
 
     def report_first(self, box: QueryBox):
         """One arbitrary active point id inside the box, or None."""
@@ -300,9 +351,11 @@ class DynamicKDTree:
             else:
                 stack.append(node.left)
                 stack.append(node.right)
-        for bpos, pid in enumerate(self._buffer_ids):
-            if self._buffer_active[bpos] and box.contains_point(self._buffer_pts[bpos]):
-                return pid
+        bmask = self._buffer_mask(box)
+        if bmask is not None:
+            hits = np.flatnonzero(bmask)
+            if hits.size:
+                return self._buf_ids[int(hits[0])]
         return None
 
     def _first_active_id(self, node: _KDNode):
@@ -311,6 +364,10 @@ class DynamicKDTree:
         mask = self._active[node.start : node.end]
         off = int(np.nonzero(mask)[0][0])
         return self._ids[node.start + off]
+
+    def report_groups(self, box: QueryBox) -> set:
+        """All group keys with >= 1 active point in the box."""
+        return {group_of(pid) for pid in self.report(box)}
 
     def count(self, box: QueryBox) -> int:
         """Number of active points inside the box."""
@@ -330,7 +387,7 @@ class DynamicKDTree:
             else:
                 stack.append(node.left)
                 stack.append(node.right)
-        for bpos, pid in enumerate(self._buffer_ids):
-            if self._buffer_active[bpos] and box.contains_point(self._buffer_pts[bpos]):
-                total += 1
+        bmask = self._buffer_mask(box)
+        if bmask is not None:
+            total += int(np.count_nonzero(bmask))
         return total

@@ -29,7 +29,9 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.errors import CapabilityError
 from repro.geometry.interval import Interval
+from repro.index.backend import group_of
 from repro.index.query_box import QueryBox
 from repro.index.sorted_list import SortedListIndex
 
@@ -96,6 +98,36 @@ class RangeTree:
 
     def __len__(self) -> int:
         return len(self._ids)
+
+    @property
+    def n_active(self) -> int:
+        """Number of points currently visible to queries.
+
+        The root's associated structure covers every point, so its active
+        count (recursively, the last-level Fenwick sum) is the answer.
+        """
+        return self._root.assoc.n_active
+
+    @property
+    def supports_insert(self) -> bool:
+        """Static backend: the paper's queries only ever *temporarily*
+        delete points, which maps to activation flags; true insertion
+        would need rebuilding every associated structure."""
+        return False
+
+    def insert(self, points: np.ndarray, ids: Iterable) -> None:
+        """Unsupported — the textbook range tree is static."""
+        raise CapabilityError(
+            "RangeTree is static; use the 'kd' or 'columnar' engine for "
+            "dynamic insertion"
+        )
+
+    def remove(self, entry_id) -> None:
+        """Unsupported — the textbook range tree is static."""
+        raise CapabilityError(
+            "RangeTree is static; use the 'kd' or 'columnar' engine for "
+            "dynamic removal"
+        )
 
     # ------------------------------------------------------------------
     # Activation
@@ -195,6 +227,10 @@ class RangeTree:
             if found is not None:
                 return found
         return None
+
+    def report_groups(self, box: QueryBox) -> set:
+        """All group keys with >= 1 active point in the box."""
+        return {group_of(pid) for pid in self.report(box)}
 
     def count(self, box: QueryBox) -> int:
         """Number of active points inside the box."""

@@ -185,6 +185,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(
                     {
                         "status": "ok",
+                        "engine": self.service.engine_kind,
                         "n_datasets": self.service.n_datasets,
                         "n_live": self.service.n_live,
                         "n_shards": self.service.n_shards,

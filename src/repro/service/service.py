@@ -103,6 +103,7 @@ class QueryService:
         bounding_box: Optional[Rectangle] = None,
         seed: int = 0,
         deterministic: bool = True,
+        engine: str = "kd",
         max_workers: Optional[int] = None,
         telemetry_window: int = 4096,
         capacity: Optional[int] = None,
@@ -115,6 +116,7 @@ class QueryService:
             bounding_box=bounding_box,
             seed=seed,
             deterministic=deterministic,
+            engine=engine,
             max_workers=max_workers,
             capacity=capacity,
         )
@@ -150,10 +152,15 @@ class QueryService:
     def n_live(self) -> int:
         return self.executor.n_live
 
+    @property
+    def engine_kind(self) -> str:
+        return self.executor.engine_kind
+
     def stats(self) -> dict:
         """JSON-ready service metrics: telemetry, cache, shard layout."""
         executor = self.executor
         return {
+            "engine": executor.engine_kind,
             "n_datasets": executor.n_datasets,
             "n_live": executor.n_live,
             "n_removed": len(executor.removed),

@@ -69,6 +69,7 @@ from repro.core.predicates import Predicate
 from repro.errors import CapabilityError, ConstructionError, QueryError
 from repro.geometry.epsilon_sample import epsilon_of_sample_size
 from repro.geometry.rectangle import Rectangle
+from repro.index.backend import DYNAMIC_ENGINES, check_engine
 from repro.synopsis.base import Synopsis
 from repro.synopsis.exact import ExactSynopsis
 
@@ -172,6 +173,12 @@ class ShardedBatchExecutor:
     deterministic:
         Wrap synopses in :class:`SeededSampleSynopsis` (default).  Disable
         only if the synopses are already deterministic samplers.
+    engine:
+        Range-search backend name forced onto every shard engine (and the
+        delta shard): ``"kd"`` (default), ``"columnar"`` (vectorized
+        scans; fastest at service scale), ``"rangetree"`` (static — live
+        ingestion into the delta shard is refused).  See
+        :mod:`repro.index.backend`.
     max_workers:
         Thread-pool width; defaults to ``n_shards``.  ``0`` forces serial
         in-caller execution.
@@ -199,6 +206,7 @@ class ShardedBatchExecutor:
         bounding_box: Optional[Rectangle] = None,
         seed: int = 0,
         deterministic: bool = True,
+        engine: str = "kd",
         max_workers: Optional[int] = None,
         capacity: Optional[int] = None,
         removed: Optional[Iterable[int]] = None,
@@ -218,6 +226,7 @@ class ShardedBatchExecutor:
         self.seed = int(seed)
         self._deterministic = bool(deterministic)
         self._delta_param = delta
+        self.engine_kind = check_engine(engine)
         if deterministic:
             # Idempotent: synopses coming back from a previous executor
             # (QueryService.rebuild) are already seeded — re-wrapping them
@@ -284,6 +293,7 @@ class ShardedBatchExecutor:
                 delta=delta,
                 sample_size=self.sample_size,
                 bounding_box=self.bounding_box,
+                engine=self.engine_kind,
                 rng=np.random.default_rng((self.seed, s)),
             )
             for s, shard in enumerate(self.shards)
@@ -521,6 +531,11 @@ class ShardedBatchExecutor:
         new = list(synopses)
         if not new:
             return []
+        if self.engine_kind not in DYNAMIC_ENGINES:
+            raise CapabilityError(
+                f"engine {self.engine_kind!r} is static; live ingestion "
+                f"requires one of {DYNAMIC_ENGINES}"
+            )
         for s in new:
             if s.dim != self.dim:
                 raise ConstructionError("synopsis dimension mismatch")
@@ -555,6 +570,7 @@ class ShardedBatchExecutor:
                     delta=self._delta_param,
                     sample_size=self.sample_size,
                     bounding_box=self.bounding_box,
+                    engine=self.engine_kind,
                     rng=np.random.default_rng((self.seed, self.n_shards)),
                 )
                 # Mapping before engine: _units() gates on the engine, so

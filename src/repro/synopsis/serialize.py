@@ -3,18 +3,26 @@
 In the federated setting a synopsis is *shipped*: data owners build it
 locally and send it to the indexing service.  This module provides a
 versioned, dependency-free wire format (plain ``dict`` of JSON types) for
-the synopsis kinds whose state is pure data:
+every synopsis kind whose state is pure data:
 
 - :class:`~repro.synopsis.sample.EpsilonSampleSynopsis`
 - :class:`~repro.synopsis.cover.CoverSynopsis`
 - :class:`~repro.synopsis.quantile.QuantileHistogramSynopsis`
+- :class:`~repro.synopsis.gmm.GMMSynopsis` (fitted mixture parameters plus
+  the measured delta bounds — EM is *not* re-run on load)
+- :class:`~repro.synopsis.histogram.HistogramSynopsis` (grid edges + bin
+  probabilities)
+- :class:`~repro.synopsis.kernel.DirectionQuantileSynopsis` (direction net
+  + per-direction quantile sketches)
 
-(Heavier synopses — GMM, grid histogram, kernel — are reconstructed from
-their fitted parameters analogously; these three cover the shipping paths
-the examples and benchmarks exercise.)
+Only :class:`~repro.synopsis.exact.ExactSynopsis` has no wire format: its
+state *is* the raw dataset, which the federated setting exists to avoid
+shipping.
 
 Round-trip is exact: ``loads(dumps(s))`` answers every query identically
-(tested in ``tests/synopsis/test_serialize.py``).
+(tested in ``tests/synopsis/test_serialize.py``) — Python's ``json``
+emits shortest-round-trip ``repr`` floats, so binary64 values survive the
+wire bit-for-bit.
 """
 
 from __future__ import annotations
@@ -26,12 +34,22 @@ import numpy as np
 
 from repro.errors import ConstructionError
 from repro.synopsis.cover import CoverSynopsis
+from repro.synopsis.gmm import GMMSynopsis
+from repro.synopsis.histogram import HistogramSynopsis
+from repro.synopsis.kernel import DirectionQuantileSynopsis
 from repro.synopsis.quantile import QuantileHistogramSynopsis
 from repro.synopsis.sample import EpsilonSampleSynopsis
 
 FORMAT_VERSION = 1
 
-Serializable = Union[EpsilonSampleSynopsis, CoverSynopsis, QuantileHistogramSynopsis]
+Serializable = Union[
+    EpsilonSampleSynopsis,
+    CoverSynopsis,
+    QuantileHistogramSynopsis,
+    GMMSynopsis,
+    HistogramSynopsis,
+    DirectionQuantileSynopsis,
+]
 
 
 def to_dict(synopsis: Serializable) -> dict:
@@ -63,9 +81,42 @@ def to_dict(synopsis: Serializable) -> dict:
             "levels": synopsis._levels.tolist(),
             "knots": [k.tolist() for k in synopsis._knots],
         }
+    if isinstance(synopsis, GMMSynopsis):
+        return {
+            "format": FORMAT_VERSION,
+            "kind": "gmm",
+            "n_points": synopsis.n_points,
+            "delta": synopsis.delta_ptile,
+            "delta_pref": synopsis.delta_pref,
+            "weights": synopsis._weights.tolist(),
+            "means": synopsis._means.tolist(),
+            "stds": synopsis._stds.tolist(),
+        }
+    if isinstance(synopsis, HistogramSynopsis):
+        return {
+            "format": FORMAT_VERSION,
+            "kind": "grid-histogram",
+            "n_points": synopsis.n_points,
+            "delta": synopsis.delta_ptile,
+            "edges": [e.tolist() for e in synopsis._edges],
+            "probs": synopsis._probs.tolist(),
+        }
+    if isinstance(synopsis, DirectionQuantileSynopsis):
+        return {
+            "format": FORMAT_VERSION,
+            "kind": "direction-quantile",
+            "n_points": synopsis.n_points,
+            "delta_pref": synopsis.delta_pref,
+            "radius": synopsis._radius,
+            "eps_dir": synopsis._eps_dir,
+            "net": synopsis._net.tolist(),
+            "levels": synopsis._levels.tolist(),
+            "quantiles": synopsis._quantiles.tolist(),
+        }
     raise ConstructionError(
         f"{type(synopsis).__name__} has no wire format; supported kinds: "
-        "EpsilonSampleSynopsis, CoverSynopsis, QuantileHistogramSynopsis"
+        "EpsilonSampleSynopsis, CoverSynopsis, QuantileHistogramSynopsis, "
+        "GMMSynopsis, HistogramSynopsis, DirectionQuantileSynopsis"
     )
 
 
@@ -101,6 +152,40 @@ def from_dict(payload: dict) -> Serializable:
         syn._delta_ptile = float(payload["delta"])
         syn._delta_pref = float(payload["delta_pref"])
         return syn
+    if kind == "gmm":
+        gmm = GMMSynopsis.__new__(GMMSynopsis)
+        gmm._weights = np.asarray(payload["weights"], dtype=float)
+        gmm._means = np.asarray(payload["means"], dtype=float)
+        gmm._stds = np.asarray(payload["stds"], dtype=float)
+        gmm._dim = int(gmm._means.shape[1])
+        gmm._n_points = int(payload["n_points"])
+        gmm._delta_ptile = float(payload["delta"])
+        gmm._delta_pref = float(payload["delta_pref"])
+        return gmm
+    if kind == "grid-histogram":
+        hist = HistogramSynopsis.__new__(HistogramSynopsis)
+        hist._edges = [np.asarray(e, dtype=float) for e in payload["edges"]]
+        hist._dim = len(hist._edges)
+        hist._n_points = int(payload["n_points"])
+        hist._probs = np.asarray(payload["probs"], dtype=float)
+        hist._delta_ptile = float(payload["delta"])
+        # Derived state, recomputed exactly as the constructor does.
+        hist._cell_radius = 0.5 * float(
+            np.linalg.norm([e[1] - e[0] for e in hist._edges])
+        )
+        hist._flat_probs = None
+        return hist
+    if kind == "direction-quantile":
+        ker = DirectionQuantileSynopsis.__new__(DirectionQuantileSynopsis)
+        ker._net = np.asarray(payload["net"], dtype=float)
+        ker._dim = int(ker._net.shape[1])
+        ker._n_points = int(payload["n_points"])
+        ker._radius = float(payload["radius"])
+        ker._eps_dir = float(payload["eps_dir"])
+        ker._levels = np.asarray(payload["levels"], dtype=float)
+        ker._quantiles = np.asarray(payload["quantiles"], dtype=float)
+        ker._delta_pref = float(payload["delta_pref"])
+        return ker
     raise ConstructionError(f"unknown synopsis kind {kind!r}")
 
 

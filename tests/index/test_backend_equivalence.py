@@ -1,0 +1,193 @@
+"""Cross-backend equivalence: kd, range-tree and columnar must agree.
+
+This is the safety net of the pluggable-backend refactor: every registered
+:class:`~repro.index.backend.RangeSearchBackend` is driven with the same
+random mapped point sets, orthant queries and activation sequences, and
+must produce identical id sets for ``report``, identical group sets for
+``report_groups``, identical ``count`` values, and consistent
+``report_first`` membership.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index import ENGINES, QueryBox, build_backend
+from repro.index.backend import DYNAMIC_ENGINES, group_of
+
+
+def random_orthant(rng: np.random.Generator, dim: int) -> QueryBox:
+    """A random box mixing open/closed and one-sided constraints."""
+    cons = []
+    for _ in range(dim):
+        lo, hi = sorted(rng.uniform(-0.2, 1.2, size=2))
+        kind = rng.integers(0, 4)
+        if kind == 0:
+            lo = -np.inf
+        elif kind == 1:
+            hi = np.inf
+        cons.append((float(lo), float(hi), bool(rng.integers(2)), bool(rng.integers(2))))
+    return QueryBox(cons)
+
+
+def build_all(pts, ids, leaf_size=4):
+    return {e: build_backend(pts, list(ids), e, leaf_size=leaf_size) for e in ENGINES}
+
+
+def assert_agree(backends: dict, box: QueryBox) -> None:
+    reports = {e: sorted(b.report(box)) for e, b in backends.items()}
+    ref = reports["kd"]
+    for e, got in reports.items():
+        assert got == ref, f"report mismatch on {e}"
+    groups_ref = {group_of(i) for i in ref}
+    for e, b in backends.items():
+        assert b.report_groups(box) == groups_ref, f"report_groups mismatch on {e}"
+        assert b.count(box) == len(ref), f"count mismatch on {e}"
+        first = b.report_first(box)
+        assert (first is None) == (not ref), f"report_first emptiness on {e}"
+        if ref:
+            assert first in ref, f"report_first membership on {e}"
+
+
+class TestStaticEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 80), dim=st.integers(1, 4))
+    def test_random_orthants(self, seed, n, dim):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(size=(n, dim))
+        ids = [(int(i) % 7, int(i)) for i in range(n)]
+        backends = build_all(pts, ids)
+        for _ in range(5):
+            assert_agree(backends, random_orthant(rng, dim))
+
+    def test_duplicate_coordinates(self):
+        # Ties on the split axis stress the tree partitioning.
+        pts = np.array([[0.5, 0.5]] * 9 + [[0.25, 0.75]] * 4)
+        ids = [(i % 3, i) for i in range(13)]
+        backends = build_all(pts, ids)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            assert_agree(backends, random_orthant(rng, 2))
+
+
+class TestActivationEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 60))
+    def test_random_toggle_sequences(self, seed, n):
+        rng = np.random.default_rng(seed)
+        dim = int(rng.integers(1, 4))
+        pts = rng.uniform(size=(n, dim))
+        ids = [(int(i) % 5, int(i)) for i in range(n)]
+        backends = build_all(pts, ids)
+        active = {pid: True for pid in ids}
+        for _ in range(30):
+            pid = ids[int(rng.integers(n))]
+            for b in backends.values():
+                if active[pid]:
+                    b.deactivate(pid)
+                else:
+                    b.activate(pid)
+            active[pid] = not active[pid]
+            if rng.integers(3) == 0:
+                assert_agree(backends, random_orthant(rng, dim))
+        assert_agree(backends, QueryBox.unbounded(dim))
+        n_active = sum(active.values())
+        for e, b in backends.items():
+            assert b.n_active == n_active, f"n_active mismatch on {e}"
+
+    def test_report_loop_simulation(self, rng):
+        """The Algorithm-2 pattern: report_first, hide the whole group."""
+        pts = rng.uniform(size=(60, 3))
+        ids = [(i % 6, i) for i in range(60)]
+        group_ids = {k: [pid for pid in ids if pid[0] == k] for k in range(6)}
+        backends = build_all(pts, ids)
+        box = QueryBox.closed([0.1] * 3, [0.9] * 3)
+        expect = {e: b.report_groups(box) for e, b in backends.items()}
+        for e, b in backends.items():
+            got = set()
+            while True:
+                hit = b.report_first(box)
+                if hit is None:
+                    break
+                got.add(hit[0])
+                for pid in group_ids[hit[0]]:
+                    b.deactivate(pid)
+            for k in got:
+                for pid in group_ids[k]:
+                    b.activate(pid)
+            assert got == expect[e] == expect["kd"], e
+
+
+class TestDynamicEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_insert_remove_churn(self, seed):
+        """Dynamic backends stay equivalent under mixed churn."""
+        rng = np.random.default_rng(seed)
+        dim = int(rng.integers(1, 4))
+        pts = rng.uniform(size=(20, dim))
+        ids = [(int(i) % 4, int(i)) for i in range(20)]
+        backends = {
+            e: build_backend(pts, list(ids), e, leaf_size=4)
+            for e in DYNAMIC_ENGINES
+        }
+        live = list(ids)
+        next_id = 20
+        for _ in range(50):
+            op = rng.integers(0, 3)
+            if op == 0:
+                pid = (int(next_id) % 4, int(next_id))
+                row = rng.uniform(size=(1, dim))
+                for b in backends.values():
+                    b.insert(row, [pid])
+                live.append(pid)
+                next_id += 1
+            elif op == 1 and len(live) > 1:
+                pid = live.pop(int(rng.integers(len(live))))
+                for b in backends.values():
+                    b.remove(pid)
+            else:
+                box = random_orthant(rng, dim)
+                reports = {e: sorted(b.report(box)) for e, b in backends.items()}
+                groups = {e: b.report_groups(box) for e, b in backends.items()}
+                assert all(r == reports["kd"] for r in reports.values())
+                assert all(g == groups["kd"] for g in groups.values())
+        box = QueryBox.unbounded(dim)
+        final = {e: sorted(b.report(box)) for e, b in backends.items()}
+        assert all(r == sorted(live) for r in final.values()), final
+
+
+class TestProtocolSurface:
+    def test_static_backend_refuses_dynamics(self, rng):
+        from repro.errors import CapabilityError
+
+        b = build_backend(rng.uniform(size=(5, 2)), list(range(5)), "rangetree")
+        assert not b.supports_insert
+        with pytest.raises(CapabilityError):
+            b.insert(np.zeros((1, 2)), ["x"])
+        with pytest.raises(CapabilityError):
+            b.remove(0)
+
+    def test_dynamic_backends_advertise_insert(self, rng):
+        for e in DYNAMIC_ENGINES:
+            b = build_backend(rng.uniform(size=(5, 2)), list(range(5)), e)
+            assert b.supports_insert
+
+    def test_unknown_engine_rejected(self, rng):
+        from repro.errors import ConstructionError
+
+        with pytest.raises(ConstructionError):
+            build_backend(rng.uniform(size=(5, 2)), list(range(5)), "btree")
+
+    def test_remove_semantics_aligned(self, rng):
+        """Both dynamic backends: removing a deactivated point works,
+        double-remove and unknown-id remove raise KeyError."""
+        for e in DYNAMIC_ENGINES:
+            b = build_backend(rng.uniform(size=(6, 2)), list(range(6)), e)
+            b.deactivate(2)
+            b.remove(2)  # removal of a hidden point is legitimate
+            assert sorted(b.report(QueryBox.unbounded(2))) == [0, 1, 3, 4, 5]
+            with pytest.raises(KeyError):
+                b.remove(2)
+            with pytest.raises(KeyError):
+                b.remove("ghost")

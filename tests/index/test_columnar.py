@@ -1,0 +1,129 @@
+"""Tests for the vectorized columnar range-search backend."""
+
+import numpy as np
+import pytest
+
+from repro.index.columnar import ColumnarStore, MIN_DEAD_FOR_COMPACT
+from repro.index.query_box import QueryBox
+
+
+def naive_report(points, box):
+    return sorted(np.nonzero(box.contains_points(points))[0].tolist())
+
+
+class TestQueries:
+    def test_report_matches_naive(self, rng):
+        pts = rng.uniform(size=(300, 4))
+        store = ColumnarStore(pts)
+        box = QueryBox.closed([0.2] * 4, [0.8] * 4)
+        assert sorted(store.report(box)) == naive_report(pts, box)
+
+    def test_count_and_first(self, rng):
+        pts = rng.uniform(size=(200, 2))
+        store = ColumnarStore(pts)
+        box = QueryBox.closed([0.0, 0.0], [0.4, 0.4])
+        truth = naive_report(pts, box)
+        assert store.count(box) == len(truth)
+        first = store.report_first(box)
+        assert (first is None) == (not truth)
+        if truth:
+            assert first in truth
+
+    def test_open_bounds(self):
+        store = ColumnarStore(np.array([[0.0], [1.0], [2.0]]))
+        assert store.report(QueryBox([(0.0, 2.0, True, True)])) == [1]
+
+    def test_report_groups_is_group_by(self):
+        pts = np.array([[0.0], [1.0], [2.0], [3.0]])
+        store = ColumnarStore(pts, ids=[("a", 0), ("a", 1), ("b", 0), ("c", 0)])
+        assert store.report_groups(QueryBox.closed([0.5], [2.5])) == {"a", "b"}
+        store.deactivate(("a", 1))
+        assert store.report_groups(QueryBox.closed([0.5], [2.5])) == {"b"}
+
+    def test_dim_mismatch(self):
+        store = ColumnarStore(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            store.report(QueryBox.closed([0.0], [1.0]))
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnarStore(np.zeros((2, 1)), ids=["x", "x"])
+
+
+class TestActivation:
+    def test_roundtrip(self, rng):
+        pts = rng.uniform(size=(100, 2))
+        store = ColumnarStore(pts)
+        box = QueryBox.unbounded(2)
+        for i in range(10):
+            store.deactivate(i)
+        assert store.n_active == 90
+        assert sorted(store.report(box)) == list(range(10, 100))
+        for i in range(10):
+            store.activate(i)
+        assert sorted(store.report(box)) == list(range(100))
+
+    def test_double_toggle_raises(self):
+        store = ColumnarStore(np.zeros((2, 1)))
+        store.deactivate(0)
+        with pytest.raises(KeyError):
+            store.deactivate(0)
+        store.activate(0)
+        with pytest.raises(KeyError):
+            store.activate(0)
+
+    def test_unknown_id_raises(self):
+        store = ColumnarStore(np.zeros((1, 1)))
+        with pytest.raises(KeyError):
+            store.deactivate("nope")
+
+
+class TestDynamics:
+    def test_insert_visible_and_grouped(self, rng):
+        store = ColumnarStore(rng.uniform(size=(20, 2)), ids=[(0, i) for i in range(20)])
+        store.insert(np.array([[0.5, 0.5]]), ids=[(9, 0)])
+        box = QueryBox.closed([0.45, 0.45], [0.55, 0.55])
+        assert (9, 0) in store.report(box)
+        assert 9 in store.report_groups(box)
+
+    def test_insert_duplicate_id_rejected(self):
+        store = ColumnarStore(np.zeros((2, 1)))
+        with pytest.raises(KeyError):
+            store.insert(np.array([[1.0]]), ids=[0])
+
+    def test_remove_is_permanent(self, rng):
+        store = ColumnarStore(rng.uniform(size=(30, 2)))
+        store.remove(5)
+        assert 5 not in store.report(QueryBox.unbounded(2))
+        assert len(store) == 29
+        with pytest.raises(KeyError):
+            store.activate(5)
+        # The freed id is re-insertable immediately.
+        store.insert(np.array([[0.5, 0.5]]), ids=[5])
+        assert 5 in store.report(QueryBox.unbounded(2))
+
+    def test_compaction_preserves_answers(self, rng):
+        n = 4 * MIN_DEAD_FOR_COMPACT
+        pts = rng.uniform(size=(n, 2))
+        store = ColumnarStore(pts)
+        victims = rng.choice(n, size=MIN_DEAD_FOR_COMPACT + 10, replace=False)
+        survivors_inactive = []
+        for i, v in enumerate(sorted(int(v) for v in victims)):
+            store.remove(v)
+        # Deactivate a couple of survivors; compaction must keep the flags.
+        alive = sorted(set(range(n)) - {int(v) for v in victims})
+        for v in alive[:5]:
+            store.deactivate(v)
+            survivors_inactive.append(v)
+        box = QueryBox.unbounded(2)
+        expect = sorted(set(alive) - set(survivors_inactive))
+        assert sorted(store.report(box)) == expect
+        assert len(store) == len(alive)
+        assert store.n_active == len(expect)
+
+    def test_capacity_growth_keeps_old_points(self, rng):
+        store = ColumnarStore(rng.uniform(size=(3, 1)))
+        for i in range(200):
+            store.insert(np.array([[float(i)]]), ids=[f"n{i}"])
+        assert len(store) == 203
+        assert store.count(QueryBox.unbounded(1)) == 203

@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.index.kd_tree import DynamicKDTree
+from repro.index.kd_tree import (
+    DynamicKDTree,
+    MIN_BUFFER_FOR_REBUILD,
+    REBUILD_FRACTION,
+)
 from repro.index.query_box import QueryBox
 
 
@@ -145,6 +149,15 @@ class TestDynamics:
         tree.activate("b")
         assert tree.report(QueryBox.closed([8.0], [10.0])) == ["b"]
 
+    def test_report_groups(self, rng):
+        pts = rng.uniform(size=(40, 2))
+        tree = DynamicKDTree(pts, ids=[(i % 4, i) for i in range(40)])
+        box = QueryBox.closed([0.0, 0.0], [1.0, 1.0])
+        assert tree.report_groups(box) == {0, 1, 2, 3}
+        for i in range(0, 40, 4):  # hide all of group 0
+            tree.deactivate((0, i))
+        assert tree.report_groups(box) == {1, 2, 3}
+
     @settings(max_examples=15, deadline=None)
     @given(seed=st.integers(0, 10_000))
     def test_churn_consistency(self, seed):
@@ -177,3 +190,86 @@ class TestDynamics:
             k for k in active if box.contains_point(alive[k])
         )
         assert sorted(tree.report(box)) == expected
+
+
+class TestAmortizedRebuild:
+    """The side buffer outgrowing REBUILD_FRACTION must trigger a rebuild
+    that preserves activation state and honors removals."""
+
+    @staticmethod
+    def _grow_past_threshold(tree, rng, prefix):
+        """Insert just enough points to cross the rebuild threshold."""
+        threshold = max(
+            MIN_BUFFER_FOR_REBUILD, int(REBUILD_FRACTION * len(tree._ids))
+        )
+        ids = [f"{prefix}{i}" for i in range(threshold)]
+        tree.insert(rng.uniform(size=(threshold, tree.dim)), ids=ids)
+        return ids
+
+    def test_rebuild_absorbs_buffer(self, rng):
+        pts = rng.uniform(size=(50, 2))
+        tree = DynamicKDTree(pts)
+        new_ids = self._grow_past_threshold(tree, rng, "g")
+        # Buffer was folded into the main tree: every id is tree-resident.
+        assert tree._buf_n == 0
+        assert all(pid in tree._pos_of_id for pid in new_ids)
+        assert len(tree) == 50 + len(new_ids)
+        assert tree.n_active == 50 + len(new_ids)
+
+    def test_activation_state_survives_rebuild(self, rng):
+        pts = rng.uniform(size=(50, 2))
+        tree = DynamicKDTree(pts)
+        tree.deactivate(7)
+        tree.deactivate(11)
+        # Deactivate one *buffered* point, then push past the threshold.
+        tree.insert(rng.uniform(size=(1, 2)), ids=["buffered"])
+        tree.deactivate("buffered")
+        new_ids = self._grow_past_threshold(tree, rng, "h")
+        assert tree._buf_n == 0  # rebuild happened
+        box = QueryBox.unbounded(2)
+        got = set(tree.report(box))
+        assert {7, 11, "buffered"} & got == set()
+        assert set(new_ids) <= got
+        assert tree.n_active == len(tree) - 3
+        # Toggles still work post-rebuild (paths/leaf assignment rebuilt).
+        tree.activate(7)
+        assert 7 in set(tree.report(box))
+        with pytest.raises(KeyError):
+            tree.activate("buffered2")
+
+    def test_removed_ids_dropped_and_reusable(self, rng):
+        pts = rng.uniform(size=(50, 2))
+        tree = DynamicKDTree(pts)
+        tree.remove(3)
+        tree.insert(rng.uniform(size=(1, 2)), ids=["victim"])
+        tree.remove("victim")
+        new_ids = self._grow_past_threshold(tree, rng, "r")
+        assert tree._buf_n == 0
+        assert len(tree) == 50 - 2 + len(new_ids) + 1
+        box = QueryBox.unbounded(2)
+        got = set(tree.report(box))
+        assert 3 not in got and "victim" not in got
+        # Removed ids are gone from the structure entirely post-rebuild...
+        with pytest.raises(KeyError):
+            tree.deactivate("victim")
+        # ... and re-insertable as fresh points.
+        tree.insert(np.array([[0.5, 0.5]]), ids=["victim"])
+        assert "victim" in set(tree.report(box))
+
+    def test_report_first_correct_across_rebuild(self, rng):
+        pts = rng.uniform(size=(60, 2))
+        tree = DynamicKDTree(pts, leaf_size=4)
+        self._grow_past_threshold(tree, rng, "x")
+        box = QueryBox.closed([0.2, 0.2], [0.8, 0.8])
+        expected = set(tree.report(box))
+        seen = set()
+        while True:
+            hit = tree.report_first(box)
+            if hit is None:
+                break
+            seen.add(hit)
+            tree.deactivate(hit)
+        assert seen == expected
+        for pid in seen:
+            tree.activate(pid)
+        assert set(tree.report(box)) == expected

@@ -129,7 +129,8 @@ class TestEndpoints:
     def test_healthz(self, server_url):
         out = _get(server_url + "/healthz")
         assert out == {
-            "status": "ok", "n_datasets": 10, "n_live": 10, "n_shards": 2,
+            "status": "ok", "engine": "kd", "n_datasets": 10, "n_live": 10,
+            "n_shards": 2,
         }
 
     def test_search(self, server_url):

@@ -299,3 +299,79 @@ class TestServiceFacade:
             body = json.dumps(svc.stats())
             assert "NaN" not in body
             assert json.loads(body)["telemetry"]["latency_p50_s"] is None
+
+
+class TestEngineThreading:
+    """Backend selection must flow service -> executor -> shard engines,
+    with identical answers across backends (same seeds, same coresets)."""
+
+    def test_engine_reaches_every_layer(self, repo):
+        svc = QueryService(
+            repository=repo, n_shards=2, eps=EPS, sample_size=SAMPLE_SIZE,
+            seed=SEED, engine="columnar",
+        )
+        try:
+            assert svc.engine_kind == "columnar"
+            assert svc.stats()["engine"] == "columnar"
+            assert svc.executor.engine_kind == "columnar"
+            for engine in svc.executor.engines:
+                assert engine.engine_kind == "columnar"
+                assert engine.ptile_index.engine_kind == "columnar"
+        finally:
+            svc.close()
+
+    def test_columnar_matches_kd_service(self, repo, queries):
+        answers = {}
+        for backend in ("kd", "columnar"):
+            svc = QueryService(
+                repository=repo, n_shards=3, eps=EPS,
+                sample_size=SAMPLE_SIZE, seed=SEED, engine=backend,
+            )
+            try:
+                answers[backend] = [
+                    r.index_set for r in svc.search_batch(queries)
+                ]
+            finally:
+                svc.close()
+        assert answers["kd"] == answers["columnar"]
+
+    def test_columnar_delta_shard_ingest(self, lake, repo, queries):
+        svc = QueryService(
+            repository=repo, n_shards=2, eps=EPS, sample_size=SAMPLE_SIZE,
+            seed=SEED, engine="columnar", capacity=4 * N_DATASETS,
+        )
+        try:
+            svc.search_batch(queries)
+            receipt = svc.add_datasets([lake[0] + 0.01])
+            assert receipt["rebuilt"] is False  # landed in the delta shard
+            assert svc.executor.delta_engine.engine_kind == "columnar"
+            got = [r.index_set for r in svc.search_batch(queries)]
+            fresh = QueryService(
+                repository=svc.repository, n_shards=2, eps=EPS,
+                sample_size=SAMPLE_SIZE, seed=SEED, engine="columnar",
+                capacity=4 * N_DATASETS,
+            )
+            try:
+                expect = [r.index_set for r in fresh.search_batch(queries)]
+            finally:
+                fresh.close()
+            assert got == expect
+        finally:
+            svc.close()
+
+    def test_rangetree_service_refuses_live_ingest(self, lake, repo):
+        from repro.errors import CapabilityError
+
+        svc = QueryService(
+            repository=repo, n_shards=2, eps=EPS, sample_size=SAMPLE_SIZE,
+            seed=SEED, engine="rangetree",
+        )
+        try:
+            with pytest.raises(CapabilityError):
+                svc.add_datasets([lake[0]])
+        finally:
+            svc.close()
+
+    def test_unknown_engine_rejected_at_construction(self, repo):
+        with pytest.raises(ConstructionError):
+            QueryService(repository=repo, engine="btree")

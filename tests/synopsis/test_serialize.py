@@ -9,6 +9,9 @@ from repro.errors import ConstructionError
 from repro.geometry.rectangle import Rectangle
 from repro.synopsis.cover import CoverSynopsis
 from repro.synopsis.exact import ExactSynopsis
+from repro.synopsis.gmm import GMMSynopsis
+from repro.synopsis.histogram import HistogramSynopsis
+from repro.synopsis.kernel import DirectionQuantileSynopsis
 from repro.synopsis.quantile import QuantileHistogramSynopsis
 from repro.synopsis.sample import EpsilonSampleSynopsis
 from repro.synopsis.serialize import dumps, from_dict, loads, to_dict
@@ -55,6 +58,59 @@ class TestQuantileRoundTrip:
         s1 = restored.sample(50, np.random.default_rng(5))
         s2 = original.sample(50, np.random.default_rng(5))
         assert np.array_equal(s1, s2)
+
+
+class TestGMMRoundTrip:
+    def test_queries_identical(self, data):
+        original = GMMSynopsis(
+            data, n_components=3, rng=np.random.default_rng(7), n_iter=15
+        )
+        restored = loads(dumps(original))
+        rect = Rectangle([0.1, 0.2], [0.7, 0.9])
+        assert restored.mass(rect) == original.mass(rect)
+        assert restored.delta_ptile == original.delta_ptile
+        assert restored.delta_pref == original.delta_pref
+        v = np.array([0.6, -0.8])
+        assert restored.score(v, 40) == original.score(v, 40)
+        assert restored.n_components == original.n_components
+        assert restored.n_points == original.n_points
+        s1 = restored.sample(30, np.random.default_rng(9))
+        s2 = original.sample(30, np.random.default_rng(9))
+        assert np.array_equal(s1, s2)
+
+
+class TestGridHistogramRoundTrip:
+    def test_queries_identical(self, data):
+        original = HistogramSynopsis(data, bins=[8, 12])
+        restored = loads(dumps(original))
+        rect = Rectangle([0.15, 0.05], [0.55, 0.95])
+        assert restored.mass(rect) == original.mass(rect)
+        assert restored.delta_ptile == original.delta_ptile
+        assert restored.delta_pref == original.delta_pref
+        assert restored.bins_per_axis == original.bins_per_axis
+        v = np.array([1.0, -1.0])
+        assert restored.score(v, 25) == original.score(v, 25)
+        s1 = restored.sample(40, np.random.default_rng(4))
+        s2 = original.sample(40, np.random.default_rng(4))
+        assert np.array_equal(s1, s2)
+
+
+class TestDirectionQuantileRoundTrip:
+    def test_queries_identical(self, data):
+        original = DirectionQuantileSynopsis(
+            data - 0.5, eps_dir=0.2, n_quantiles=16,
+            rng=np.random.default_rng(6),
+        )
+        restored = loads(dumps(original))
+        assert restored.delta_pref == original.delta_pref
+        assert restored.n_directions == original.n_directions
+        for v in (np.array([1.0, 0.0]), np.array([-0.3, 0.7])):
+            for k in (1, 10, 100):
+                assert restored.score(v, k) == original.score(v, k)
+        vs = np.random.default_rng(8).normal(size=(12, 2))
+        assert np.array_equal(
+            restored.score_batch(vs, 10), original.score_batch(vs, 10)
+        )
 
 
 class TestFormat:

@@ -1,0 +1,276 @@
+"""COLD-PATH — vectorized construction, batched kernels, cold QPS.
+
+Before this PR the cold path was interpreter-bound twice over: maximal-pair
+enumeration walked ``itertools.product`` grids one Python tuple at a time
+(and ``_mapped_points`` concatenated one row per pair), and a cold service
+batch evaluated its deduplicated leaf schedule one backend walk per leaf.
+This benchmark measures both fixes end to end, asserting answer equality
+everywhere:
+
+1. **construction** — ``PtileRangeIndex`` build time with the reference
+   (pre-PR) enumeration path vs the vectorized block enumerators, same
+   seeds; probe-query answer sets and mapped-point counts must agree.
+2. **cold batch** — a *fresh* ``QueryService`` (cache empty, shards
+   unbuilt) answering a mixed Ptile/Pref batch: per-leaf loop + reference
+   enumeration (the pre-PR cold path) vs batched multi-box kernels +
+   vectorized enumeration.  Every mode must return identical answers.
+3. **crossover-vs-scan** — per-query time of the index vs the exact
+   ``LinearScanPtile`` baseline, both as a single query and amortized over
+   a batch of distinct queries (the shape the service cold path sees).
+
+Run ``python benchmarks/bench_cold_path.py`` for the full sweep and
+``BENCH_cold_path.json``; ``--smoke`` runs one small size with the
+equality / no-regression assertions only (CI guard, no JSON write).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+import numpy as np
+
+from repro.baselines.linear_scan import LinearScanPtile
+from repro.bench.harness import TableReporter, json_report, time_callable
+from repro.core.framework import Repository
+from repro.core.ptile_range import PtileRangeIndex
+from repro.geometry import rect_enum
+from repro.geometry.interval import Interval
+from repro.geometry.rectangle import Rectangle
+from repro.service import QueryService
+from repro.synopsis.exact import ExactSynopsis
+from repro.workloads.generators import dataset_with_mass, synthetic_data_lake
+from repro.workloads.queries import batched_query_workload
+
+QUERY = Rectangle([0.0], [0.25])
+THETA = Interval(0.3, 0.6)
+SAMPLE_SIZE = 16
+EPS = 0.1
+SEED = 2025
+#: Distinct queries in the crossover batch (amortizes one shared traversal).
+CROSSOVER_BATCH = 32
+
+
+def planted_lake(n: int, rng: np.random.Generator):
+    return [
+        dataset_with_mass(400, QUERY, (i % 20) / 20 + 0.025, rng)
+        for i in range(n)
+    ]
+
+
+def batch_queries(q: int, rng: np.random.Generator):
+    out = []
+    for _ in range(q):
+        lo = float(rng.uniform(0.0, 0.4))
+        hi = float(rng.uniform(lo + 0.1, 1.0))
+        a = float(rng.uniform(0.0, 0.5))
+        b = float(rng.uniform(a, 1.0))
+        out.append((Rectangle([lo], [hi]), Interval(a, b)))
+    return out
+
+
+def build_index(syns, vectorized: bool):
+    """Build the T-4.11 index on the chosen enumeration path, timed."""
+    previous = rect_enum.VECTORIZED_ENUMERATION
+    rect_enum.VECTORIZED_ENUMERATION = vectorized
+    try:
+        t0 = time.perf_counter()
+        index = PtileRangeIndex(
+            syns, eps=EPS, sample_size=SAMPLE_SIZE, engine="kd",
+            rng=np.random.default_rng(1),
+        )
+        return index, time.perf_counter() - t0
+    finally:
+        rect_enum.VECTORIZED_ENUMERATION = previous
+
+
+def cold_service_run(repo, queries, *, batch_leaves: bool, vectorized: bool,
+                     trials: int):
+    """Answer one batch on a *fresh* service: cold cache, unbuilt shards.
+
+    Returns ``(answers, cold_s)`` with ``cold_s`` the best of ``trials``
+    fresh runs (each trial builds its own service so every run pays the
+    full lazy shard build — exactly the cold path a first batch sees).
+    """
+    previous = rect_enum.VECTORIZED_ENUMERATION
+    rect_enum.VECTORIZED_ENUMERATION = vectorized
+    try:
+        answers = None
+        best = float("inf")
+        for _ in range(trials):
+            service = QueryService(
+                repository=repo, n_shards=1, eps=0.2, sample_size=12,
+                seed=SEED, batch_leaves=batch_leaves,
+            )
+            t0 = time.perf_counter()
+            results = service.search_batch(queries)
+            cold_s = time.perf_counter() - t0
+            service.close()
+            best = min(best, cold_s)
+            answers = [r.indexes for r in results]
+        return answers, best
+    finally:
+        rect_enum.VECTORIZED_ENUMERATION = previous
+
+
+def run_scale(n: int, n_queries: int, repeats: int, trials: int) -> dict:
+    rng = np.random.default_rng(n)
+    datasets = planted_lake(n, rng)
+    syns = [ExactSynopsis(p) for p in datasets]
+
+    # 1. Construction: reference vs vectorized, same seeds.
+    index_ref, build_ref = build_index(syns, vectorized=False)
+    index_vec, build_vec = build_index(syns, vectorized=True)
+    assert index_ref.n_mapped_points == index_vec.n_mapped_points
+    probe = batch_queries(8, np.random.default_rng(n + 1)) + [(QUERY, THETA)]
+    for rect, theta in probe:
+        ref = sorted(index_ref.query(rect, theta).index_set)
+        vec = sorted(index_vec.query(rect, theta).index_set)
+        assert ref == vec, f"construction answer mismatch at n={n}"
+    del index_ref
+
+    # 2. Cold service batch: pre-PR path vs batched+vectorized.
+    lake = synthetic_data_lake(
+        n, 1, np.random.default_rng(SEED), family="clustered",
+        median_size=150, size_sigma=0.4,
+    )
+    repo = Repository.from_arrays(lake)
+    queries = batched_query_workload(
+        n_queries, 1, np.random.default_rng(SEED + 1),
+        pref_fraction=0.3, duplicate_leaf_rate=0.3,
+    )
+    before, cold_before = cold_service_run(
+        repo, queries, batch_leaves=False, vectorized=False, trials=trials
+    )
+    after, cold_after = cold_service_run(
+        repo, queries, batch_leaves=True, vectorized=True, trials=trials
+    )
+    assert before == after, f"cold-path answer mismatch at n={n}"
+
+    # 3. Crossover vs the exact linear scan (single + batched amortized).
+    scan = LinearScanPtile(datasets, mode="tree")
+    q_scan = time_callable(lambda: scan.query(QUERY, THETA), repeats=repeats)
+    q_single = time_callable(
+        lambda: index_vec.query(QUERY, THETA), repeats=repeats
+    )
+    xbatch = batch_queries(CROSSOVER_BATCH, np.random.default_rng(n + 2))
+    q_batched = time_callable(
+        lambda: index_vec.query_many(xbatch), repeats=repeats
+    ) / CROSSOVER_BATCH
+    batched_answers = [sorted(r.index_set) for r in index_vec.query_many(xbatch)]
+    loop_answers = [
+        sorted(index_vec.query(r, t).index_set) for r, t in xbatch
+    ]
+    assert batched_answers == loop_answers, f"query_many mismatch at n={n}"
+
+    return {
+        "n": n,
+        "mapped_pts": index_vec.n_mapped_points,
+        "build_s_reference": build_ref,
+        "build_s_vectorized": build_vec,
+        "construction_speedup": build_ref / build_vec,
+        "cold_s_before": cold_before,
+        "cold_s_after": cold_after,
+        "cold_qps_before": len(queries) / cold_before,
+        "cold_qps_after": len(queries) / cold_after,
+        "cold_speedup": cold_before / cold_after,
+        "q_scan": q_scan,
+        "q_index_single": q_single,
+        "q_index_batched": q_batched,
+        "index_beats_scan_single": q_single < q_scan,
+        "index_beats_scan_batched": q_batched < q_scan,
+    }
+
+
+def crossover_n(rows: list[dict], key: str) -> int | None:
+    """Smallest bench N from which the index beats the scan (None if never)."""
+    for row in sorted(rows, key=lambda r: r["n"]):
+        if row[key]:
+            return row["n"]
+    return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="one small size, equality + no-regression asserts, no JSON",
+    )
+    args = parser.parse_args(argv)
+    sizes = (40,) if args.smoke else (80, 160, 320)
+    n_queries = 48 if args.smoke else 150
+    repeats = 3 if args.smoke else 5
+    trials = 2
+
+    table = TableReporter(
+        "COLD-PATH: construction + cold batch, pre-PR path vs vectorized/batched",
+        ["N", "build ref (s)", "build vec (s)", "x", "cold before (s)",
+         "cold after (s)", "QPS before", "QPS after", "x", "scan (s)",
+         "idx single (s)", "idx batched (s)"],
+    )
+    rows = []
+    for n in sizes:
+        r = run_scale(n, n_queries, repeats, trials)
+        rows.append(r)
+        table.add_row(
+            [r["n"], r["build_s_reference"], r["build_s_vectorized"],
+             r["construction_speedup"], r["cold_s_before"], r["cold_s_after"],
+             r["cold_qps_before"], r["cold_qps_after"], r["cold_speedup"],
+             r["q_scan"], r["q_index_single"], r["q_index_batched"]]
+        )
+    table.print()
+    print("Answer sets identical on every path at every size "
+          "(construction, cold batch, query_many).")
+
+    if args.smoke:
+        worst = max(r["cold_s_after"] / r["cold_s_before"] for r in rows)
+        assert worst <= 1.15, (
+            f"batched cold evaluation regressed vs the per-leaf loop "
+            f"({worst:.2f}x slower)"
+        )
+        print("smoke: batched cold evaluation is no slower than the "
+              "per-leaf loop; no JSON written")
+        return 0
+
+    largest = rows[-1]
+    assert largest["construction_speedup"] >= 3.0, (
+        f"construction speedup {largest['construction_speedup']:.1f}x < 3x"
+    )
+    assert largest["cold_speedup"] >= 5.0, (
+        f"cold-path speedup {largest['cold_speedup']:.1f}x < 5x"
+    )
+    before_x = crossover_n(rows, "index_beats_scan_single")
+    after_x = crossover_n(rows, "index_beats_scan_batched")
+    print(f"crossover vs scan: single-query N = {before_x}, "
+          f"batched N = {after_x}")
+    path = json_report(
+        os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                     "BENCH_cold_path.json"),
+        rows,
+        meta={
+            "bench": "cold_path",
+            "sample_size": SAMPLE_SIZE,
+            "eps": EPS,
+            "n_queries": n_queries,
+            "crossover_batch": CROSSOVER_BATCH,
+            "crossover_n_single_query": before_x,
+            "crossover_n_batched": after_x,
+            "construction_speedup_at_largest_n": largest["construction_speedup"],
+            "cold_speedup_at_largest_n": largest["cold_speedup"],
+        },
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+def test_cold_path_batched_query_many(benchmark):
+    rng = np.random.default_rng(17)
+    syns = [ExactSynopsis(p) for p in planted_lake(60, rng)]
+    index, _ = build_index(syns, vectorized=True)
+    batch = batch_queries(16, np.random.default_rng(18))
+    benchmark(lambda: index.query_many(batch))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

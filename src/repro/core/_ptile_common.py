@@ -32,7 +32,12 @@ from repro.errors import ConstructionError, QueryError
 from repro.geometry.epsilon_sample import epsilon_of_sample_size, epsilon_sample_size
 from repro.geometry.rect_enum import RectangleGrid
 from repro.geometry.rectangle import Rectangle
-from repro.index.backend import ENGINES, build_backend, check_engine
+from repro.index.backend import (
+    ENGINES,
+    build_backend,
+    check_engine,
+    report_groups_many_of,
+)
 from repro.index.query_box import QueryBox
 from repro.synopsis.base import Synopsis
 
@@ -112,6 +117,52 @@ def draw_coreset(
     if sample.ndim != 2 or sample.shape[0] == 0:
         raise ConstructionError("synopsis returned an invalid sample")
     return sample
+
+
+def range_point_matrix(
+    inner_lo: np.ndarray,
+    inner_hi: np.ndarray,
+    outer_lo: np.ndarray,
+    outer_hi: np.ndarray,
+    weights: np.ndarray,
+    delta: float,
+) -> np.ndarray:
+    """The ``(P, 4d+2)`` mapped-point matrix of Algorithm 3, in one shot.
+
+    Column order matches the per-pair concatenation the builders used to
+    do row by row: ``(rho^-, rho_hat^-, rho^+, rho_hat^+, w+delta,
+    w-delta)``.  ``P = 0`` yields a correctly *shaped* ``(0, 4d+2)``
+    matrix — never the ragged 1-d array ``np.asarray([])`` would produce —
+    so empty coresets flow through ``np.vstack`` and backend ``insert``
+    without special-casing.
+    """
+    n, d = inner_lo.shape
+    out = np.empty((n, 4 * d + 2))
+    out[:, 0:d] = inner_lo
+    out[:, d : 2 * d] = outer_lo
+    out[:, 2 * d : 3 * d] = inner_hi
+    out[:, 3 * d : 4 * d] = outer_hi
+    out[:, 4 * d] = weights + delta
+    out[:, 4 * d + 1] = weights - delta
+    return out
+
+
+def threshold_point_matrix(
+    lo: np.ndarray, hi: np.ndarray, weights: np.ndarray, delta: float
+) -> np.ndarray:
+    """The ``(P, 2d+1)`` mapped-point matrix of Algorithm 1, in one shot.
+
+    Column order: ``(rho^-, rho^+, w+delta)`` — the row-by-row
+    ``to_point_2d`` concatenation of the legacy builder, assembled as
+    three block writes.  Shaped-empty behaviour as in
+    :func:`range_point_matrix`.
+    """
+    n, d = lo.shape
+    out = np.empty((n, 2 * d + 1))
+    out[:, 0:d] = lo
+    out[:, d : 2 * d] = hi
+    out[:, 2 * d] = weights + delta
+    return out
 
 
 def build_engine(points: np.ndarray, ids: list, engine: str, leaf_size: int):
@@ -261,3 +312,22 @@ class PtileIndexBase:
         result.stats["deleted_points"] = deleted_total
         result.stats["loop_iterations"] = len(reported) + 1
         return result
+
+    def _report_groups_batch(self, boxes: Sequence[QueryBox]) -> list[QueryResult]:
+        """Batched (untimed) report for many query boxes at once.
+
+        One multi-box backend call — the shared-traversal walk on the
+        kd-tree, a broadcast containment pass on the columnar store —
+        instead of ``len(boxes)`` sequential ``report_groups`` calls.
+        Backends without the batch kernels are served by the per-box
+        fallback of :func:`~repro.index.backend.report_groups_many_of`,
+        with identical answer sets either way.
+        """
+        results: list[QueryResult] = []
+        for keys in report_groups_many_of(self._tree, boxes):
+            result = QueryResult()
+            result.indexes = sorted(keys)
+            result.stats["deleted_points"] = 0
+            result.stats["loop_iterations"] = 1
+            results.append(result)
+        return results

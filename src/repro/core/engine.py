@@ -147,6 +147,20 @@ class DatasetSearchEngine:
         """``N``."""
         return len(self.synopses)
 
+    def build(self) -> "DatasetSearchEngine":
+        """Eagerly build the Ptile structure (cold-start warmup hook).
+
+        The engine is lazy by default: the first percentile query pays the
+        full coreset-enumeration build.  Serving layers call ``build()``
+        up front — ``repro serve`` warmup and the sharded executor's
+        parallel :meth:`~repro.service.sharding.ShardedBatchExecutor.warm`
+        both route through here — so no user query eats the cold build.
+        Pref structures stay lazy (their rank ``k`` is query-dependent).
+        Returns ``self`` for chaining.
+        """
+        _ = self.ptile_index
+        return self
+
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
@@ -222,6 +236,33 @@ class DatasetSearchEngine:
 
     # Backwards-compatible alias (pre-service releases named the hook this).
     _eval_leaf = eval_leaf
+
+    def eval_leaf_batch(self, leaves: Sequence[Predicate]) -> list[set[int]]:
+        """Answer a batch of predicate leaves, batching where it pays.
+
+        All percentile leaves are routed through
+        :meth:`~repro.core.ptile_range.PtileRangeIndex.query_many` — one
+        multi-box backend call for the whole batch instead of one tree
+        walk per leaf.  Preference leaves are evaluated individually (each
+        rank ``k`` owns a separate Pref structure).  Answers are aligned
+        with the input order and identical to ``[self.eval_leaf(l) for l
+        in leaves]``.
+        """
+        leaves = list(leaves)
+        results: list[Optional[set[int]]] = [None] * len(leaves)
+        ptile_pos: list[int] = []
+        ptile_queries: list[tuple] = []
+        for i, leaf in enumerate(leaves):
+            if isinstance(leaf.measure, PercentileMeasure):
+                ptile_pos.append(i)
+                ptile_queries.append((leaf.measure.rect, leaf.theta))
+            else:
+                results[i] = self.eval_leaf(leaf)
+        if ptile_queries:
+            batched = self.ptile_index.query_many(ptile_queries)
+            for i, res in zip(ptile_pos, batched):
+                results[i] = res.index_set
+        return results
 
     # ------------------------------------------------------------------
     # Dynamics (Remark 1)

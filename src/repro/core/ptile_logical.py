@@ -24,7 +24,6 @@ tensor fast path handles pure conjunctions.
 
 from __future__ import annotations
 
-import itertools
 import math
 import time
 from typing import Iterable, Optional, Sequence
@@ -37,7 +36,11 @@ from repro.core.ptile_range import PtileRangeIndex
 from repro.core.results import QueryResult
 from repro.errors import ConstructionError, QueryError
 from repro.geometry.interval import Interval
-from repro.geometry.rect_enum import RectangleGrid, enumerate_generalized_pairs
+from repro.geometry.rect_enum import (
+    RectangleGrid,
+    _product_option_indices,
+    generalized_pairs_arrays,
+)
 from repro.geometry.rectangle import Rectangle
 from repro.index.backend import build_backend
 from repro.index.kd_tree import DynamicKDTree
@@ -157,39 +160,51 @@ class PtileLogicalIndex:
     # Tensor strategy (the paper's Appendix C.4 construction)
     # ------------------------------------------------------------------
     def _build_tensor(self, m: int) -> None:
-        """Materialize the m-fold tensor structure over maximal pairs."""
+        """Materialize the m-fold tensor structure over maximal pairs.
+
+        Vectorized: each dataset's pair family arrives as one ``(P, 4d)``
+        coordinate matrix (plus weights), and the ``P^m`` tensor rows are
+        assembled with stride-indexed block writes — same row order and
+        float values as the old per-combination ``itertools.product`` /
+        ``np.concatenate`` loop, at NumPy speed.
+        """
         ri = self._range_index
-        per_dataset: dict[int, list[tuple[np.ndarray, float]]] = {}
+        per_dataset: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         total = 0
         for key in ri.keys:
             grid = RectangleGrid(ri.coreset(key), bounding_box=ri.bounding_box)
-            pairs = [
-                (np.concatenate([in_lo, out_lo, in_hi, out_hi]), weight)
-                for in_lo, in_hi, out_lo, out_hi, weight in enumerate_generalized_pairs(grid)
-            ]
-            per_dataset[key] = pairs
-            total += len(pairs) ** m
+            in_lo, in_hi, out_lo, out_hi, weights = generalized_pairs_arrays(grid)
+            coords = np.hstack([in_lo, out_lo, in_hi, out_hi])
+            per_dataset[key] = (coords, weights)
+            total += coords.shape[0] ** m
         if total > MAX_TENSOR_POINTS:
             raise ConstructionError(
                 f"tensor construction for m={m} needs {total} mapped points "
                 f"(> {MAX_TENSOR_POINTS}); reduce sample_size or use compose"
             )
-        rows: list[np.ndarray] = []
+        blocks: list[np.ndarray] = []
         ids: list = []
         id_map: dict[int, list] = {}
-        for key, pairs in per_dataset.items():
-            id_map[key] = []
-            for local, combo in enumerate(itertools.product(pairs, repeat=m)):
-                coords = np.concatenate([c[0] for c in combo])
-                delta_i = ri.delta_of(key)
-                w_plus = [c[1] + delta_i for c in combo]
-                w_minus = [c[1] - delta_i for c in combo]
-                rows.append(np.concatenate([coords, w_plus, w_minus]))
-                pid = (key, local)
-                ids.append(pid)
-                id_map[key].append(pid)
+        d4 = 4 * ri.dim
+        for key, (coords, weights) in per_dataset.items():
+            p = coords.shape[0]
+            n_combo = p ** m
+            delta_i = ri.delta_of(key)
+            block = np.empty((n_combo, m * d4 + 2 * m))
+            if n_combo:
+                # Per-slot pick columns in itertools.product order (last
+                # slot fastest) — shared with the pair enumerators.
+                picks = _product_option_indices([p] * m, n_combo)
+                for slot, pick in enumerate(picks):
+                    block[:, slot * d4 : (slot + 1) * d4] = coords[pick]
+                    block[:, m * d4 + slot] = weights[pick] + delta_i
+                    block[:, m * d4 + m + slot] = weights[pick] - delta_i
+            pid_list = [(key, local) for local in range(n_combo)]
+            blocks.append(block)
+            ids.extend(pid_list)
+            id_map[key] = pid_list
         self._tensor_trees[m] = build_backend(
-            np.asarray(rows), ids, engine=self.engine_kind,
+            np.vstack(blocks), ids, engine=self.engine_kind,
             leaf_size=self._leaf_size,
         )
         self._tensor_ids[m] = id_map

@@ -25,15 +25,20 @@ per-dataset slack become global box constraints (Remark 2 support).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
-from repro.core._ptile_common import PtileIndexBase, build_engine, draw_coreset
+from repro.core._ptile_common import (
+    PtileIndexBase,
+    build_engine,
+    draw_coreset,
+    range_point_matrix,
+)
 from repro.core.results import QueryResult
 from repro.errors import ConstructionError, QueryError
 from repro.geometry.interval import Interval
-from repro.geometry.rect_enum import RectangleGrid, enumerate_generalized_pairs
+from repro.geometry.rect_enum import RectangleGrid, generalized_pairs_arrays
 from repro.geometry.rectangle import Rectangle
 from repro.index.query_box import QueryBox
 from repro.synopsis.base import Synopsis
@@ -95,8 +100,14 @@ class PtileRangeIndex(PtileIndexBase):
             pts, ids = self._mapped_points(key)
             all_points.append(pts)
             all_ids.extend(ids)
+        stacked = np.vstack(all_points)
+        if stacked.shape[0] == 0:
+            raise ConstructionError(
+                "no generalized pairs could be enumerated (is the bounding "
+                "box degenerate on some axis?); widen the box or the data"
+            )
         self._tree = build_engine(
-            np.vstack(all_points), all_ids, self.engine_kind, self._leaf_size
+            stacked, all_ids, self.engine_kind, self._leaf_size
         )
 
     # ------------------------------------------------------------------
@@ -118,32 +129,27 @@ class PtileRangeIndex(PtileIndexBase):
         return Rectangle(lo - AUTO_BOX_PAD * span, hi + AUTO_BOX_PAD * span)
 
     def _mapped_points(self, key: int) -> tuple[np.ndarray, list]:
-        """Map maximal pairs to ``(rho^-, rho_hat^-, rho^+, rho_hat^+, w±delta)``."""
+        """Map maximal pairs to ``(rho^-, rho_hat^-, rho^+, rho_hat^+, w±delta)``.
+
+        Fully vectorized: the pair family arrives as coordinate block
+        matrices from :func:`~repro.geometry.rect_enum.generalized_pairs_arrays`
+        and the ``(P, 4d+2)`` point matrix is assembled in one shot — no
+        per-pair Python concatenation.  A coreset yielding zero pairs
+        returns a correctly shaped ``(0, 4d+2)`` matrix.
+        """
         coreset = self._coresets[key]
         if not self.bounding_box.contains_points(coreset).all():
             raise ConstructionError(
                 "bounding box does not contain a coreset; pass a larger box"
             )
         grid = RectangleGrid(coreset, bounding_box=self.bounding_box)
-        delta_i = self._deltas[key]
-        rows: list[np.ndarray] = []
-        ids: list = []
-        pairs = enumerate_generalized_pairs(grid)
-        for local, (in_lo, in_hi, out_lo, out_hi, weight) in enumerate(pairs):
-            rows.append(
-                np.concatenate(
-                    [
-                        in_lo,
-                        out_lo,
-                        in_hi,
-                        out_hi,
-                        [weight + delta_i, weight - delta_i],
-                    ]
-                )
-            )
-            ids.append((key, local))
+        in_lo, in_hi, out_lo, out_hi, weights = generalized_pairs_arrays(grid)
+        pts = range_point_matrix(
+            in_lo, in_hi, out_lo, out_hi, weights, self._deltas[key]
+        )
+        ids = [(key, local) for local in range(pts.shape[0])]
         self._point_ids[key] = ids
-        return np.asarray(rows), ids
+        return pts, ids
 
     # ------------------------------------------------------------------
     # Query (Algorithm 4)
@@ -162,13 +168,8 @@ class PtileRangeIndex(PtileIndexBase):
         hi = np.maximum(hi, lo)  # degenerate but valid if fully outside
         return Rectangle(lo, hi)
 
-    def query(
-        self,
-        rect: Rectangle,
-        theta: Interval,
-        record_times: bool = False,
-    ) -> QueryResult:
-        """Report all datasets with (approximately) ``M_R(P_i) ∈ theta``."""
+    def _query_box(self, rect: Rectangle, theta: Interval) -> QueryBox:
+        """Validate one ``(R, theta)`` query and build its Algorithm-4 box."""
         self._check_query_rect(rect)
         a = max(0.0, theta.lo)
         b = min(1.0, theta.hi)
@@ -179,7 +180,30 @@ class PtileRangeIndex(PtileIndexBase):
         eps = self.eps_effective
         cons.append((a - eps, np.inf, False, False))   # w + delta_i
         cons.append((-np.inf, b + eps, False, False))  # w - delta_i
-        return self._report_loop(QueryBox(cons), record_times)
+        return QueryBox(cons)
+
+    def query(
+        self,
+        rect: Rectangle,
+        theta: Interval,
+        record_times: bool = False,
+    ) -> QueryResult:
+        """Report all datasets with (approximately) ``M_R(P_i) ∈ theta``."""
+        return self._report_loop(self._query_box(rect, theta), record_times)
+
+    def query_many(
+        self, queries: Sequence[tuple[Rectangle, Interval]]
+    ) -> list[QueryResult]:
+        """Answer a batch of ``(rect, theta)`` queries in one backend call.
+
+        The batched, untimed form of :meth:`query`: all boxes go through
+        the backend's multi-box kernel (shared kd traversal / broadcast
+        columnar pass) at once, with identical answer sets to the per-query
+        loop.  This is what the service's cold path feeds each shard's
+        deduplicated leaf schedule through.
+        """
+        boxes = [self._query_box(rect, theta) for rect, theta in queries]
+        return self._report_groups_batch(boxes)
 
     # ------------------------------------------------------------------
     # Dynamics (Remark 1)

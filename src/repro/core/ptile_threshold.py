@@ -20,15 +20,20 @@ Remark 2's unknown-deltas setting works with a single structure.  A query
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
-from repro.core._ptile_common import PtileIndexBase, build_engine, draw_coreset
+from repro.core._ptile_common import (
+    PtileIndexBase,
+    build_engine,
+    draw_coreset,
+    threshold_point_matrix,
+)
 from repro.core.results import QueryResult
 from repro.errors import ConstructionError, QueryError
 from repro.geometry.interval import Interval
-from repro.geometry.rect_enum import RectangleGrid, enumerate_rectangles
+from repro.geometry.rect_enum import RectangleGrid, rectangles_arrays
 from repro.geometry.rectangle import Rectangle
 from repro.index.query_box import QueryBox
 from repro.synopsis.base import Synopsis
@@ -128,13 +133,8 @@ class PtileThresholdIndex(PtileIndexBase):
         """
         grid = RectangleGrid(self._coresets[key])
         delta_i = self._deltas[key]
-        rows: list[np.ndarray] = []
-        ids: list = []
-        for local, (rect, weight) in enumerate(enumerate_rectangles(grid)):
-            rows.append(
-                np.concatenate([rect.to_point_2d(), [weight + delta_i]])
-            )
-            ids.append((key, local))
+        lo, hi, weights = rectangles_arrays(grid)
+        rect_pts = threshold_point_matrix(lo, hi, weights, delta_i)
         sentinel = np.concatenate(
             [
                 np.full(self.dim, _SENTINEL_LO),
@@ -142,14 +142,25 @@ class PtileThresholdIndex(PtileIndexBase):
                 [0.0 + delta_i],
             ]
         )
-        rows.append(sentinel)
-        ids.append((key, len(ids)))
+        # rect_pts is correctly shaped even for zero rectangles, so the
+        # sentinel stack never sees a ragged array.
+        pts = np.vstack([rect_pts, sentinel[None, :]])
+        ids = [(key, local) for local in range(pts.shape[0])]
         self._point_ids[key] = ids
-        return np.asarray(rows), ids
+        return pts, ids
 
     # ------------------------------------------------------------------
     # Query (Algorithm 2)
     # ------------------------------------------------------------------
+    def _query_box(self, rect: Rectangle, a_theta: float) -> QueryBox:
+        """Validate one ``(R, a_theta)`` query and build its Algorithm-2 box."""
+        self._check_query_rect(rect)
+        if not 0.0 <= a_theta <= 1.0:
+            raise QueryError(f"a_theta must be in [0, 1], got {a_theta}")
+        cons = rect.query_orthant_2d()
+        cons.append((a_theta - self.eps_effective, math.inf, False, False))
+        return QueryBox(cons)
+
     def query(
         self,
         rect: Rectangle,
@@ -161,12 +172,18 @@ class PtileThresholdIndex(PtileIndexBase):
         Returns a :class:`~repro.core.results.QueryResult` whose index set
         ``J`` satisfies the Theorem 4.4 guarantees.
         """
-        self._check_query_rect(rect)
-        if not 0.0 <= a_theta <= 1.0:
-            raise QueryError(f"a_theta must be in [0, 1], got {a_theta}")
-        cons = rect.query_orthant_2d()
-        cons.append((a_theta - self.eps_effective, math.inf, False, False))
-        return self._report_loop(QueryBox(cons), record_times)
+        return self._report_loop(self._query_box(rect, a_theta), record_times)
+
+    def query_many(
+        self, queries: Sequence[tuple[Rectangle, float]]
+    ) -> list[QueryResult]:
+        """Answer a batch of ``(rect, a_theta)`` queries in one backend call.
+
+        Batched, untimed form of :meth:`query` (identical answer sets);
+        all boxes go through the backend's multi-box kernel at once.
+        """
+        boxes = [self._query_box(rect, a) for rect, a in queries]
+        return self._report_groups_batch(boxes)
 
     def query_expression(self, rect: Rectangle, theta: Interval, **kwargs) -> QueryResult:
         """Interval-flavoured entry point (requires a threshold interval)."""

@@ -27,6 +27,8 @@ from repro.geometry.rect_enum import (
     enumerate_rectangles,
     enumerate_maximal_pairs,
     enumerate_maximal_pairs_naive,
+    generalized_pairs_arrays,
+    rectangles_arrays,
 )
 
 __all__ = [
@@ -40,4 +42,6 @@ __all__ = [
     "enumerate_rectangles",
     "enumerate_maximal_pairs",
     "enumerate_maximal_pairs_naive",
+    "generalized_pairs_arrays",
+    "rectangles_arrays",
 ]

@@ -36,6 +36,28 @@ optimization reducing the stored pairs from ``O(s^{4d})`` to ``O(s^{2d})``.
 ``enumerate_maximal_pairs_naive`` implements the paper's definition verbatim
 (quadratic filter) and the test suite proves the two agree on all
 query-matchable pairs.
+
+Vectorized enumeration
+----------------------
+The list-of-tuples enumerators above are the *reference* implementations:
+one Python iteration (and several small array allocations) per rectangle.
+Index construction walks millions of rectangles, so the builders consume
+the block-operation twins instead:
+
+- :func:`rectangles_arrays` — the family ``R_i`` as ``(P, d)`` coordinate
+  matrices plus a ``(P,)`` mass vector;
+- :func:`generalized_pairs_arrays` — the generalized maximal pairs as four
+  ``(P, d)`` matrices (inner/outer lo/hi) plus masses.
+
+Both build per-axis *option tables* (``np.triu_indices`` index pairs, plus
+gap options for the generalized family), realize the cross product with
+stride arithmetic instead of ``itertools.product``, and look masses up in
+a padded d-dimensional cumulative-count grid via inclusion–exclusion —
+``2^d`` vectorized gathers instead of one rank scan per rectangle.  Row
+order and float values match the reference enumerators *exactly* (the
+test suite and the cold-path benchmark both assert it); pass
+``vectorized=False`` (or flip :data:`VECTORIZED_ENUMERATION`) to route
+through the reference path, e.g. to measure the speedup.
 """
 
 from __future__ import annotations
@@ -291,6 +313,201 @@ def enumerate_generalized_pairs(
             weight = 0.0  # a gap axis admits no sample
         out.append((inner_lo, inner_hi, outer_lo, outer_hi, weight))
     return out
+
+
+#: Default for the ``vectorized`` parameter of the array enumerators.
+#: The cold-path benchmark flips this to measure the reference
+#: (list-of-tuples) construction path end to end; production code never
+#: touches it.
+VECTORIZED_ENUMERATION = True
+
+
+def _padded_cumulative_counts(grid: RectangleGrid) -> np.ndarray:
+    """Padded d-dim cumulative point counts over the grid cells.
+
+    ``out[i_1 + 1, ..., i_d + 1]`` is the number of coreset points whose
+    rank on every axis ``h`` is ``<= i_h``; any index 0 means "strictly
+    below the grid" and contributes 0, which makes the inclusion–exclusion
+    gathers of :func:`_box_counts` branch-free.
+    """
+    shape = tuple(grid.n_coords(h) for h in range(grid.dim))
+    hist = np.zeros(shape, dtype=np.int64)
+    np.add.at(hist, tuple(grid._ranks[:, h] for h in range(grid.dim)), 1)
+    for h in range(grid.dim):
+        hist = np.cumsum(hist, axis=h)
+    padded = np.zeros(tuple(m + 1 for m in shape), dtype=np.int64)
+    padded[tuple(slice(1, None) for _ in shape)] = hist
+    return padded
+
+
+def _box_counts(
+    padded: np.ndarray, lo_idx: np.ndarray, hi_idx: np.ndarray
+) -> np.ndarray:
+    """``|rho ∩ S|`` for ``(P, d)`` index rectangles, via 2^d gathers.
+
+    Standard inclusion–exclusion on the padded cumulative grid:
+    ``count = sum_{e in {0,1}^d} (-1)^{|e|} C[c(e)]`` with corner
+    ``c(e)_h = hi_h + 1`` when ``e_h = 0`` and ``lo_h`` otherwise.
+    """
+    n, d = lo_idx.shape
+    counts = np.zeros(n, dtype=np.int64)
+    for corner in range(1 << d):
+        cols = []
+        sign = 1
+        for h in range(d):
+            if corner >> h & 1:
+                cols.append(lo_idx[:, h])
+                sign = -sign
+            else:
+                cols.append(hi_idx[:, h] + 1)
+        counts += sign * padded[tuple(cols)]
+    return counts
+
+
+def _product_total(sizes: Sequence[int], what: str) -> int:
+    """Size of the per-axis option cross product, guard-checked *before*
+    any ``O(total)`` allocation happens."""
+    total = 1
+    for s in sizes:
+        total *= int(s)
+    if total > MAX_RECTANGLES_PER_CORESET:
+        raise ValueError(
+            f"coreset would induce {total} {what} "
+            f"(> {MAX_RECTANGLES_PER_CORESET}); reduce the coreset size"
+        )
+    return total
+
+
+def _product_option_indices(sizes: Sequence[int], total: int) -> list[np.ndarray]:
+    """Per-axis option-index columns realizing ``itertools.product`` order.
+
+    ``cols[h][p]`` is the option the ``p``-th combination picks on axis
+    ``h`` (last axis varying fastest, exactly like ``itertools.product``).
+    """
+    if total == 0:
+        return [np.empty(0, dtype=np.int64) for _ in sizes]
+    flat = np.arange(total)
+    cols: list[np.ndarray] = []
+    stride = total
+    for s in sizes:
+        stride //= int(s)
+        cols.append((flat // stride) % int(s))
+    return cols
+
+
+def rectangles_arrays(
+    grid: RectangleGrid, vectorized: Optional[bool] = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The family ``R_i`` as block matrices: ``(lo, hi, mass)``.
+
+    ``lo``/``hi`` have shape ``(P, d)`` and ``mass`` shape ``(P,)``; row
+    ``p`` is the rectangle ``[lo[p], hi[p]]`` with its coreset mass.  Rows
+    follow :meth:`RectangleGrid.index_rectangles` order, so this is
+    :func:`enumerate_rectangles` with the Python objects unwrapped — the
+    test suite asserts exact (bitwise) agreement.  ``P = 0`` yields
+    correctly shaped empty matrices.
+    """
+    if vectorized is None:
+        vectorized = VECTORIZED_ENUMERATION
+    d = grid.dim
+    if not vectorized:
+        rects = enumerate_rectangles(grid)
+        lo = np.asarray([r.lo for r, _w in rects], dtype=float).reshape(len(rects), d)
+        hi = np.asarray([r.hi for r, _w in rects], dtype=float).reshape(len(rects), d)
+        mass = np.asarray([w for _r, w in rects], dtype=float).reshape(len(rects))
+        return lo, hi, mass
+    lo_opts: list[np.ndarray] = []
+    hi_opts: list[np.ndarray] = []
+    for h in range(d):
+        i, j = np.triu_indices(grid.n_coords(h))
+        lo_opts.append(i)
+        hi_opts.append(j)
+    total = _product_total([o.size for o in lo_opts], "rectangles")
+    cols = _product_option_indices([o.size for o in lo_opts], total)
+    lo_idx = np.empty((total, d), dtype=np.int64)
+    hi_idx = np.empty((total, d), dtype=np.int64)
+    lo = np.empty((total, d))
+    hi = np.empty((total, d))
+    for h in range(d):
+        lo_idx[:, h] = lo_opts[h][cols[h]]
+        hi_idx[:, h] = hi_opts[h][cols[h]]
+        lo[:, h] = grid.coords[h][lo_idx[:, h]]
+        hi[:, h] = grid.coords[h][hi_idx[:, h]]
+    counts = _box_counts(_padded_cumulative_counts(grid), lo_idx, hi_idx)
+    return lo, hi, counts / grid.points.shape[0]
+
+
+def generalized_pairs_arrays(
+    grid: RectangleGrid, vectorized: Optional[bool] = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Generalized maximal pairs as block matrices.
+
+    Returns ``(inner_lo, inner_hi, outer_lo, outer_hi, weight)`` with the
+    four coordinate matrices shaped ``(P, d)`` and ``weight`` shaped
+    ``(P,)`` — :func:`enumerate_generalized_pairs` with the per-pair tuples
+    unwrapped, in the same row order and with bitwise-equal floats (the
+    test suite asserts it).  Gap axes carry the ``GAP_INNER_*`` sentinels
+    and force weight 0, exactly as in the reference enumerator.  ``P = 0``
+    (a grid with a degenerate axis) yields correctly shaped empty
+    matrices rather than the ragged ``(0,)`` array a naive
+    ``np.asarray([])`` would produce.
+    """
+    if vectorized is None:
+        vectorized = VECTORIZED_ENUMERATION
+    d = grid.dim
+    if not vectorized:
+        pairs = enumerate_generalized_pairs(grid)
+        n = len(pairs)
+        mats = [
+            np.asarray([p[c] for p in pairs], dtype=float).reshape(n, d)
+            for c in range(4)
+        ]
+        weight = np.asarray([p[4] for p in pairs], dtype=float).reshape(n)
+        return mats[0], mats[1], mats[2], mats[3], weight
+    ax_in_lo: list[np.ndarray] = []
+    ax_in_hi: list[np.ndarray] = []
+    ax_out_lo: list[np.ndarray] = []
+    ax_out_hi: list[np.ndarray] = []
+    ax_lo_idx: list[np.ndarray] = []
+    ax_hi_idx: list[np.ndarray] = []
+    for h in range(d):
+        coords = grid.coords[h]
+        m = coords.size
+        i, j = np.triu_indices(max(0, m - 2))
+        i = i + 1
+        j = j + 1
+        g = np.arange(m - 1)
+        ax_in_lo.append(np.concatenate([coords[i], np.full(g.size, GAP_INNER_LO)]))
+        ax_in_hi.append(np.concatenate([coords[j], np.full(g.size, GAP_INNER_HI)]))
+        ax_out_lo.append(np.concatenate([coords[i - 1], coords[g]]))
+        ax_out_hi.append(np.concatenate([coords[j + 1], coords[g + 1]]))
+        ax_lo_idx.append(np.concatenate([i, np.full(g.size, -1, dtype=np.int64)]))
+        ax_hi_idx.append(np.concatenate([j, np.full(g.size, -1, dtype=np.int64)]))
+    sizes = [o.size for o in ax_in_lo]
+    total = _product_total(sizes, "generalized pairs")
+    cols = _product_option_indices(sizes, total)
+    inner_lo = np.empty((total, d))
+    inner_hi = np.empty((total, d))
+    outer_lo = np.empty((total, d))
+    outer_hi = np.empty((total, d))
+    lo_idx = np.empty((total, d), dtype=np.int64)
+    hi_idx = np.empty((total, d), dtype=np.int64)
+    for h in range(d):
+        o = cols[h]
+        inner_lo[:, h] = ax_in_lo[h][o]
+        inner_hi[:, h] = ax_in_hi[h][o]
+        outer_lo[:, h] = ax_out_lo[h][o]
+        outer_hi[:, h] = ax_out_hi[h][o]
+        lo_idx[:, h] = ax_lo_idx[h][o]
+        hi_idx[:, h] = ax_hi_idx[h][o]
+    weight = np.zeros(total)
+    valid = (lo_idx >= 0).all(axis=1)
+    if valid.any():
+        counts = _box_counts(
+            _padded_cumulative_counts(grid), lo_idx[valid], hi_idx[valid]
+        )
+        weight[valid] = counts / grid.points.shape[0]
+    return inner_lo, inner_hi, outer_lo, outer_hi, weight
 
 
 def enumerate_maximal_pairs_naive(

@@ -29,10 +29,16 @@ This subpackage provides that machinery:
 
 All engines implement the :class:`~repro.index.backend.RangeSearchBackend`
 protocol (``report / report_first / report_groups / count / deactivate /
-activate / insert / remove``), so every layer above — the Ptile/Pref
-structures, :class:`~repro.core.engine.DatasetSearchEngine`, the service
-shards, ``repro serve --engine`` — is parameterized by a backend name
-resolved through :func:`~repro.index.backend.build_backend`.
+activate / insert / remove`` plus the multi-box batch kernels
+``report_many / count_many / report_groups_many`` — one shared traversal
+on the kd-tree, one broadcast pass on the columnar store), so every layer
+above — the Ptile/Pref structures,
+:class:`~repro.core.engine.DatasetSearchEngine`, the service shards,
+``repro serve --engine`` — is parameterized by a backend name resolved
+through :func:`~repro.index.backend.build_backend`.  Callers that must
+tolerate third-party backends without the batch kernels use the
+``*_many_of`` dispatchers in :mod:`repro.index.backend`, which fall back
+to per-box loops with identical results.
 """
 
 from repro.index.backend import (

@@ -25,7 +25,7 @@ pass.
 
 from __future__ import annotations
 
-from typing import Iterable, Protocol, runtime_checkable
+from typing import Iterable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -102,6 +102,28 @@ class RangeSearchBackend(Protocol):
         """Number of active points inside the box."""
         ...
 
+    def report_many(self, boxes: Sequence[QueryBox]) -> list[list]:
+        """Per-box active id lists for a batch of boxes (one per box).
+
+        The batch kernel of the cold path: semantically identical to
+        ``[self.report(b) for b in boxes]`` (the equivalence suite asserts
+        it), but free to share work across boxes — one broadcast
+        containment pass on the columnar store, a single multi-box tree
+        walk on the kd-tree.  Backends may omit the ``*_many`` methods
+        entirely; callers go through :func:`report_many_of` /
+        :func:`count_many_of` / :func:`report_groups_many_of`, which fall
+        back to the per-box loop with identical results.
+        """
+        ...
+
+    def count_many(self, boxes: Sequence[QueryBox]) -> list[int]:
+        """Per-box active point counts (``[self.count(b) for b in boxes]``)."""
+        ...
+
+    def report_groups_many(self, boxes: Sequence[QueryBox]) -> list[set]:
+        """Per-box group sets (``[self.report_groups(b) for b in boxes]``)."""
+        ...
+
     def deactivate(self, entry_id) -> None:
         """Hide a point from queries."""
         ...
@@ -162,6 +184,35 @@ def build_backend(
 
         return ColumnarStore(points, ids=ids)
     raise ConstructionError(f"unknown engine {engine!r}; choose from {ENGINES}")
+
+
+def report_many_of(backend, boxes: Sequence[QueryBox]) -> list[list]:
+    """``backend.report_many`` with a per-box fallback.
+
+    All registered engines implement the batch kernels; a third-party
+    backend that opts out (no ``report_many`` attribute) is served by the
+    equivalent per-box loop — identical results either way.
+    """
+    fn = getattr(backend, "report_many", None)
+    if fn is not None:
+        return fn(boxes)
+    return [backend.report(box) for box in boxes]
+
+
+def count_many_of(backend, boxes: Sequence[QueryBox]) -> list[int]:
+    """``backend.count_many`` with a per-box fallback."""
+    fn = getattr(backend, "count_many", None)
+    if fn is not None:
+        return fn(boxes)
+    return [backend.count(box) for box in boxes]
+
+
+def report_groups_many_of(backend, boxes: Sequence[QueryBox]) -> list[set]:
+    """``backend.report_groups_many`` with a per-box fallback."""
+    fn = getattr(backend, "report_groups_many", None)
+    if fn is not None:
+        return fn(boxes)
+    return [backend.report_groups(box) for box in boxes]
 
 
 def check_engine(engine: str) -> str:

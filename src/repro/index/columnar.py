@@ -28,17 +28,21 @@ sequences.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
 from repro.index.backend import group_of, object_array
-from repro.index.query_box import QueryBox
+from repro.index.query_box import BoxBatch, QueryBox
 
 #: Compact the store when dead (removed) rows exceed this fraction...
 COMPACT_FRACTION = 0.25
 #: ... but never for fewer dead rows than this.
 MIN_DEAD_FOR_COMPACT = 64
+
+#: Cap on the ``(chunk_q, n, k)`` broadcast workspace of the multi-box
+#: kernels, in elements; batches larger than this evaluate in box chunks.
+BATCH_BROADCAST_BUDGET = 4_000_000
 
 
 class ColumnarStore:
@@ -236,3 +240,57 @@ class ColumnarStore:
         """Number of active points inside the box."""
         self._check_box(box)
         return int(np.count_nonzero(self._match_mask(box)))
+
+    # ------------------------------------------------------------------
+    # Multi-box batch kernels (one broadcast pass, chunked by budget)
+    # ------------------------------------------------------------------
+    def _match_matrix(self, boxes: Sequence[QueryBox]) -> np.ndarray:
+        """``(Q, n)`` boolean matrix: active rows inside each box.
+
+        One ``(chunk_q, n, k)`` broadcast containment pass per chunk — the
+        multi-box generalization of :meth:`_match_mask`, amortizing the
+        per-query NumPy dispatch overhead across the whole batch.  The
+        open/closed endpoint semantics live in
+        :class:`~repro.index.query_box.BoxBatch`, not here.
+        """
+        for box in boxes:
+            self._check_box(box)
+        n = self._n
+        q = len(boxes)
+        batch = BoxBatch(boxes)
+        pts = self._pts[:n]
+        out = np.empty((q, n), dtype=bool)
+        chunk = max(1, BATCH_BROADCAST_BUDGET // max(1, n * self.dim))
+        for s in range(0, q, chunk):
+            out[s : s + chunk] = batch.contains_points(
+                pts, np.arange(s, min(q, s + chunk))
+            )
+        out &= self._active[:n][None, :]
+        return out
+
+    def report_many(self, boxes: Sequence[QueryBox]) -> list[list]:
+        """Per-box active id lists — ``[report(b) for b in boxes]`` in one
+        broadcast pass."""
+        boxes = list(boxes)
+        if not boxes:
+            return []
+        ids = self._ids[: self._n]
+        return [ids[row].tolist() for row in self._match_matrix(boxes)]
+
+    def count_many(self, boxes: Sequence[QueryBox]) -> list[int]:
+        """Per-box active point counts in one broadcast pass."""
+        boxes = list(boxes)
+        if not boxes:
+            return []
+        return [int(c) for c in self._match_matrix(boxes).sum(axis=1)]
+
+    def report_groups_many(self, boxes: Sequence[QueryBox]) -> list[set]:
+        """Per-box group sets in one broadcast pass + per-box group-by."""
+        boxes = list(boxes)
+        if not boxes:
+            return []
+        groups = self._groups[: self._n]
+        return [
+            {self._group_keys[int(c)] for c in np.unique(groups[row])}
+            for row in self._match_matrix(boxes)
+        ]

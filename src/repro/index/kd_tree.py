@@ -31,17 +31,23 @@ paper's query-time *shape* against the Ω(N) baselines.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
 from repro.index.backend import group_of, object_array
-from repro.index.query_box import QueryBox
+from repro.index.query_box import BoxBatch, QueryBox
 
 #: Rebuild the main tree when the side buffer exceeds this fraction of it.
 REBUILD_FRACTION = 0.25
 #: ... but never rebuild for buffers smaller than this.
 MIN_BUFFER_FOR_REBUILD = 64
+
+#: In the multi-box walk, stop descending and broadcast-test a node's
+#: contiguous point slice directly once ``alive boxes x slice points``
+#: falls under this budget: one vectorized containment pass is cheaper
+#: than the Python node visits a deeper descent would cost.
+MULTIBOX_BROADCAST_CUTOFF = 8192
 
 
 class _KDNode:
@@ -303,34 +309,41 @@ class DynamicKDTree:
         return mask
 
     def report(self, box: QueryBox) -> list:
-        """All active point ids inside the box."""
+        """All active point ids inside the box.
+
+        Per-node hits are accumulated as id *arrays* and materialized with
+        a single ``np.concatenate(...).tolist()`` at the end — one Python
+        list conversion per query instead of one per visited node.
+        """
         self._check_box(box)
-        out: list = []
+        chunks: list[np.ndarray] = []
         stack = [self._root]
         while stack:
             node = stack.pop()
             if node.active == 0 or not box.intersects_bbox(node.lo, node.hi):
                 continue
             if box.contains_bbox(node.lo, node.hi):
-                self._collect_active(node, out)
+                chunks.append(self._active_ids_of(node))
             elif node.left is None:
                 mask = box.contains_points(self._pts[node.start : node.end])
                 mask &= self._active[node.start : node.end]
-                out.extend(self._ids_arr[node.start : node.end][mask].tolist())
+                chunks.append(self._ids_arr[node.start : node.end][mask])
             else:
                 stack.append(node.left)
                 stack.append(node.right)
         bmask = self._buffer_mask(box)
         if bmask is not None:
-            out.extend(self._buf_ids[: self._buf_n][bmask].tolist())
-        return out
+            chunks.append(self._buf_ids[: self._buf_n][bmask])
+        if not chunks:
+            return []
+        return np.concatenate(chunks).tolist()
 
-    def _collect_active(self, node: _KDNode, out: list) -> None:
+    def _active_ids_of(self, node: _KDNode) -> np.ndarray:
+        """Object array of the active ids in a node's contiguous slice."""
         if node.active == node.end - node.start:
-            out.extend(self._ids_arr[node.start : node.end].tolist())
-        else:
-            mask = self._active[node.start : node.end]
-            out.extend(self._ids_arr[node.start : node.end][mask].tolist())
+            return self._ids_arr[node.start : node.end]
+        mask = self._active[node.start : node.end]
+        return self._ids_arr[node.start : node.end][mask]
 
     def report_first(self, box: QueryBox):
         """One arbitrary active point id inside the box, or None."""
@@ -368,6 +381,117 @@ class DynamicKDTree:
     def report_groups(self, box: QueryBox) -> set:
         """All group keys with >= 1 active point in the box."""
         return {group_of(pid) for pid in self.report(box)}
+
+    # ------------------------------------------------------------------
+    # Multi-box batch kernels (one shared traversal for the whole batch)
+    # ------------------------------------------------------------------
+    def report_many(self, boxes: Sequence[QueryBox]) -> list[list]:
+        """Per-box active id lists via one shared multi-box tree walk.
+
+        Semantically ``[self.report(b) for b in boxes]``, but the tree is
+        traversed once with the subset of boxes still *alive* at each
+        node: the intersect/contain prunes for all alive boxes are one
+        broadcast comparison instead of Q separate Python walks, boxes
+        that fully contain a node's bbox take its active-id array
+        wholesale, and the surviving boxes share a single ``(q, L, k)``
+        containment pass per leaf.  This is the kernel behind the service
+        cold path: a batch of deduplicated leaves hits every shard's tree
+        in one call.
+        """
+        boxes = list(boxes)
+        for box in boxes:
+            self._check_box(box)
+        q = len(boxes)
+        if q == 0:
+            return []
+        batch = BoxBatch(boxes)
+        chunks: list[list[np.ndarray]] = [[] for _ in range(q)]
+        stack: list[tuple[_KDNode, np.ndarray]] = [(self._root, np.arange(q))]
+        while stack:
+            node, alive = stack.pop()
+            if node.active == 0:
+                continue
+            alive = alive[batch.intersects_bbox(node.lo, node.hi, alive)]
+            if alive.size == 0:
+                continue
+            full = batch.contains_bbox(node.lo, node.hi, alive)
+            if full.any():
+                ids_chunk = self._active_ids_of(node)
+                for qi in alive[full]:
+                    chunks[qi].append(ids_chunk)
+                alive = alive[~full]
+                if alive.size == 0:
+                    continue
+            size = node.end - node.start
+            if node.left is None or alive.size * size <= MULTIBOX_BROADCAST_CUTOFF:
+                # Leaf, or a subtree cheap enough that one broadcast pass
+                # over its contiguous slice beats descending further.
+                inside = batch.contains_points(
+                    self._pts[node.start : node.end], alive
+                )
+                inside &= self._active[node.start : node.end][None, :]
+                ids_arr = self._ids_arr[node.start : node.end]
+                for row, qi in zip(inside, alive):
+                    if row.any():
+                        chunks[qi].append(ids_arr[row])
+            else:
+                stack.append((node.left, alive))
+                stack.append((node.right, alive))
+        if self._buf_n:
+            inside = batch.contains_points(self._buf_pts[: self._buf_n])
+            inside &= self._buf_active[: self._buf_n][None, :]
+            buf_ids = self._buf_ids[: self._buf_n]
+            for qi, row in enumerate(inside):
+                if row.any():
+                    chunks[qi].append(buf_ids[row])
+        return [np.concatenate(c).tolist() if c else [] for c in chunks]
+
+    def count_many(self, boxes: Sequence[QueryBox]) -> list[int]:
+        """Per-box active point counts via the shared walk, counting from
+        node counters and boolean masks — no id materialization."""
+        boxes = list(boxes)
+        for box in boxes:
+            self._check_box(box)
+        q = len(boxes)
+        if q == 0:
+            return []
+        batch = BoxBatch(boxes)
+        counts = np.zeros(q, dtype=np.int64)
+        stack: list[tuple[_KDNode, np.ndarray]] = [(self._root, np.arange(q))]
+        while stack:
+            node, alive = stack.pop()
+            if node.active == 0:
+                continue
+            alive = alive[batch.intersects_bbox(node.lo, node.hi, alive)]
+            if alive.size == 0:
+                continue
+            full = batch.contains_bbox(node.lo, node.hi, alive)
+            if full.any():
+                counts[alive[full]] += node.active
+                alive = alive[~full]
+                if alive.size == 0:
+                    continue
+            size = node.end - node.start
+            if node.left is None or alive.size * size <= MULTIBOX_BROADCAST_CUTOFF:
+                inside = batch.contains_points(
+                    self._pts[node.start : node.end], alive
+                )
+                inside &= self._active[node.start : node.end][None, :]
+                counts[alive] += inside.sum(axis=1)
+            else:
+                stack.append((node.left, alive))
+                stack.append((node.right, alive))
+        if self._buf_n:
+            inside = batch.contains_points(self._buf_pts[: self._buf_n])
+            inside &= self._buf_active[: self._buf_n][None, :]
+            counts += inside.sum(axis=1)
+        return [int(c) for c in counts]
+
+    def report_groups_many(self, boxes: Sequence[QueryBox]) -> list[set]:
+        """Per-box group sets (derived from the shared walk)."""
+        return [
+            {group_of(pid) for pid in ids} for ids in self.report_many(boxes)
+        ]
 
     def count(self, box: QueryBox) -> int:
         """Number of active points inside the box."""

@@ -104,3 +104,68 @@ class QueryBox:
             right = ")" if self.hi_open[i] else "]"
             parts.append(f"{left}{self.lo[i]:g}, {self.hi[i]:g}{right}")
         return "QueryBox(" + " x ".join(parts) + ")"
+
+
+class BoxBatch:
+    """A stack of ``Q`` same-dimension boxes for broadcast containment.
+
+    The single source of truth for open/closed endpoint semantics in the
+    multi-box batch kernels: every method below is the vectorized twin of
+    the corresponding :class:`QueryBox` predicate, lifted to a ``(Q, k)``
+    constraint stack, so a semantic change to box containment has exactly
+    two homes (scalar here, batched there) instead of one copy per
+    backend.  The optional ``rows`` argument restricts a call to a subset
+    of boxes (an int index array) — the shared kd traversal narrows its
+    alive set this way without re-stacking constraints.
+
+    Examples
+    --------
+    >>> batch = BoxBatch([QueryBox([(0.0, 1.0, False, True)]),
+    ...                   QueryBox([(0.5, 2.0, True, False)])])
+    >>> batch.contains_points(np.array([[1.0], [0.6]])).tolist()
+    [[False, True], [True, True]]
+    """
+
+    __slots__ = ("lo", "hi", "lo_open", "hi_open", "dim", "n_boxes")
+
+    def __init__(self, boxes: Sequence[QueryBox]) -> None:
+        boxes = list(boxes)
+        if not boxes:
+            raise ValueError("box batch needs at least one box")
+        dims = {box.dim for box in boxes}
+        if len(dims) != 1:
+            raise ValueError("all boxes in a batch must share a dimension")
+        self.dim = dims.pop()
+        self.n_boxes = len(boxes)
+        self.lo = np.stack([box.lo for box in boxes])
+        self.hi = np.stack([box.hi for box in boxes])
+        self.lo_open = np.stack([box.lo_open for box in boxes])
+        self.hi_open = np.stack([box.hi_open for box in boxes])
+
+    def _rows(self, rows):
+        if rows is None:
+            return self.lo, self.hi, self.lo_open, self.hi_open
+        return self.lo[rows], self.hi[rows], self.lo_open[rows], self.hi_open[rows]
+
+    def contains_points(self, points: np.ndarray, rows=None) -> np.ndarray:
+        """``(Q', n)`` membership matrix for an ``(n, k)`` point array."""
+        lo, hi, lo_open, hi_open = self._rows(rows)
+        pts = np.asarray(points, dtype=float)[None, :, :]
+        lo, hi = lo[:, None, :], hi[:, None, :]
+        ok = np.where(lo_open[:, None, :], pts > lo, pts >= lo)
+        ok &= np.where(hi_open[:, None, :], pts < hi, pts <= hi)
+        return ok.all(axis=2)
+
+    def intersects_bbox(self, blo: np.ndarray, bhi: np.ndarray, rows=None) -> np.ndarray:
+        """``(Q',)`` mask: which boxes may contain a point of ``[blo, bhi]``."""
+        lo, hi, lo_open, hi_open = self._rows(rows)
+        ok = np.where(lo_open, bhi > lo, bhi >= lo)
+        ok &= np.where(hi_open, blo < hi, blo <= hi)
+        return ok.all(axis=1)
+
+    def contains_bbox(self, blo: np.ndarray, bhi: np.ndarray, rows=None) -> np.ndarray:
+        """``(Q',)`` mask: which boxes contain *every* point of ``[blo, bhi]``."""
+        lo, hi, lo_open, hi_open = self._rows(rows)
+        ok = np.where(lo_open, blo > lo, blo >= lo)
+        ok &= np.where(hi_open, bhi < hi, bhi <= hi)
+        return ok.all(axis=1)

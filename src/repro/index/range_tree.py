@@ -232,6 +232,25 @@ class RangeTree:
         """All group keys with >= 1 active point in the box."""
         return {group_of(pid) for pid in self.report(box)}
 
+    # ------------------------------------------------------------------
+    # Multi-box batch kernels.  The multi-level decomposition offers no
+    # cross-box sharing (each box selects its own canonical node set), so
+    # the batch form is the straightforward per-box loop — the protocol
+    # contract (``report_many ≡ [report(b) for b in boxes]``) is what the
+    # callers rely on, not a speedup.
+    # ------------------------------------------------------------------
+    def report_many(self, boxes: Sequence[QueryBox]) -> list[list]:
+        """Per-box active id lists (per-box loop; see class comment)."""
+        return [self.report(box) for box in boxes]
+
+    def count_many(self, boxes: Sequence[QueryBox]) -> list[int]:
+        """Per-box active point counts."""
+        return [self.count(box) for box in boxes]
+
+    def report_groups_many(self, boxes: Sequence[QueryBox]) -> list[set]:
+        """Per-box group sets."""
+        return [self.report_groups(box) for box in boxes]
+
     def count(self, box: QueryBox) -> int:
         """Number of active points inside the box."""
         self._check_box(box)

@@ -107,6 +107,7 @@ class QueryService:
         max_workers: Optional[int] = None,
         telemetry_window: int = 4096,
         capacity: Optional[int] = None,
+        batch_leaves: bool = True,
     ) -> None:
         self._executor_kwargs = dict(
             eps=eps,
@@ -119,6 +120,7 @@ class QueryService:
             engine=engine,
             max_workers=max_workers,
             capacity=capacity,
+            batch_leaves=batch_leaves,
         )
         self.executor = ShardedBatchExecutor(
             synopses=synopses,

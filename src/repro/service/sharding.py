@@ -182,6 +182,12 @@ class ShardedBatchExecutor:
     max_workers:
         Thread-pool width; defaults to ``n_shards``.  ``0`` forces serial
         in-caller execution.
+    batch_leaves:
+        Route each shard's leaf batch through the engine's batched
+        evaluation (one multi-box backend call per shard) instead of a
+        per-leaf Python loop.  Default True; ``False`` restores the
+        per-leaf loop — identical answers, measurably slower cold — and
+        exists for the cold-path benchmark's before/after comparison.
     capacity:
         Expected repository size the accuracy contract is resolved against:
         ``phi_eff``, ``sample_size`` and ``eps_effective`` are computed for
@@ -210,6 +216,7 @@ class ShardedBatchExecutor:
         max_workers: Optional[int] = None,
         capacity: Optional[int] = None,
         removed: Optional[Iterable[int]] = None,
+        batch_leaves: bool = True,
     ) -> None:
         if synopses is None and repository is None:
             raise ConstructionError("provide synopses and/or a repository")
@@ -225,6 +232,7 @@ class ShardedBatchExecutor:
         self.eps = float(eps)
         self.seed = int(seed)
         self._deterministic = bool(deterministic)
+        self._batch_leaves = bool(batch_leaves)
         self._delta_param = delta
         self.engine_kind = check_engine(engine)
         if deterministic:
@@ -360,7 +368,7 @@ class ShardedBatchExecutor:
     # ------------------------------------------------------------------
     def _pin_ptile(self, engine: DatasetSearchEngine) -> None:
         """Build the shard's Ptile index and widen its slack to global-N."""
-        index = engine.ptile_index
+        index = engine.build().ptile_index
         if index.eps_effective < self.eps_effective:
             index.eps_effective = self.eps_effective
 
@@ -371,18 +379,34 @@ class ShardedBatchExecutor:
         lock: threading.Lock,
         leaves: Sequence[Predicate],
     ) -> list[tuple[set[int], float]]:
-        """All leaves on one shard, sequentially, as *global* index sets.
+        """All leaves on one shard as *global* index sets.
+
+        By default the shard's whole leaf batch goes through
+        :meth:`~repro.core.engine.DatasetSearchEngine.eval_leaf_batch` —
+        one multi-box backend call for every percentile leaf — so a cold
+        batch costs one traversal per shard, not one per leaf.  With
+        ``batch_leaves=False`` the per-leaf loop is used instead
+        (identical answers; the cold-path benchmark's baseline).
 
         Each leaf's answer is paired with its per-shard completion stamp so
-        the merge can report when the whole leaf (max over shards) finished.
+        the merge can report when the whole leaf (max over shards) finished;
+        batched leaves share the batch's completion stamp, which is exactly
+        when their answers became available.
         """
         out: list[tuple[set[int], float]] = []
         with lock:
-            for leaf in leaves:
-                if isinstance(leaf.measure, PercentileMeasure):
+            if self._batch_leaves:
+                if any(isinstance(l.measure, PercentileMeasure) for l in leaves):
                     self._pin_ptile(engine)
-                local = engine.eval_leaf(leaf)
-                out.append(({mapping[i] for i in local}, time.perf_counter()))
+                locals_ = engine.eval_leaf_batch(leaves)
+                done = time.perf_counter()
+                out = [({mapping[i] for i in local}, done) for local in locals_]
+            else:
+                for leaf in leaves:
+                    if isinstance(leaf.measure, PercentileMeasure):
+                        self._pin_ptile(engine)
+                    local = engine.eval_leaf(leaf)
+                    out.append(({mapping[i] for i in local}, time.perf_counter()))
         with self._stats_lock:
             self.stats["shard_tasks"] += len(out)
         return out
@@ -611,10 +635,38 @@ class ShardedBatchExecutor:
         return len(self.delta_ids) > mean
 
     def warm(self) -> None:
-        """Eagerly build every shard's Ptile structure (pinned)."""
-        for engine, _mapping, lock in self._units():
+        """Eagerly build every shard's Ptile structure (pinned).
+
+        Builds run concurrently on the executor's thread pool, one task
+        per shard (plus the delta shard), so a warmup costs one shard
+        build of wall clock instead of ``n_shards`` of them.  Build
+        results are deterministic either way: coresets are pure functions
+        of ``(seed, global index, size)`` and each shard owns a private
+        rng, so thread scheduling cannot change what gets built.
+        """
+        units = self._units()
+
+        def _build_unit(engine: DatasetSearchEngine, lock: threading.Lock) -> None:
             with lock:
                 self._pin_ptile(engine)
+
+        pool = self._pool  # snapshot: close() may null it concurrently
+        if pool is None or len(units) == 1:
+            for engine, _mapping, lock in units:
+                _build_unit(engine, lock)
+            return
+        try:
+            futures = [
+                pool.submit(_build_unit, engine, lock)
+                for engine, _mapping, lock in units
+            ]
+        except RuntimeError:
+            # Pool shut down between snapshot and submit; build serially.
+            for engine, _mapping, lock in units:
+                _build_unit(engine, lock)
+            return
+        for f in futures:
+            f.result()
 
     def shard_sizes(self) -> list[int]:
         """Datasets per base shard (the delta shard is reported separately)."""

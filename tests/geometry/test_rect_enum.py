@@ -14,6 +14,8 @@ from repro.geometry.rect_enum import (
     enumerate_maximal_pairs,
     enumerate_maximal_pairs_naive,
     enumerate_rectangles,
+    generalized_pairs_arrays,
+    rectangles_arrays,
 )
 from repro.geometry.rectangle import Rectangle
 
@@ -136,6 +138,81 @@ class TestMaximalPairs:
         matchable = len(enumerate_maximal_pairs_naive(grid, matchable_only=True))
         everything = len(enumerate_maximal_pairs_naive(grid, matchable_only=False))
         assert everything >= matchable
+
+
+class TestVectorizedArrays:
+    """The block-operation enumerators must match the reference enumerators
+    exactly — same row order, bitwise-equal floats."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(1, 6),
+        dim=st.integers(1, 3),
+        seed=st.integers(0, 10_000),
+        with_box=st.booleans(),
+    )
+    def test_rectangles_match_reference(self, n, dim, seed, with_box):
+        rng = np.random.default_rng(seed)
+        pts = np.round(rng.uniform(0.1, 0.9, size=(n, dim)), 1)  # force ties
+        box = Rectangle([0.0] * dim, [1.0] * dim) if with_box else None
+        grid = RectangleGrid(pts, bounding_box=box)
+        fast = rectangles_arrays(grid, vectorized=True)
+        ref = rectangles_arrays(grid, vectorized=False)
+        for a, b in zip(fast, ref):
+            assert a.shape == b.shape
+            assert np.array_equal(a, b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(1, 5),
+        dim=st.integers(1, 2),
+        seed=st.integers(0, 10_000),
+        with_box=st.booleans(),
+    )
+    def test_generalized_pairs_match_reference(self, n, dim, seed, with_box):
+        rng = np.random.default_rng(seed)
+        pts = np.round(rng.uniform(0.1, 0.9, size=(n, dim)), 1)
+        box = Rectangle([0.0] * dim, [1.0] * dim) if with_box else None
+        grid = RectangleGrid(pts, bounding_box=box)
+        fast = generalized_pairs_arrays(grid, vectorized=True)
+        ref = generalized_pairs_arrays(grid, vectorized=False)
+        for a, b in zip(fast, ref):
+            assert a.shape == b.shape
+            assert np.array_equal(a, b)
+
+    def test_rectangles_agree_with_object_enumerator(self, rng):
+        pts = rng.uniform(size=(4, 2))
+        grid = RectangleGrid(pts)
+        lo, hi, mass = rectangles_arrays(grid)
+        rects = enumerate_rectangles(grid)
+        assert lo.shape == (len(rects), 2)
+        for p, (rect, w) in enumerate(rects):
+            assert np.array_equal(lo[p], rect.lo)
+            assert np.array_equal(hi[p], rect.hi)
+            assert mass[p] == w
+
+    def test_zero_pairs_yield_shaped_empty_matrices(self):
+        """Regression: a degenerate grid axis produces zero generalized
+        pairs, and the arrays must be shaped ``(0, d)`` — not the ragged
+        1-d array ``np.asarray([])`` used to produce."""
+        grid = RectangleGrid(
+            np.array([[0.5], [0.5]]), Rectangle([0.5], [0.5])
+        )
+        in_lo, in_hi, out_lo, out_hi, w = generalized_pairs_arrays(grid)
+        for mat in (in_lo, in_hi, out_lo, out_hi):
+            assert mat.shape == (0, 1)
+        assert w.shape == (0,)
+        # the reference path must agree on the shapes
+        ref = generalized_pairs_arrays(grid, vectorized=False)
+        assert [a.shape for a in ref] == [(0, 1)] * 4 + [(0,)]
+
+    def test_guard_applies_to_vectorized_path(self, rng):
+        pts = rng.uniform(size=(2000, 2))
+        grid = RectangleGrid(pts)
+        with pytest.raises(ValueError):
+            rectangles_arrays(grid)
+        with pytest.raises(ValueError):
+            generalized_pairs_arrays(grid)
 
 
 class TestGuards:

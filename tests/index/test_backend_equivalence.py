@@ -13,7 +13,13 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.index import ENGINES, QueryBox, build_backend
-from repro.index.backend import DYNAMIC_ENGINES, group_of
+from repro.index.backend import (
+    DYNAMIC_ENGINES,
+    count_many_of,
+    group_of,
+    report_groups_many_of,
+    report_many_of,
+)
 
 
 def random_orthant(rng: np.random.Generator, dim: int) -> QueryBox:
@@ -155,6 +161,98 @@ class TestDynamicEquivalence:
         box = QueryBox.unbounded(dim)
         final = {e: sorted(b.report(box)) for e, b in backends.items()}
         assert all(r == sorted(live) for r in final.values()), final
+
+
+class TestBatchKernels:
+    """The multi-box kernels must equal the per-box loop on every backend:
+    ``report_many(boxes) ≡ [report(b) for b in boxes]`` and likewise for
+    ``count_many`` / ``report_groups_many``."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(1, 80),
+        dim=st.integers(1, 4),
+        q=st.integers(0, 12),
+    )
+    def test_report_many_equals_per_box_loop(self, seed, n, dim, q):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(size=(n, dim))
+        ids = [(int(i) % 7, int(i)) for i in range(n)]
+        backends = build_all(pts, ids)
+        boxes = [random_orthant(rng, dim) for _ in range(q)]
+        for e, b in backends.items():
+            batch = [sorted(r) for r in b.report_many(boxes)]
+            loop = [sorted(b.report(box)) for box in boxes]
+            assert batch == loop, f"report_many mismatch on {e}"
+            assert b.count_many(boxes) == [b.count(box) for box in boxes], (
+                f"count_many mismatch on {e}"
+            )
+            assert b.report_groups_many(boxes) == [
+                b.report_groups(box) for box in boxes
+            ], f"report_groups_many mismatch on {e}"
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 60))
+    def test_batch_kernels_respect_activation(self, seed, n):
+        rng = np.random.default_rng(seed)
+        dim = int(rng.integers(1, 4))
+        pts = rng.uniform(size=(n, dim))
+        ids = [(int(i) % 5, int(i)) for i in range(n)]
+        backends = build_all(pts, ids)
+        for pid in ids[:: max(1, n // 4)]:
+            for b in backends.values():
+                b.deactivate(pid)
+        boxes = [random_orthant(rng, dim) for _ in range(6)]
+        ref = [sorted(r) for r in backends["kd"].report_many(boxes)]
+        for e, b in backends.items():
+            assert [sorted(r) for r in b.report_many(boxes)] == ref, e
+
+    def test_batch_kernels_cover_kd_side_buffer(self, rng):
+        """Inserted-but-not-rebuilt points must appear in batch answers."""
+        pts = rng.uniform(size=(30, 2))
+        ids = [(i % 3, i) for i in range(30)]
+        tree = build_backend(pts, list(ids), "kd", leaf_size=4)
+        tree.insert(rng.uniform(size=(10, 2)), [(i % 3, i) for i in range(30, 40)])
+        boxes = [random_orthant(rng, 2) for _ in range(8)]
+        assert [sorted(r) for r in tree.report_many(boxes)] == [
+            sorted(tree.report(box)) for box in boxes
+        ]
+
+    def test_fallback_for_backends_without_batch_kernels(self, rng):
+        """A backend that opts out of the ``*_many`` methods is served by
+        the per-box fallback with identical results."""
+        pts = rng.uniform(size=(25, 2))
+        ids = [(i % 4, i) for i in range(25)]
+        full = build_backend(pts, list(ids), "kd", leaf_size=4)
+
+        class Bare:
+            """Minimal backend surface: no *_many methods."""
+
+            def report(self, box):
+                return full.report(box)
+
+            def count(self, box):
+                return full.count(box)
+
+            def report_groups(self, box):
+                return full.report_groups(box)
+
+        bare = Bare()
+        boxes = [random_orthant(rng, 2) for _ in range(7)]
+        assert [sorted(r) for r in report_many_of(bare, boxes)] == [
+            sorted(r) for r in full.report_many(boxes)
+        ]
+        assert count_many_of(bare, boxes) == full.count_many(boxes)
+        assert report_groups_many_of(bare, boxes) == full.report_groups_many(boxes)
+
+    def test_empty_batch(self, rng):
+        pts = rng.uniform(size=(5, 2))
+        for e in ENGINES:
+            b = build_backend(pts, list(range(5)), e)
+            assert b.report_many([]) == []
+            assert b.count_many([]) == []
+            assert b.report_groups_many([]) == []
 
 
 class TestProtocolSurface:

@@ -1,0 +1,106 @@
+"""Parallel shard builds must be deterministic.
+
+The executor builds shard Ptile structures concurrently on its thread pool
+(``warm``) and the cold path batches each shard's leaf schedule through one
+multi-box backend call.  Neither may change answers: coresets are pure
+functions of ``(seed, global index, size)`` and each shard owns a private
+rng, so serial/parallel and batched/per-leaf evaluation must produce
+identical answer sets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import Repository
+from repro.core.measures import PercentileMeasure, PreferenceMeasure
+from repro.core.predicates import pred
+from repro.geometry.rectangle import Rectangle
+from repro.service import QueryService
+from repro.service.sharding import ShardedBatchExecutor
+
+
+@pytest.fixture
+def lake(rng):
+    return [rng.uniform(0.0, 1.0, size=(200, 2)) for _ in range(12)]
+
+
+@pytest.fixture
+def leaves():
+    out = [
+        pred(PercentileMeasure(Rectangle([0.0, 0.0], [0.5, 0.5])), 0.1),
+        pred(PercentileMeasure(Rectangle([0.2, 0.2], [0.9, 0.9])), 0.2, 0.8),
+        pred(PercentileMeasure(Rectangle([0.4, 0.0], [1.0, 0.6])), 0.05),
+        pred(PreferenceMeasure(np.array([1.0, 1.0]), k=3), 0.5),
+    ]
+    return out
+
+
+def _answers(executor, leaves):
+    return [indexes for indexes, _stamp in executor.eval_leaves(leaves)]
+
+
+class TestParallelBuildDeterminism:
+    def test_parallel_warm_matches_serial_warm(self, lake, leaves):
+        repo = Repository.from_arrays(lake)
+        serial = ShardedBatchExecutor(
+            repository=repo, n_shards=4, eps=0.2, sample_size=8, seed=7,
+            max_workers=0,
+        )
+        parallel = ShardedBatchExecutor(
+            repository=repo, n_shards=4, eps=0.2, sample_size=8, seed=7,
+        )
+        serial.warm()
+        parallel.warm()
+        assert _answers(serial, leaves) == _answers(parallel, leaves)
+        parallel.close()
+
+    def test_warmed_build_matches_lazy_build(self, lake, leaves):
+        repo = Repository.from_arrays(lake)
+        warmed = ShardedBatchExecutor(
+            repository=repo, n_shards=3, eps=0.2, sample_size=8, seed=7,
+        )
+        warmed.warm()
+        lazy = ShardedBatchExecutor(
+            repository=repo, n_shards=3, eps=0.2, sample_size=8, seed=7,
+        )
+        assert _answers(warmed, leaves) == _answers(lazy, leaves)
+        warmed.close()
+        lazy.close()
+
+    def test_batched_leaves_match_per_leaf_loop(self, lake, leaves):
+        repo = Repository.from_arrays(lake)
+        batched = ShardedBatchExecutor(
+            repository=repo, n_shards=2, eps=0.2, sample_size=8, seed=7,
+        )
+        per_leaf = ShardedBatchExecutor(
+            repository=repo, n_shards=2, eps=0.2, sample_size=8, seed=7,
+            batch_leaves=False,
+        )
+        assert _answers(batched, leaves) == _answers(per_leaf, leaves)
+        batched.close()
+        per_leaf.close()
+
+    def test_service_cold_answers_identical_across_modes(self, lake, leaves):
+        repo = Repository.from_arrays(lake)
+        expr = (leaves[0] & leaves[1]) | leaves[2]
+        results = {}
+        for label, kwargs in [
+            ("batched", {}),
+            ("per_leaf", {"batch_leaves": False}),
+            ("serial", {"max_workers": 0}),
+        ]:
+            with QueryService(
+                repository=repo, n_shards=3, eps=0.2, sample_size=8, seed=7,
+                **kwargs,
+            ) as svc:
+                results[label] = svc.search(expr).indexes
+        assert results["batched"] == results["per_leaf"] == results["serial"]
+
+    def test_warm_survives_closed_pool(self, lake):
+        repo = Repository.from_arrays(lake)
+        executor = ShardedBatchExecutor(
+            repository=repo, n_shards=2, eps=0.2, sample_size=8, seed=7,
+        )
+        executor.close()  # pool gone; warm must fall back to serial builds
+        executor.warm()
+        assert all(e._ptile is not None for e in executor.engines)

@@ -1,0 +1,218 @@
+"""HOT-PATH — packed bitset result algebra, compiled plans, warm QPS.
+
+Before this PR every *warm* answer flowed through Python ``set[int]``
+objects: cached leaf answers were frozensets, And/Or combined them with
+per-element ``set.intersection``/``set.union``, every query re-ran
+canonicalization (child sorting by key repr), and every result eagerly
+materialized a sorted Python index list.  This benchmark measures the
+replacement end to end on fully warm services:
+
+1. **warm batch QPS** — a fully warmed ``QueryService`` (every leaf
+   cached, shards built) answering the same mixed And/Or workload:
+   baseline (``algebra="set"``, plan cache off — the pre-PR warm path)
+   vs bitset algebra + compiled-plan cache.  Identical answer sets are
+   asserted between the modes on every configuration.
+2. **warm latency** — per-query p50/p99 over individually timed
+   ``search`` calls on the same warm services.
+3. **cache memory** — leaf-cache resident bytes after the identical
+   warmup, set entries vs packed ``uint64`` bitset entries.
+
+Run ``python benchmarks/bench_hot_path.py`` for the full sweep and
+``BENCH_hot_path.json``; ``--smoke`` runs one small size with the
+equality / no-regression assertions only (CI guard, no JSON write).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+import numpy as np
+
+from repro.bench.harness import TableReporter, json_report
+from repro.core.framework import Repository
+from repro.service import QueryService
+from repro.workloads.generators import synthetic_data_lake
+from repro.workloads.queries import batched_query_workload
+
+SAMPLE_SIZE = 12
+EPS = 0.2
+SEED = 2026
+N_QUERIES = 160
+
+
+def make_workload(n_queries: int):
+    """Mixed And/Or Ptile/Pref expressions with realistic leaf sharing."""
+    return batched_query_workload(
+        n_queries,
+        1,
+        np.random.default_rng(SEED + 1),
+        pref_fraction=0.25,
+        duplicate_leaf_rate=0.5,
+        max_leaves=4,
+    )
+
+
+def make_service(repo, *, algebra: str, plan_cache: bool) -> QueryService:
+    return QueryService(
+        repository=repo,
+        n_shards=2,
+        eps=EPS,
+        sample_size=SAMPLE_SIZE,
+        seed=SEED,
+        algebra=algebra,
+        plan_cache_capacity=1024 if plan_cache else 0,
+    )
+
+
+def warm_qps(service, queries, repeats: int) -> float:
+    """Best-of-``repeats`` warm QPS of one batched call (caches all hot)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        service.search_batch(queries)
+        best = min(best, time.perf_counter() - t0)
+    return len(queries) / best
+
+
+def warm_latencies(service, queries, rounds: int) -> np.ndarray:
+    """Individually timed warm ``search`` calls, seconds per query."""
+    out = []
+    for _ in range(rounds):
+        for q in queries:
+            t0 = time.perf_counter()
+            service.search(q)
+            out.append(time.perf_counter() - t0)
+    return np.asarray(out)
+
+
+def run_scale(n: int, n_queries: int, repeats: int) -> dict:
+    lake = synthetic_data_lake(
+        n, 1, np.random.default_rng(SEED), family="clustered",
+        median_size=150, size_sigma=0.4,
+    )
+    repo = Repository.from_arrays(lake)
+    queries = make_workload(n_queries)
+
+    baseline = make_service(repo, algebra="set", plan_cache=False)
+    bitset = make_service(repo, algebra="bitset", plan_cache=True)
+    try:
+        # Identical warmup: one cold pass populates every leaf answer.
+        base_answers = [r.indexes for r in baseline.search_batch(queries)]
+        bits_answers = [r.indexes for r in bitset.search_batch(queries)]
+        assert base_answers == bits_answers, f"answer mismatch at n={n}"
+
+        qps_set = warm_qps(baseline, queries, repeats)
+        qps_bits = warm_qps(bitset, queries, repeats)
+        lat_set = warm_latencies(baseline, queries, rounds=2)
+        lat_bits = warm_latencies(bitset, queries, rounds=2)
+
+        # Re-assert equality AFTER the timed runs: the warm path must not
+        # have corrupted cached answers in either representation.
+        base_after = [r.indexes for r in baseline.search_batch(queries)]
+        bits_after = [r.indexes for r in bitset.search_batch(queries)]
+        assert base_after == base_answers == bits_after, (
+            f"warm answers drifted at n={n}"
+        )
+
+        set_bytes = baseline.cache.snapshot()["resident_bytes"]
+        bits_bytes = bitset.cache.snapshot()["resident_bytes"]
+        assert bitset.stats()["plan_cache"]["hits"] > 0
+        return {
+            "n": n,
+            "n_queries": len(queries),
+            "n_cached_leaves": len(bitset.cache),
+            "warm_qps_set": qps_set,
+            "warm_qps_bitset": qps_bits,
+            "warm_speedup": qps_bits / qps_set,
+            "p50_ms_set": float(np.percentile(lat_set, 50) * 1e3),
+            "p50_ms_bitset": float(np.percentile(lat_bits, 50) * 1e3),
+            "p99_ms_set": float(np.percentile(lat_set, 99) * 1e3),
+            "p99_ms_bitset": float(np.percentile(lat_bits, 99) * 1e3),
+            "cache_bytes_set": set_bytes,
+            "cache_bytes_bitset": bits_bytes,
+            "cache_bytes_ratio": set_bytes / max(bits_bytes, 1),
+        }
+    finally:
+        baseline.close()
+        bitset.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="one small size, equality + no-regression asserts, no JSON",
+    )
+    args = parser.parse_args(argv)
+    sizes = (40,) if args.smoke else (80, 160, 320)
+    n_queries = 48 if args.smoke else N_QUERIES
+    repeats = 3 if args.smoke else 7
+
+    table = TableReporter(
+        "HOT-PATH: warm serving, set algebra + no plan cache vs bitset + plans",
+        ["N", "QPS set", "QPS bitset", "x", "p50 set (ms)", "p50 bits (ms)",
+         "p99 set (ms)", "p99 bits (ms)", "cache set (B)", "cache bits (B)",
+         "mem x"],
+    )
+    rows = []
+    for n in sizes:
+        r = run_scale(n, n_queries, repeats)
+        rows.append(r)
+        table.add_row(
+            [r["n"], r["warm_qps_set"], r["warm_qps_bitset"], r["warm_speedup"],
+             r["p50_ms_set"], r["p50_ms_bitset"], r["p99_ms_set"],
+             r["p99_ms_bitset"], r["cache_bytes_set"], r["cache_bytes_bitset"],
+             r["cache_bytes_ratio"]]
+        )
+    table.print()
+    print("Answer sets identical across algebras at every size "
+          "(before and after the timed warm runs).")
+
+    if args.smoke:
+        worst = min(r["warm_speedup"] for r in rows)
+        assert worst >= 0.9, (
+            f"bitset warm path regressed vs the set baseline ({worst:.2f}x)"
+        )
+        assert all(r["cache_bytes_ratio"] >= 5.0 for r in rows), (
+            "bitset cache entries are not substantially smaller"
+        )
+        print("smoke: bitset warm path is no slower than the set baseline "
+              "and the cache is >= 5x smaller; no JSON written")
+        return 0
+
+    largest = rows[-1]
+    assert largest["warm_speedup"] >= 3.0, (
+        f"warm-QPS speedup {largest['warm_speedup']:.2f}x < 3x at "
+        f"N={largest['n']}"
+    )
+    assert largest["cache_bytes_ratio"] >= 10.0, (
+        f"cache resident bytes only {largest['cache_bytes_ratio']:.1f}x "
+        f"smaller at N={largest['n']}"
+    )
+    path = json_report(
+        os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                     "BENCH_hot_path.json"),
+        rows,
+        meta={
+            "bench": "hot_path",
+            "sample_size": SAMPLE_SIZE,
+            "eps": EPS,
+            "n_queries": n_queries,
+            "baseline": "algebra=set, plan cache disabled (pre-PR warm path)",
+            "warm_speedup_at_largest_n": largest["warm_speedup"],
+            "cache_bytes_ratio_at_largest_n": largest["cache_bytes_ratio"],
+        },
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+def test_hot_path_warm_batch(benchmark, service_1d, service_queries_1d):
+    service_1d.search_batch(service_queries_1d)  # warm every leaf
+    benchmark(lambda: service_1d.search_batch(service_queries_1d))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

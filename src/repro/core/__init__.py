@@ -16,8 +16,11 @@ data structures of Sections 4-5 and Appendices C-D:
 - :mod:`~repro.core.pref_logical` — Appendix D.1 (Theorem D.4).
 - :mod:`~repro.core.engine` — a unified search engine routing arbitrary
   logical expressions to the appropriate index.
+- :mod:`~repro.core.bitset` — packed ``uint64`` bitsets, the warm-path
+  answer representation shared by the engine and the service layer.
 """
 
+from repro.core.bitset import DatasetBitmap, bitmap_from_wire
 from repro.core.framework import Dataset, Repository
 from repro.core.measures import MeasureFunction, PercentileMeasure, PreferenceMeasure
 from repro.core.predicates import And, Or, Predicate, pred
@@ -34,6 +37,8 @@ from repro.core.diversity_index import DiversityIndex
 
 __all__ = [
     "Dataset",
+    "DatasetBitmap",
+    "bitmap_from_wire",
     "Repository",
     "MeasureFunction",
     "PercentileMeasure",

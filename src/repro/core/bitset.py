@@ -1,0 +1,376 @@
+"""Packed ``uint64`` bitsets over dataset indexes — the warm-path algebra.
+
+Every warm answer in the serving stack is a subset of ``range(N)`` for the
+current dataset count ``N``.  Representing those subsets as Python
+``set[int]`` objects costs ~50-80 bytes *per member* and one hash probe per
+element per logical operation; at the ROADMAP's millions-of-datasets scale
+the per-element work dominates warm latency, the same observation that
+makes bitmap posting lists the standard representation in dataset-search
+systems (Fainder-style indexes, roaring bitmaps in IR engines).
+
+:class:`DatasetBitmap` packs the subset into a little-endian array of
+``uint64`` words (64 datasets per word, 8 bytes per 64 members):
+
+- **logical combination** is word-wise ``&`` / ``|`` / ``& ~`` — one NumPy
+  pass over ``ceil(N / 64)`` words regardless of how many indexes are set;
+- **cardinality** is a vectorized popcount;
+- **shard merges** are offset-shifted ORs (a shard's local universe is a
+  contiguous slice of the global one), with a scatter fallback for
+  arbitrary index mappings;
+- **removals** stay a persistent ANDNOT mask, applied word-wise at read
+  time;
+- **watermark upgrades** (delta-shard ingestion) are ORs of bitmaps with
+  different universe sizes — operands align by zero-padding, so an answer
+  cached at dataset count ``W`` unions cleanly with a delta answer at
+  count ``N > W``.
+
+Bitmaps convert to index lists / sets only at API boundaries; the HTTP
+server can skip even that and ship the raw words (:meth:`to_wire`).
+
+Examples
+--------
+>>> a = DatasetBitmap.from_indices([1, 3, 70], 80)
+>>> b = DatasetBitmap.from_indices([3, 70, 79], 80)
+>>> (a & b).to_list()
+[3, 70]
+>>> (a | b).count()
+4
+>>> a.andnot(b).to_list()
+[1]
+>>> DatasetBitmap.from_indices([0, 2], 4).shift_into(64, 80).to_list()
+[64, 66]
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = ["DatasetBitmap", "bitmap_from_wire", "make_remapper"]
+
+#: Bits per word.
+_W = 64
+
+if hasattr(np, "bitwise_count"):  # NumPy >= 2.0
+    _popcount_words = np.bitwise_count
+else:  # pragma: no cover - exercised only on NumPy 1.x images
+    _POP8 = np.unpackbits(np.arange(256, dtype=np.uint8)[:, None], axis=1).sum(
+        axis=1
+    )
+
+    def _popcount_words(words: np.ndarray) -> np.ndarray:
+        return _POP8[words.view(np.uint8)]
+
+
+def _n_words(nbits: int) -> int:
+    return (nbits + _W - 1) // _W
+
+
+class DatasetBitmap:
+    """An immutable-by-convention packed subset of ``range(nbits)``.
+
+    Instances are cheap value objects: binary operators return new bitmaps
+    and never mutate their operands, so one bitmap can safely live in the
+    leaf cache while being combined into many query answers.  Operands
+    with different universe sizes align by zero-padding the shorter one;
+    the result's universe is the larger of the two.
+
+    The invariant that makes popcount/equality exact: bits at positions
+    ``>= nbits`` (the tail of the last word) are always zero.
+    """
+
+    __slots__ = ("words", "nbits")
+
+    def __init__(self, words: np.ndarray, nbits: int) -> None:
+        nbits = int(nbits)
+        if nbits < 0:
+            raise ValueError("nbits must be >= 0")
+        words = np.ascontiguousarray(words, dtype=np.uint64)
+        if words.shape != (_n_words(nbits),):
+            raise ValueError(
+                f"expected {_n_words(nbits)} words for {nbits} bits, "
+                f"got shape {words.shape}"
+            )
+        self.words = words
+        self.nbits = nbits
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, nbits: int) -> "DatasetBitmap":
+        """The empty subset of ``range(nbits)``."""
+        return cls(np.zeros(_n_words(nbits), dtype=np.uint64), nbits)
+
+    @classmethod
+    def full(cls, nbits: int) -> "DatasetBitmap":
+        """The whole universe ``range(nbits)`` (tail bits kept zero)."""
+        words = np.full(_n_words(nbits), ~np.uint64(0), dtype=np.uint64)
+        tail = nbits % _W
+        if words.size and tail:
+            words[-1] = (np.uint64(1) << np.uint64(tail)) - np.uint64(1)
+        return cls(words, nbits)
+
+    @classmethod
+    def from_indices(
+        cls, indices: Union[Iterable[int], np.ndarray], nbits: int
+    ) -> "DatasetBitmap":
+        """Pack an iterable/array of indexes (duplicates are harmless)."""
+        idx = np.asarray(
+            indices if not isinstance(indices, (set, frozenset)) else list(indices),
+            dtype=np.int64,
+        ).ravel()
+        words = np.zeros(_n_words(nbits), dtype=np.uint64)
+        if idx.size:
+            if int(idx.min()) < 0 or int(idx.max()) >= nbits:
+                raise ValueError(
+                    f"indices must lie in [0, {nbits}), got range "
+                    f"[{int(idx.min())}, {int(idx.max())}]"
+                )
+            np.bitwise_or.at(
+                words,
+                idx >> 6,
+                np.uint64(1) << (idx & 63).astype(np.uint64),
+            )
+        return cls(words, nbits)
+
+    # ------------------------------------------------------------------
+    # Conversion (the API boundary)
+    # ------------------------------------------------------------------
+    def to_array(self) -> np.ndarray:
+        """Sorted member indexes as an ``int64`` array."""
+        bits = np.unpackbits(
+            self.words.astype("<u8", copy=False).view(np.uint8),
+            bitorder="little",
+        )
+        return np.flatnonzero(bits[: self.nbits]).astype(np.int64)
+
+    def to_list(self) -> list[int]:
+        """Sorted member indexes as plain Python ints."""
+        return self.to_array().tolist()
+
+    def to_set(self) -> set[int]:
+        """Members as a mutable ``set`` (for set-algebra consumers)."""
+        return set(self.to_list())
+
+    def to_frozenset(self) -> frozenset[int]:
+        return frozenset(self.to_list())
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def _aligned(
+        self, other: "DatasetBitmap"
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Zero-pad the shorter operand; returns (a, b, nbits)."""
+        if self.nbits == other.nbits:
+            return self.words, other.words, self.nbits
+        nbits = max(self.nbits, other.nbits)
+        nw = _n_words(nbits)
+        a, b = self.words, other.words
+        if a.size < nw:
+            a = np.concatenate([a, np.zeros(nw - a.size, dtype=np.uint64)])
+        if b.size < nw:
+            b = np.concatenate([b, np.zeros(nw - b.size, dtype=np.uint64)])
+        return a, b, nbits
+
+    def __and__(self, other: "DatasetBitmap") -> "DatasetBitmap":
+        a, b, nbits = self._aligned(other)
+        return DatasetBitmap(a & b, nbits)
+
+    def __or__(self, other: "DatasetBitmap") -> "DatasetBitmap":
+        a, b, nbits = self._aligned(other)
+        return DatasetBitmap(a | b, nbits)
+
+    def andnot(self, other: "DatasetBitmap") -> "DatasetBitmap":
+        """``self \\ other`` (set difference), word-wise ``a & ~b``."""
+        a, b, nbits = self._aligned(other)
+        return DatasetBitmap(a & ~b, nbits)
+
+    def count(self) -> int:
+        """``|self|`` via vectorized popcount."""
+        return int(_popcount_words(self.words).sum())
+
+    def any(self) -> bool:
+        """Whether any bit is set (cheaper than ``count() > 0``)."""
+        return bool(self.words.any())
+
+    def __contains__(self, index: int) -> bool:
+        i = int(index)
+        if not 0 <= i < self.nbits:
+            return False
+        return bool(
+            (self.words[i >> 6] >> np.uint64(i & 63)) & np.uint64(1)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        """Set equality — universe sizes may differ (tails are zero)."""
+        if not isinstance(other, DatasetBitmap):
+            return NotImplemented
+        a, b, _ = self._aligned(other)
+        return bool(np.array_equal(a, b))
+
+    def __hash__(self) -> int:
+        # Hash the trimmed word content so equal sets collide across sizes.
+        trimmed = np.trim_zeros(self.words, trim="b")
+        return hash((len(trimmed), trimmed.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        n = self.count()
+        head = self.to_list()[:8]
+        ell = ", ..." if n > 8 else ""
+        return f"DatasetBitmap({head}{ell} |{n}| of {self.nbits})"
+
+    # ------------------------------------------------------------------
+    # Universe surgery (shard merges, delta upgrades)
+    # ------------------------------------------------------------------
+    def resize(self, nbits: int) -> "DatasetBitmap":
+        """The same set inside a universe of ``nbits``.
+
+        Growing zero-pads.  Shrinking is legal only when no member falls
+        outside the new range (ValueError otherwise) — branch on the
+        logical size, not the word count, so a shrink within the same
+        word never smuggles out-of-range bits past the tail invariant.
+        """
+        if nbits == self.nbits:
+            return self
+        if nbits > self.nbits:
+            nw = _n_words(nbits)
+            if nw == self.words.size:
+                return DatasetBitmap(self.words, nbits)
+            words = np.zeros(nw, dtype=np.uint64)
+            words[: self.words.size] = self.words
+            return DatasetBitmap(words, nbits)
+        # from_indices re-validates the range, raising on stray members.
+        return DatasetBitmap.from_indices(self.to_array(), nbits)
+
+    def shift_into(self, offset: int, nbits: int) -> "DatasetBitmap":
+        """Members translated by ``+offset`` inside a ``nbits`` universe.
+
+        This is the shard-merge primitive: a shard's local universe is the
+        contiguous slice ``[offset, offset + self.nbits)`` of the global
+        one, so translating local answers is a word shift, not a Python
+        loop over members.
+        """
+        offset = int(offset)
+        if offset < 0:
+            raise ValueError("offset must be >= 0")
+        if offset + self.nbits > nbits:
+            raise ValueError("shifted members would fall outside the universe")
+        q, r = divmod(offset, _W)
+        out = np.zeros(_n_words(nbits), dtype=np.uint64)
+        src = self.words
+        if src.size:
+            if r == 0:
+                out[q : q + src.size] = src
+            else:
+                lo = src << np.uint64(r)
+                hi = src >> np.uint64(_W - r)
+                out[q : q + src.size] |= lo
+                out[q + 1 : q + 1 + src.size] |= hi[: out.size - q - 1]
+        return DatasetBitmap(out, nbits)
+
+    def remap(self, mapping: Sequence[int], nbits: int) -> "DatasetBitmap":
+        """Members translated through ``mapping`` (local id -> global id).
+
+        ``mapping`` must cover the local universe (``len(mapping) >=
+        self.nbits``).  Contiguous mappings (``mapping[i] == mapping[0] +
+        i``) take the word-shift fast path; arbitrary mappings scatter the
+        member indexes through the mapping array.  Callers translating
+        many bitmaps through one mapping should compile it once with
+        :func:`make_remapper` instead.
+        """
+        return make_remapper(mapping, nbits)(self)
+
+    # ------------------------------------------------------------------
+    # Memory / wire
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes (the packed words)."""
+        return int(self.words.nbytes)
+
+    def to_wire(self) -> dict:
+        """JSON-ready zero-copy encoding: base64 of the little-endian words.
+
+        The payload is the raw word buffer — no per-index Python objects
+        are materialized.  Decode with :func:`bitmap_from_wire`.
+        """
+        return {
+            "encoding": "u64le+b64",
+            "n_bits": self.nbits,
+            "words": base64.b64encode(
+                self.words.astype("<u8", copy=False).tobytes()
+            ).decode("ascii"),
+        }
+
+
+def make_remapper(mapping: Sequence[int], nbits: int):
+    """Compile a local→global index mapping into a bitmap translator.
+
+    The O(len(mapping)) analysis — array conversion and the contiguity
+    probe that selects the word-shift fast path over the scatter fallback
+    — runs once here; the returned callable translates any number of
+    local bitmaps at O(words) each.  This is the primitive behind both
+    :meth:`DatasetBitmap.remap` and the sharded executor's per-unit merge.
+
+    Examples
+    --------
+    >>> to_global = make_remapper([10, 11, 12, 13], 14)
+    >>> to_global(DatasetBitmap.from_indices([0, 2], 4)).to_list()
+    [10, 12]
+    """
+    m = np.asarray(mapping, dtype=np.int64)
+
+    def _check(local: DatasetBitmap) -> None:
+        if m.size < local.nbits:
+            raise ValueError("mapping shorter than the local universe")
+
+    if m.size == 0:
+        def translate(local: DatasetBitmap) -> DatasetBitmap:
+            _check(local)
+            return DatasetBitmap.zeros(nbits)
+    elif m.size == 1 or (
+        int(m[-1]) - int(m[0]) == m.size - 1
+        and bool(np.array_equal(m, m[0] + np.arange(m.size, dtype=np.int64)))
+    ):
+        offset = int(m[0])
+
+        def translate(local: DatasetBitmap) -> DatasetBitmap:
+            _check(local)
+            return local.shift_into(offset, nbits)
+    else:
+        def translate(local: DatasetBitmap) -> DatasetBitmap:
+            _check(local)
+            return DatasetBitmap.from_indices(m[local.to_array()], nbits)
+
+    return translate
+
+
+def bitmap_from_wire(obj: dict) -> DatasetBitmap:
+    """Decode :meth:`DatasetBitmap.to_wire` output (client-side helper).
+
+    Examples
+    --------
+    >>> bm = DatasetBitmap.from_indices([5, 64, 199], 200)
+    >>> bitmap_from_wire(bm.to_wire()) == bm
+    True
+    """
+    if not isinstance(obj, dict) or obj.get("encoding") != "u64le+b64":
+        raise ValueError("not a u64le+b64 bitset payload")
+    nbits = int(obj["n_bits"])
+    raw = base64.b64decode(obj["words"])
+    words = np.frombuffer(raw, dtype="<u8").astype(np.uint64, copy=False)
+    if words.shape != (_n_words(nbits),):
+        raise ValueError("bitset payload length does not match n_bits")
+    tail = nbits % _W
+    if words.size and tail:
+        stray = words[-1] >> np.uint64(tail)
+        if stray:
+            # Bits past n_bits would break the zero-tail invariant that
+            # count/equality/hash rely on; a well-formed encoder never
+            # produces them, so treat them as corruption.
+            raise ValueError("bitset payload has stray bits beyond n_bits")
+    return DatasetBitmap(words, nbits)

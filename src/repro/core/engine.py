@@ -23,6 +23,7 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.core.bitset import DatasetBitmap
 from repro.core.framework import Dataset, Repository
 from repro.core.measures import PercentileMeasure, PreferenceMeasure
 from repro.core.predicates import And, Expression, Or, Predicate
@@ -167,36 +168,41 @@ class DatasetSearchEngine:
     def search(self, expression: Expression, record_times: bool = False) -> QueryResult:
         """Answer ``q_Pi(P)`` approximately with the paper's guarantees.
 
-        With ``record_times=True`` the expression is evaluated leaf by leaf
-        (deduplicated through the service planner) and each reported index
-        is stamped with the completion time of the leaf at which its
-        membership in the final answer became logically determined, so
-        ``QueryResult.delays()`` measures real inter-report gaps.  Indexes
-        are then in emission order; without timing they are sorted.
+        With ``record_times=True`` the expression's deduplicated leaves are
+        evaluated in one batched pass (multi-box kernels, same structure
+        as the cold service path) and each reported index is stamped with
+        the completion time of the leaf at which its membership in the
+        final answer became logically determined, so
+        ``QueryResult.delays()`` measures real inter-report gaps.  Leaf
+        completion stamps are taken as each leaf's answer is unpacked from
+        the batch — still strictly per-leaf and monotone, but adjacent
+        leaves that shared one backend call complete almost together.
+        Indexes are then in emission order; without timing they are sorted.
         """
-        result = QueryResult()
         if not record_times:
-            result.indexes = sorted(self._eval(expression))
-            return result
+            return QueryResult(bitmap=self._eval_bits(expression))
         # Local import: the planner lives in the service layer, which
         # imports this module — a module-level import would be circular.
         from repro.service.planner import emit_schedule, plan_query
 
+        result = QueryResult()
         result.start_time = time.perf_counter()
         plan = plan_query(expression)
+        order = list(plan.leaves)
+        answers = self.eval_leaf_batch_bits(list(plan.leaves.values()))
         leaf_results: dict = {}
         leaf_times: dict = {}
-        order: list = []
-        for key, leaf in plan.leaves.items():
-            leaf_results[key] = frozenset(self.eval_leaf(leaf))
+        for key, bits in zip(order, answers):
+            # Stamp at unpack time: the instant this leaf's answer became
+            # available to the evaluator (per-leaf, strictly monotone).
+            leaf_results[key] = bits
             leaf_times[key] = time.perf_counter()
-            order.append(key)
         schedule = emit_schedule(
             plan.expression,
             order,
             leaf_results,
             leaf_times,
-            frozenset(range(self.n_datasets)),
+            DatasetBitmap.full(self.n_datasets),
         )
         result.indexes = [idx for idx, _t in schedule]
         result.emit_times = [t for _idx, t in schedule]
@@ -204,15 +210,38 @@ class DatasetSearchEngine:
         return result
 
     def _eval(self, expression: Expression) -> set[int]:
+        """Set-algebra evaluation (compat shim over the bitset evaluator)."""
+        return self._eval_bits(expression).to_set()
+
+    def _eval_bits(self, expression: Expression) -> DatasetBitmap:
         if isinstance(expression, Predicate):
-            return self.eval_leaf(expression)
+            return self.eval_leaf_bits(expression)
         if isinstance(expression, And):
-            sets = [self._eval(c) for c in expression.children]
-            return set.intersection(*sets)
+            bits = [self._eval_bits(c) for c in expression.children]
+            out = bits[0]
+            for b in bits[1:]:
+                out = out & b
+            return out
         if isinstance(expression, Or):
-            sets = [self._eval(c) for c in expression.children]
-            return set.union(*sets)
+            bits = [self._eval_bits(c) for c in expression.children]
+            out = bits[0]
+            for b in bits[1:]:
+                out = out | b
+            return out
         raise QueryError(f"unsupported expression node {type(expression).__name__}")
+
+    def _leaf_query(self, leaf: Predicate) -> QueryResult:
+        """Route one predicate leaf to the appropriate structure."""
+        measure = leaf.measure
+        if isinstance(measure, PercentileMeasure):
+            return self.ptile_index.query(measure.rect, leaf.theta)
+        if isinstance(measure, PreferenceMeasure):
+            if not leaf.theta.is_threshold:
+                raise QueryError(
+                    "preference predicates support one-sided theta = [a, inf)"
+                )
+            return self.pref_index(measure.k).query(measure.vector, leaf.theta.lo)
+        raise QueryError(f"unsupported measure {type(measure).__name__}")
 
     def eval_leaf(self, leaf: Predicate) -> set[int]:
         """Answer one predicate leaf against the appropriate structure.
@@ -221,35 +250,31 @@ class DatasetSearchEngine:
         the sharded executor calls it per shard and the leaf-result cache
         stores its answers keyed by ``leaf.canonical_key()``.
         """
-        measure = leaf.measure
-        if isinstance(measure, PercentileMeasure):
-            return self.ptile_index.query(measure.rect, leaf.theta).index_set
-        if isinstance(measure, PreferenceMeasure):
-            if not leaf.theta.is_threshold:
-                raise QueryError(
-                    "preference predicates support one-sided theta = [a, inf)"
-                )
-            return self.pref_index(measure.k).query(
-                measure.vector, leaf.theta.lo
-            ).index_set
-        raise QueryError(f"unsupported measure {type(measure).__name__}")
+        return self._leaf_query(leaf).index_set
+
+    def eval_leaf_bits(self, leaf: Predicate) -> DatasetBitmap:
+        """One leaf's answer as a packed bitset over ``range(n_datasets)``."""
+        return DatasetBitmap.from_indices(
+            self._leaf_query(leaf).indexes, self.n_datasets
+        )
 
     # Backwards-compatible alias (pre-service releases named the hook this).
     _eval_leaf = eval_leaf
 
-    def eval_leaf_batch(self, leaves: Sequence[Predicate]) -> list[set[int]]:
-        """Answer a batch of predicate leaves, batching where it pays.
+    def _leaf_batch_query(
+        self, leaves: Sequence[Predicate]
+    ) -> list[QueryResult]:
+        """Raw per-leaf results, batching percentile leaves where it pays.
 
         All percentile leaves are routed through
         :meth:`~repro.core.ptile_range.PtileRangeIndex.query_many` — one
         multi-box backend call for the whole batch instead of one tree
         walk per leaf.  Preference leaves are evaluated individually (each
         rank ``k`` owns a separate Pref structure).  Answers are aligned
-        with the input order and identical to ``[self.eval_leaf(l) for l
-        in leaves]``.
+        with the input order.
         """
         leaves = list(leaves)
-        results: list[Optional[set[int]]] = [None] * len(leaves)
+        results: list[Optional[QueryResult]] = [None] * len(leaves)
         ptile_pos: list[int] = []
         ptile_queries: list[tuple] = []
         for i, leaf in enumerate(leaves):
@@ -257,12 +282,27 @@ class DatasetSearchEngine:
                 ptile_pos.append(i)
                 ptile_queries.append((leaf.measure.rect, leaf.theta))
             else:
-                results[i] = self.eval_leaf(leaf)
+                results[i] = self._leaf_query(leaf)
         if ptile_queries:
             batched = self.ptile_index.query_many(ptile_queries)
             for i, res in zip(ptile_pos, batched):
-                results[i] = res.index_set
+                results[i] = res
         return results
+
+    def eval_leaf_batch(self, leaves: Sequence[Predicate]) -> list[set[int]]:
+        """A batch of leaf answers as sets, identical to
+        ``[self.eval_leaf(l) for l in leaves]`` but batched."""
+        return [r.index_set for r in self._leaf_batch_query(leaves)]
+
+    def eval_leaf_batch_bits(
+        self, leaves: Sequence[Predicate]
+    ) -> list[DatasetBitmap]:
+        """A batch of leaf answers as packed bitsets (same batching)."""
+        n = self.n_datasets
+        return [
+            DatasetBitmap.from_indices(r.indexes, n)
+            for r in self._leaf_batch_query(leaves)
+        ]
 
     # ------------------------------------------------------------------
     # Dynamics (Remark 1)

@@ -5,15 +5,21 @@ reported one at a time with bounded delay (Section 2, "Delay guarantees").
 ``QueryResult`` therefore records the order in which indexes were emitted
 and per-emission timestamps, so the T-DELAY benchmark can measure the gap
 between consecutive reports directly.
+
+The warm serving path produces answers as packed
+:class:`~repro.core.bitset.DatasetBitmap` bitsets rather than index lists;
+a result may carry the bitmap and materialize ``indexes`` lazily, so the
+Python-int list is only built when a consumer actually reads it (the HTTP
+server's bitset wire format never does).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.core.bitset import DatasetBitmap
 
-@dataclass
+
 class QueryResult:
     """The outcome of one distribution-aware query.
 
@@ -21,6 +27,11 @@ class QueryResult:
     ----------
     indexes:
         Reported dataset indexes, in emission order (no duplicates).
+        Materialized lazily (in sorted order) from ``bitmap`` when the
+        result was produced by the bitset warm path.
+    bitmap:
+        The answer as a packed bitset, when the producer had one; None for
+        enumeration-structure results that report indexes one at a time.
     emit_times:
         ``time.perf_counter()`` stamps, one per emitted index (same order),
         plus the query start time in ``start_time`` — enabling delay
@@ -30,20 +41,77 @@ class QueryResult:
         Free-form per-query counters (nodes visited, points deleted, ...).
     """
 
-    indexes: list[int] = field(default_factory=list)
-    start_time: Optional[float] = None
-    end_time: Optional[float] = None
-    emit_times: list[float] = field(default_factory=list)
-    stats: dict = field(default_factory=dict)
+    __slots__ = (
+        "_indexes",
+        "bitmap",
+        "start_time",
+        "end_time",
+        "emit_times",
+        "stats",
+        "_index_set",
+        "_index_set_len",
+    )
+
+    def __init__(
+        self,
+        indexes: Optional[list[int]] = None,
+        start_time: Optional[float] = None,
+        end_time: Optional[float] = None,
+        emit_times: Optional[list[float]] = None,
+        stats: Optional[dict] = None,
+        bitmap: Optional[DatasetBitmap] = None,
+    ) -> None:
+        self._indexes = indexes if indexes is not None else ([] if bitmap is None else None)
+        self.bitmap = bitmap
+        self.start_time = start_time
+        self.end_time = end_time
+        self.emit_times = emit_times if emit_times is not None else []
+        self.stats = stats if stats is not None else {}
+        self._index_set: Optional[set[int]] = None
+        self._index_set_len = -1
+
+    # ------------------------------------------------------------------
+    @property
+    def indexes(self) -> list[int]:
+        """Reported indexes; materialized from ``bitmap`` on first read."""
+        if self._indexes is None:
+            self._indexes = self.bitmap.to_list()
+        return self._indexes
+
+    @indexes.setter
+    def indexes(self, value: list[int]) -> None:
+        self._indexes = value
+        # The assigned list is now the sole answer; a bitmap from a
+        # previous producer would silently disagree with it (and the wire
+        # encoder prefers the bitmap), so drop it.
+        self.bitmap = None
+        self._index_set = None
+        self._index_set_len = -1
 
     @property
     def index_set(self) -> set[int]:
-        """The reported indexes as a set ``J``."""
-        return set(self.indexes)
+        """The reported indexes as a set ``J``.
+
+        Computed once and cached (rebuilding a fresh set per access made
+        every recall/precision loop quadratic).  Enumeration structures
+        only ever *append* to ``indexes``, so the cache revalidates by
+        length and is transparent to the report loops.
+        """
+        if self._indexes is None and self.bitmap is not None:
+            if self._index_set is None:
+                self._index_set = self.bitmap.to_set()
+                self._index_set_len = len(self._index_set)
+            return self._index_set
+        if self._index_set is None or self._index_set_len != len(self.indexes):
+            self._index_set = set(self.indexes)
+            self._index_set_len = len(self._index_set)
+        return self._index_set
 
     @property
     def out_size(self) -> int:
-        """``OUT = |J|``."""
+        """``OUT = |J|`` (popcount when only the bitmap is materialized)."""
+        if self._indexes is None and self.bitmap is not None:
+            return self.bitmap.count()
         return len(self.indexes)
 
     def delays(self) -> list[float]:
@@ -60,3 +128,9 @@ class QueryResult:
         """Largest inter-report gap, or None without timing data."""
         gaps = self.delays()
         return max(gaps) if gaps else None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryResult(out_size={self.out_size}, "
+            f"timed={self.start_time is not None})"
+        )

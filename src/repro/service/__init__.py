@@ -8,9 +8,13 @@ batch.  This package turns the engine into a serving subsystem:
 - :mod:`~repro.service.planner` canonicalizes expressions (flatten nested
   And/Or, sort and deduplicate children) and extracts stable hashable leaf
   keys, so identical sub-predicates are evaluated once per batch and are
-  cacheable across batches;
-- :mod:`~repro.service.cache` is an LRU cache of per-leaf answer sets with
-  hit/miss/eviction accounting and explicit invalidation;
+  cacheable across batches; a compiled-plan LRU
+  (:class:`~repro.service.planner.PlanCache`) lets repeated query shapes
+  skip canonicalization entirely;
+- :mod:`~repro.service.cache` is an LRU cache of per-leaf answers — packed
+  :class:`~repro.core.bitset.DatasetBitmap` bitsets on the warm path —
+  with hit/miss/eviction and resident-bytes accounting and explicit
+  invalidation;
 - :mod:`~repro.service.sharding` partitions the repository into ``n_shards``
   sub-engines and evaluates leaves shard-parallel in a thread pool — the
   union of shard answers preserves the per-leaf guarantees because every
@@ -28,6 +32,7 @@ batch.  This package turns the engine into a serving subsystem:
 from repro.service.cache import CacheEntry, CacheStats, LeafResultCache
 from repro.service.planner import (
     BatchPlan,
+    PlanCache,
     QueryPlan,
     canonicalize,
     emit_schedule,
@@ -56,6 +61,7 @@ __all__ = [
     "CacheEntry",
     "CacheStats",
     "LeafResultCache",
+    "PlanCache",
     "QueryPlan",
     "QueryService",
     "SeededSampleSynopsis",

@@ -1,10 +1,16 @@
-"""LRU cache of per-leaf answer sets with hit/miss/eviction accounting.
+"""LRU cache of per-leaf answers with hit/miss/eviction accounting.
 
 The cache sits between the planner and the sharded executor: keys are the
-planner's canonical leaf keys, values are the (frozen) global index sets the
-executor computed for those leaves.  Caching at the *leaf* granularity —
-rather than whole expressions — is what makes cross-query reuse effective:
-two different expressions that share a predicate share its cached answer.
+planner's canonical leaf keys, values are the global answers the executor
+computed for those leaves — packed
+:class:`~repro.core.bitset.DatasetBitmap` bitsets on the warm path
+(``ceil(N / 64)`` words ≈ 64x smaller than a frozenset of the same
+indexes), or frozensets when a set-algebra caller stores them (the
+measurable baseline; ``put`` freezes plain sets).  Caching at the *leaf*
+granularity — rather than whole expressions — is what makes cross-query
+reuse effective: two different expressions that share a predicate share
+its cached answer.  ``resident_bytes`` tracks the estimated heap footprint
+of the stored values, so ``/stats`` can surface cache-memory regressions.
 
 Cached answers are only valid for the synopsis set they were computed
 against, so the cache exposes explicit :meth:`~LeafResultCache.invalidate`
@@ -22,10 +28,27 @@ at all — tombstone masks are applied when answers are read.
 
 from __future__ import annotations
 
+import sys
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, Optional
+from typing import Hashable, Optional, Union
+
+from repro.core.bitset import DatasetBitmap
+
+#: What a cache entry may hold: packed bitset (warm path) or frozen set.
+CachedAnswer = Union[frozenset, DatasetBitmap]
+
+#: Estimated heap bytes of one CPython ``int`` object in a set.
+_INT_BYTES = 28
+
+
+def _answer_bytes(value: CachedAnswer) -> int:
+    """Estimated heap footprint of one stored answer."""
+    if isinstance(value, DatasetBitmap):
+        # words buffer + ndarray/view header + bitmap object.
+        return value.nbytes + 96
+    return sys.getsizeof(value) + _INT_BYTES * len(value)
 
 
 @dataclass
@@ -62,9 +85,14 @@ class CacheStats:
 
 @dataclass(frozen=True)
 class CacheEntry:
-    """One cached leaf answer plus the dataset-count it was computed at."""
+    """One cached leaf answer plus the dataset-count it was computed at.
 
-    indexes: frozenset
+    ``indexes`` holds whatever representation the producer stored: a
+    packed :class:`~repro.core.bitset.DatasetBitmap` on the warm path, a
+    frozenset in the legacy set algebra.
+    """
+
+    indexes: CachedAnswer
     watermark: int = 0
 
 
@@ -98,6 +126,17 @@ class LeafResultCache:
     >>> entry = cache.get_entry("leaf")
     >>> (sorted(entry.indexes), entry.watermark)
     ([0, 2], 3)
+
+    Bitset-valued entries (the warm path) are stored as-is — ~64x smaller
+    than the equivalent frozenset — and ``resident_bytes`` tracks the
+    footprint either way:
+
+    >>> from repro.core.bitset import DatasetBitmap
+    >>> cache.put("bits", DatasetBitmap.from_indices([0, 2], 128))
+    >>> cache.get("bits").to_list()
+    [0, 2]
+    >>> cache.resident_bytes > 0
+    True
     """
 
     def __init__(self, capacity: int = 4096) -> None:
@@ -107,6 +146,7 @@ class LeafResultCache:
         self.stats = CacheStats()
         self.generation = 0
         self._entries: OrderedDict[Hashable, CacheEntry] = OrderedDict()
+        self._resident_bytes = 0
         # The service can sit behind a ThreadingHTTPServer, so the
         # read-then-move and insert-then-evict sequences must be atomic.
         self._lock = threading.Lock()
@@ -119,8 +159,8 @@ class LeafResultCache:
         with self._lock:
             return key in self._entries
 
-    def get(self, key: Hashable) -> Optional[frozenset]:
-        """The cached answer set, or None; refreshes LRU recency on hit."""
+    def get(self, key: Hashable) -> Optional[CachedAnswer]:
+        """The cached answer, or None; refreshes LRU recency on hit."""
         entry = self.get_entry(key)
         return None if entry is None else entry.indexes
 
@@ -143,27 +183,37 @@ class LeafResultCache:
     def put(
         self,
         key: Hashable,
-        indexes: "frozenset | set",
+        indexes: "CachedAnswer | set",
         generation: Optional[int] = None,
         watermark: int = 0,
     ) -> None:
-        """Store (or refresh) an answer set, evicting the LRU entry if full.
+        """Store (or refresh) an answer, evicting the LRU entry if full.
 
-        Pass the ``generation`` observed *before* computing ``indexes`` to
-        make the write flush-safe: if an :meth:`invalidate` happened in the
-        meantime (the synopsis set changed mid-computation), the stale
-        answer is silently dropped instead of poisoning the fresh cache.
-        ``watermark`` records the dataset count the answer covers.
+        Bitset answers are stored as-is (bitmaps are immutable by
+        convention); set answers are frozen so later caller mutation cannot
+        leak in.  Pass the ``generation`` observed *before* computing
+        ``indexes`` to make the write flush-safe: if an :meth:`invalidate`
+        happened in the meantime (the synopsis set changed
+        mid-computation), the stale answer is silently dropped instead of
+        poisoning the fresh cache.  ``watermark`` records the dataset count
+        the answer covers.
         """
         if self.capacity == 0:
             return
+        if not isinstance(indexes, DatasetBitmap):
+            indexes = frozenset(indexes)
         with self._lock:
             if generation is not None and generation != self.generation:
                 return
-            self._entries[key] = CacheEntry(frozenset(indexes), int(watermark))
+            old = self._entries.get(key)
+            if old is not None:
+                self._resident_bytes -= _answer_bytes(old.indexes)
+            self._entries[key] = CacheEntry(indexes, int(watermark))
+            self._resident_bytes += _answer_bytes(indexes)
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                _k, evicted = self._entries.popitem(last=False)
+                self._resident_bytes -= _answer_bytes(evicted.indexes)
                 self.stats.evictions += 1
             self.stats.max_size_seen = max(
                 self.stats.max_size_seen, len(self._entries)
@@ -178,8 +228,15 @@ class LeafResultCache:
         """Drop every entry (the synopsis set changed) and bump generation."""
         with self._lock:
             self._entries.clear()
+            self._resident_bytes = 0
             self.stats.invalidations += 1
             self.generation += 1
+
+    @property
+    def resident_bytes(self) -> int:
+        """Estimated heap bytes held by the cached answers."""
+        with self._lock:
+            return self._resident_bytes
 
     def snapshot(self) -> dict:
         """Stats plus current occupancy, JSON-ready."""
@@ -188,4 +245,5 @@ class LeafResultCache:
             out["size"] = len(self._entries)
             out["capacity"] = self.capacity
             out["generation"] = self.generation
+            out["resident_bytes"] = self._resident_bytes
             return out

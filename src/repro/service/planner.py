@@ -20,15 +20,35 @@ in the final answer, the earliest leaf completion at which its membership
 was already logically determined (three-valued And/Or semantics).  This is
 what ``DatasetSearchEngine.search(record_times=True)`` and the service use
 to populate ``QueryResult.emit_times`` meaningfully.
+
+The evaluation helpers (:func:`evaluate_with_leaf_results`,
+:func:`partial_bounds`, :func:`emit_schedule`) are polymorphic over the
+answer representation: per-leaf answers may be ``set``/``frozenset``
+objects (the legacy representation, kept as the measurable baseline) or
+packed :class:`~repro.core.bitset.DatasetBitmap` bitsets (the warm-path
+default — And/Or become word-wise ``&``/``|``).  All answers in one call
+must share a representation.
+
+Canonicalization itself is not free (children are sorted by the repr of
+their canonical keys), so repeated query *shapes* can skip it entirely:
+:class:`PlanCache` memoizes compiled :class:`QueryPlan` objects keyed by
+the submitted expression's structural key, exactly like the leaf-result
+cache memoizes leaf answers.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Mapping, Sequence
+from typing import Hashable, Iterable, Mapping, Optional, Sequence, Union
 
+from repro.core.bitset import DatasetBitmap
 from repro.core.predicates import And, Expression, Or, Predicate
 from repro.errors import QueryError
+
+#: One leaf's answer: index set (legacy/baseline) or packed bitset.
+LeafAnswer = Union[frozenset, set, DatasetBitmap]
 
 #: A stable hashable identity for a predicate leaf.
 LeafKey = Hashable
@@ -157,47 +177,92 @@ def plan_query(expression: Expression) -> QueryPlan:
     )
 
 
-def plan_batch(expressions: Sequence[Expression]) -> BatchPlan:
-    """Plan every query of a batch and union their unique leaves."""
-    batch = BatchPlan(plans=[plan_query(e) for e in expressions])
+def plan_batch(
+    expressions: Sequence[Expression], cache: Optional["PlanCache"] = None
+) -> BatchPlan:
+    """Plan every query of a batch and union their unique leaves.
+
+    With a :class:`PlanCache`, repeated query shapes reuse their compiled
+    plans instead of re-canonicalizing.
+    """
+    planner = cache.plan if cache is not None else plan_query
+    batch = BatchPlan(plans=[planner(e) for e in expressions])
     for plan in batch.plans:
         for key, leaf in plan.leaves.items():
             batch.unique_leaves.setdefault(key, leaf)
     return batch
 
 
+def _combine_and(values: list) -> LeafAnswer:
+    """Intersection in whichever algebra the values use."""
+    if isinstance(values[0], DatasetBitmap):
+        out = values[0]
+        for v in values[1:]:
+            out = out & v
+        return out
+    return set.intersection(*values)
+
+
+def _combine_or(values: list) -> LeafAnswer:
+    """Union in whichever algebra the values use."""
+    if isinstance(values[0], DatasetBitmap):
+        out = values[0]
+        for v in values[1:]:
+            out = out | v
+        return out
+    return set.union(*values)
+
+
+def answer_indices(value: LeafAnswer) -> Iterable[int]:
+    """Iterate an answer's member indexes regardless of representation."""
+    return value.to_array() if isinstance(value, DatasetBitmap) else value
+
+
 def evaluate_with_leaf_results(
-    expression: Expression, leaf_results: Mapping[LeafKey, frozenset[int]]
-) -> set[int]:
-    """Evaluate an expression given precomputed per-leaf answer sets."""
+    expression: Expression, leaf_results: Mapping[LeafKey, LeafAnswer]
+) -> LeafAnswer:
+    """Evaluate an expression given precomputed per-leaf answers.
+
+    With set-valued ``leaf_results`` this is pure set algebra and returns a
+    ``set``; with bitset-valued results, And/Or collapse to word-wise
+    ``&``/``|`` over packed ``uint64`` words and a bitmap is returned.
+    """
     if isinstance(expression, Predicate):
-        return set(leaf_results[leaf_key(expression)])
+        value = leaf_results[leaf_key(expression)]
+        # Bitmaps are immutable by convention; sets are copied because the
+        # And/Or reducers below may hand the result to mutating callers.
+        return value if isinstance(value, DatasetBitmap) else set(value)
     if isinstance(expression, And):
-        sets = [evaluate_with_leaf_results(c, leaf_results) for c in expression.children]
-        return set.intersection(*sets)
+        values = [evaluate_with_leaf_results(c, leaf_results) for c in expression.children]
+        return _combine_and(values)
     if isinstance(expression, Or):
-        sets = [evaluate_with_leaf_results(c, leaf_results) for c in expression.children]
-        return set.union(*sets)
+        values = [evaluate_with_leaf_results(c, leaf_results) for c in expression.children]
+        return _combine_or(values)
     raise QueryError(f"unsupported expression node {type(expression).__name__}")
 
 
 def partial_bounds(
     expression: Expression,
-    known: Mapping[LeafKey, frozenset[int]],
-    universe: frozenset[int],
-) -> tuple[set[int], set[int]]:
+    known: Mapping[LeafKey, LeafAnswer],
+    universe: LeafAnswer,
+) -> tuple[LeafAnswer, LeafAnswer]:
     """Three-valued evaluation: (definitely-in, possibly-in) index sets.
 
     A leaf whose answer is not yet in ``known`` contributes the trivial
     bounds ``(∅, universe)``.  And/Or are monotone, so intersecting /
     unioning the child bounds is exact: an index in the lower set is in the
     final answer no matter how the unknown leaves resolve, and an index
-    outside the upper set is out no matter what.
+    outside the upper set is out no matter what.  The representation of
+    ``universe`` (set or bitmap) selects the algebra.
     """
     if isinstance(expression, Predicate):
         result = known.get(leaf_key(expression))
         if result is None:
+            if isinstance(universe, DatasetBitmap):
+                return DatasetBitmap.zeros(universe.nbits), universe
             return set(), set(universe)
+        if isinstance(result, DatasetBitmap):
+            return result, result
         return set(result), set(result)
     if isinstance(expression, (And, Or)):
         lowers, uppers = [], []
@@ -206,17 +271,17 @@ def partial_bounds(
             lowers.append(lo)
             uppers.append(hi)
         if isinstance(expression, And):
-            return set.intersection(*lowers), set.intersection(*uppers)
-        return set.union(*lowers), set.union(*uppers)
+            return _combine_and(lowers), _combine_and(uppers)
+        return _combine_or(lowers), _combine_or(uppers)
     raise QueryError(f"unsupported expression node {type(expression).__name__}")
 
 
 def emit_schedule(
     expression: Expression,
     leaf_order: Iterable[LeafKey],
-    leaf_results: Mapping[LeafKey, frozenset[int]],
+    leaf_results: Mapping[LeafKey, LeafAnswer],
     leaf_times: Mapping[LeafKey, float],
-    universe: frozenset[int],
+    universe: LeafAnswer,
 ) -> list[tuple[int, float]]:
     """Per-index emission times implied by per-leaf completion times.
 
@@ -227,7 +292,7 @@ def emit_schedule(
     streaming evaluator could have emitted them.  The indexes of the result
     are exactly the full evaluation's answer.
     """
-    known: dict[LeafKey, frozenset[int]] = {}
+    known: dict[LeafKey, LeafAnswer] = {}
     emitted: dict[int, float] = {}
     for key in leaf_order:
         if key in known:
@@ -235,7 +300,95 @@ def emit_schedule(
         known[key] = leaf_results[key]
         lower, _upper = partial_bounds(expression, known, universe)
         stamp = leaf_times[key]
-        for idx in lower:
+        for idx in answer_indices(lower):
+            idx = int(idx)
             if idx not in emitted:
                 emitted[idx] = stamp
     return sorted(emitted.items(), key=lambda pair: (pair[1], pair[0]))
+
+
+class PlanCache:
+    """A bounded LRU of compiled query plans keyed by expression structure.
+
+    Keys are the *submitted* expression's :meth:`canonical_key` — a pure
+    structural identity that is much cheaper to compute than the full
+    canonical rewrite (no child sorting, no repr-based total order, no node
+    rebuilding).  A hit therefore skips canonicalization and leaf
+    collection entirely and reuses the compiled
+    :class:`QueryPlan` — including its deduplicated leaf schedule, which
+    downstream layers feed straight into the leaf cache and executor.
+
+    Two syntactically different but semantically equal expressions (e.g.
+    ``And(a, b)`` vs ``And(b, a)``) occupy separate entries whose plans
+    share the same canonical expression — the leaf cache unifies their
+    answers, so the only cost of the split is one extra cache slot.
+
+    Plans are pure expression algebra: they reference no index structures
+    and no dataset counts, so entries stay valid across live ingestion,
+    removals and full rebuilds.  ``capacity=0`` disables caching.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core.measures import PercentileMeasure
+    >>> from repro.core.predicates import And, pred
+    >>> from repro.geometry.rectangle import Rectangle
+    >>> a = pred(PercentileMeasure(Rectangle([0.0], [0.5])), 0.2)
+    >>> b = pred(PercentileMeasure(Rectangle([0.5], [1.0])), 0.4)
+    >>> cache = PlanCache(capacity=8)
+    >>> p1 = cache.plan(And([a, b]))
+    >>> p2 = cache.plan(And([a, b]))      # same shape: compiled once
+    >>> p1 is p2, cache.hits, cache.misses
+    (True, 1, 1)
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._plans: OrderedDict[tuple, QueryPlan] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def plan(self, expression: Expression) -> QueryPlan:
+        """The compiled plan for ``expression``, reused on structural hits."""
+        if self.capacity == 0:
+            return plan_query(expression)
+        key = expression.canonical_key()
+        with self._lock:
+            cached = self._plans.get(key)
+            if cached is not None:
+                self._plans.move_to_end(key)
+                self.hits += 1
+                return cached
+            self.misses += 1
+        compiled = plan_query(expression)
+        with self._lock:
+            self._plans[key] = compiled
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+        return compiled
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+
+    def snapshot(self) -> dict:
+        """JSON-ready counters plus occupancy."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": 0.0 if lookups == 0 else self.hits / lookups,
+                "size": len(self._plans),
+                "capacity": self.capacity,
+            }

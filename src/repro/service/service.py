@@ -1,17 +1,29 @@
-"""The ``QueryService`` facade: planner + cache + sharded executor.
+"""The ``QueryService`` facade: planner + caches + sharded executor.
 
 Serving pipeline for a batch (``search`` is the one-element special case):
 
 1. **plan** — canonicalize every expression and collect the batch-wide set
    of unique predicate leaves (duplicate leaves inside one expression and
-   across the batch are planned once);
+   across the batch are planned once); repeated query *shapes* skip
+   canonicalization entirely through the compiled-plan cache
+   (:class:`~repro.service.planner.PlanCache`);
 2. **cache** — look every unique leaf up in the LRU leaf-result cache; an
    entry whose dataset-count watermark trails the current repository is
    *upgraded* (delta-shard evaluation unioned in) rather than discarded;
 3. **execute** — evaluate the misses on the sharded executor (shard-parallel
    union of per-shard answers) and write them back to the cache;
 4. **assemble** — evaluate each canonical expression over the in-memory
-   leaf results (pure set algebra, no index access) and stamp telemetry.
+   leaf results and stamp telemetry.
+
+The warm-path answer representation is the packed
+:class:`~repro.core.bitset.DatasetBitmap` (``algebra="bitset"``, the
+default): cached leaf answers are ``uint64`` word arrays, And/Or combine
+word-wise, tombstones apply as one ANDNOT mask, and results hand the
+bitmap to the API boundary, which materializes index lists only when a
+consumer actually reads them (the HTTP bitset wire format never does).
+``algebra="set"`` restores the frozenset representation end to end —
+identical answers, measurably slower and ~64x larger at scale — and
+exists as the hot-path benchmark's baseline.
 
 With ``record_times=True`` the per-leaf completion times flow through the
 planner's :func:`~repro.service.planner.emit_schedule`, so
@@ -35,13 +47,19 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core.bitset import DatasetBitmap
 from repro.core.framework import Dataset, Repository
 from repro.core.predicates import Expression
 from repro.core.results import QueryResult
 from repro.errors import ConstructionError, QueryError
 from repro.geometry.rectangle import Rectangle
 from repro.service.cache import LeafResultCache
-from repro.service.planner import emit_schedule, evaluate_with_leaf_results, plan_batch
+from repro.service.planner import (
+    PlanCache,
+    emit_schedule,
+    evaluate_with_leaf_results,
+    plan_batch,
+)
 from repro.service.sharding import ShardedBatchExecutor
 from repro.service.telemetry import QueryRecord, ServiceTelemetry
 from repro.synopsis.base import Synopsis
@@ -59,6 +77,11 @@ class QueryService:
     :class:`~repro.service.sharding.ShardedBatchExecutor` for the accuracy
     parameters (they are resolved once against the global dataset count and
     forced onto every shard, so answers match a single engine exactly).
+    Warm-path knobs: ``algebra`` selects the answer representation
+    (``"bitset"`` packed words, the default; ``"set"`` the frozenset
+    baseline — identical answers), ``plan_cache_capacity`` bounds the
+    compiled-plan LRU (``0`` disables it), ``cache_capacity`` bounds the
+    leaf-result LRU.
 
     Examples
     --------
@@ -108,7 +131,14 @@ class QueryService:
         telemetry_window: int = 4096,
         capacity: Optional[int] = None,
         batch_leaves: bool = True,
+        algebra: str = "bitset",
+        plan_cache_capacity: int = 1024,
     ) -> None:
+        if algebra not in ("bitset", "set"):
+            raise ConstructionError(
+                f"algebra must be 'bitset' or 'set', got {algebra!r}"
+            )
+        self.algebra = algebra
         self._executor_kwargs = dict(
             eps=eps,
             phi=phi,
@@ -129,6 +159,10 @@ class QueryService:
             **self._executor_kwargs,
         )
         self.cache = LeafResultCache(capacity=cache_capacity)
+        # Compiled plans are pure expression algebra — they reference no
+        # index structures and no dataset counts — so the plan cache
+        # survives live mutation AND full rebuilds unflushed.
+        self.plans = PlanCache(capacity=plan_cache_capacity)
         self.telemetry = ServiceTelemetry(window=telemetry_window)
         # Serializes add/remove/rebuild against each other.  Queries do not
         # take it: they capture the executor reference once per batch and
@@ -159,10 +193,16 @@ class QueryService:
         return self.executor.engine_kind
 
     def stats(self) -> dict:
-        """JSON-ready service metrics: telemetry, cache, shard layout."""
+        """JSON-ready service metrics: telemetry, caches, shard layout.
+
+        ``cache.resident_bytes`` is the estimated heap footprint of the
+        cached leaf answers — the number to watch for warm-path memory
+        regressions (bitset entries are ~64x smaller than set entries).
+        """
         executor = self.executor
         return {
             "engine": executor.engine_kind,
+            "algebra": self.algebra,
             "n_datasets": executor.n_datasets,
             "n_live": executor.n_live,
             "n_removed": len(executor.removed),
@@ -172,6 +212,7 @@ class QueryService:
             "capacity": executor.capacity,
             "executor": executor.stats_snapshot(),
             "cache": self.cache.snapshot(),
+            "plan_cache": self.plans.snapshot(),
             "telemetry": self.telemetry.summary(),
         }
 
@@ -196,7 +237,11 @@ class QueryService:
         executor = self.executor  # one executor per batch, even mid-rebuild
         watermark = executor.n_datasets  # dataset count answers will cover
         removed = executor.removed  # tombstones, masked on read
-        batch = plan_batch(expressions)
+        bitset = self.algebra == "bitset"
+        # The persistent ANDNOT mask (None when nothing is tombstoned, the
+        # common case — hits then skip masking entirely).
+        removed_bits = executor.removed_bits() if bitset else None
+        batch = plan_batch(expressions, cache=self.plans)
 
         leaf_results: dict = {}
         leaf_times: dict = {}
@@ -210,7 +255,13 @@ class QueryService:
             elif entry.watermark >= watermark:
                 # Entries are stored masked-at-write; masks only grow
                 # between rebuilds, so re-masking on read stays exact.
-                leaf_results[key] = entry.indexes - removed
+                if bitset:
+                    value = entry.indexes
+                    if removed_bits is not None:
+                        value = value.andnot(removed_bits)
+                    leaf_results[key] = value
+                else:
+                    leaf_results[key] = entry.indexes - removed
                 hit_keys.add(key)
             else:
                 upgrades.append((key, leaf, entry))
@@ -222,14 +273,22 @@ class QueryService:
         if upgrades:
             # Warm-cache ingestion: every dataset above the entry watermark
             # lives in the delta shard (rebuilds flush the cache), so the
-            # cached answer plus a delta-only evaluation is the full answer.
+            # cached answer plus a delta-only evaluation is the full answer
+            # (a word-wise OR; the stale bitmap zero-pads to the new count).
             delta_answers = executor.eval_delta_leaves(
                 [leaf for _key, leaf, _entry in upgrades]
             )
-            for (key, _leaf, entry), (delta_idx, done) in zip(
+            for (key, _leaf, entry), (delta_bits, done) in zip(
                 upgrades, delta_answers
             ):
-                merged = frozenset((entry.indexes | delta_idx) - removed)
+                if bitset:
+                    merged = entry.indexes | delta_bits
+                    if removed_bits is not None:
+                        merged = merged.andnot(removed_bits)
+                else:
+                    merged = frozenset(
+                        (entry.indexes | delta_bits.to_frozenset()) - removed
+                    )
                 leaf_results[key] = merged
                 leaf_times[key] = done
                 upgrade_keys.add(key)
@@ -239,11 +298,13 @@ class QueryService:
         miss_keys: set = set()
         if misses:
             evaluated = executor.eval_leaves([leaf for _, leaf in misses])
-            for (key, _leaf), (indexes, done) in zip(misses, evaluated):
-                leaf_results[key] = indexes  # executor masks tombstones
+            for (key, _leaf), (answer, done) in zip(misses, evaluated):
+                # The executor masks tombstones before returning.
+                value = answer if bitset else answer.to_frozenset()
+                leaf_results[key] = value
                 leaf_times[key] = done
                 miss_keys.add(key)
-                self.cache.put(key, indexes, generation=generation,
+                self.cache.put(key, value, generation=generation,
                                watermark=watermark)
         shared_done = time.perf_counter()
         shared_s = shared_done - start  # plan + cache + leaf evaluation
@@ -259,13 +320,18 @@ class QueryService:
                     charge_owner[key] = qi
 
         if record_times:
-            universe = frozenset(range(watermark)) - removed
+            if bitset:
+                universe = DatasetBitmap.full(watermark)
+                if removed_bits is not None:
+                    universe = universe.andnot(removed_bits)
+            else:
+                universe = frozenset(range(watermark)) - removed
             completion_order = sorted(leaf_times, key=lambda k: leaf_times[k])
         results: list[QueryResult] = []
         for qi, plan in enumerate(batch.plans):
             assembly_start = time.perf_counter()
-            result = QueryResult()
             if record_times:
+                result = QueryResult()
                 result.start_time = start
                 schedule = emit_schedule(
                     plan.expression,
@@ -278,9 +344,13 @@ class QueryService:
                 result.emit_times = [t for _idx, t in schedule]
                 result.end_time = time.perf_counter()
             else:
-                result.indexes = sorted(
-                    evaluate_with_leaf_results(plan.expression, leaf_results)
-                )
+                answer = evaluate_with_leaf_results(plan.expression, leaf_results)
+                if bitset:
+                    # Hand the bitmap to the API boundary: index lists
+                    # materialize lazily, and only if a consumer reads them.
+                    result = QueryResult(bitmap=answer)
+                else:
+                    result = QueryResult(indexes=sorted(answer))
             assembled = time.perf_counter()
             hits = sum(1 for k in plan.leaves if k in hit_keys)
             charged_misses = sum(
@@ -321,7 +391,7 @@ class QueryService:
                     cache_misses=charged_misses,
                     cache_upgrades=charged_upgrades,
                     shared_leaves=shared,
-                    out_size=len(result.indexes),
+                    out_size=result.out_size,
                 )
             )
             results.append(result)

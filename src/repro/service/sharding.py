@@ -61,6 +61,7 @@ from typing import Iterable, Optional, Sequence
 import numpy as np
 
 from repro.core._ptile_common import resolve_phi, resolve_sample_size
+from repro.core.bitset import DatasetBitmap, make_remapper
 from repro.core.ptile_range import AUTO_BOX_PAD
 from repro.core.engine import DatasetSearchEngine
 from repro.core.framework import Repository
@@ -250,6 +251,9 @@ class ShardedBatchExecutor:
         self.repository = repository
 
         self.removed = frozenset(int(i) for i in (removed or ()))
+        #: Memoized ANDNOT mask; keyed by identity of ``removed`` (which is
+        #: replaced wholesale on every mutation, never edited in place).
+        self._removed_bits_cache: Optional[tuple] = None
         if any(i < 0 or i >= len(synopses) for i in self.removed):
             raise ConstructionError("removed indexes must lie in [0, n_datasets)")
         live = [i for i in range(len(synopses)) if i not in self.removed]
@@ -378,35 +382,50 @@ class ShardedBatchExecutor:
         mapping: Sequence[int],
         lock: threading.Lock,
         leaves: Sequence[Predicate],
-    ) -> list[tuple[set[int], float]]:
-        """All leaves on one shard as *global* index sets.
+    ) -> list[tuple[DatasetBitmap, float]]:
+        """All leaves on one shard as *global* packed bitsets.
 
         By default the shard's whole leaf batch goes through
-        :meth:`~repro.core.engine.DatasetSearchEngine.eval_leaf_batch` —
-        one multi-box backend call for every percentile leaf — so a cold
+        :meth:`~repro.core.engine.DatasetSearchEngine.eval_leaf_batch_bits`
+        — one multi-box backend call for every percentile leaf — so a cold
         batch costs one traversal per shard, not one per leaf.  With
         ``batch_leaves=False`` the per-leaf loop is used instead
         (identical answers; the cold-path benchmark's baseline).
+
+        Local answers translate to global bitsets through the shard's index
+        mapping: contiguous mappings (every base shard, and the delta shard
+        between rebuilds) are one offset-shifted word copy; mappings with
+        gaps scatter the member indexes.  The translated universe ends at
+        the shard's largest global index — the merge's word-wise OR aligns
+        operands of different sizes by zero-padding, so per-unit sizes
+        never have to agree.
 
         Each leaf's answer is paired with its per-shard completion stamp so
         the merge can report when the whole leaf (max over shards) finished;
         batched leaves share the batch's completion stamp, which is exactly
         when their answers became available.
         """
-        out: list[tuple[set[int], float]] = []
+        out: list[tuple[DatasetBitmap, float]] = []
         with lock:
+            # Compile the mapping once per unit call, not once per leaf:
+            # the contiguity probe is O(shard size) and the mapping is
+            # fixed for the duration (the delta mapping grows in place
+            # only under this same lock).  Ascending mapping: the unit's
+            # global universe ends one past its largest id.
+            nbits = (int(mapping[-1]) + 1) if len(mapping) else 0
+            to_global = make_remapper(mapping, nbits)
             if self._batch_leaves:
                 if any(isinstance(l.measure, PercentileMeasure) for l in leaves):
                     self._pin_ptile(engine)
-                locals_ = engine.eval_leaf_batch(leaves)
+                locals_ = engine.eval_leaf_batch_bits(leaves)
                 done = time.perf_counter()
-                out = [({mapping[i] for i in local}, done) for local in locals_]
+                out = [(to_global(local), done) for local in locals_]
             else:
                 for leaf in leaves:
                     if isinstance(leaf.measure, PercentileMeasure):
                         self._pin_ptile(engine)
-                    local = engine.eval_leaf(leaf)
-                    out.append(({mapping[i] for i in local}, time.perf_counter()))
+                    local = engine.eval_leaf_bits(leaf)
+                    out.append((to_global(local), time.perf_counter()))
         with self._stats_lock:
             self.stats["shard_tasks"] += len(out)
         return out
@@ -422,13 +441,29 @@ class ShardedBatchExecutor:
             units.append((self.delta_engine, self.delta_ids, self._delta_lock))
         return units
 
+    def removed_bits(self) -> Optional[DatasetBitmap]:
+        """The tombstone mask as a persistent ANDNOT bitmap (None if empty).
+
+        Rebuilt only when :attr:`removed` is swapped (masks are replaced,
+        never mutated in place), so steady-state reads reuse one bitmap.
+        """
+        removed = self.removed
+        if not removed:
+            return None
+        cached = self._removed_bits_cache
+        if cached is not None and cached[0] is removed:
+            return cached[1]
+        bits = DatasetBitmap.from_indices(removed, max(removed) + 1)
+        self._removed_bits_cache = (removed, bits)
+        return bits
+
     def _eval_on_units(
         self, units: Sequence[tuple], leaves: Sequence[Predicate]
-    ) -> list[tuple[frozenset[int], float]]:
+    ) -> list[tuple[DatasetBitmap, float]]:
         """Fan a leaf batch over the given units and merge (masked) answers."""
         if not units:
             stamp = time.perf_counter()
-            return [(frozenset(), stamp) for _ in leaves]
+            return [(DatasetBitmap.zeros(0), stamp) for _ in leaves]
         pool = self._pool  # snapshot: close() may null it concurrently
         if pool is None or len(units) == 1:
             per_unit = [self._eval_on_unit(*unit, leaves) for unit in units]
@@ -445,34 +480,39 @@ class ShardedBatchExecutor:
                 per_unit = [self._eval_on_unit(*unit, leaves) for unit in units]
             else:
                 per_unit = [f.result() for f in futures]
-        removed = self.removed
-        out: list[tuple[frozenset[int], float]] = []
+        removed = self.removed_bits()
+        out: list[tuple[DatasetBitmap, float]] = []
         for li in range(len(leaves)):
-            merged: set[int] = set()
-            done = 0.0
-            for answers in per_unit:
+            merged, done = per_unit[0][li]
+            for answers in per_unit[1:]:
                 indexes, stamp = answers[li]
-                merged |= indexes
+                merged = merged | indexes
                 done = max(done, stamp)
-            merged -= removed
-            out.append((frozenset(merged), done))
+            if removed is not None:
+                merged = merged.andnot(removed)
+            out.append((merged, done))
         return out
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def eval_leaf(self, leaf: Predicate) -> frozenset[int]:
-        """One leaf across all shards; union of the per-shard answers."""
-        return self.eval_leaves([leaf])[0][0]
+        """One leaf across all shards as a frozen global index set.
+
+        Convenience wrapper over :meth:`eval_leaves` for set-algebra
+        callers; the batch API returns packed bitsets.
+        """
+        return self.eval_leaves([leaf])[0][0].to_frozenset()
 
     def eval_leaves(
         self, leaves: Sequence[Predicate]
-    ) -> list[tuple[frozenset[int], float]]:
+    ) -> list[tuple[DatasetBitmap, float]]:
         """A batch of leaves across base shards plus the delta shard.
 
-        Returns one ``(global index set, completion time)`` pair per leaf,
-        aligned with the input order; tombstoned datasets are masked out.
-        The completion time is the ``time.perf_counter()`` instant at which
+        Returns one ``(global bitset, completion time)`` pair per leaf,
+        aligned with the input order; tombstoned datasets are masked out
+        (word-wise ANDNOT against the persistent removal mask).  The
+        completion time is the ``time.perf_counter()`` instant at which
         the last shard finished that leaf — the stamp the emit scheduler
         attributes to it.
         """
@@ -486,15 +526,16 @@ class ShardedBatchExecutor:
 
     def eval_delta_leaves(
         self, leaves: Sequence[Predicate]
-    ) -> list[tuple[frozenset[int], float]]:
-        """A leaf batch on the delta shard only (masked global index sets).
+    ) -> list[tuple[DatasetBitmap, float]]:
+        """A leaf batch on the delta shard only (masked global bitsets).
 
         This is the cache-upgrade primitive: a leaf answer cached before an
         ingest covers exactly the datasets below its watermark, and every
         dataset added since lives in the delta shard (rebuilds flush the
-        cache), so ``cached ∪ delta answer`` reconstructs the full answer
+        cache), so ``cached ∪ delta answer`` — a word-wise OR after
+        zero-padding the cached bitmap — reconstructs the full answer
         without touching any base shard.  With no delta shard the answers
-        are empty sets.
+        are empty bitsets.
         """
         leaves = list(leaves)
         if not leaves:

@@ -71,18 +71,48 @@ class QuantileHistogramSynopsis(Synopsis):
         self._knots = [
             np.quantile(pts[:, h], self._levels) for h in range(self._dim)
         ]
+        # (d, q) matrix view of the same knots, for the vectorized
+        # all-axes-at-once CDF used by ``mass`` (rows are sorted).
+        self._knots_mat = np.vstack(self._knots)
         self._delta_ptile = self._measure_delta(pts, probe_rects, rng)
         self._delta_pref = self._measure_delta_pref(pts, rng)
 
     # ------------------------------------------------------------------
     def _marginal_cdf(self, axis: int, value: float) -> float:
         """P[attribute_axis <= value] from the quantile knots."""
-        knots = self._knots[axis]
-        if value < knots[0]:
-            return 0.0
-        if value >= knots[-1]:
-            return 1.0
-        return float(np.interp(value, knots, self._levels))
+        return float(
+            self._marginal_cdf_all(
+                np.full(self._dim, float(value), dtype=float)
+            )[axis]
+        )
+
+    def _marginal_cdf_all(self, values: np.ndarray) -> np.ndarray:
+        """Per-axis CDFs ``P[attribute_h <= values[h]]`` for all axes at once.
+
+        One vectorized pass replaces the per-axis Python loop over
+        ``np.interp`` calls: position each value within its row of the
+        sorted knot matrix (a right-sided rank, matching ``np.searchsorted
+        (..., side="right")``) and linearly interpolate the shared level
+        grid.  Duplicate knots resolve exactly as ``np.interp`` does — the
+        level of the *last* duplicate — because the right-sided rank lands
+        one past the run and the interpolation weight degenerates to zero.
+        """
+        v = np.asarray(values, dtype=float)
+        k = self._knots_mat
+        q = k.shape[1]
+        # rank[h] = #knots in row h that are <= v[h]  (== searchsorted
+        # side="right" per row, vectorized across rows; q is small).
+        rank = (k <= v[:, None]).sum(axis=1)
+        idx = np.clip(rank, 1, q - 1)
+        rows = np.arange(k.shape[0])
+        x0 = k[rows, idx - 1]
+        x1 = k[rows, idx]
+        span = x1 - x0
+        t = np.where(span > 0.0, (v - x0) / np.where(span > 0.0, span, 1.0), 0.0)
+        cdf = self._levels[idx - 1] + t * (self._levels[idx] - self._levels[idx - 1])
+        cdf = np.where(v < k[:, 0], 0.0, cdf)
+        cdf = np.where(v >= k[:, -1], 1.0, cdf)
+        return cdf
 
     def _measure_delta(
         self, pts: np.ndarray, probes: int, rng: np.random.Generator
@@ -129,15 +159,16 @@ class QuantileHistogramSynopsis(Synopsis):
         return self._delta_ptile
 
     def mass(self, rect: Rectangle) -> float:
-        """Independence-assumption mass: product of marginal masses."""
+        """Independence-assumption mass: product of marginal masses.
+
+        Both corner CDFs are computed for every axis in one vectorized
+        pass (no per-axis Python loop).
+        """
         if rect.dim != self._dim:
             raise ValueError("rectangle dimension mismatch")
-        total = 1.0
-        for h in range(self._dim):
-            upper = self._marginal_cdf(h, float(rect.hi[h]))
-            lower = self._marginal_cdf(h, float(rect.lo[h]))
-            total *= max(0.0, upper - lower)
-        return total
+        upper = self._marginal_cdf_all(np.asarray(rect.hi, dtype=float))
+        lower = self._marginal_cdf_all(np.asarray(rect.lo, dtype=float))
+        return float(np.prod(np.clip(upper - lower, 0.0, None)))
 
     def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
         """Draw each attribute independently via inverse-CDF sampling."""

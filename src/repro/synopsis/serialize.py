@@ -147,6 +147,8 @@ def from_dict(payload: dict) -> Serializable:
         syn = QuantileHistogramSynopsis.__new__(QuantileHistogramSynopsis)
         syn._levels = np.asarray(payload["levels"], dtype=float)
         syn._knots = [np.asarray(k, dtype=float) for k in payload["knots"]]
+        # Derived state, recomputed exactly as the constructor does.
+        syn._knots_mat = np.vstack(syn._knots)
         syn._dim = len(syn._knots)
         syn._n_points = int(payload["n_points"])
         syn._delta_ptile = float(payload["delta"])

@@ -31,3 +31,30 @@ class TestQueryResult:
         r = QueryResult()
         r.stats["x"] = 1
         assert r.stats == {"x": 1}
+
+
+class TestBitmapBacked:
+    def test_lazy_materialization_sorted(self):
+        from repro.core.bitset import DatasetBitmap
+
+        r = QueryResult(bitmap=DatasetBitmap.from_indices([7, 1, 70], 80))
+        assert r.out_size == 3  # popcount, no list yet
+        assert r.indexes == [1, 7, 70]
+        assert r.index_set == {1, 7, 70}
+
+    def test_indexes_assignment_drops_stale_bitmap(self):
+        from repro.core.bitset import DatasetBitmap
+
+        r = QueryResult(bitmap=DatasetBitmap.from_indices([1, 2, 3], 10))
+        r.indexes = [5]
+        # Both representations must agree; the bitmap encoded {1,2,3} and
+        # would otherwise leak through bitmap-preferring consumers (the
+        # server's bitset wire encoder).
+        assert r.bitmap is None
+        assert r.indexes == [5] and r.out_size == 1 and r.index_set == {5}
+
+    def test_index_set_cache_revalidates_on_append(self):
+        r = QueryResult(indexes=[1, 2])
+        assert r.index_set == {1, 2}
+        r.indexes.append(3)  # enumeration structures append in place
+        assert r.index_set == {1, 2, 3}

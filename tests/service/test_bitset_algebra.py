@@ -1,0 +1,210 @@
+"""Property suite: bitset algebra ≡ set algebra on the warm path.
+
+Hypothesis generates random And/Or expression trees over random leaf
+answers and checks that evaluating them with bitset-valued leaf results
+(packed word-wise &/|) produces exactly the sets the legacy frozenset
+algebra produces — plus the executor-shaped operations around them:
+shard-offset translation, arbitrary index remapping, tombstone removal
+masks, and delta-shard watermark upgrades across different universe sizes.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitset import DatasetBitmap
+from repro.core.measures import PercentileMeasure
+from repro.core.predicates import And, Or, Predicate, pred
+from repro.geometry.rectangle import Rectangle
+from repro.service.planner import (
+    emit_schedule,
+    evaluate_with_leaf_results,
+    leaf_key,
+    partial_bounds,
+    plan_query,
+)
+
+MAX_N = 220
+
+
+def _leaf(i: int) -> Predicate:
+    """The i-th distinct predicate leaf (distinct canonical keys)."""
+    lo = i / 100.0
+    return pred(PercentileMeasure(Rectangle([lo], [lo + 1.0])), 0.5)
+
+
+LEAVES = [_leaf(i) for i in range(6)]
+
+
+@st.composite
+def expression_trees(draw, max_depth=3):
+    """Random And/Or trees over the shared leaf pool (duplicates likely)."""
+    if max_depth == 0 or draw(st.booleans()):
+        return draw(st.sampled_from(LEAVES))
+    op = draw(st.sampled_from([And, Or]))
+    children = draw(
+        st.lists(expression_trees(max_depth=max_depth - 1), min_size=1, max_size=3)
+    )
+    return op(children)
+
+
+@st.composite
+def leaf_answer_maps(draw):
+    """A universe size plus one random answer set per pool leaf."""
+    n = draw(st.integers(min_value=1, max_value=MAX_N))
+    answers = {
+        leaf_key(leaf): frozenset(
+            draw(st.sets(st.integers(min_value=0, max_value=n - 1), max_size=n))
+        )
+        for leaf in LEAVES
+    }
+    return n, answers
+
+
+def _as_bitmaps(answers: dict, n: int) -> dict:
+    return {k: DatasetBitmap.from_indices(v, n) for k, v in answers.items()}
+
+
+class TestExpressionAlgebraEquivalence:
+    @given(expr=expression_trees(), data=leaf_answer_maps())
+    @settings(max_examples=120, deadline=None)
+    def test_evaluate_matches_set_algebra(self, expr, data):
+        n, answers = data
+        want = evaluate_with_leaf_results(expr, answers)
+        got = evaluate_with_leaf_results(expr, _as_bitmaps(answers, n))
+        assert isinstance(got, DatasetBitmap)
+        assert got.to_set() == want
+
+    @given(
+        expr=expression_trees(),
+        data=leaf_answer_maps(),
+        known_mask=st.lists(st.booleans(), min_size=6, max_size=6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_partial_bounds_match(self, expr, data, known_mask):
+        n, answers = data
+        known_keys = {
+            leaf_key(l) for l, keep in zip(LEAVES, known_mask) if keep
+        }
+        known_sets = {k: v for k, v in answers.items() if k in known_keys}
+        universe_set = frozenset(range(n))
+        lo_set, hi_set = partial_bounds(expr, known_sets, universe_set)
+        lo_bits, hi_bits = partial_bounds(
+            expr, _as_bitmaps(known_sets, n), DatasetBitmap.full(n)
+        )
+        assert lo_bits.to_set() == lo_set
+        assert hi_bits.to_set() == hi_set
+
+    @given(expr=expression_trees(), data=leaf_answer_maps())
+    @settings(max_examples=60, deadline=None)
+    def test_emit_schedule_matches(self, expr, data):
+        n, answers = data
+        plan = plan_query(expr)
+        order = list(plan.leaves)
+        times = {key: float(i) for i, key in enumerate(order)}
+        used = {k: answers[k] for k in plan.leaves}
+        sched_set = emit_schedule(
+            plan.expression, order, used, times, frozenset(range(n))
+        )
+        sched_bits = emit_schedule(
+            plan.expression,
+            order,
+            _as_bitmaps(used, n),
+            times,
+            DatasetBitmap.full(n),
+        )
+        assert sched_bits == sched_set
+
+
+class TestExecutorShapedOperations:
+    @given(
+        data=st.data(),
+        n_local=st.integers(min_value=1, max_value=100),
+        offset=st.integers(min_value=0, max_value=150),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_shard_offset_translation(self, data, n_local, offset):
+        members = data.draw(
+            st.sets(st.integers(min_value=0, max_value=n_local - 1))
+        )
+        local = DatasetBitmap.from_indices(members, n_local)
+        shifted = local.shift_into(offset, n_local + offset)
+        assert shifted.to_set() == {m + offset for m in members}
+        # remap through the explicit contiguous mapping agrees
+        mapping = list(range(offset, offset + n_local))
+        assert local.remap(mapping, n_local + offset) == shifted
+
+    @given(data=st.data(), n_local=st.integers(min_value=1, max_value=80))
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_remap(self, data, n_local):
+        members = data.draw(
+            st.sets(st.integers(min_value=0, max_value=n_local - 1))
+        )
+        universe = data.draw(st.integers(min_value=n_local, max_value=300))
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+        mapping = rng.permutation(universe)[:n_local]
+        got = DatasetBitmap.from_indices(members, n_local).remap(
+            mapping, universe
+        )
+        assert got.to_set() == {int(mapping[m]) for m in members}
+
+    @given(data=st.data(), n=st.integers(min_value=1, max_value=MAX_N))
+    @settings(max_examples=100, deadline=None)
+    def test_removal_mask(self, data, n):
+        answer = data.draw(st.sets(st.integers(min_value=0, max_value=n - 1)))
+        removed = data.draw(st.sets(st.integers(min_value=0, max_value=n - 1)))
+        bits = DatasetBitmap.from_indices(answer, n)
+        # Masks sized to their largest member, like the executor builds them.
+        mask = (
+            DatasetBitmap.from_indices(removed, max(removed) + 1)
+            if removed
+            else DatasetBitmap.zeros(0)
+        )
+        assert bits.andnot(mask).to_set() == answer - removed
+        # Masks only grow; masking twice == masking once (idempotent).
+        assert bits.andnot(mask).andnot(mask).to_set() == answer - removed
+
+    @given(
+        data=st.data(),
+        n_old=st.integers(min_value=1, max_value=150),
+        n_new_delta=st.integers(min_value=0, max_value=80),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_watermark_upgrade(self, data, n_old, n_new_delta):
+        """Cached answer at watermark W ∪ delta answer over [W, N) ==
+        fresh answer over N, including a removal mask applied on top."""
+        n_new = n_old + n_new_delta
+        cached = data.draw(st.sets(st.integers(min_value=0, max_value=n_old - 1)))
+        delta = (
+            data.draw(
+                st.sets(st.integers(min_value=n_old, max_value=n_new - 1))
+            )
+            if n_new_delta
+            else set()
+        )
+        removed = data.draw(
+            st.sets(st.integers(min_value=0, max_value=n_new - 1))
+        )
+        old_bits = DatasetBitmap.from_indices(cached, n_old)  # stale size
+        delta_bits = DatasetBitmap.from_indices(delta, n_new)
+        merged = old_bits | delta_bits
+        assert merged.nbits == n_new
+        assert merged.to_set() == cached | delta
+        mask = (
+            DatasetBitmap.from_indices(removed, max(removed) + 1)
+            if removed
+            else None
+        )
+        want = (cached | delta) - removed
+        got = merged.andnot(mask) if mask is not None else merged
+        assert got.to_set() == want
+
+    @given(data=st.data(), n=st.integers(min_value=1, max_value=MAX_N))
+    @settings(max_examples=60, deadline=None)
+    def test_popcount_and_conversions(self, data, n):
+        members = data.draw(st.sets(st.integers(min_value=0, max_value=n - 1)))
+        bits = DatasetBitmap.from_indices(members, n)
+        assert bits.count() == len(members)
+        assert bits.to_list() == sorted(members)
+        assert bits.to_frozenset() == frozenset(members)
+        assert bits.any() == bool(members)

@@ -113,6 +113,35 @@ class TestWatermarks:
         assert cache.stats.upgrades == 3 and cache.snapshot()["upgrades"] == 3
 
 
+class TestResidentBytes:
+    def test_tracks_insert_replace_evict_invalidate(self):
+        from repro.core.bitset import DatasetBitmap
+
+        cache = LeafResultCache(capacity=2)
+        assert cache.resident_bytes == 0
+        cache.put("a", set(range(100)))
+        set_bytes = cache.resident_bytes
+        assert set_bytes > 0
+        cache.put("a", DatasetBitmap.from_indices(range(100), 320))
+        bitset_bytes = cache.resident_bytes
+        # The whole point of the representation change: packed words are
+        # far smaller than a frozenset of the same indexes.
+        assert bitset_bytes * 10 <= set_bytes
+        cache.put("b", set(range(50)))
+        cache.put("c", set(range(50)))  # evicts "a"
+        assert cache.get("a") is None
+        two_sets = cache.resident_bytes
+        assert two_sets > bitset_bytes
+        cache.invalidate()
+        assert cache.resident_bytes == 0
+        assert cache.snapshot()["resident_bytes"] == 0
+
+    def test_zero_capacity_stays_zero(self):
+        cache = LeafResultCache(capacity=0)
+        cache.put("a", {1, 2, 3})
+        assert cache.resident_bytes == 0
+
+
 class TestStaleDropThroughRebuild:
     def test_put_after_inflight_rebuild_is_dropped(self):
         """The generation guard end to end: a rebuild that lands while a

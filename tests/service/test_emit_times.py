@@ -81,3 +81,20 @@ class TestEmitTimes:
         assert len(gaps) == len(res.indexes) + 1
         assert all(g >= 0.0 for g in gaps)
         assert res.max_delay() > 0.0
+
+    def test_timed_search_batches_percentile_leaves(self, engine, monkeypatch):
+        # The timed path must route its deduplicated leaf schedule through
+        # the batched multi-box kernel: one query_many call for all the
+        # percentile leaves, not one backend walk per leaf.
+        index = engine.ptile_index
+        calls = {"many": 0}
+        orig = index.query_many
+
+        def counting_query_many(queries):
+            calls["many"] += 1
+            return orig(queries)
+
+        monkeypatch.setattr(index, "query_many", counting_query_many)
+        res = engine.search(Or([LEFT, RIGHT]), record_times=True)
+        assert calls["many"] == 1
+        assert len(res.emit_times) == len(res.indexes) > 0

@@ -154,6 +154,32 @@ class TestEndpoints:
         assert len(out["results"]) == 3
         assert out["results"][0]["indexes"] == out["results"][2]["indexes"]
 
+    def test_batch_bitset_format(self, server_url):
+        from repro.core.bitset import bitmap_from_wire
+
+        plain = _post(
+            server_url + "/search/batch", {"expressions": [PTILE, PREF]}
+        )
+        packed = _post(
+            server_url + "/search/batch",
+            {"expressions": [PTILE, PREF], "format": "bitset"},
+        )
+        assert len(packed["results"]) == 2
+        for plain_r, packed_r in zip(plain["results"], packed["results"]):
+            assert "indexes" not in packed_r
+            bm = bitmap_from_wire(packed_r["bitset"])
+            assert bm.to_list() == plain_r["indexes"]
+            assert packed_r["out_size"] == len(plain_r["indexes"])
+            assert bm.nbits == 10  # the full dataset universe
+
+    def test_batch_unknown_format_is_400(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(
+                server_url + "/search/batch",
+                {"expressions": [PTILE], "format": "csv"},
+            )
+        assert err.value.code == 400
+
     def test_stats_and_invalidate(self, server_url):
         _post(server_url + "/search", {"expression": PTILE})
         stats = _get(server_url + "/stats")

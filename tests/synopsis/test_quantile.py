@@ -86,3 +86,51 @@ class TestValidation:
 
     def test_metadata(self, syn):
         assert syn.dim == 2 and syn.n_points == 6000 and syn.n_quantiles == 64
+
+
+class TestVectorizedCdf:
+    """The all-axes-at-once CDF must match the per-axis np.interp loop."""
+
+    def _reference_cdf(self, syn, axis, value):
+        knots = syn._knots[axis]
+        if value < knots[0]:
+            return 0.0
+        if value >= knots[-1]:
+            return 1.0
+        return float(np.interp(value, knots, syn._levels))
+
+    @pytest.mark.parametrize("kind", ["uniform", "normal", "duplicates"])
+    def test_matches_interp_reference(self, kind, rng):
+        if kind == "uniform":
+            data = rng.uniform(size=(600, 3))
+        elif kind == "normal":
+            data = rng.normal(size=(600, 3))
+        else:  # discrete values -> heavy duplicate knots
+            data = rng.integers(0, 4, size=(600, 3)).astype(float)
+        syn = QuantileHistogramSynopsis(
+            data, n_quantiles=16, probe_rects=4, rng=rng
+        )
+        probes = rng.uniform(data.min() - 0.5, data.max() + 0.5, size=(80, 3))
+        # Exact knot values are the duplicate-resolution edge case.
+        knot_probes = np.stack(
+            [rng.choice(syn._knots[h], size=16) for h in range(3)], axis=1
+        )
+        for v in np.vstack([probes, knot_probes]):
+            got = syn._marginal_cdf_all(v)
+            want = [self._reference_cdf(syn, h, v[h]) for h in range(3)]
+            assert np.allclose(got, want, atol=1e-12)
+
+    def test_mass_is_product_of_marginals(self, syn, rng):
+        from repro.geometry.rectangle import Rectangle
+
+        for _ in range(20):
+            a, b = rng.uniform(size=(2, 2))
+            rect = Rectangle(np.minimum(a, b), np.maximum(a, b))
+            want = 1.0
+            for h in range(2):
+                want *= max(
+                    0.0,
+                    self._reference_cdf(syn, h, float(rect.hi[h]))
+                    - self._reference_cdf(syn, h, float(rect.lo[h])),
+                )
+            assert abs(syn.mass(rect) - want) < 1e-12

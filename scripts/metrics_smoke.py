@@ -1,0 +1,167 @@
+"""CI smoke check for the /metrics Prometheus endpoint.
+
+Boots a small warmed service behind the stdlib HTTP server, drives a few
+traced and untraced queries over the wire, then scrapes ``/metrics`` and
+asserts the exposition is well-formed and complete:
+
+- every non-comment line parses as ``name{labels} value``;
+- every required metric family is present with a ``# TYPE`` header;
+- histogram ``_bucket`` series are cumulative and end in ``+Inf`` equal
+  to ``_count``;
+- ``/stats`` and ``/metrics`` agree on the query counter.
+
+Run from the repo root: ``PYTHONPATH=src python scripts/metrics_smoke.py``.
+Exits non-zero (assertion) on any violation; prints one summary line on
+success.  No third-party HTTP or Prometheus client is used, so the check
+runs anywhere the test suite runs.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import urllib.request
+
+import numpy as np
+
+from repro.core.framework import Repository
+from repro.service import QueryService
+from repro.service.server import expression_to_json, make_server
+from repro.workloads.generators import synthetic_data_lake
+from repro.workloads.queries import batched_query_workload
+
+SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? "
+    r"(?P<value>[^ ]+)$"
+)
+
+REQUIRED_FAMILIES = {
+    "repro_stage_seconds": "histogram",
+    "repro_query_seconds": "histogram",
+    "repro_batch_seconds": "histogram",
+    "repro_request_seconds": "histogram",
+    "repro_requests_total": "counter",
+    "repro_queries_total": "counter",
+    "repro_cache_hits_total": "counter",
+    "repro_cache_misses_total": "counter",
+    "repro_plan_cache_hits_total": "counter",
+    "repro_cache_resident_bytes": "gauge",
+    "repro_datasets_live": "gauge",
+    "repro_tombstones": "gauge",
+    "repro_delta_shard_depth": "gauge",
+    "repro_shard_size": "gauge",
+}
+
+
+def fetch(url: str) -> tuple[bytes, str]:
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.read(), resp.headers.get("Content-Type", "")
+
+
+def main() -> int:
+    lake = synthetic_data_lake(40, 1, np.random.default_rng(7),
+                               family="clustered", median_size=80)
+    service = QueryService(
+        repository=Repository.from_arrays(lake),
+        n_shards=2, eps=0.2, sample_size=8, seed=7,
+        slow_query_threshold_ms=0.0,
+    )
+    httpd = make_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address
+    base = f"http://{host}:{port}"
+    try:
+        queries = batched_query_workload(
+            6, 1, np.random.default_rng(8), pref_fraction=0.25, max_leaves=3,
+        )
+        for trace in (False, True, False):  # cold, traced warm, untraced warm
+            body = json.dumps({
+                "expressions": [expression_to_json(q) for q in queries],
+                "trace": trace,
+            }).encode()
+            req = urllib.request.Request(f"{base}/search/batch", data=body)
+            with urllib.request.urlopen(req, timeout=10) as resp:
+                payload = json.loads(resp.read())
+            assert ("trace" in payload) == trace, payload.keys()
+
+        text, ctype = fetch(f"{base}/metrics")
+        assert ctype.startswith("text/plain"), ctype
+        exposition = text.decode("utf-8")
+
+        types: dict[str, str] = {}
+        samples: dict[str, list[tuple[dict, float]]] = {}
+        for line in exposition.splitlines():
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split(" ", 3)
+                types[name] = kind
+                continue
+            if line.startswith("#") or not line:
+                continue
+            m = SAMPLE_LINE.match(line)
+            assert m, f"unparseable sample line: {line!r}"
+            labels = {}
+            if m.group("labels"):
+                for part in re.findall(r'(\w+)="((?:[^"\\]|\\.)*)"',
+                                       m.group("labels")):
+                    labels[part[0]] = part[1]
+            samples.setdefault(m.group("name"), []).append(
+                (labels, float(m.group("value")))
+            )
+
+        for family, kind in REQUIRED_FAMILIES.items():
+            assert types.get(family) == kind, (
+                f"{family}: expected TYPE {kind}, got {types.get(family)}"
+            )
+            suffix = "_bucket" if kind == "histogram" else ""
+            assert samples.get(family + suffix), f"{family}: no samples"
+
+        # Histogram buckets must be cumulative, ending at +Inf == _count.
+        for family, kind in REQUIRED_FAMILIES.items():
+            if kind != "histogram":
+                continue
+            by_series: dict[tuple, list[tuple[float, float]]] = {}
+            for labels, value in samples[family + "_bucket"]:
+                le = labels.pop("le")
+                key = tuple(sorted(labels.items()))
+                bound = float("inf") if le == "+Inf" else float(le)
+                by_series.setdefault(key, []).append((bound, value))
+            counts = {tuple(sorted(l.items())): v
+                      for l, v in samples[family + "_count"]}
+            for key, buckets in by_series.items():
+                buckets.sort()
+                values = [v for _, v in buckets]
+                assert values == sorted(values), (
+                    f"{family}{dict(key)}: buckets not cumulative"
+                )
+                assert buckets[-1][0] == float("inf")
+                assert values[-1] == counts[key], (
+                    f"{family}{dict(key)}: +Inf bucket != _count"
+                )
+
+        stats, _ = fetch(f"{base}/stats")
+        stats = json.loads(stats)
+        prom_queries = samples["repro_queries_total"][0][1]
+        assert prom_queries == stats["telemetry"]["n_queries"], (
+            "/stats and /metrics disagree on the query count"
+        )
+        slow, _ = fetch(f"{base}/stats/slow")
+        slow = json.loads(slow)
+        assert slow["n_recorded"] >= 1, "slow log empty at threshold 0"
+
+        n_families = len(REQUIRED_FAMILIES)
+        n_samples = sum(len(v) for v in samples.values())
+        print(f"metrics smoke: {n_families} required families present, "
+              f"{n_samples} samples parsed, buckets cumulative, "
+              f"/stats consistent, slow log recording")
+        return 0
+    finally:
+        httpd.shutdown()
+        thread.join(timeout=10)
+        service.close()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

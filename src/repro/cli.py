@@ -126,12 +126,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         engine=args.engine,
         capacity=args.capacity,
+        tracing=args.trace,
+        slow_query_threshold_ms=args.slow_log,
     )
     print(
         f"serving {repo.n_datasets} datasets (d = {repo.dim}, family = "
         f"{args.family}) over {service.n_shards} shard(s), "
         f"engine {args.engine!r}, cache capacity {args.cache_capacity}"
     )
+    if args.trace:
+        print("tracing every batch (per-stage spans feed /metrics; "
+              "responses carry 'trace')")
+    if args.slow_log is not None:
+        print(f"slow-query log on: threshold {args.slow_log} ms "
+              f"(dump with GET /stats/slow)")
     if args.warm:
         print("warming shard indexes ...")
         service.warm()
@@ -287,6 +295,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dataset capacity the accuracy contract is sized "
                         "for (enables live ingestion up to this count "
                         "without precision drift)")
+    p.add_argument("--trace", action="store_true",
+                   help="trace every batch (per-stage spans on /metrics; "
+                        "responses include a 'trace' span tree)")
+    p.add_argument("--slow-log", type=float, default=None, metavar="MS",
+                   help="log queries slower than MS milliseconds "
+                        "(dump via GET /stats/slow)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(

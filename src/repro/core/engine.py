@@ -295,14 +295,29 @@ class DatasetSearchEngine:
         return [r.index_set for r in self._leaf_batch_query(leaves)]
 
     def eval_leaf_batch_bits(
-        self, leaves: Sequence[Predicate]
+        self, leaves: Sequence[Predicate], tracer=None
     ) -> list[DatasetBitmap]:
-        """A batch of leaf answers as packed bitsets (same batching)."""
-        n = self.n_datasets
-        return [
-            DatasetBitmap.from_indices(r.indexes, n)
-            for r in self._leaf_batch_query(leaves)
-        ]
+        """A batch of leaf answers as packed bitsets (same batching).
+
+        With a tracer the whole kernel call runs under an
+        ``engine_leaf_batch`` span, nested inside whatever span the
+        calling thread currently has open (the sharded executor's
+        per-shard span on the warm path).
+        """
+        if tracer is None:
+            n = self.n_datasets
+            return [
+                DatasetBitmap.from_indices(r.indexes, n)
+                for r in self._leaf_batch_query(leaves)
+            ]
+        with tracer.span(
+            "engine_leaf_batch", n_leaves=len(leaves), n_datasets=self.n_datasets
+        ):
+            n = self.n_datasets
+            return [
+                DatasetBitmap.from_indices(r.indexes, n)
+                for r in self._leaf_batch_query(leaves)
+            ]
 
     # ------------------------------------------------------------------
     # Dynamics (Remark 1)

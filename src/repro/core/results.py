@@ -39,6 +39,10 @@ class QueryResult:
         ``record_times=True``.
     stats:
         Free-form per-query counters (nodes visited, points deleted, ...).
+    trace:
+        Serialized span tree (a plain dict) when the query was issued with
+        tracing enabled; None otherwise.  See
+        :mod:`repro.service.observability` for the schema.
     """
 
     __slots__ = (
@@ -48,6 +52,7 @@ class QueryResult:
         "end_time",
         "emit_times",
         "stats",
+        "trace",
         "_index_set",
         "_index_set_len",
     )
@@ -60,6 +65,7 @@ class QueryResult:
         emit_times: Optional[list[float]] = None,
         stats: Optional[dict] = None,
         bitmap: Optional[DatasetBitmap] = None,
+        trace: Optional[dict] = None,
     ) -> None:
         self._indexes = indexes if indexes is not None else ([] if bitmap is None else None)
         self.bitmap = bitmap
@@ -67,6 +73,7 @@ class QueryResult:
         self.end_time = end_time
         self.emit_times = emit_times if emit_times is not None else []
         self.stats = stats if stats is not None else {}
+        self.trace = trace
         self._index_set: Optional[set[int]] = None
         self._index_set_len = -1
 

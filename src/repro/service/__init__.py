@@ -25,11 +25,24 @@ batch.  This package turns the engine into a serving subsystem:
 - :mod:`~repro.service.service` wires the three into the
   :class:`~repro.service.service.QueryService` facade with per-query
   latency/throughput telemetry;
+- :mod:`~repro.service.observability` adds the span tracer, the
+  fixed-bucket latency histograms and metrics registry (Prometheus text
+  exposition), and the slow-query log — near-zero-cost when disabled;
 - :mod:`~repro.service.server` exposes the service over a stdlib-HTTP JSON
-  endpoint (the ``repro serve`` CLI subcommand).
+  endpoint (the ``repro serve`` CLI subcommand), including ``/metrics``
+  and ``/stats/slow``.
 """
 
 from repro.service.cache import CacheEntry, CacheStats, LeafResultCache
+from repro.service.observability import (
+    Histogram,
+    MetricsRegistry,
+    ServiceObservability,
+    SlowQueryLog,
+    Span,
+    Tracer,
+    default_latency_bounds,
+)
 from repro.service.planner import (
     BatchPlan,
     PlanCache,
@@ -60,14 +73,21 @@ __all__ = [
     "BatchPlan",
     "CacheEntry",
     "CacheStats",
+    "Histogram",
     "LeafResultCache",
+    "MetricsRegistry",
     "PlanCache",
     "QueryPlan",
     "QueryService",
     "SeededSampleSynopsis",
+    "ServiceObservability",
     "ServiceTelemetry",
     "ShardedBatchExecutor",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
     "canonicalize",
+    "default_latency_bounds",
     "emit_schedule",
     "evaluate_with_leaf_results",
     "expression_from_json",

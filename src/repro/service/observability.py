@@ -1,0 +1,863 @@
+"""End-to-end query tracing, stage metrics, and Prometheus exposition.
+
+Three complementary layers, all dependency-free:
+
+- **Span tracer** — :class:`Tracer` hands out context-manager
+  :class:`Span` objects with monotonic-clock durations and parent links.
+  Nesting is implicit per thread (a thread-local span stack); spans that
+  cross a thread boundary (the sharded executor's pool workers) pass
+  their parent explicitly.  Finished spans feed the registry's per-stage
+  histogram, so every traced query updates ``repro_stage_seconds``.
+  When tracing is off the instrumented call sites receive ``tracer=None``
+  and skip all of this behind one ``is not None`` branch — the disabled
+  cost is a single pointer comparison per site.
+- **Metrics registry** — :class:`MetricsRegistry` holds named counters
+  and :class:`Histogram` families and renders the Prometheus text
+  exposition format (``GET /metrics``).  Histograms use fixed log-spaced
+  bucket bounds with counts in a flat ``int64`` word array — the same
+  flat-array discipline as :class:`~repro.core.bitset.DatasetBitmap` —
+  so two histograms over the same bounds merge by vector addition and
+  quantiles come straight from the cumulative counts.
+- **Slow-query log** — :class:`SlowQueryLog` keeps the ``k`` worst
+  queries above a latency threshold (a bounded min-heap, so only the
+  worst survive), each with its stats and its trace when one was
+  recorded.  Dumped by ``GET /stats/slow`` and enabled by
+  ``repro serve --slow-log``.
+
+:class:`ServiceObservability` wires the three to a
+:class:`~repro.service.service.QueryService`: ``snapshot()`` is the
+``/stats`` payload and ``render_prometheus()`` is the ``/metrics`` body,
+and both are built from the *same* component snapshots taken in one
+pass, so the two endpoints can never disagree about a counter.
+
+Timing schema
+-------------
+Every wire-visible timestamp in this system is **seconds relative to the
+start of its query or batch**, measured on the monotonic span clock
+(``time.perf_counter``); absolute monotonic values are process-local and
+never leave the server.  Concretely:
+
+- ``/search`` and ``/search/batch`` with ``"record_times": true`` return
+  per-result ``emit_times`` (start-relative offsets, one per reported
+  index) plus ``duration_s``;
+- ``/search`` and ``/search/batch`` with ``"trace": true`` return a
+  ``trace`` span tree whose nodes carry ``start_s`` (offset from the
+  trace root's start) and ``duration_s``; sibling stage durations at the
+  top level sum to ~``duration_s`` of the root;
+- slow-query log entries store ``latency_ms`` and, when the query was
+  traced, the same relative-clock span tree.
+
+The batch clock and the trace clock share one origin (the
+``search_batch`` entry stamp), so emit times and span times of the same
+request line up.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from bisect import bisect_left
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "ServiceObservability",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "default_latency_bounds",
+]
+
+
+def default_latency_bounds() -> tuple[float, ...]:
+    """Log-spaced (powers of two) latency bucket bounds, 1 µs .. ~67 s.
+
+    27 finite upper bounds; everything above the last lands in the +Inf
+    overflow bucket.  Powers of two keep neighbouring buckets within 2x,
+    so a bucket-derived quantile is always within 2x of the true sample
+    quantile — tight enough to tell a 50 µs warm hit from a 5 ms miss.
+    """
+    return tuple(1e-6 * 2.0**i for i in range(27))
+
+
+class Histogram:
+    """A fixed-bucket latency histogram with mergeable flat-array counts.
+
+    Parameters
+    ----------
+    bounds:
+        Strictly increasing finite bucket *upper* bounds.  Observations
+        land in the first bucket whose bound is >= the value; larger
+        values land in the implicit +Inf overflow bucket.  Defaults to
+        :func:`default_latency_bounds`.
+
+    Counts live in one flat array of ``len(bounds) + 1`` words, so two
+    histograms over the same bounds merge by vector addition — exactly
+    how per-worker histograms would aggregate in a multi-process server.
+    ``observe`` is a bisect plus one plain-``int`` increment under a
+    lock (the hot store is a Python list; :attr:`counts` materializes an
+    ``int64`` view on read, keeping per-observation cost off the numpy
+    scalar-indexing path).
+
+    Examples
+    --------
+    >>> h = Histogram(bounds=(0.001, 0.01, 0.1))
+    >>> for v in (0.0005, 0.002, 0.02, 5.0):
+    ...     h.observe(v)
+    >>> h.count, h.counts.tolist()
+    (4, [1, 1, 1, 1])
+    >>> h.quantile(50.0) <= 0.01
+    True
+    >>> g = Histogram(bounds=(0.001, 0.01, 0.1)); g.observe(0.002)
+    >>> h.merge(g).counts.tolist()
+    [1, 2, 1, 1]
+    """
+
+    __slots__ = ("bounds", "_counts", "count", "sum", "_lock")
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None) -> None:
+        if bounds is None:
+            bounds = default_latency_bounds()
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ValueError("bounds must be non-empty and strictly increasing")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def counts(self) -> np.ndarray:
+        """The bucket counts as an ``int64`` array (copy, mergeable)."""
+        with self._lock:
+            return np.asarray(self._counts, dtype=np.int64)
+
+    def observe(self, value: float) -> None:
+        """Record one observation (thread-safe)."""
+        idx = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self.count += 1
+            self.sum += value
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """A new histogram holding both operands' counts (same bounds)."""
+        if self.bounds != other.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        out = Histogram(self.bounds)
+        with self._lock:
+            counts, count, total = list(self._counts), self.count, self.sum
+        with other._lock:
+            out._counts = [a + b for a, b in zip(counts, other._counts)]
+            out.count = count + other.count
+            out.sum = total + other.sum
+        return out
+
+    def quantile_bounds(self, q: float) -> tuple[float, float]:
+        """The ``(lo, hi]`` bucket interval containing the q-th percentile.
+
+        Nearest-rank over the cumulative counts: the true q-th percentile
+        of the observed sample lies in the returned half-open interval
+        (``hi`` is ``inf`` when the rank falls in the overflow bucket,
+        ``lo`` is 0 for the first bucket).  NaN bounds when empty.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        with self._lock:
+            count = self.count
+            cum = np.cumsum(self._counts)
+        if count == 0:
+            return (float("nan"), float("nan"))
+        rank = max(1, int(np.ceil(q / 100.0 * count)))
+        idx = int(np.searchsorted(cum, rank))
+        lo = 0.0 if idx == 0 else self.bounds[idx - 1]
+        hi = self.bounds[idx] if idx < len(self.bounds) else float("inf")
+        return (lo, hi)
+
+    def quantile(self, q: float) -> float:
+        """A point estimate of the q-th percentile (upper bucket bound).
+
+        Returning the containing bucket's upper bound makes the estimate
+        conservative (never below the true sample quantile) and at most
+        one bucket width above it — with the default power-of-two bounds,
+        within 2x.  The overflow bucket reports its lower bound instead
+        (there is no finite upper), and NaN when empty.
+        """
+        lo, hi = self.quantile_bounds(q)
+        if np.isnan(lo):
+            return float("nan")
+        return hi if np.isfinite(hi) else lo
+
+    def snapshot(self) -> dict:
+        """JSON-ready counts plus bucket-derived p50/p95/p99 estimates."""
+        with self._lock:
+            counts = list(self._counts)
+            count = self.count
+            total = self.sum
+        out = {
+            "count": count,
+            "sum_s": total,
+            "bounds_s": list(self.bounds),
+            "counts": counts,
+        }
+        for q in (50.0, 95.0, 99.0):
+            v = self.quantile(q)
+            out[f"p{q:g}_s"] = None if np.isnan(v) else v
+        return out
+
+
+def _fmt_value(v: float) -> str:
+    """Prometheus sample value formatting (integers without the .0)."""
+    f = float(v)
+    return str(int(f)) if f.is_integer() and abs(f) < 1e15 else repr(f)
+
+
+def _escape_label(value) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _fmt_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        '{}="{}"'.format(k, _escape_label(v)) for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+class MetricsRegistry:
+    """Named counters and histogram families with Prometheus rendering.
+
+    Three metric kinds, matching what the service needs:
+
+    - ``counter(name)`` / ``inc(name, labels, by)`` — monotone totals
+      (rendered with the ``_total`` suffix convention already in the
+      metric name);
+    - ``histogram(name, labels)`` — a :class:`Histogram` child per label
+      set, created lazily on first use (``repro_stage_seconds`` gains a
+      child per stage as stages first run);
+    - ``gauge_source(fn)`` — a callable returning ``(name, labels,
+      value)`` triples evaluated at render time, so gauges always
+      reflect the live service (cache occupancy, shard sizes, ...).
+
+    ``render()`` emits the text exposition format: ``# HELP``/``# TYPE``
+    headers, cumulative ``_bucket`` counts with ``le`` labels, ``_sum``
+    and ``_count`` series per histogram child.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._help: dict[str, tuple[str, str]] = {}  # name -> (type, help)
+        self._counters: dict[tuple[str, tuple], float] = {}
+        self._histograms: dict[tuple[str, tuple], Histogram] = {}
+        self._hist_bounds: dict[str, tuple[float, ...]] = {}
+        self._gauge_sources: list[Callable[[], Iterable[tuple]]] = []
+
+    # -- declaration ---------------------------------------------------
+    def describe(self, name: str, kind: str, help_text: str) -> None:
+        """Register a metric family's TYPE and HELP line."""
+        if kind not in ("counter", "gauge", "histogram"):
+            raise ValueError(f"unknown metric kind {kind!r}")
+        with self._lock:
+            self._help[name] = (kind, help_text)
+
+    def declare_histogram(
+        self,
+        name: str,
+        help_text: str,
+        bounds: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Describe a histogram family and pin its bucket bounds."""
+        self.describe(name, "histogram", help_text)
+        with self._lock:
+            self._hist_bounds[name] = (
+                tuple(bounds) if bounds is not None else default_latency_bounds()
+            )
+
+    def gauge_source(self, fn: Callable[[], Iterable[tuple]]) -> None:
+        """Register a render-time source of ``(name, labels, value)``."""
+        with self._lock:
+            self._gauge_sources.append(fn)
+
+    # -- recording -----------------------------------------------------
+    @staticmethod
+    def _label_key(labels: Optional[dict]) -> tuple:
+        return tuple(sorted((labels or {}).items()))
+
+    def inc(self, name: str, labels: Optional[dict] = None, by: float = 1.0) -> None:
+        key = (name, self._label_key(labels))
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + by
+
+    def counter_value(self, name: str, labels: Optional[dict] = None) -> float:
+        with self._lock:
+            return self._counters.get((name, self._label_key(labels)), 0.0)
+
+    def histogram(self, name: str, labels: Optional[dict] = None) -> Histogram:
+        """The (lazily created) histogram child for one label set."""
+        key = (name, self._label_key(labels))
+        with self._lock:
+            child = self._histograms.get(key)
+            if child is None:
+                child = Histogram(self._hist_bounds.get(name))
+                self._histograms[key] = child
+            return child
+
+    def adopt_histogram(
+        self, name: str, hist: Histogram, labels: Optional[dict] = None
+    ) -> None:
+        """Render an externally-owned :class:`Histogram` under ``name``.
+
+        The owner keeps observing into its object; ``render`` reads the
+        live counts.  This is how component-owned distributions (the
+        telemetry latency histogram) appear on ``/metrics`` without being
+        double-counted into a registry shadow copy.
+        """
+        with self._lock:
+            self._hist_bounds.setdefault(name, hist.bounds)
+            self._histograms[(name, self._label_key(labels))] = hist
+
+    def observe(
+        self, name: str, value: float, labels: Optional[dict] = None
+    ) -> None:
+        self.histogram(name, labels).observe(value)
+
+    # -- rendering -----------------------------------------------------
+    def render(self) -> str:
+        """The Prometheus text exposition of everything registered."""
+        with self._lock:
+            help_lines = dict(self._help)
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+            sources = list(self._gauge_sources)
+        gauges: list[tuple[str, dict, float]] = []
+        for fn in sources:
+            gauges.extend(fn())
+
+        by_family: dict[str, list[str]] = {}
+
+        def family(name: str) -> list[str]:
+            if name not in by_family:
+                kind, help_text = help_lines.get(name, ("untyped", name))
+                by_family[name] = [
+                    f"# HELP {name} {help_text}",
+                    f"# TYPE {name} {kind}",
+                ]
+            return by_family[name]
+
+        for (name, label_key), value in sorted(counters.items()):
+            family(name).append(
+                f"{name}{_fmt_labels(dict(label_key))} {_fmt_value(value)}"
+            )
+        for name, labels, value in gauges:
+            family(name).append(
+                f"{name}{_fmt_labels(labels)} {_fmt_value(value)}"
+            )
+        for (name, label_key), hist in sorted(histograms.items()):
+            lines = family(name)
+            labels = dict(label_key)
+            with hist._lock:
+                counts = list(hist._counts)
+                count = hist.count
+                total = hist.sum
+            cum = 0
+            for bound, c in zip(hist.bounds, counts):
+                cum += c
+                lines.append(
+                    f"{name}_bucket{_fmt_labels({**labels, 'le': repr(bound)})}"
+                    f" {cum}"
+                )
+            lines.append(
+                f"{name}_bucket{_fmt_labels({**labels, 'le': '+Inf'})} {count}"
+            )
+            lines.append(f"{name}_sum{_fmt_labels(labels)} {_fmt_value(total)}")
+            lines.append(f"{name}_count{_fmt_labels(labels)} {count}")
+        out: list[str] = []
+        for name in sorted(by_family):
+            out.extend(by_family[name])
+        return "\n".join(out) + "\n"
+
+
+class Span:
+    """One timed stage: name, monotonic start/end, parent link, children.
+
+    Use as a context manager (via :meth:`Tracer.span`); attach metadata
+    through keyword arguments at creation or by assigning into ``meta``
+    inside the block.  ``to_dict`` serializes the subtree with times
+    relative to a clock origin (the trace root's start — see the module
+    docstring's timing schema).
+    """
+
+    __slots__ = ("name", "tracer", "parent", "children", "meta", "t0", "t1")
+
+    def __init__(
+        self,
+        name: str,
+        tracer: "Tracer",
+        parent: Optional["Span"] = None,
+        **meta,
+    ) -> None:
+        self.name = name
+        self.tracer = tracer
+        self.parent = parent
+        self.children: list[Span] = []
+        self.meta = meta
+        self.t0: Optional[float] = None
+        self.t1: Optional[float] = None
+
+    def __enter__(self) -> "Span":
+        self.tracer._push(self)
+        self.t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.t1 = time.perf_counter()
+        self.tracer._pop(self)
+
+    @property
+    def duration_s(self) -> float:
+        if self.t0 is None or self.t1 is None:
+            return 0.0
+        return self.t1 - self.t0
+
+    def to_dict(self, origin: Optional[float] = None) -> dict:
+        """JSON-ready subtree; times relative to ``origin`` (default: own
+        start, making the root start at 0.0)."""
+        if origin is None:
+            origin = self.t0 if self.t0 is not None else 0.0
+        out = {
+            "name": self.name,
+            "start_s": (self.t0 - origin) if self.t0 is not None else None,
+            "duration_s": self.duration_s,
+        }
+        if self.meta:
+            out["meta"] = dict(self.meta)
+        if self.children:
+            out["children"] = [c.to_dict(origin) for c in self.children]
+        return out
+
+
+class Tracer:
+    """Produces linked spans and feeds finished durations to a registry.
+
+    One tracer instance serves one traced batch.  Nesting is implicit
+    within a thread (a thread-local stack: the innermost open span of the
+    current thread adopts new spans); spans opened on *another* thread —
+    the executor's pool workers — pass ``parent`` explicitly, which also
+    seeds that worker's local stack so deeper spans nest under it
+    naturally.
+
+    On exit every span's duration is recorded into the registry histogram
+    ``stage_metric{stage=<name>}``, so traced traffic populates the
+    per-stage histograms that ``/metrics`` exposes.
+
+    Examples
+    --------
+    >>> tracer = Tracer()
+    >>> with tracer.span("a") as a:
+    ...     with tracer.span("b", detail=1) as b:
+    ...         pass
+    >>> tracer.root is a and a.children == [b] and b.parent is a
+    True
+    >>> a.duration_s >= b.duration_s >= 0.0
+    True
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        stage_metric: str = "repro_stage_seconds",
+    ) -> None:
+        self.registry = registry
+        self.stage_metric = stage_metric
+        self.root: Optional[Span] = None
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on *this* thread (None outside spans).
+
+        Cross-thread call sites capture this before fanning out and pass
+        it as the explicit ``parent`` of spans opened on worker threads.
+        """
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def record_span(
+        self,
+        name: str,
+        t0: float,
+        t1: float,
+        parent: Optional[Span] = None,
+        **meta,
+    ) -> Span:
+        """Attach an already-finished span from captured stamps.
+
+        For call sites that measured a phase with existing
+        ``perf_counter`` stamps (the service's batch pipeline) — creates
+        the span, links it, and feeds the stage histogram, without the
+        context-manager protocol in the hot path.
+        """
+        span = self.span(name, parent=parent, **meta)
+        span.t0 = t0
+        span.t1 = t1
+        if self.registry is not None:
+            self.registry.observe(
+                self.stage_metric, span.duration_s, {"stage": name}
+            )
+        return span
+
+    def span(self, name: str, parent: Optional[Span] = None, **meta) -> Span:
+        """A new span; nests under ``parent`` or the thread's open span."""
+        if parent is None:
+            stack = self._stack()
+            parent = stack[-1] if stack else None
+        span = Span(name, self, parent=parent, **meta)
+        if parent is not None:
+            # Children lists are appended from pool threads concurrently.
+            with self._lock:
+                parent.children.append(span)
+        elif self.root is None:
+            self.root = span
+        return span
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        while stack and stack[-1] is not span:
+            stack.pop()
+        if stack:
+            stack.pop()
+        if self.registry is not None:
+            self.registry.observe(
+                self.stage_metric, span.duration_s, {"stage": span.name}
+            )
+
+
+class SlowQueryLog:
+    """A bounded log of the ``k`` worst queries above a latency threshold.
+
+    Entries are kept in a min-heap of size ``k`` keyed by latency: once
+    full, a new slow query evicts the *fastest* logged one, so the log
+    always holds the k worst seen.  ``snapshot()`` returns them
+    worst-first.  ``threshold_ms=None`` disables recording entirely.
+
+    Examples
+    --------
+    >>> log = SlowQueryLog(k=2, threshold_ms=1.0)
+    >>> for ms in (5.0, 0.5, 9.0, 7.0):
+    ...     _ = log.record({"latency_ms": ms})
+    >>> [e["latency_ms"] for e in log.snapshot()]
+    [9.0, 7.0]
+    >>> log.n_recorded   # 0.5 was under the threshold
+    3
+    """
+
+    def __init__(self, k: int = 32, threshold_ms: Optional[float] = None) -> None:
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = int(k)
+        self.threshold_ms = None if threshold_ms is None else float(threshold_ms)
+        self.n_recorded = 0
+        self._heap: list[tuple[float, int, dict]] = []
+        self._seq = itertools.count()  # tie-break: dicts do not compare
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_ms is not None
+
+    def record(self, entry: dict) -> bool:
+        """Log ``entry`` (must carry ``latency_ms``) if slow enough."""
+        if self.threshold_ms is None:
+            return False
+        latency = float(entry["latency_ms"])
+        if latency < self.threshold_ms:
+            return False
+        with self._lock:
+            self.n_recorded += 1
+            item = (latency, next(self._seq), entry)
+            if len(self._heap) < self.k:
+                heapq.heappush(self._heap, item)
+            elif latency > self._heap[0][0]:
+                heapq.heapreplace(self._heap, item)
+            else:
+                return False
+        return True
+
+    def snapshot(self) -> list[dict]:
+        """The logged entries, worst (highest latency) first."""
+        with self._lock:
+            items = sorted(self._heap, key=lambda it: (-it[0], it[1]))
+        return [entry for _lat, _seq, entry in items]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._heap.clear()
+
+
+class ServiceObservability:
+    """Registry + tracing policy + slow log for one ``QueryService``.
+
+    The service owns exactly one of these.  It decides per batch whether
+    to trace (:meth:`tracer_for`), collects every component snapshot in
+    one pass (:meth:`snapshot` — the ``/stats`` payload), and renders
+    the Prometheus exposition from those same snapshots plus the
+    registry's counters and histograms (:meth:`render_prometheus` — the
+    ``/metrics`` body).  Because both endpoints read the same collected
+    state, a scrape and a ``/stats`` poll can never tell different
+    stories about the same counter.
+
+    Parameters
+    ----------
+    service:
+        The owning :class:`~repro.service.service.QueryService`.
+    tracing:
+        Trace *every* batch (otherwise only batches that opt in with
+        ``trace=True``).
+    slow_query_threshold_ms:
+        Queries at or above this latency enter the slow log; ``None``
+        disables it.
+    slow_log_size:
+        How many worst traces the slow log retains.
+    """
+
+    #: (prometheus gauge name, help) -> extractor over the stats snapshot.
+    _GAUGES: tuple = (
+        ("repro_datasets", "Registered datasets (incl. tombstoned).",
+         lambda s: s["n_datasets"]),
+        ("repro_datasets_live", "Currently served datasets.",
+         lambda s: s["n_live"]),
+        ("repro_tombstones", "Tombstoned (removed) dataset indexes.",
+         lambda s: s["n_removed"]),
+        ("repro_delta_shard_depth", "Datasets in the append-only delta shard.",
+         lambda s: s["delta_size"]),
+        ("repro_cache_resident_bytes",
+         "Estimated heap bytes held by cached leaf answers.",
+         lambda s: s["cache"]["resident_bytes"]),
+        ("repro_cache_size", "Cached leaf answers.",
+         lambda s: s["cache"]["size"]),
+        ("repro_cache_hit_ratio", "Leaf-cache lifetime hit ratio.",
+         lambda s: s["cache"]["hit_rate"]),
+        ("repro_plan_cache_size", "Compiled plans resident in the plan cache.",
+         lambda s: s["plan_cache"]["size"]),
+        ("repro_plan_cache_hit_ratio", "Plan-cache lifetime hit ratio.",
+         lambda s: s["plan_cache"]["hit_rate"]),
+    )
+
+    #: (prometheus counter name, help) -> extractor over the snapshot.
+    _COUNTERS: tuple = (
+        ("repro_queries_total", "Queries answered.",
+         lambda s: s["telemetry"]["n_queries"]),
+        ("repro_batches_total", "search_batch calls answered.",
+         lambda s: s["telemetry"]["n_batches"]),
+        ("repro_cache_hits_total", "Leaf-cache hits.",
+         lambda s: s["cache"]["hits"]),
+        ("repro_cache_misses_total", "Leaf-cache misses.",
+         lambda s: s["cache"]["misses"]),
+        ("repro_cache_upgrades_total",
+         "Stale cached answers refreshed from the delta shard.",
+         lambda s: s["cache"]["upgrades"]),
+        ("repro_cache_evictions_total", "Leaf-cache LRU evictions.",
+         lambda s: s["cache"]["evictions"]),
+        ("repro_cache_invalidations_total", "Full leaf-cache flushes.",
+         lambda s: s["cache"]["invalidations"]),
+        ("repro_plan_cache_hits_total", "Plan-cache hits.",
+         lambda s: s["plan_cache"]["hits"]),
+        ("repro_plan_cache_misses_total", "Plan-cache misses.",
+         lambda s: s["plan_cache"]["misses"]),
+        ("repro_executor_leaf_evals_total",
+         "Unique leaves evaluated by the sharded executor.",
+         lambda s: s["executor"]["leaf_evals"]),
+        ("repro_executor_shard_tasks_total",
+         "Per-shard leaf evaluations performed.",
+         lambda s: s["executor"]["shard_tasks"]),
+        ("repro_executor_delta_evals_total",
+         "Delta-shard-only leaf evaluations (cache upgrades).",
+         lambda s: s["executor"]["delta_evals"]),
+        ("repro_slow_queries_total",
+         "Queries at or above the slow-query threshold.",
+         lambda s: s["observability"]["slow_queries"]),
+    )
+
+    def __init__(
+        self,
+        service,
+        tracing: bool = False,
+        slow_query_threshold_ms: Optional[float] = None,
+        slow_log_size: int = 32,
+    ) -> None:
+        self.service = service
+        self.tracing = bool(tracing)
+        self.registry = MetricsRegistry()
+        self.slow_log = SlowQueryLog(
+            k=slow_log_size, threshold_ms=slow_query_threshold_ms
+        )
+        reg = self.registry
+        reg.declare_histogram(
+            "repro_stage_seconds",
+            "Time per pipeline stage, from traced queries.",
+        )
+        reg.declare_histogram(
+            "repro_query_seconds",
+            "Per-query service latency (shared batch phase + own assembly).",
+        )
+        reg.declare_histogram(
+            "repro_batch_seconds", "search_batch wall-clock time."
+        )
+        # The telemetry layer observes these on every query/batch; the
+        # registry renders the very same objects, so /stats quantiles and
+        # scraped buckets cannot drift apart.
+        reg.adopt_histogram(
+            "repro_query_seconds", service.telemetry.latency_histogram
+        )
+        reg.adopt_histogram(
+            "repro_batch_seconds", service.telemetry.batch_histogram
+        )
+        reg.declare_histogram(
+            "repro_request_seconds", "HTTP request handling time per endpoint."
+        )
+        reg.describe(
+            "repro_requests_total", "counter", "HTTP requests per endpoint/status."
+        )
+        reg.describe(
+            "repro_traced_batches_total", "counter", "Batches answered with tracing on."
+        )
+        for name, help_text, _fn in self._GAUGES:
+            reg.describe(name, "gauge", help_text)
+        reg.describe("repro_shard_size", "gauge", "Datasets per base shard.")
+        reg.describe(
+            "repro_slow_query_threshold_ms", "gauge",
+            "Slow-query latency threshold (0 = disabled).",
+        )
+        for name, help_text, _fn in self._COUNTERS:
+            reg.describe(name, "counter", help_text)
+
+    # -- tracing policy ------------------------------------------------
+    def tracer_for(self, trace: Optional[bool]) -> Optional[Tracer]:
+        """A fresh tracer when this batch should be traced, else None.
+
+        ``trace=None`` defers to the service-level ``tracing`` default;
+        an explicit True/False overrides it per batch.
+        """
+        if trace is None:
+            trace = self.tracing
+        if not trace:
+            return None
+        self.registry.inc("repro_traced_batches_total")
+        return Tracer(registry=self.registry)
+
+    # -- recording helpers (called by the service/server) --------------
+    def observe_request(self, endpoint: str, seconds: float, status: int) -> None:
+        """One handled HTTP request (called by the server layer)."""
+        self.registry.observe(
+            "repro_request_seconds", seconds, {"endpoint": endpoint}
+        )
+        self.registry.inc(
+            "repro_requests_total",
+            {"endpoint": endpoint, "status": str(status)},
+        )
+
+    def record_slow(
+        self,
+        latency_s: float,
+        expression_repr: str,
+        stats: dict,
+        trace: Optional[dict] = None,
+    ) -> bool:
+        """Offer one finished query to the slow log (no-op when disabled)."""
+        entry = {
+            "latency_ms": latency_s * 1e3,
+            "unix_time": time.time(),
+            "expression": expression_repr,
+            "stats": dict(stats),
+        }
+        if trace is not None:
+            entry["trace"] = trace
+        return self.slow_log.record(entry)
+
+    # -- exposition ----------------------------------------------------
+    def snapshot(self) -> dict:
+        """The ``/stats`` payload: every component snapshot in one pass."""
+        service = self.service
+        executor = service.executor
+        return {
+            "engine": executor.engine_kind,
+            "algebra": service.algebra,
+            "n_datasets": executor.n_datasets,
+            "n_live": executor.n_live,
+            "n_removed": len(executor.removed),
+            "n_shards": executor.n_shards,
+            "shard_sizes": executor.shard_sizes(),
+            "delta_size": executor.delta_size,
+            "capacity": executor.capacity,
+            "executor": executor.stats_snapshot(),
+            "cache": service.cache.snapshot(),
+            "plan_cache": service.plans.snapshot(),
+            "telemetry": service.telemetry.summary(),
+            "observability": {
+                "tracing": self.tracing,
+                "slow_query_threshold_ms": self.slow_log.threshold_ms,
+                "slow_log_size": self.slow_log.k,
+                "slow_queries": self.slow_log.n_recorded,
+            },
+        }
+
+    def _gauge_samples(self) -> list[tuple[str, dict, float]]:
+        stats = self.snapshot()
+        out: list[tuple[str, dict, float]] = []
+        for name, _help, fn in self._GAUGES:
+            out.append((name, {}, float(fn(stats))))
+        for shard, size in enumerate(stats["shard_sizes"]):
+            out.append(("repro_shard_size", {"shard": shard}, float(size)))
+        out.append((
+            "repro_slow_query_threshold_ms", {},
+            float(self.slow_log.threshold_ms or 0.0),
+        ))
+        for name, _help, fn in self._COUNTERS:
+            out.append((name, {}, float(fn(stats))))
+        return out
+
+    def render_prometheus(self) -> str:
+        """The ``/metrics`` body (text exposition format).
+
+        Component counters (cache, plan cache, executor, telemetry) are
+        read through the same :meth:`snapshot` that ``/stats`` serves —
+        they are rendered as the source-of-truth lifetime totals rather
+        than shadow-counted, which is what keeps the two endpoints
+        consistent by construction.
+        """
+        # Gauge + component-counter samples are collected at render time;
+        # registering the source once would keep a stale bound method on
+        # service swap, so the source list is rebuilt per render instead.
+        reg = self.registry
+        samples = self._gauge_samples()
+        out: list[str] = []
+        rendered = reg.render().splitlines()
+        out.extend(rendered)
+        by_name: dict[str, list[str]] = {}
+        for name, labels, value in samples:
+            kind, help_text = reg._help.get(name, ("gauge", name))
+            block = by_name.setdefault(
+                name,
+                [f"# HELP {name} {help_text}", f"# TYPE {name} {kind}"],
+            )
+            block.append(f"{name}{_fmt_labels(labels)} {_fmt_value(value)}")
+        for name in sorted(by_name):
+            out.extend(by_name[name])
+        return "\n".join(line for line in out if line) + "\n"

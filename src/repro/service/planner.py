@@ -163,8 +163,11 @@ class BatchPlan:
         return 0.0 if raw == 0 else 1.0 - self.n_leaves_unique / raw
 
 
-def plan_query(expression: Expression) -> QueryPlan:
+def plan_query(expression: Expression, tracer=None) -> QueryPlan:
     """Canonicalize one expression and collect its unique leaves."""
+    if tracer is not None:
+        with tracer.span("canonicalize"):
+            return plan_query(expression)
     canon = canonicalize(expression)
     leaves: dict[LeafKey, Predicate] = {}
     for leaf in canon.leaves():
@@ -178,18 +181,44 @@ def plan_query(expression: Expression) -> QueryPlan:
 
 
 def plan_batch(
-    expressions: Sequence[Expression], cache: Optional["PlanCache"] = None
+    expressions: Sequence[Expression],
+    cache: Optional["PlanCache"] = None,
+    tracer=None,
 ) -> BatchPlan:
     """Plan every query of a batch and union their unique leaves.
 
     With a :class:`PlanCache`, repeated query shapes reuse their compiled
-    plans instead of re-canonicalizing.
+    plans instead of re-canonicalizing.  With a
+    :class:`~repro.service.observability.Tracer`, the whole phase runs
+    under a ``plan`` span whose metadata reports the batch's plan-cache
+    hit/miss split and its leaf-dedup outcome; every compile (plan-cache
+    miss, or no cache) nests a ``canonicalize`` child span.
     """
-    planner = cache.plan if cache is not None else plan_query
-    batch = BatchPlan(plans=[planner(e) for e in expressions])
-    for plan in batch.plans:
-        for key, leaf in plan.leaves.items():
-            batch.unique_leaves.setdefault(key, leaf)
+    if tracer is None:
+        planner = cache.plan if cache is not None else plan_query
+        batch = BatchPlan(plans=[planner(e) for e in expressions])
+        for plan in batch.plans:
+            for key, leaf in plan.leaves.items():
+                batch.unique_leaves.setdefault(key, leaf)
+        return batch
+    with tracer.span("plan", n_queries=len(expressions)) as span:
+        if cache is not None:
+            hits0, misses0 = cache.hits, cache.misses
+            planner = lambda e: cache.plan(e, tracer=tracer)  # noqa: E731
+        else:
+            planner = lambda e: plan_query(e, tracer=tracer)  # noqa: E731
+        batch = BatchPlan(plans=[planner(e) for e in expressions])
+        for plan in batch.plans:
+            for key, leaf in plan.leaves.items():
+                batch.unique_leaves.setdefault(key, leaf)
+        span.meta.update(
+            n_leaves_raw=batch.n_leaves_raw,
+            n_leaves_unique=batch.n_leaves_unique,
+            dedup_ratio=batch.dedup_ratio,
+        )
+        if cache is not None:
+            span.meta["plan_cache_hits"] = cache.hits - hits0
+            span.meta["plan_cache_misses"] = cache.misses - misses0
     return batch
 
 
@@ -355,10 +384,10 @@ class PlanCache:
     def __len__(self) -> int:
         return len(self._plans)
 
-    def plan(self, expression: Expression) -> QueryPlan:
+    def plan(self, expression: Expression, tracer=None) -> QueryPlan:
         """The compiled plan for ``expression``, reused on structural hits."""
         if self.capacity == 0:
-            return plan_query(expression)
+            return plan_query(expression, tracer=tracer)
         key = expression.canonical_key()
         with self._lock:
             cached = self._plans.get(key)
@@ -367,7 +396,7 @@ class PlanCache:
                 self.hits += 1
                 return cached
             self.misses += 1
-        compiled = plan_query(expression)
+        compiled = plan_query(expression, tracer=tracer)
         with self._lock:
             self._plans[key] = compiled
             self._plans.move_to_end(key)

@@ -3,14 +3,24 @@
 Wire format (all bodies JSON):
 
 ``POST /search``
-    ``{"expression": EXPR, "record_times": false}`` →
+    ``{"expression": EXPR, "record_times": false, "trace": false}`` →
     ``{"indexes": [...], "emit_times": [...], "stats": {...}}``; with
     ``record_times`` the emit stamps are *relative to the query start* (a
     ``duration_s`` field is included) — absolute ``perf_counter`` values
-    are meaningless outside the server process.
+    are meaningless outside the server process.  With ``"trace": true``
+    (or a service constructed with ``tracing=True``; an explicit
+    ``false`` opts out) the payload gains ``"trace"``: the span tree of
+    the serving pipeline, all times relative to the query start (see
+    :mod:`repro.service.observability` for the schema).
 ``POST /search/batch``
     ``{"expressions": [EXPR, ...]}`` →
     ``{"results": [{"indexes": [...], "stats": {...}}, ...]}``.
+    Accepts the same ``record_times`` and ``trace`` flags as
+    ``/search``: with ``record_times`` each result carries its
+    batch-start-relative ``emit_times`` plus ``duration_s``, and with
+    tracing the *response* carries one top-level ``"trace"`` span tree
+    for the whole batch (per-query assembly spans are tagged with their
+    query index) on the same clock.
     With ``"format": "bitset"`` each result instead carries the packed
     answer ``{"bitset": {"encoding": "u64le+b64", "n_bits": N, "words":
     B64}, "out_size": k, "stats": {...}}`` — the base64 of the
@@ -34,6 +44,15 @@ Wire format (all bodies JSON):
     → ``{"generation": n}``
 ``GET /stats``
     → the service's :meth:`~repro.service.service.QueryService.stats`
+``GET /stats/slow``
+    → ``{"threshold_ms": t, "n_recorded": n, "slow_queries": [...]}`` —
+    the k worst queries at or above the slow-query threshold, worst
+    first, each with its stats (and trace, when the query was traced).
+``GET /metrics``
+    → the Prometheus text exposition: per-stage/per-endpoint latency
+    histograms, cache and shard gauges, lifetime counters.  Rendered
+    from the same snapshot pass as ``/stats``, so the two never
+    disagree.
 ``GET /healthz``
     → ``{"status": "ok", "n_datasets": N, "n_live": L, "n_shards": S}``
 
@@ -52,6 +71,7 @@ from __future__ import annotations
 
 import json
 import math
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
@@ -170,8 +190,30 @@ def _result_bitmap(result: QueryResult, service: QueryService) -> DatasetBitmap:
 # ----------------------------------------------------------------------
 # HTTP plumbing
 # ----------------------------------------------------------------------
+#: Paths that get their own ``endpoint`` label on the request metrics;
+#: anything else is folded into ``"other"`` so an URL-scanning client
+#: cannot blow up the label cardinality.
+_KNOWN_ENDPOINTS = frozenset(
+    {
+        "/healthz",
+        "/stats",
+        "/stats/slow",
+        "/metrics",
+        "/search",
+        "/search/batch",
+        "/datasets",
+        "/cache/invalidate",
+    }
+)
+
+
 class _ServiceRequestHandler(BaseHTTPRequestHandler):
-    """Routes HTTP verbs to the bound service; set via ``make_server``."""
+    """Routes HTTP verbs to the bound service; set via ``make_server``.
+
+    Every handled request is observed into the service's
+    ``repro_request_seconds{endpoint=...}`` histogram and
+    ``repro_requests_total{endpoint=..., status=...}`` counter.
+    """
 
     service: QueryService  # injected by make_server
     quiet: bool = True
@@ -183,12 +225,31 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             super().log_message(fmt, *args)
 
     def _send_json(self, payload: dict, status: int = 200) -> None:
+        self._status = status
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_text(self, body: str, status: int = 200) -> None:
+        self._status = status
+        raw = body.encode("utf-8")
+        self.send_response(status)
+        # The Prometheus text exposition content type.
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(raw)))
+        self.end_headers()
+        self.wfile.write(raw)
+
+    def _observe(self, t0: float) -> None:
+        endpoint = self.path if self.path in _KNOWN_ENDPOINTS else "other"
+        self.service.observability.observe_request(
+            endpoint, time.perf_counter() - t0, getattr(self, "_status", 500)
+        )
 
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length", 0))
@@ -203,6 +264,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
 
     # -- verbs ---------------------------------------------------------
     def do_GET(self) -> None:
+        t0 = time.perf_counter()
         try:
             if self.path == "/healthz":
                 self._send_json(
@@ -216,18 +278,40 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 )
             elif self.path == "/stats":
                 self._send_json(self.service.stats())
+            elif self.path == "/stats/slow":
+                log = self.service.observability.slow_log
+                self._send_json(
+                    {
+                        "threshold_ms": log.threshold_ms,
+                        "n_recorded": log.n_recorded,
+                        "slow_queries": log.snapshot(),
+                    }
+                )
+            elif self.path == "/metrics":
+                self._send_text(self.service.observability.render_prometheus())
             else:
                 self._send_json({"error": f"unknown path {self.path}"}, status=404)
         except Exception as exc:  # pragma: no cover - defensive catch-all
             self._send_json({"error": f"internal error: {exc}"}, status=500)
+        finally:
+            self._observe(t0)
+
+    @staticmethod
+    def _trace_flag(body: dict) -> Optional[bool]:
+        """The request's trace override (None = service default)."""
+        trace = body.get("trace")
+        return None if trace is None else bool(trace)
 
     def do_POST(self) -> None:
+        t0 = time.perf_counter()
         try:
             body = self._read_json()
             if self.path == "/search":
                 expr = expression_from_json(body.get("expression"))
                 result = self.service.search(
-                    expr, record_times=bool(body.get("record_times", False))
+                    expr,
+                    record_times=bool(body.get("record_times", False)),
+                    trace=self._trace_flag(body),
                 )
                 payload = {
                     "indexes": result.indexes,
@@ -241,6 +325,8 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                         t - result.start_time for t in result.emit_times
                     ]
                     payload["duration_s"] = result.end_time - result.start_time
+                if result.trace is not None:
+                    payload["trace"] = result.trace
                 self._send_json(payload)
             elif self.path == "/search/batch":
                 exprs_json = body.get("expressions")
@@ -252,21 +338,35 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                         f"'format' must be 'indexes' or 'bitset', got {fmt!r}"
                     )
                 exprs = [expression_from_json(e) for e in exprs_json]
-                results = self.service.search_batch(exprs)
-                if fmt == "bitset":
-                    encoded = [
-                        {
+                results = self.service.search_batch(
+                    exprs,
+                    record_times=bool(body.get("record_times", False)),
+                    trace=self._trace_flag(body),
+                )
+                encoded = []
+                for r in results:
+                    if fmt == "bitset":
+                        one = {
                             "bitset": _result_bitmap(r, self.service).to_wire(),
                             "out_size": r.out_size,
                             "stats": r.stats,
                         }
-                        for r in results
-                    ]
-                else:
-                    encoded = [
-                        {"indexes": r.indexes, "stats": r.stats} for r in results
-                    ]
-                self._send_json({"results": encoded})
+                    else:
+                        one = {"indexes": r.indexes, "stats": r.stats}
+                    if r.start_time is not None:
+                        # Batch-start-relative, on the same clock as the
+                        # trace spans (one shared origin per batch).
+                        one["emit_times"] = [
+                            t - r.start_time for t in r.emit_times
+                        ]
+                        one["duration_s"] = r.end_time - r.start_time
+                    encoded.append(one)
+                payload = {"results": encoded}
+                if results and results[0].trace is not None:
+                    # One span tree per batch (stages are batch-wide;
+                    # per-query assembly spans carry their query index).
+                    payload["trace"] = results[0].trace
+                self._send_json(payload)
             elif self.path == "/datasets":
                 arrays = body.get("datasets")
                 if not isinstance(arrays, list) or not arrays:
@@ -289,8 +389,11 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_json({"error": str(exc)}, status=400)
         except Exception as exc:  # pragma: no cover - defensive catch-all
             self._send_json({"error": f"internal error: {exc}"}, status=500)
+        finally:
+            self._observe(t0)
 
     def do_DELETE(self) -> None:
+        t0 = time.perf_counter()
         try:
             body = self._read_json()
             if self.path == "/datasets":
@@ -308,6 +411,8 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_json({"error": str(exc)}, status=400)
         except Exception as exc:  # pragma: no cover - defensive catch-all
             self._send_json({"error": f"internal error: {exc}"}, status=500)
+        finally:
+            self._observe(t0)
 
 
 def make_server(
@@ -335,9 +440,9 @@ def serve(
     httpd = make_server(service, host, port, quiet=quiet)
     addr = httpd.server_address
     print(f"repro service listening on http://{addr[0]}:{addr[1]}")
-    print("endpoints: GET /healthz, GET /stats, POST /search, "
-          "POST /search/batch, POST /datasets, DELETE /datasets, "
-          "POST /cache/invalidate")
+    print("endpoints: GET /healthz, GET /stats, GET /stats/slow, "
+          "GET /metrics, POST /search, POST /search/batch, "
+          "POST /datasets, DELETE /datasets, POST /cache/invalidate")
     try:
         httpd.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive only

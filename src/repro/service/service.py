@@ -54,6 +54,7 @@ from repro.core.results import QueryResult
 from repro.errors import ConstructionError, QueryError
 from repro.geometry.rectangle import Rectangle
 from repro.service.cache import LeafResultCache
+from repro.service.observability import ServiceObservability
 from repro.service.planner import (
     PlanCache,
     emit_schedule,
@@ -133,6 +134,9 @@ class QueryService:
         batch_leaves: bool = True,
         algebra: str = "bitset",
         plan_cache_capacity: int = 1024,
+        tracing: bool = False,
+        slow_query_threshold_ms: Optional[float] = None,
+        slow_log_size: int = 32,
     ) -> None:
         if algebra not in ("bitset", "set"):
             raise ConstructionError(
@@ -164,6 +168,15 @@ class QueryService:
         # survives live mutation AND full rebuilds unflushed.
         self.plans = PlanCache(capacity=plan_cache_capacity)
         self.telemetry = ServiceTelemetry(window=telemetry_window)
+        # Tracing policy, metrics registry and slow-query log; /stats and
+        # /metrics are both rendered from this one object (after the
+        # telemetry it adopts histograms from).
+        self.observability = ServiceObservability(
+            self,
+            tracing=tracing,
+            slow_query_threshold_ms=slow_query_threshold_ms,
+            slow_log_size=slow_log_size,
+        )
         # Serializes add/remove/rebuild against each other.  Queries do not
         # take it: they capture the executor reference once per batch and
         # the cache write-back is generation-guarded against rebuilds.
@@ -195,39 +208,87 @@ class QueryService:
     def stats(self) -> dict:
         """JSON-ready service metrics: telemetry, caches, shard layout.
 
-        ``cache.resident_bytes`` is the estimated heap footprint of the
-        cached leaf answers — the number to watch for warm-path memory
-        regressions (bitset entries are ~64x smaller than set entries).
+        Delegates to :meth:`ServiceObservability.snapshot` — the same
+        collection pass that backs the Prometheus ``/metrics`` rendering,
+        so the two views can never disagree.  ``cache.resident_bytes`` is
+        the estimated heap footprint of the cached leaf answers — the
+        number to watch for warm-path memory regressions (bitset entries
+        are ~64x smaller than set entries).
         """
-        executor = self.executor
-        return {
-            "engine": executor.engine_kind,
-            "algebra": self.algebra,
-            "n_datasets": executor.n_datasets,
-            "n_live": executor.n_live,
-            "n_removed": len(executor.removed),
-            "n_shards": executor.n_shards,
-            "shard_sizes": executor.shard_sizes(),
-            "delta_size": executor.delta_size,
-            "capacity": executor.capacity,
-            "executor": executor.stats_snapshot(),
-            "cache": self.cache.snapshot(),
-            "plan_cache": self.plans.snapshot(),
-            "telemetry": self.telemetry.summary(),
-        }
+        return self.observability.snapshot()
 
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
-    def search(self, expression: Expression, record_times: bool = False) -> QueryResult:
+    def search(
+        self,
+        expression: Expression,
+        record_times: bool = False,
+        trace: Optional[bool] = None,
+    ) -> QueryResult:
         """Answer one expression through the full serving pipeline."""
-        return self.search_batch([expression], record_times=record_times)[0]
+        return self.search_batch(
+            [expression], record_times=record_times, trace=trace
+        )[0]
 
     def search_batch(
-        self, expressions: Sequence[Expression], record_times: bool = False
+        self,
+        expressions: Sequence[Expression],
+        record_times: bool = False,
+        trace: Optional[bool] = None,
     ) -> list[QueryResult]:
-        """Answer a batch of expressions with cross-query leaf sharing."""
+        """Answer a batch of expressions with cross-query leaf sharing.
+
+        ``trace=True`` runs the batch under a span tracer and attaches
+        the serialized span tree (one per batch; stage times relative to
+        the batch start — see :mod:`repro.service.observability`) to each
+        result's ``trace``; ``trace=None`` defers to the service-level
+        ``tracing`` default.  Tracing also feeds the per-stage histograms
+        on ``/metrics``.  When the slow-query log is enabled, queries at
+        or above the threshold are recorded (with their trace, if any).
+        """
+        expressions = list(expressions)
         start = time.perf_counter()
+        obs = self.observability
+        tracer = obs.tracer_for(trace)
+        if tracer is None:
+            results = self._search_batch_impl(
+                expressions, record_times, None, start
+            )
+            trace_dict = None
+        else:
+            with tracer.span("search_batch", n_queries=len(expressions)) as root:
+                # Share the clock origin with the batch's own stamps, so
+                # emit times and span times of one request line up.
+                root.t0 = start
+                results = self._search_batch_impl(
+                    expressions, record_times, tracer, start
+                )
+            trace_dict = root.to_dict()
+            for result in results:
+                result.trace = trace_dict
+        if obs.slow_log.enabled:
+            for expression, result in zip(expressions, results):
+                obs.record_slow(
+                    result.stats.get("latency_s", 0.0),
+                    repr(expression),
+                    result.stats,
+                    trace=trace_dict,
+                )
+        return results
+
+    def _search_batch_impl(
+        self,
+        expressions: Sequence[Expression],
+        record_times: bool,
+        tracer,
+        start: float,
+    ) -> list[QueryResult]:
+        """The four-stage pipeline (see the module docstring).
+
+        ``tracer`` is None on the untraced hot path — every instrumented
+        site collapses to one pointer comparison.
+        """
         # Capture order matters against a concurrent rebuild (which flushes,
         # publishes the new executor, then flushes again): reading the
         # generation BEFORE the executor guarantees that a batch holding the
@@ -241,7 +302,8 @@ class QueryService:
         # The persistent ANDNOT mask (None when nothing is tombstoned, the
         # common case — hits then skip masking entirely).
         removed_bits = executor.removed_bits() if bitset else None
-        batch = plan_batch(expressions, cache=self.plans)
+        batch = plan_batch(expressions, cache=self.plans, tracer=tracer)
+        lookup_start = time.perf_counter() if tracer is not None else 0.0
 
         leaf_results: dict = {}
         leaf_times: dict = {}
@@ -266,6 +328,15 @@ class QueryService:
             else:
                 upgrades.append((key, leaf, entry))
         lookup_done = time.perf_counter()
+        if tracer is not None:
+            tracer.record_span(
+                "cache_lookup",
+                lookup_start,
+                lookup_done,
+                hits=len(hit_keys),
+                misses=len(misses),
+                upgrades=len(upgrades),
+            )
         for key in hit_keys:
             leaf_times[key] = lookup_done
 
@@ -275,37 +346,70 @@ class QueryService:
             # lives in the delta shard (rebuilds flush the cache), so the
             # cached answer plus a delta-only evaluation is the full answer
             # (a word-wise OR; the stale bitmap zero-pads to the new count).
-            delta_answers = executor.eval_delta_leaves(
-                [leaf for _key, leaf, _entry in upgrades]
+            upgrade_span = (
+                tracer.span("upgrade", n_leaves=len(upgrades))
+                if tracer is not None
+                else None
             )
-            for (key, _leaf, entry), (delta_bits, done) in zip(
-                upgrades, delta_answers
-            ):
-                if bitset:
-                    merged = entry.indexes | delta_bits
-                    if removed_bits is not None:
-                        merged = merged.andnot(removed_bits)
-                else:
-                    merged = frozenset(
-                        (entry.indexes | delta_bits.to_frozenset()) - removed
-                    )
-                leaf_results[key] = merged
-                leaf_times[key] = done
-                upgrade_keys.add(key)
-                self.cache.put(key, merged, generation=generation,
-                               watermark=watermark)
-            self.cache.note_upgrades(len(upgrades))
+            if upgrade_span is not None:
+                upgrade_span.__enter__()
+            try:
+                upgrade_leaves = [leaf for _key, leaf, _entry in upgrades]
+                # The tracer kwarg is only passed when tracing: the hot
+                # path keeps the exact legacy call shape (and so do test
+                # doubles that stub the executor).
+                delta_answers = (
+                    executor.eval_delta_leaves(upgrade_leaves)
+                    if tracer is None
+                    else executor.eval_delta_leaves(upgrade_leaves, tracer=tracer)
+                )
+                for (key, _leaf, entry), (delta_bits, done) in zip(
+                    upgrades, delta_answers
+                ):
+                    if bitset:
+                        merged = entry.indexes | delta_bits
+                        if removed_bits is not None:
+                            merged = merged.andnot(removed_bits)
+                    else:
+                        merged = frozenset(
+                            (entry.indexes | delta_bits.to_frozenset()) - removed
+                        )
+                    leaf_results[key] = merged
+                    leaf_times[key] = done
+                    upgrade_keys.add(key)
+                    self.cache.put(key, merged, generation=generation,
+                                   watermark=watermark)
+                self.cache.note_upgrades(len(upgrades))
+            finally:
+                if upgrade_span is not None:
+                    upgrade_span.__exit__(None, None, None)
         miss_keys: set = set()
         if misses:
-            evaluated = executor.eval_leaves([leaf for _, leaf in misses])
-            for (key, _leaf), (answer, done) in zip(misses, evaluated):
-                # The executor masks tombstones before returning.
-                value = answer if bitset else answer.to_frozenset()
-                leaf_results[key] = value
-                leaf_times[key] = done
-                miss_keys.add(key)
-                self.cache.put(key, value, generation=generation,
-                               watermark=watermark)
+            execute_span = (
+                tracer.span("execute", n_leaves=len(misses))
+                if tracer is not None
+                else None
+            )
+            if execute_span is not None:
+                execute_span.__enter__()
+            try:
+                miss_leaves = [leaf for _, leaf in misses]
+                evaluated = (
+                    executor.eval_leaves(miss_leaves)
+                    if tracer is None
+                    else executor.eval_leaves(miss_leaves, tracer=tracer)
+                )
+                for (key, _leaf), (answer, done) in zip(misses, evaluated):
+                    # The executor masks tombstones before returning.
+                    value = answer if bitset else answer.to_frozenset()
+                    leaf_results[key] = value
+                    leaf_times[key] = done
+                    miss_keys.add(key)
+                    self.cache.put(key, value, generation=generation,
+                                   watermark=watermark)
+            finally:
+                if execute_span is not None:
+                    execute_span.__exit__(None, None, None)
         shared_done = time.perf_counter()
         shared_s = shared_done - start  # plan + cache + leaf evaluation
 
@@ -352,6 +456,14 @@ class QueryService:
                 else:
                     result = QueryResult(indexes=sorted(answer))
             assembled = time.perf_counter()
+            if tracer is not None:
+                tracer.record_span(
+                    "assemble",
+                    assembly_start,
+                    assembled,
+                    query=qi,
+                    out_size=result.out_size,
+                )
             hits = sum(1 for k in plan.leaves if k in hit_keys)
             charged_misses = sum(
                 1
@@ -368,6 +480,10 @@ class QueryService:
                 for k in plan.leaves
                 if k in evaluated_keys and charge_owner[k] != qi
             )
+            # The planning/cache/eval phase is shared by the whole batch;
+            # each query is charged that phase plus its own assembly, not
+            # the assembly of the queries before it.
+            latency_s = shared_s + (assembled - assembly_start)
             result.stats.update(
                 {
                     "cache_hits": hits,
@@ -377,14 +493,12 @@ class QueryService:
                     "n_leaves_raw": plan.n_leaves_raw,
                     "n_leaves_unique": plan.n_leaves_unique,
                     "n_shards": executor.n_shards,
+                    "latency_s": latency_s,
                 }
             )
             self.telemetry.record_query(
                 QueryRecord(
-                    # The planning/cache/eval phase is shared by the whole
-                    # batch; each query is charged that phase plus its own
-                    # assembly, not the assembly of the queries before it.
-                    latency_s=shared_s + (assembled - assembly_start),
+                    latency_s=latency_s,
                     n_leaves_raw=plan.n_leaves_raw,
                     n_leaves_unique=plan.n_leaves_unique,
                     cache_hits=hits,

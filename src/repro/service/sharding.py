@@ -382,6 +382,10 @@ class ShardedBatchExecutor:
         mapping: Sequence[int],
         lock: threading.Lock,
         leaves: Sequence[Predicate],
+        tracer=None,
+        parent=None,
+        span_name: str = "shard_eval",
+        span_meta: Optional[dict] = None,
     ) -> list[tuple[DatasetBitmap, float]]:
         """All leaves on one shard as *global* packed bitsets.
 
@@ -404,28 +408,49 @@ class ShardedBatchExecutor:
         the merge can report when the whole leaf (max over shards) finished;
         batched leaves share the batch's completion stamp, which is exactly
         when their answers became available.
+
+        With a tracer the whole unit evaluation runs under a per-unit
+        span (``shard_eval`` / ``delta_eval``); ``parent`` links it to
+        the caller's span across the thread-pool boundary, and the
+        engine's own ``engine_leaf_batch`` span nests inside because the
+        per-unit span tops this worker thread's span stack.
         """
+        span = (
+            tracer.span(span_name, parent=parent, **(span_meta or {}))
+            if tracer is not None
+            else None
+        )
         out: list[tuple[DatasetBitmap, float]] = []
-        with lock:
-            # Compile the mapping once per unit call, not once per leaf:
-            # the contiguity probe is O(shard size) and the mapping is
-            # fixed for the duration (the delta mapping grows in place
-            # only under this same lock).  Ascending mapping: the unit's
-            # global universe ends one past its largest id.
-            nbits = (int(mapping[-1]) + 1) if len(mapping) else 0
-            to_global = make_remapper(mapping, nbits)
-            if self._batch_leaves:
-                if any(isinstance(l.measure, PercentileMeasure) for l in leaves):
-                    self._pin_ptile(engine)
-                locals_ = engine.eval_leaf_batch_bits(leaves)
-                done = time.perf_counter()
-                out = [(to_global(local), done) for local in locals_]
-            else:
-                for leaf in leaves:
-                    if isinstance(leaf.measure, PercentileMeasure):
+        if span is not None:
+            span.__enter__()
+        try:
+            with lock:
+                # Compile the mapping once per unit call, not once per leaf:
+                # the contiguity probe is O(shard size) and the mapping is
+                # fixed for the duration (the delta mapping grows in place
+                # only under this same lock).  Ascending mapping: the unit's
+                # global universe ends one past its largest id.
+                nbits = (int(mapping[-1]) + 1) if len(mapping) else 0
+                to_global = make_remapper(mapping, nbits)
+                if self._batch_leaves:
+                    if any(isinstance(l.measure, PercentileMeasure) for l in leaves):
                         self._pin_ptile(engine)
-                    local = engine.eval_leaf_bits(leaf)
-                    out.append((to_global(local), time.perf_counter()))
+                    locals_ = (
+                        engine.eval_leaf_batch_bits(leaves)
+                        if tracer is None
+                        else engine.eval_leaf_batch_bits(leaves, tracer=tracer)
+                    )
+                    done = time.perf_counter()
+                    out = [(to_global(local), done) for local in locals_]
+                else:
+                    for leaf in leaves:
+                        if isinstance(leaf.measure, PercentileMeasure):
+                            self._pin_ptile(engine)
+                        local = engine.eval_leaf_bits(leaf)
+                        out.append((to_global(local), time.perf_counter()))
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
         with self._stats_lock:
             self.stats["shard_tasks"] += len(out)
         return out
@@ -458,39 +483,73 @@ class ShardedBatchExecutor:
         return bits
 
     def _eval_on_units(
-        self, units: Sequence[tuple], leaves: Sequence[Predicate]
+        self, units: Sequence[tuple], leaves: Sequence[Predicate], tracer=None
     ) -> list[tuple[DatasetBitmap, float]]:
-        """Fan a leaf batch over the given units and merge (masked) answers."""
+        """Fan a leaf batch over the given units and merge (masked) answers.
+
+        With a tracer each unit gets its own span (``shard_eval`` with a
+        ``shard`` index for base shards, ``delta_eval`` for the delta
+        shard), parented to the caller's current span so pool-thread spans
+        land in the right tree, and the merge loop runs under a ``merge``
+        span.
+        """
         if not units:
             stamp = time.perf_counter()
             return [(DatasetBitmap.zeros(0), stamp) for _ in leaves]
+        if tracer is not None:
+            parent = tracer.current()
+            calls = []
+            for engine, mapping, lock in units:
+                if engine is self.delta_engine:
+                    name, meta = "delta_eval", {"n_datasets": len(mapping)}
+                else:
+                    name = "shard_eval"
+                    meta = {
+                        "shard": self.engines.index(engine),
+                        "n_datasets": len(mapping),
+                    }
+                calls.append(
+                    (engine, mapping, lock, leaves, tracer, parent, name, meta)
+                )
+        else:
+            calls = [(*unit, leaves) for unit in units]
         pool = self._pool  # snapshot: close() may null it concurrently
         if pool is None or len(units) == 1:
-            per_unit = [self._eval_on_unit(*unit, leaves) for unit in units]
+            per_unit = [self._eval_on_unit(*call) for call in calls]
         else:
             try:
                 futures = [
-                    pool.submit(self._eval_on_unit, *unit, leaves)
-                    for unit in units
+                    pool.submit(self._eval_on_unit, *call) for call in calls
                 ]
             except RuntimeError:
                 # The pool was shut down between the snapshot and submit (a
                 # rebuild closed this executor mid-batch).  The engines and
                 # locks are still intact, so finish the batch serially.
-                per_unit = [self._eval_on_unit(*unit, leaves) for unit in units]
+                per_unit = [self._eval_on_unit(*call) for call in calls]
             else:
                 per_unit = [f.result() for f in futures]
-        removed = self.removed_bits()
-        out: list[tuple[DatasetBitmap, float]] = []
-        for li in range(len(leaves)):
-            merged, done = per_unit[0][li]
-            for answers in per_unit[1:]:
-                indexes, stamp = answers[li]
-                merged = merged | indexes
-                done = max(done, stamp)
-            if removed is not None:
-                merged = merged.andnot(removed)
-            out.append((merged, done))
+        merge_span = (
+            tracer.span("merge", n_units=len(units), n_leaves=len(leaves))
+            if tracer is not None
+            else None
+        )
+        if merge_span is not None:
+            merge_span.__enter__()
+        try:
+            removed = self.removed_bits()
+            out: list[tuple[DatasetBitmap, float]] = []
+            for li in range(len(leaves)):
+                merged, done = per_unit[0][li]
+                for answers in per_unit[1:]:
+                    indexes, stamp = answers[li]
+                    merged = merged | indexes
+                    done = max(done, stamp)
+                if removed is not None:
+                    merged = merged.andnot(removed)
+                out.append((merged, done))
+        finally:
+            if merge_span is not None:
+                merge_span.__exit__(None, None, None)
         return out
 
     # ------------------------------------------------------------------
@@ -505,7 +564,7 @@ class ShardedBatchExecutor:
         return self.eval_leaves([leaf])[0][0].to_frozenset()
 
     def eval_leaves(
-        self, leaves: Sequence[Predicate]
+        self, leaves: Sequence[Predicate], tracer=None
     ) -> list[tuple[DatasetBitmap, float]]:
         """A batch of leaves across base shards plus the delta shard.
 
@@ -519,13 +578,13 @@ class ShardedBatchExecutor:
         leaves = list(leaves)
         if not leaves:
             return []
-        out = self._eval_on_units(self._units(), leaves)
+        out = self._eval_on_units(self._units(), leaves, tracer=tracer)
         with self._stats_lock:
             self.stats["leaf_evals"] += len(out)
         return out
 
     def eval_delta_leaves(
-        self, leaves: Sequence[Predicate]
+        self, leaves: Sequence[Predicate], tracer=None
     ) -> list[tuple[DatasetBitmap, float]]:
         """A leaf batch on the delta shard only (masked global bitsets).
 
@@ -540,7 +599,9 @@ class ShardedBatchExecutor:
         leaves = list(leaves)
         if not leaves:
             return []
-        out = self._eval_on_units(self._units(delta_only=True), leaves)
+        out = self._eval_on_units(
+            self._units(delta_only=True), leaves, tracer=tracer
+        )
         with self._stats_lock:
             self.stats["delta_evals"] += len(out)
         return out

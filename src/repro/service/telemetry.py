@@ -14,6 +14,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.service.observability import Histogram
+
 
 @dataclass
 class QueryRecord:
@@ -60,6 +62,13 @@ class ServiceTelemetry:
         if window < 1:
             raise ValueError("window must be positive")
         self._latencies: deque[float] = deque(maxlen=window)
+        # Lifetime latency distributions in fixed log-spaced buckets: the
+        # window above forgets, these never do, and they are the same
+        # Histogram objects the metrics registry renders on /metrics
+        # (adopted by ServiceObservability), so /stats quantiles and
+        # scraped bucket counts come from one source.
+        self.latency_histogram = Histogram()
+        self.batch_histogram = Histogram()
         # /stats may be read by one server thread while another records a
         # query; sorting the deque mid-append raises RuntimeError otherwise.
         self._lock = threading.Lock()
@@ -87,6 +96,7 @@ class ServiceTelemetry:
             self.total_shared_leaves += record.shared_leaves
             self.total_out += record.out_size
             self._latencies.append(record.latency_s)
+        self.latency_histogram.observe(record.latency_s)
 
     def record_batch(self, n_queries: int, wall_s: float) -> None:
         """One ``search_batch`` call: batch count and its wall-clock time."""
@@ -94,6 +104,7 @@ class ServiceTelemetry:
         with self._lock:
             self.n_batches += 1
             self.total_batch_wall_s += wall_s
+        self.batch_histogram.observe(wall_s)
 
     def _throughput_qps_locked(self) -> float:
         if self.total_batch_wall_s <= 0.0:
@@ -147,6 +158,12 @@ class ServiceTelemetry:
             "latency_p50_s": defined(percentile(recent, 50.0)),
             "latency_p95_s": defined(percentile(recent, 95.0)),
             "latency_max_s": recent[-1] if recent else None,
+            # Lifetime bucket-derived quantiles (upper bucket bound, so
+            # conservative within one power-of-two bucket) — unlike the
+            # windowed percentiles above, these never forget.
+            "latency_bucket_p50_s": defined(self.latency_histogram.quantile(50.0)),
+            "latency_bucket_p95_s": defined(self.latency_histogram.quantile(95.0)),
+            "latency_bucket_p99_s": defined(self.latency_histogram.quantile(99.0)),
             "leaves_raw": leaves_raw,
             "leaves_unique": leaves_unique,
             "cache_hits": cache_hits,

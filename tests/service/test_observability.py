@@ -1,0 +1,455 @@
+"""Tests for the observability layer: histograms, tracer, slow log, registry.
+
+Covers the satellite requirements explicitly: a property test that merged
+histogram quantiles bracket the pooled-sample quantiles, and span
+nesting/ordering under ``search_batch`` with mixed cache hits and misses.
+"""
+
+import math
+import re
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.framework import Repository
+from repro.core.measures import PercentileMeasure, PreferenceMeasure
+from repro.core.predicates import And, Predicate, pred
+from repro.geometry.interval import Interval
+from repro.geometry.rectangle import Rectangle
+from repro.service import QueryService
+from repro.service.observability import (
+    Histogram,
+    MetricsRegistry,
+    SlowQueryLog,
+    Tracer,
+    default_latency_bounds,
+)
+from repro.workloads.generators import synthetic_data_lake
+
+
+def nearest_rank(sorted_values, q):
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+class TestHistogram:
+    def test_bucket_placement_and_totals(self):
+        h = Histogram(bounds=(0.001, 0.01, 0.1))
+        for v in (0.0005, 0.001, 0.002, 0.5):
+            h.observe(v)
+        # 0.001 lands in its own bucket (le semantics: first bound >= v).
+        assert h.counts.tolist() == [2, 1, 0, 1]
+        assert h.count == 4
+        assert h.sum == pytest.approx(0.5035)
+
+    def test_default_bounds_are_strictly_increasing(self):
+        bounds = default_latency_bounds()
+        assert all(b > a for a, b in zip(bounds, bounds[1:]))
+        assert bounds[0] == pytest.approx(1e-6)
+
+    def test_merge_is_vector_addition(self):
+        a, b = Histogram(), Histogram()
+        for v in (1e-5, 2e-3):
+            a.observe(v)
+        b.observe(0.5)
+        merged = a.merge(b)
+        assert merged.count == 3
+        assert merged.counts.sum() == 3
+        assert (merged.counts == a.counts + b.counts).all()
+        # Operands are untouched.
+        assert a.count == 2 and b.count == 1
+
+    def test_merge_rejects_different_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 2.0)).merge(Histogram(bounds=(1.0, 3.0)))
+
+    def test_empty_quantile_is_nan(self):
+        assert math.isnan(Histogram().quantile(50.0))
+
+    def test_overflow_quantile_reports_lower_bound(self):
+        h = Histogram(bounds=(1.0, 2.0))
+        h.observe(100.0)
+        lo, hi = h.quantile_bounds(50.0)
+        assert lo == 2.0 and math.isinf(hi)
+        assert h.quantile(50.0) == 2.0
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(101.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(min_value=1e-7, max_value=50.0,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=40,
+            ),
+            min_size=1, max_size=5,
+        ),
+        st.sampled_from([50.0, 90.0, 95.0, 99.0]),
+    )
+    def test_merged_quantiles_bracket_pooled_sample(self, groups, q):
+        # Satellite requirement: merging per-worker histograms must answer
+        # quantile queries consistently with pooling the raw samples.
+        merged = Histogram()
+        for group in groups:
+            h = Histogram()
+            for v in group:
+                h.observe(v)
+            merged = merged.merge(h)
+        pooled = sorted(v for group in groups for v in group)
+        truth = nearest_rank(pooled, q)
+        lo, hi = merged.quantile_bounds(q)
+        assert lo < truth <= hi or (truth <= hi and lo == 0.0)
+        estimate = merged.quantile(q)
+        # The point estimate is conservative (never under the truth when
+        # finite) and within one power-of-two bucket.
+        if math.isfinite(hi):
+            assert estimate >= truth
+            assert estimate <= truth * 2.0 or estimate == merged.bounds[0]
+
+    def test_snapshot_shape(self):
+        h = Histogram(bounds=(0.001, 1.0))
+        h.observe(0.01)
+        snap = h.snapshot()
+        assert snap["count"] == 1 and snap["sum_s"] == pytest.approx(0.01)
+        assert snap["counts"] == [0, 1, 0]
+        assert snap["p50_s"] == 1.0 and snap["p99_s"] == 1.0
+
+    def test_thread_safety_of_observe(self):
+        h = Histogram()
+
+        def pound():
+            for _ in range(2000):
+                h.observe(1e-4)
+
+        threads = [threading.Thread(target=pound) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == 8000 and h.counts.sum() == 8000
+
+
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9].*$"
+)
+
+
+class TestMetricsRegistry:
+    def test_counters_and_labels(self):
+        reg = MetricsRegistry()
+        reg.describe("x_total", "counter", "Things.")
+        reg.inc("x_total", {"kind": "a"})
+        reg.inc("x_total", {"kind": "a"}, by=2)
+        reg.inc("x_total", {"kind": "b"})
+        assert reg.counter_value("x_total", {"kind": "a"}) == 3
+        body = reg.render()
+        assert 'x_total{kind="a"} 3' in body
+        assert 'x_total{kind="b"} 1' in body
+
+    def test_histogram_rendering_is_cumulative(self):
+        reg = MetricsRegistry()
+        reg.declare_histogram("h_seconds", "H.", bounds=(0.001, 0.01))
+        for v in (0.0005, 0.005, 5.0):
+            reg.observe("h_seconds", v)
+        body = reg.render()
+        assert 'h_seconds_bucket{le="0.001"} 1' in body
+        assert 'h_seconds_bucket{le="0.01"} 2' in body
+        assert 'h_seconds_bucket{le="+Inf"} 3' in body
+        assert "h_seconds_count 3" in body
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.inc("y_total", {"q": 'a"b\\c'})
+        assert 'q="a\\"b\\\\c"' in reg.render()
+
+    def test_every_sample_line_parses(self):
+        reg = MetricsRegistry()
+        reg.declare_histogram("h_seconds", "H.")
+        reg.observe("h_seconds", 0.2, {"stage": "plan"})
+        reg.inc("n_total")
+        for line in reg.render().splitlines():
+            if not line or line.startswith("#"):
+                continue
+            assert SAMPLE_LINE.match(line), line
+
+    def test_adopted_histogram_renders_live_counts(self):
+        reg = MetricsRegistry()
+        h = Histogram(bounds=(1.0,))
+        reg.declare_histogram("ext_seconds", "External.", bounds=(1.0,))
+        reg.adopt_histogram("ext_seconds", h)
+        h.observe(0.5)  # owner observes after adoption
+        assert "ext_seconds_count 1" in reg.render()
+
+
+class TestTracer:
+    def test_nesting_and_parent_links(self):
+        tracer = Tracer()
+        with tracer.span("a") as a:
+            with tracer.span("b") as b:
+                with tracer.span("c") as c:
+                    pass
+            with tracer.span("d") as d:
+                pass
+        assert tracer.root is a
+        assert [s.name for s in a.children] == ["b", "d"]
+        assert b.children == [c] and c.parent is b and d.parent is a
+
+    def test_cross_thread_explicit_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            parent = tracer.current()
+
+            def worker():
+                with tracer.span("w", parent=parent):
+                    with tracer.span("inner"):
+                        pass
+
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        w = root.children[0]
+        assert w.name == "w" and [c.name for c in w.children] == ["inner"]
+
+    def test_record_span_attaches_and_feeds_registry(self):
+        reg = MetricsRegistry()
+        reg.declare_histogram("repro_stage_seconds", "S.")
+        tracer = Tracer(registry=reg)
+        with tracer.span("root"):
+            span = tracer.record_span("phase", 10.0, 10.5, detail=1)
+        assert span.duration_s == pytest.approx(0.5)
+        assert tracer.root.children == [span]
+        assert reg.histogram("repro_stage_seconds", {"stage": "phase"}).count == 1
+
+    def test_to_dict_times_are_root_relative(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        d = tracer.root.to_dict()
+        assert d["start_s"] == 0.0
+        child = d["children"][0]
+        assert 0.0 <= child["start_s"] <= d["duration_s"]
+        assert child["duration_s"] <= d["duration_s"]
+
+
+class TestSlowQueryLog:
+    def test_disabled_by_default(self):
+        log = SlowQueryLog()
+        assert not log.enabled
+        assert log.record({"latency_ms": 1e9}) is False
+        assert log.snapshot() == []
+
+    def test_keeps_k_worst(self):
+        log = SlowQueryLog(k=3, threshold_ms=1.0)
+        for ms in (5.0, 2.0, 9.0, 0.5, 7.0, 3.0):
+            log.record({"latency_ms": ms})
+        assert [e["latency_ms"] for e in log.snapshot()] == [9.0, 7.0, 5.0]
+        assert log.n_recorded == 5  # 0.5 never counted
+
+    def test_threshold_is_inclusive(self):
+        log = SlowQueryLog(k=4, threshold_ms=2.0)
+        assert log.record({"latency_ms": 2.0}) is True
+
+    def test_clear(self):
+        log = SlowQueryLog(k=2, threshold_ms=0.0)
+        log.record({"latency_ms": 1.0})
+        log.clear()
+        assert log.snapshot() == []
+
+
+@pytest.fixture(scope="module")
+def lake():
+    return synthetic_data_lake(
+        10, 1, np.random.default_rng(0), family="clustered", median_size=150
+    )
+
+
+def make_service(lake, **kwargs):
+    return QueryService(
+        repository=Repository.from_arrays(lake),
+        n_shards=2,
+        eps=0.2,
+        sample_size=8,
+        seed=1,
+        capacity=20,
+        **kwargs,
+    )
+
+
+P1 = pred(PercentileMeasure(Rectangle([0.0], [0.5])), 0.1)
+P2 = pred(PercentileMeasure(Rectangle([0.4], [0.9])), 0.05)
+PR = Predicate(PreferenceMeasure(np.array([1.0]), k=2), Interval.at_least(0.2))
+
+
+def top_level(trace):
+    return [c["name"] for c in trace["children"]]
+
+
+class TestServiceTracing:
+    def test_untraced_results_have_no_trace(self, lake):
+        with make_service(lake) as svc:
+            assert svc.search(P1).trace is None
+
+    def test_cold_batch_span_tree(self, lake):
+        with make_service(lake) as svc:
+            results = svc.search_batch([And([P1, P2]), PR], trace=True)
+            trace = results[0].trace
+            assert trace["name"] == "search_batch"
+            assert trace["meta"]["n_queries"] == 2
+            names = top_level(trace)
+            # Stage order is the pipeline order; every query gets its own
+            # assembly span tagged with its index.
+            assert names == [
+                "plan", "cache_lookup", "execute", "assemble", "assemble",
+            ]
+            assembles = [c for c in trace["children"] if c["name"] == "assemble"]
+            assert [a["meta"]["query"] for a in assembles] == [0, 1]
+            execute = trace["children"][2]
+            shard_names = [c["name"] for c in execute["children"]]
+            assert shard_names.count("shard_eval") == 2
+            assert shard_names[-1] == "merge"
+            for shard in execute["children"][:-1]:
+                kernel_names = [c["name"] for c in shard.get("children", [])]
+                assert kernel_names == ["engine_leaf_batch"]
+            # Both results of the batch share the one span tree.
+            assert results[1].trace is trace
+
+    def test_mixed_hit_miss_batch(self, lake):
+        with make_service(lake) as svc:
+            svc.search(P1)  # warm one leaf
+            trace = svc.search_batch([P1, P2], trace=True)[0].trace
+            lookup = trace["children"][1]
+            assert lookup["name"] == "cache_lookup"
+            assert lookup["meta"] == {"hits": 1, "misses": 1, "upgrades": 0}
+            assert "execute" in top_level(trace)
+
+    def test_warm_batch_has_no_execute_span(self, lake):
+        with make_service(lake) as svc:
+            svc.search_batch([P1, P2])
+            trace = svc.search_batch([P1, P2], trace=True)[0].trace
+            names = top_level(trace)
+            assert "execute" not in names and "upgrade" not in names
+            assert names[:2] == ["plan", "cache_lookup"]
+
+    def test_upgrade_span_after_ingest(self, lake):
+        rng = np.random.default_rng(7)
+        with make_service(lake) as svc:
+            svc.search(P1)  # cache below the coming watermark
+            svc.add_datasets([rng.uniform(0.0, 0.6, (60, 1))])
+            trace = svc.search(P1, trace=True).trace
+            names = top_level(trace)
+            assert "upgrade" in names and "execute" not in names
+            upgrade = trace["children"][names.index("upgrade")]
+            child_names = [c["name"] for c in upgrade["children"]]
+            assert "delta_eval" in child_names and "merge" in child_names
+
+    def test_stage_durations_sum_to_total(self, lake):
+        with make_service(lake) as svc:
+            trace = svc.search_batch([P1, P2, PR], trace=True)[0].trace
+            total = trace["duration_s"]
+            stage_sum = sum(c["duration_s"] for c in trace["children"])
+            assert 0.0 < stage_sum <= total * 1.0001
+            assert stage_sum >= 0.5 * total
+            # Top-level stages are sequential: ordered, non-overlapping.
+            spans = trace["children"]
+            for a, b in zip(spans, spans[1:]):
+                assert a["start_s"] + a["duration_s"] <= b["start_s"] + 1e-9
+
+    def test_service_level_tracing_default_and_override(self, lake):
+        with make_service(lake, tracing=True) as svc:
+            assert svc.search(P1).trace is not None
+            assert svc.search(P1, trace=False).trace is None
+
+    def test_tracing_feeds_stage_histograms(self, lake):
+        with make_service(lake) as svc:
+            svc.search_batch([P1, P2], trace=True)
+            reg = svc.observability.registry
+            for stage in ("plan", "cache_lookup", "execute", "assemble",
+                          "search_batch"):
+                assert reg.histogram(
+                    "repro_stage_seconds", {"stage": stage}
+                ).count >= 1, stage
+
+    def test_trace_and_record_times_share_origin(self, lake):
+        with make_service(lake) as svc:
+            result = svc.search(P1, record_times=True, trace=True)
+            assert result.trace["start_s"] == 0.0
+            # Emit stamps fall inside the root span's window.
+            for t in result.emit_times:
+                assert result.start_time <= t
+                assert t - result.start_time <= result.trace["duration_s"] + 1e-9
+
+
+class TestServiceSlowLogAndStats:
+    def test_slow_log_records_with_trace(self, lake):
+        with make_service(lake, slow_query_threshold_ms=0.0) as svc:
+            svc.search(P1, trace=True)
+            entries = svc.observability.slow_log.snapshot()
+            assert entries
+            worst = entries[0]
+            assert worst["latency_ms"] >= 0.0
+            assert "Pred" in worst["expression"]
+            assert worst["stats"]["n_leaves_unique"] == 1
+            assert worst["trace"]["name"] == "search_batch"
+
+    def test_slow_log_disabled_records_nothing(self, lake):
+        with make_service(lake) as svc:
+            svc.search(P1)
+            assert svc.observability.slow_log.n_recorded == 0
+
+    def test_latency_s_in_result_stats(self, lake):
+        with make_service(lake) as svc:
+            result = svc.search(P1)
+            assert result.stats["latency_s"] > 0.0
+
+    def test_stats_and_metrics_agree(self, lake):
+        with make_service(lake) as svc:
+            svc.search_batch([P1, P2, PR])
+            svc.search(P1)
+            stats = svc.stats()
+            body = svc.observability.render_prometheus()
+
+            def sample(name):
+                for line in body.splitlines():
+                    if line.startswith(name + " "):
+                        return float(line.split()[-1])
+                raise AssertionError(f"{name} not rendered")
+
+            assert sample("repro_queries_total") == stats["telemetry"]["n_queries"]
+            assert sample("repro_cache_hits_total") == stats["cache"]["hits"]
+            assert sample("repro_cache_misses_total") == stats["cache"]["misses"]
+            assert sample("repro_datasets_live") == stats["n_live"]
+            assert sample("repro_cache_resident_bytes") == (
+                stats["cache"]["resident_bytes"]
+            )
+
+    def test_metrics_exposes_shard_and_request_families(self, lake):
+        with make_service(lake) as svc:
+            svc.search(P1)
+            body = svc.observability.render_prometheus()
+            assert 'repro_shard_size{shard="0"}' in body
+            assert 'repro_shard_size{shard="1"}' in body
+            assert "repro_query_seconds_bucket" in body
+            assert "repro_batch_seconds_count" in body
+            for line in body.splitlines():
+                if not line or line.startswith("#"):
+                    continue
+                assert SAMPLE_LINE.match(line), line
+
+    def test_stats_observability_section(self, lake):
+        with make_service(
+            lake, slow_query_threshold_ms=5.0, slow_log_size=8, tracing=True
+        ) as svc:
+            obs = svc.stats()["observability"]
+            assert obs == {
+                "tracing": True,
+                "slow_query_threshold_ms": 5.0,
+                "slow_log_size": 8,
+                "slow_queries": 0,
+            }

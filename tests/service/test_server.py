@@ -215,6 +215,62 @@ class TestEndpoints:
         out = _post(server_url + "/search", {"expression": PTILE})
         assert "duration_s" not in out and out["emit_times"] == []
 
+    def test_search_trace_opt_in(self, server_url):
+        plain = _post(server_url + "/search", {"expression": PTILE})
+        assert "trace" not in plain
+        traced = _post(
+            server_url + "/search", {"expression": PTILE, "trace": True}
+        )
+        trace = traced["trace"]
+        assert trace["name"] == "search_batch" and trace["start_s"] == 0.0
+        stages = [c["name"] for c in trace["children"]]
+        assert stages[0] == "plan" and "assemble" in stages
+        assert trace["duration_s"] > 0.0
+
+    def test_batch_trace_is_top_level(self, server_url):
+        out = _post(
+            server_url + "/search/batch",
+            {"expressions": [PTILE, PREF], "trace": True},
+        )
+        assert out["trace"]["meta"]["n_queries"] == 2
+        assert all("trace" not in r for r in out["results"])
+
+    def test_batch_record_times_are_relative(self, server_url):
+        out = _post(
+            server_url + "/search/batch",
+            {"expressions": [PTILE, PREF], "record_times": True},
+        )
+        for r in out["results"]:
+            assert r["duration_s"] > 0.0
+            assert len(r["emit_times"]) == len(r["indexes"])
+            for t in r["emit_times"]:
+                assert 0.0 <= t <= r["duration_s"]
+
+    def test_metrics_endpoint(self, server_url):
+        _post(server_url + "/search", {"expression": PTILE, "trace": True})
+        req = urllib.request.Request(server_url + "/metrics")
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            body = resp.read().decode("utf-8")
+        for family in (
+            "repro_stage_seconds",
+            "repro_query_seconds",
+            "repro_request_seconds",
+            "repro_requests_total",
+            "repro_cache_hit_ratio",
+            "repro_shard_size",
+            "repro_datasets_live",
+        ):
+            assert f"# TYPE {family}" in body, family
+        assert 'endpoint="/search"' in body
+
+    def test_stats_slow_endpoint(self, server_url):
+        out = _get(server_url + "/stats/slow")
+        # The shared server has no threshold configured.
+        assert out == {
+            "threshold_ms": None, "n_recorded": 0, "slow_queries": [],
+        }
+
 
 def _request(url: str, payload: dict, method: str) -> dict:
     req = urllib.request.Request(
@@ -246,6 +302,38 @@ def mutable_server_url():
     httpd.shutdown()
     httpd.server_close()
     service.close()
+
+
+def test_slow_log_over_http():
+    lake = synthetic_data_lake(
+        8, 1, np.random.default_rng(2), family="clustered", median_size=100
+    )
+    service = QueryService(
+        repository=Repository.from_arrays(lake),
+        n_shards=2,
+        eps=0.2,
+        sample_size=8,
+        seed=1,
+        slow_query_threshold_ms=0.0,
+    )
+    httpd = make_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address
+    url = f"http://{host}:{port}"
+    try:
+        _post(url + "/search", {"expression": PTILE, "trace": True})
+        out = _get(url + "/stats/slow")
+        assert out["threshold_ms"] == 0.0 and out["n_recorded"] >= 1
+        worst = out["slow_queries"][0]
+        assert worst["latency_ms"] >= 0.0
+        assert worst["trace"]["name"] == "search_batch"
+        stats = _get(url + "/stats")
+        assert stats["observability"]["slow_queries"] == out["n_recorded"]
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        service.close()
 
 
 class TestMutationEndpoints:

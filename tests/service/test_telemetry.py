@@ -51,6 +51,30 @@ class TestSummary:
     def test_throughput_zero_before_first_batch(self):
         assert ServiceTelemetry().throughput_qps == 0.0
 
+    def test_empty_window_summary_has_no_nan(self):
+        out = ServiceTelemetry().summary()
+        assert out["throughput_qps"] == 0.0
+        assert out["latency_bucket_p50_s"] is None
+        assert "NaN" not in json.dumps(out)
+
+    def test_bucket_quantiles_track_lifetime_distribution(self):
+        tel = ServiceTelemetry(window=2)  # window forgets, buckets do not
+        for latency in (0.0001, 0.0001, 0.0001, 0.05, 0.05):
+            tel.record_query(record(latency))
+        out = tel.summary()
+        # The two slow queries fell out of the window but not the buckets.
+        assert out["latency_p50_s"] == pytest.approx(0.05)
+        assert out["latency_bucket_p50_s"] <= 0.001
+        assert out["latency_bucket_p99_s"] >= 0.05
+        # Bucket estimates are conservative: upper bound of the bucket.
+        assert out["latency_bucket_p50_s"] >= 0.0001
+
+    def test_batch_histogram_observes_wall_time(self):
+        tel = ServiceTelemetry()
+        tel.record_batch(3, 0.02)
+        assert tel.batch_histogram.count == 1
+        assert tel.batch_histogram.sum == pytest.approx(0.02)
+
     def test_summary_is_consistent_under_concurrent_recording(self):
         """/stats is read by one server thread while others record; the
         snapshot must be taken under the lock so the derived ratios are

@@ -35,7 +35,9 @@ def run_case(n_samples: int, dim: int, seed: int) -> dict:
     t_naive = time_callable(
         lambda: enumerate_maximal_pairs_naive(grid, matchable_only=False), repeats=1
     )
-    key = lambda p: (tuple(p[0].lo), tuple(p[0].hi), tuple(p[1].lo), tuple(p[1].hi))
+    def key(p):
+        return (tuple(p[0].lo), tuple(p[0].hi), tuple(p[1].lo), tuple(p[1].hi))
+
     agree = {key(p) for p in pruned} == {key(p) for p in naive_matchable}
     return {
         "s": n_samples,

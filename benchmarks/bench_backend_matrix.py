@@ -172,7 +172,7 @@ def main(argv=None) -> int:
         by_engine["kd"]["batch_s_per_query"]
         / by_engine["columnar"]["batch_s_per_query"]
     )
-    print(f"All backends returned identical answer sets at every size.")
+    print("All backends returned identical answer sets at every size.")
     print(f"columnar vs kd at N={largest}: {speedup:.1f}x single-query, "
           f"{batch_speedup:.1f}x batched")
     if args.smoke:

@@ -30,7 +30,9 @@ def check_instance(seed: int, n_samples: int, dim: int) -> dict:
     grid = RectangleGrid(pts, box)
     pruned = enumerate_maximal_pairs(grid)
     naive = enumerate_maximal_pairs_naive(grid, matchable_only=True)
-    key = lambda p: (tuple(p[0].lo), tuple(p[0].hi), tuple(p[1].lo), tuple(p[1].hi))
+    def key(p):
+        return (tuple(p[0].lo), tuple(p[0].hi), tuple(p[1].lo), tuple(p[1].hi))
+
     agree = {key(p) for p in pruned} == {key(p) for p in naive}
     # For random queries, any matched pair's inner rect must be maximal.
     maximal_ok = True

@@ -18,7 +18,6 @@ from repro.core.framework import Dataset
 from repro.core.measures import PercentileMeasure
 from repro.core.predicates import And, Or, pred
 from repro.core.ptile_logical import PtileLogicalIndex
-from repro.geometry.interval import Interval
 from repro.geometry.rectangle import Rectangle
 from repro.synopsis.exact import ExactSynopsis
 

@@ -128,8 +128,8 @@ def main() -> int:
                 key = tuple(sorted(labels.items()))
                 bound = float("inf") if le == "+Inf" else float(le)
                 by_series.setdefault(key, []).append((bound, value))
-            counts = {tuple(sorted(l.items())): v
-                      for l, v in samples[family + "_count"]}
+            counts = {tuple(sorted(lbl.items())): v
+                      for lbl, v in samples[family + "_count"]}
             for key, buckets in by_series.items():
                 buckets.sort()
                 values = [v for _, v in buckets]

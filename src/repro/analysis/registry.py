@@ -1,0 +1,58 @@
+"""Rule plugin registry.
+
+A rule is a callable ``(ModuleInfo) -> Iterable[Finding]`` registered with
+the :func:`rule` decorator.  Rules live as submodules of
+``repro.analysis.rules``; :func:`all_rules` imports every submodule so
+dropping a new file into that package is all it takes to add a rule.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.analysis.context import ModuleInfo
+from repro.analysis.findings import Finding
+
+RuleFn = Callable[[ModuleInfo], Iterable[Finding]]
+
+_RULES: Dict[str, RuleFn] = {}
+_LOADED = False
+
+
+def rule(name: str) -> Callable[[RuleFn], RuleFn]:
+    """Register *fn* as the implementation of rule *name*."""
+
+    def decorate(fn: RuleFn) -> RuleFn:
+        if name in _RULES and _RULES[name] is not fn:
+            raise ValueError(f"duplicate rule name: {name!r}")
+        _RULES[name] = fn
+        return fn
+
+    return decorate
+
+
+def _load() -> None:
+    global _LOADED
+    if _LOADED:
+        return
+    import repro.analysis.rules as rules_pkg
+
+    for mod in pkgutil.iter_modules(rules_pkg.__path__):
+        importlib.import_module(f"{rules_pkg.__name__}.{mod.name}")
+    _LOADED = True
+
+
+def all_rules(names: Optional[Iterable[str]] = None) -> Dict[str, RuleFn]:
+    """All registered rules, or the named subset (unknown names raise)."""
+    _load()
+    if names is None:
+        return dict(sorted(_RULES.items()))
+    out = {}
+    for name in names:
+        if name not in _RULES:
+            known = ", ".join(sorted(_RULES))
+            raise KeyError(f"unknown rule {name!r} (known: {known})")
+        out[name] = _RULES[name]
+    return out

@@ -1,0 +1,1 @@
+"""Rule modules — each submodule registers itself via ``@rule(name)``."""

@@ -1,0 +1,209 @@
+"""Lint driver: file discovery, rule execution, reporting, baselines.
+
+Entry points:
+
+- :func:`lint_paths` / :func:`lint_source` — programmatic API;
+- :func:`main` — the ``repro lint`` / ``python -m repro.analysis`` CLI.
+
+Exit codes: 0 clean, 1 findings, 2 usage error.  A file that fails to
+parse produces a ``parse-error`` finding instead of crashing the run, so
+one broken file cannot mask findings elsewhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.context import ModuleInfo
+from repro.analysis.findings import Finding
+from repro.analysis.registry import all_rules
+
+DEFAULT_PATHS = ("src",)
+
+
+def discover(paths: Sequence[str]) -> List[str]:
+    """Python files under *paths* (files kept as-is, dirs walked)."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames if not d.startswith("."))
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    out.append(os.path.join(dirpath, name))
+    return out
+
+
+def lint_source(
+    source: str, path: str = "<string>", rules: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Lint one in-memory module (the fixture-test entry point)."""
+    active = all_rules(rules)
+    try:
+        mod = ModuleInfo.parse(source, path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                file=path,
+                line=exc.lineno or 1,
+                rule="parse-error",
+                severity="error",
+                message=f"cannot parse: {exc.msg}",
+            )
+        ]
+    findings: List[Finding] = []
+    for fn in active.values():
+        for finding in fn(mod):
+            if not mod.suppressed(finding):
+                findings.append(finding)
+    return sorted(set(findings))
+
+
+def lint_paths(
+    paths: Sequence[str], rules: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Lint every ``.py`` file under *paths*."""
+    findings: List[Finding] = []
+    for file in discover(paths):
+        try:
+            with open(file, "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            findings.append(
+                Finding(
+                    file=file,
+                    line=1,
+                    rule="parse-error",
+                    severity="error",
+                    message=f"cannot read: {exc}",
+                )
+            )
+            continue
+        findings.extend(lint_source(source, path=file, rules=rules))
+    return sorted(set(findings))
+
+
+# -- reporters ----------------------------------------------------------
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    lines = [f.render() for f in findings]
+    n = len(findings)
+    lines.append(f"{n} finding{'s' if n != 1 else ''}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    return json.dumps([f.to_json() for f in findings], indent=2)
+
+
+# -- baseline -----------------------------------------------------------
+
+
+def _baseline_key(finding: Finding) -> tuple:
+    # Line numbers drift as files are edited; match on the stable parts.
+    return (finding.file, finding.rule, finding.message)
+
+
+def load_baseline(path: str) -> set:
+    with open(path, "r", encoding="utf-8") as fh:
+        entries = json.load(fh)
+    return {(e["file"], e["rule"], e["message"]) for e in entries}
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    entries = [
+        {"file": f.file, "rule": f.rule, "message": f.message} for f in findings
+    ]
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(entries, fh, indent=2)
+        fh.write("\n")
+
+
+def apply_baseline(findings: Sequence[Finding], baseline: set) -> List[Finding]:
+    return [f for f in findings if _baseline_key(f) not in baseline]
+
+
+# -- CLI ----------------------------------------------------------------
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based invariant checks (lock discipline, hot-path "
+        "purity, backend-protocol conformance, ...)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule subset (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="suppress findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write current findings to FILE and exit 0",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    if args.list_rules:
+        for name, fn in all_rules().items():
+            doc = fn.__doc__ or sys.modules[fn.__module__].__doc__ or ""
+            summary = doc.strip().splitlines()[0] if doc.strip() else ""
+            print(f"{name}: {summary}")
+        return 0
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    try:
+        findings = lint_paths(args.paths, rules=rules)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        print(f"wrote {len(findings)} baseline entries to {args.write_baseline}")
+        return 0
+    if args.baseline:
+        try:
+            findings = apply_baseline(findings, load_baseline(args.baseline))
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: bad baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0

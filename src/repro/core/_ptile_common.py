@@ -30,10 +30,8 @@ import numpy as np
 from repro.core.results import QueryResult
 from repro.errors import ConstructionError, QueryError
 from repro.geometry.epsilon_sample import epsilon_of_sample_size, epsilon_sample_size
-from repro.geometry.rect_enum import RectangleGrid
 from repro.geometry.rectangle import Rectangle
 from repro.index.backend import (
-    ENGINES,
     build_backend,
     check_engine,
     report_groups_many_of,

@@ -19,12 +19,12 @@ tests and benchmarks can report recall/precision directly.
 from __future__ import annotations
 
 import time
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.core.bitset import DatasetBitmap
-from repro.core.framework import Dataset, Repository
+from repro.core.framework import Repository
 from repro.core.measures import PercentileMeasure, PreferenceMeasure
 from repro.core.predicates import And, Expression, Or, Predicate
 from repro.core.ptile_range import PtileRangeIndex
@@ -294,7 +294,7 @@ class DatasetSearchEngine:
         ``[self.eval_leaf(l) for l in leaves]`` but batched."""
         return [r.index_set for r in self._leaf_batch_query(leaves)]
 
-    def eval_leaf_batch_bits(
+    def eval_leaf_batch_bits(  # lint: hot-path
         self, leaves: Sequence[Predicate], tracer=None
     ) -> list[DatasetBitmap]:
         """A batch of leaf answers as packed bitsets (same batching).

@@ -27,7 +27,7 @@ T-NN ablation benchmark.
 from __future__ import annotations
 
 import time
-from typing import Iterable, Optional
+from typing import Iterable
 
 import numpy as np
 

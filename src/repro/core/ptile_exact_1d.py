@@ -27,7 +27,7 @@ is needed (the paper assumes distinct points; we require that too).
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional
+from typing import Iterable
 
 import numpy as np
 

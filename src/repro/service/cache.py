@@ -145,26 +145,30 @@ class LeafResultCache:
         self.capacity = int(capacity)
         self.stats = CacheStats()
         self.generation = 0
-        self._entries: OrderedDict[Hashable, CacheEntry] = OrderedDict()
-        self._resident_bytes = 0
+        self._entries: OrderedDict[Hashable, CacheEntry] = OrderedDict()  # guarded-by: _lock
+        self._resident_bytes = 0  # guarded-by: _lock
         # The service can sit behind a ThreadingHTTPServer, so the
         # read-then-move and insert-then-evict sequences must be atomic.
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        # OrderedDict.__len__ during a concurrent popitem/clear is not a
+        # documented-safe combination; the lock costs nothing off the warm
+        # path and keeps the read consistent with resident_bytes.
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
         """Membership without touching recency or hit/miss counters."""
         with self._lock:
             return key in self._entries
 
-    def get(self, key: Hashable) -> Optional[CachedAnswer]:
+    def get(self, key: Hashable) -> Optional[CachedAnswer]:  # lint: hot-path
         """The cached answer, or None; refreshes LRU recency on hit."""
         entry = self.get_entry(key)
         return None if entry is None else entry.indexes
 
-    def get_entry(self, key: Hashable) -> Optional[CacheEntry]:
+    def get_entry(self, key: Hashable) -> Optional[CacheEntry]:  # lint: hot-path
         """The cached :class:`CacheEntry` (answer + watermark), or None.
 
         Counts a hit/miss and refreshes LRU recency exactly like

@@ -59,9 +59,12 @@ import itertools
 import threading
 import time
 from bisect import bisect_left
-from typing import Callable, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.service.service import QueryService
 
 __all__ = [
     "Histogram",
@@ -127,9 +130,9 @@ class Histogram:
         if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
             raise ValueError("bounds must be non-empty and strictly increasing")
         self.bounds = bounds
-        self._counts = [0] * (len(bounds) + 1)
-        self.count = 0
-        self.sum = 0.0
+        self._counts = [0] * (len(bounds) + 1)  # guarded-by: _lock
+        self.count = 0  # guarded-by: _lock
+        self.sum = 0.0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     @property
@@ -138,7 +141,7 @@ class Histogram:
         with self._lock:
             return np.asarray(self._counts, dtype=np.int64)
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float) -> None:  # lint: hot-path
         """Record one observation (thread-safe)."""
         idx = bisect_left(self.bounds, value)
         with self._lock:
@@ -218,7 +221,7 @@ def _fmt_value(v: float) -> str:
     return str(int(f)) if f.is_integer() and abs(f) < 1e15 else repr(f)
 
 
-def _escape_label(value) -> str:
+def _escape_label(value: object) -> str:
     return str(value).replace("\\", "\\\\").replace('"', '\\"')
 
 
@@ -253,11 +256,12 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._help: dict[str, tuple[str, str]] = {}  # name -> (type, help)
-        self._counters: dict[tuple[str, tuple], float] = {}
-        self._histograms: dict[tuple[str, tuple], Histogram] = {}
-        self._hist_bounds: dict[str, tuple[float, ...]] = {}
-        self._gauge_sources: list[Callable[[], Iterable[tuple]]] = []
+        # name -> (type, help)
+        self._help: dict[str, tuple[str, str]] = {}  # guarded-by: _lock
+        self._counters: dict[tuple[str, tuple], float] = {}  # guarded-by: _lock
+        self._histograms: dict[tuple[str, tuple], Histogram] = {}  # guarded-by: _lock
+        self._hist_bounds: dict[str, tuple[float, ...]] = {}  # guarded-by: _lock
+        self._gauge_sources: list[Callable[[], Iterable[tuple]]] = []  # guarded-by: _lock
 
     # -- declaration ---------------------------------------------------
     def describe(self, name: str, kind: str, help_text: str) -> None:
@@ -266,6 +270,11 @@ class MetricsRegistry:
             raise ValueError(f"unknown metric kind {kind!r}")
         with self._lock:
             self._help[name] = (kind, help_text)
+
+    def help_snapshot(self) -> "dict[str, tuple[str, str]]":
+        """A consistent copy of the TYPE/HELP table (taken under the lock)."""
+        with self._lock:
+            return dict(self._help)
 
     def declare_histogram(
         self,
@@ -401,7 +410,7 @@ class Span:
         name: str,
         tracer: "Tracer",
         parent: Optional["Span"] = None,
-        **meta,
+        **meta: object,
     ) -> None:
         self.name = name
         self.tracer = tracer
@@ -416,7 +425,7 @@ class Span:
         self.t0 = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.t1 = time.perf_counter()
         self.tracer._pop(self)
 
@@ -502,7 +511,7 @@ class Tracer:
         t0: float,
         t1: float,
         parent: Optional[Span] = None,
-        **meta,
+        **meta: object,
     ) -> Span:
         """Attach an already-finished span from captured stamps.
 
@@ -520,7 +529,7 @@ class Tracer:
             )
         return span
 
-    def span(self, name: str, parent: Optional[Span] = None, **meta) -> Span:
+    def span(self, name: str, parent: Optional[Span] = None, **meta: object) -> Span:
         """A new span; nests under ``parent`` or the thread's open span."""
         if parent is None:
             stack = self._stack()
@@ -573,8 +582,8 @@ class SlowQueryLog:
             raise ValueError("k must be positive")
         self.k = int(k)
         self.threshold_ms = None if threshold_ms is None else float(threshold_ms)
-        self.n_recorded = 0
-        self._heap: list[tuple[float, int, dict]] = []
+        self.n_recorded = 0  # guarded-by: _lock
+        self._heap: list[tuple[float, int, dict]] = []  # guarded-by: _lock
         self._seq = itertools.count()  # tie-break: dicts do not compare
         self._lock = threading.Lock()
 
@@ -697,7 +706,7 @@ class ServiceObservability:
 
     def __init__(
         self,
-        service,
+        service: QueryService,
         tracing: bool = False,
         slow_query_threshold_ms: Optional[float] = None,
         slow_log_size: int = 32,
@@ -851,8 +860,11 @@ class ServiceObservability:
         rendered = reg.render().splitlines()
         out.extend(rendered)
         by_name: dict[str, list[str]] = {}
+        # One consistent copy of the description table: reading reg._help
+        # per sample would race concurrent describe() calls mid-scrape.
+        help_lines = reg.help_snapshot()
         for name, labels, value in samples:
-            kind, help_text = reg._help.get(name, ("gauge", name))
+            kind, help_text = help_lines.get(name, ("gauge", name))
             block = by_name.setdefault(
                 name,
                 [f"# HELP {name} {help_text}", f"# TYPE {name} {kind}"],

@@ -41,11 +41,23 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Mapping, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Hashable,
+    Iterable,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.core.bitset import DatasetBitmap
 from repro.core.predicates import And, Expression, Or, Predicate
 from repro.errors import QueryError
+
+if TYPE_CHECKING:
+    from repro.service.observability import Tracer
 
 #: One leaf's answer: index set (legacy/baseline) or packed bitset.
 LeafAnswer = Union[frozenset, set, DatasetBitmap]
@@ -163,7 +175,9 @@ class BatchPlan:
         return 0.0 if raw == 0 else 1.0 - self.n_leaves_unique / raw
 
 
-def plan_query(expression: Expression, tracer=None) -> QueryPlan:
+def plan_query(
+    expression: Expression, tracer: "Optional[Tracer]" = None
+) -> QueryPlan:
     """Canonicalize one expression and collect its unique leaves."""
     if tracer is not None:
         with tracer.span("canonicalize"):
@@ -183,7 +197,7 @@ def plan_query(expression: Expression, tracer=None) -> QueryPlan:
 def plan_batch(
     expressions: Sequence[Expression],
     cache: Optional["PlanCache"] = None,
-    tracer=None,
+    tracer: "Optional[Tracer]" = None,
 ) -> BatchPlan:
     """Plan every query of a batch and union their unique leaves.
 
@@ -195,7 +209,9 @@ def plan_batch(
     miss, or no cache) nests a ``canonicalize`` child span.
     """
     if tracer is None:
-        planner = cache.plan if cache is not None else plan_query
+        planner: Callable[[Expression], QueryPlan] = (
+            cache.plan if cache is not None else plan_query
+        )
         batch = BatchPlan(plans=[planner(e) for e in expressions])
         for plan in batch.plans:
             for key, leaf in plan.leaves.items():
@@ -375,16 +391,21 @@ class PlanCache:
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = int(capacity)
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self._plans: OrderedDict[tuple, QueryPlan] = OrderedDict()
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
+        self._plans: OrderedDict[tuple, QueryPlan] = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._plans)
+        # len() of an OrderedDict racing a popitem/clear on another thread
+        # is not guaranteed consistent; occupancy reads take the lock.
+        with self._lock:
+            return len(self._plans)
 
-    def plan(self, expression: Expression, tracer=None) -> QueryPlan:
+    def plan(
+        self, expression: Expression, tracer: "Optional[Tracer]" = None
+    ) -> QueryPlan:  # lint: hot-path
         """The compiled plan for ``expression``, reused on structural hits."""
         if self.capacity == 0:
             return plan_query(expression, tracer=tracer)

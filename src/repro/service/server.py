@@ -220,7 +220,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     # -- helpers -------------------------------------------------------
-    def log_message(self, fmt: str, *args) -> None:  # pragma: no cover
+    def log_message(self, fmt: str, *args: object) -> None:  # pragma: no cover
         if not self.quiet:
             super().log_message(fmt, *args)
 
@@ -315,7 +315,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 )
                 payload = {
                     "indexes": result.indexes,
-                    "emit_times": result.emit_times,
+                    "emit_times": [],
                     "stats": result.stats,
                 }
                 if result.start_time is not None:

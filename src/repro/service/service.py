@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Optional, Sequence, Union
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 import numpy as np
 
@@ -62,6 +62,9 @@ from repro.service.planner import (
     plan_batch,
 )
 from repro.service.sharding import ShardedBatchExecutor
+
+if TYPE_CHECKING:
+    from repro.service.observability import Tracer
 from repro.service.telemetry import QueryRecord, ServiceTelemetry
 from repro.synopsis.base import Synopsis
 from repro.synopsis.exact import ExactSynopsis
@@ -156,7 +159,7 @@ class QueryService:
             capacity=capacity,
             batch_leaves=batch_leaves,
         )
-        self.executor = ShardedBatchExecutor(
+        self.executor = ShardedBatchExecutor(  # guarded-by: _mutation_lock [writes]
             synopses=synopses,
             repository=repository,
             n_shards=n_shards,
@@ -281,7 +284,7 @@ class QueryService:
         self,
         expressions: Sequence[Expression],
         record_times: bool,
-        tracer,
+        tracer: Optional[Tracer],
         start: float,
     ) -> list[QueryResult]:
         """The four-stage pipeline (see the module docstring).
@@ -633,7 +636,9 @@ class QueryService:
             }
 
     @staticmethod
-    def _apply_additions(executor, new_datasets) -> None:
+    def _apply_additions(
+        executor: ShardedBatchExecutor, new_datasets: Optional[list[Dataset]]
+    ) -> None:
         """Extend the executor's raw repository with the new datasets."""
         if new_datasets is not None and executor.repository is not None:
             executor.repository = Repository(
@@ -734,5 +739,5 @@ class QueryService:
     def __enter__(self) -> "QueryService":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()

@@ -56,7 +56,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -73,6 +73,9 @@ from repro.geometry.rectangle import Rectangle
 from repro.index.backend import DYNAMIC_ENGINES, check_engine
 from repro.synopsis.base import Synopsis
 from repro.synopsis.exact import ExactSynopsis
+
+if TYPE_CHECKING:
+    from repro.service.observability import Span, Tracer
 
 
 def partition_indices(n: int, n_shards: int) -> list[list[int]]:
@@ -327,7 +330,7 @@ class ShardedBatchExecutor:
             if max_workers > 0 and self.n_shards > 1
             else None
         )
-        self.stats: dict = {"leaf_evals": 0, "shard_tasks": 0, "delta_evals": 0}
+        self.stats: dict = {"leaf_evals": 0, "shard_tasks": 0, "delta_evals": 0}  # guarded-by: _stats_lock
 
     @property
     def n_datasets(self) -> int:
@@ -382,8 +385,8 @@ class ShardedBatchExecutor:
         mapping: Sequence[int],
         lock: threading.Lock,
         leaves: Sequence[Predicate],
-        tracer=None,
-        parent=None,
+        tracer: Optional[Tracer] = None,
+        parent: Optional[Span] = None,
         span_name: str = "shard_eval",
         span_meta: Optional[dict] = None,
     ) -> list[tuple[DatasetBitmap, float]]:
@@ -433,7 +436,7 @@ class ShardedBatchExecutor:
                 nbits = (int(mapping[-1]) + 1) if len(mapping) else 0
                 to_global = make_remapper(mapping, nbits)
                 if self._batch_leaves:
-                    if any(isinstance(l.measure, PercentileMeasure) for l in leaves):
+                    if any(isinstance(lf.measure, PercentileMeasure) for lf in leaves):
                         self._pin_ptile(engine)
                     locals_ = (
                         engine.eval_leaf_batch_bits(leaves)
@@ -483,7 +486,10 @@ class ShardedBatchExecutor:
         return bits
 
     def _eval_on_units(
-        self, units: Sequence[tuple], leaves: Sequence[Predicate], tracer=None
+        self,
+        units: Sequence[tuple],
+        leaves: Sequence[Predicate],
+        tracer: Optional[Tracer] = None,
     ) -> list[tuple[DatasetBitmap, float]]:
         """Fan a leaf batch over the given units and merge (masked) answers.
 
@@ -564,7 +570,7 @@ class ShardedBatchExecutor:
         return self.eval_leaves([leaf])[0][0].to_frozenset()
 
     def eval_leaves(
-        self, leaves: Sequence[Predicate], tracer=None
+        self, leaves: Sequence[Predicate], tracer: Optional[Tracer] = None
     ) -> list[tuple[DatasetBitmap, float]]:
         """A batch of leaves across base shards plus the delta shard.
 
@@ -584,7 +590,7 @@ class ShardedBatchExecutor:
         return out
 
     def eval_delta_leaves(
-        self, leaves: Sequence[Predicate], tracer=None
+        self, leaves: Sequence[Predicate], tracer: Optional[Tracer] = None
     ) -> list[tuple[DatasetBitmap, float]]:
         """A leaf batch on the delta shard only (masked global bitsets).
 
@@ -788,5 +794,5 @@ class ShardedBatchExecutor:
     def __enter__(self) -> "ShardedBatchExecutor":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()

@@ -61,7 +61,7 @@ class ServiceTelemetry:
     def __init__(self, window: int = 4096) -> None:
         if window < 1:
             raise ValueError("window must be positive")
-        self._latencies: deque[float] = deque(maxlen=window)
+        self._latencies: deque[float] = deque(maxlen=window)  # guarded-by: _lock
         # Lifetime latency distributions in fixed log-spaced buckets: the
         # window above forgets, these never do, and they are the same
         # Histogram objects the metrics registry renders on /metrics
@@ -72,17 +72,17 @@ class ServiceTelemetry:
         # /stats may be read by one server thread while another records a
         # query; sorting the deque mid-append raises RuntimeError otherwise.
         self._lock = threading.Lock()
-        self.n_queries = 0
-        self.n_batches = 0
-        self.total_latency_s = 0.0
-        self.total_batch_wall_s = 0.0
-        self.total_leaves_raw = 0
-        self.total_leaves_unique = 0
-        self.total_cache_hits = 0
-        self.total_cache_misses = 0
-        self.total_cache_upgrades = 0
-        self.total_shared_leaves = 0
-        self.total_out = 0
+        self.n_queries = 0  # guarded-by: _lock
+        self.n_batches = 0  # guarded-by: _lock
+        self.total_latency_s = 0.0  # guarded-by: _lock
+        self.total_batch_wall_s = 0.0  # guarded-by: _lock
+        self.total_leaves_raw = 0  # guarded-by: _lock
+        self.total_leaves_unique = 0  # guarded-by: _lock
+        self.total_cache_hits = 0  # guarded-by: _lock
+        self.total_cache_misses = 0  # guarded-by: _lock
+        self.total_cache_upgrades = 0  # guarded-by: _lock
+        self.total_shared_leaves = 0  # guarded-by: _lock
+        self.total_out = 0  # guarded-by: _lock
 
     def record_query(self, record: QueryRecord) -> None:
         with self._lock:

@@ -10,7 +10,6 @@ cut by a query rectangle's boundary.
 from __future__ import annotations
 
 import itertools
-import math
 from typing import Optional, Sequence
 
 import numpy as np

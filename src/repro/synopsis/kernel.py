@@ -13,7 +13,6 @@ adds a rank-discretization error measured at build time.
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 import numpy as np

@@ -1,0 +1,137 @@
+"""Lock-discipline regressions the analyzer must keep catching.
+
+The acceptance bar for the guarded-by rule is concrete: reverting the PR-2
+telemetry fix (snapshotting counters under the lock) must light the rule
+up again.  These tests simulate that revert textually and also pin the
+behaviour of the genuine findings fixed in this PR (the unlocked
+``__len__`` readers and the Prometheus HELP-table read).
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+from repro.analysis import lint_source
+from repro.service.cache import LeafResultCache
+from repro.service.observability import MetricsRegistry
+from repro.service.planner import PlanCache
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro" / "service"
+
+
+def _lint_file(name: str, mutate=None):
+    source = (SRC / name).read_text()
+    if mutate is not None:
+        source = mutate(source)
+    return lint_source(source, path=name, rules=["guarded-by"])
+
+
+# -- the PR-2 bug class stays detectable --------------------------------
+
+
+def test_service_modules_currently_clean():
+    for name in ("telemetry.py", "cache.py", "observability.py"):
+        assert _lint_file(name) == [], name
+
+
+def test_reverting_pr2_telemetry_fix_is_caught():
+    # The PR-2 bug: summary() read the counters without the telemetry
+    # lock, tearing ratios like qps. Simulate the revert by stripping the
+    # lock acquisitions; every annotated counter access must now flag.
+    def strip_locks(source: str) -> str:
+        assert "with self._lock:" in source
+        return source.replace("with self._lock:", "if True:")
+
+    findings = _lint_file("telemetry.py", mutate=strip_locks)
+    assert findings, "guarded-by must flag the reverted telemetry fix"
+    assert any(
+        "_latencies" in f.message and "summary()" in f.message for f in findings
+    )
+
+
+def test_unlocking_cache_len_is_caught():
+    def unlock_len(source: str) -> str:
+        locked = "with self._lock:\n            return len(self._entries)"
+        assert locked in source
+        return source.replace(locked, "return len(self._entries)")
+
+    findings = _lint_file("cache.py", mutate=unlock_len)
+    assert any("_entries" in f.message and "__len__()" in f.message for f in findings)
+
+
+def test_unlocking_help_table_read_is_caught():
+    def unlock_snapshot(source: str) -> str:
+        locked = "with self._lock:\n            return dict(self._help)"
+        assert locked in source
+        return source.replace(locked, "return dict(self._help)")
+
+    findings = _lint_file("observability.py", mutate=unlock_snapshot)
+    assert any(
+        "_help" in f.message and "help_snapshot()" in f.message for f in findings
+    )
+
+
+# -- behaviour pins for the fixes applied in this PR --------------------
+
+
+def test_leaf_cache_len_counts_entries():
+    cache = LeafResultCache(capacity=4)
+    assert len(cache) == 0
+    cache.put("a", {1, 2})
+    cache.put("b", {3})
+    assert len(cache) == 2
+    assert "a" in cache and "c" not in cache
+
+
+def test_plan_cache_len_counts_plans():
+    from repro.core.measures import PercentileMeasure
+    from repro.core.predicates import pred
+    from repro.geometry.rectangle import Rectangle
+
+    cache = PlanCache(capacity=8)
+    assert len(cache) == 0
+    cache.plan(pred(PercentileMeasure(Rectangle([0.0], [0.5])), 0.2))
+    assert len(cache) == 1
+
+
+def test_help_snapshot_is_a_consistent_copy():
+    reg = MetricsRegistry()
+    reg.describe("repro_test_total", "counter", "A test counter.")
+    snap = reg.help_snapshot()
+    assert snap["repro_test_total"] == ("counter", "A test counter.")
+    # It is a copy: mutating it does not corrupt the registry.
+    snap.clear()
+    assert reg.help_snapshot()["repro_test_total"][0] == "counter"
+
+
+def test_len_safe_during_concurrent_churn():
+    # The bug being prevented: OrderedDict len/iteration racing a
+    # concurrent insert-evict. With the lock in __len__ this loop is
+    # steady under churn.
+    cache = LeafResultCache(capacity=8)
+    stop = threading.Event()
+    errors = []
+
+    def churn() -> None:
+        i = 0
+        while not stop.is_set():
+            cache.put(i % 16, {i})
+            i += 1
+
+    def measure() -> None:
+        try:
+            for _ in range(2000):
+                n = len(cache)
+                assert 0 <= n <= 8
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    t1 = threading.Thread(target=churn)
+    t2 = threading.Thread(target=measure)
+    t1.start()
+    t2.start()
+    t2.join()
+    stop.set()
+    t1.join()
+    assert errors == []

@@ -1,0 +1,618 @@
+"""Paired flag/pass fixtures for every lint rule.
+
+Each rule gets at least one fixture that must FLAG (the seeded violation)
+and one that must PASS (the idiomatic repo shape), so a rule that silently
+stops firing — or starts firing on clean code — fails here.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import lint_source
+
+
+def run(source: str, rule: str):
+    return lint_source(textwrap.dedent(source), path="fix.py", rules=[rule])
+
+
+# -- guarded-by ---------------------------------------------------------
+
+
+GUARDED_CLASS = """
+    import threading
+
+    class Counter:
+        def __init__(self) -> None:
+            self._lock = threading.Lock()
+            self.count = 0  # guarded-by: _lock
+
+        def bump(self) -> None:
+            {body}
+"""
+
+
+def test_guarded_by_flags_unlocked_write():
+    src = GUARDED_CLASS.format(body="self.count += 1")
+    findings = run(src, "guarded-by")
+    assert len(findings) == 1
+    f = findings[0]
+    assert f.rule == "guarded-by"
+    assert "Counter.count" in f.message
+    assert "bump()" in f.message
+    assert "_lock" in f.message
+
+
+def test_guarded_by_flags_unlocked_read():
+    src = GUARDED_CLASS.format(body="return self.count")
+    (finding,) = run(src, "guarded-by")
+    assert "read" in finding.message
+
+
+def test_guarded_by_passes_locked_access():
+    src = GUARDED_CLASS.format(
+        body="with self._lock:\n                self.count += 1"
+    )
+    assert run(src, "guarded-by") == []
+
+
+def test_guarded_by_wrong_lock_still_flags():
+    src = """
+    import threading
+
+    class Counter:
+        def __init__(self) -> None:
+            self._lock = threading.Lock()
+            self._other = threading.Lock()
+            self.count = 0  # guarded-by: _lock
+
+        def bump(self) -> None:
+            with self._other:
+                self.count += 1
+    """
+    assert len(run(src, "guarded-by")) == 1
+
+
+def test_guarded_by_exempts_init_and_locked_suffix():
+    src = """
+    import threading
+
+    class Counter:
+        def __init__(self) -> None:
+            self._lock = threading.Lock()
+            self.count = 0  # guarded-by: _lock
+            self.count = 1
+
+        def _bump_locked(self) -> None:
+            self.count += 1
+    """
+    assert run(src, "guarded-by") == []
+
+
+def test_guarded_by_writes_qualifier_allows_reads():
+    src = """
+    import threading
+
+    class Holder:
+        def __init__(self) -> None:
+            self._lock = threading.Lock()
+            self.executor = object()  # guarded-by: _lock [writes]
+
+        def read(self):
+            return self.executor
+
+        def swap(self) -> None:
+            self.executor = object()
+    """
+    (finding,) = run(src, "guarded-by")
+    assert "written in swap()" in finding.message
+
+
+def test_guarded_by_nested_def_resets_held_locks():
+    # A nested function may run on a pool thread; the enclosing `with`
+    # does not protect its body.
+    src = """
+    import threading
+
+    class Counter:
+        def __init__(self) -> None:
+            self._lock = threading.Lock()
+            self.count = 0  # guarded-by: _lock
+
+        def bump(self) -> None:
+            with self._lock:
+                def task() -> None:
+                    self.count += 1
+                self.pool.submit(task)
+    """
+    (finding,) = run(src, "guarded-by")
+    assert "task()" in finding.message
+
+
+# -- hot-path -----------------------------------------------------------
+
+
+def test_hot_path_flags_alloc_in_loop():
+    src = """
+    def f(xs):  # lint: hot-path
+        out = []
+        for x in xs:
+            out.append([x, x])
+        return out
+    """
+    (finding,) = run(src, "hot-path")
+    assert "allocates" in finding.message and "inside a loop" in finding.message
+
+
+def test_hot_path_flags_comprehension_in_loop():
+    src = """
+    def f(xs):  # lint: hot-path
+        out = []
+        for x in xs:
+            out.extend(y for y in x)
+        return out
+    """
+    assert len(run(src, "hot-path")) == 1
+
+
+def test_hot_path_flags_lock_in_loop():
+    src = """
+    def f(self, xs):  # lint: hot-path
+        for x in xs:
+            with self._lock:
+                self.total += x
+    """
+    (finding,) = run(src, "hot-path")
+    assert "acquires a lock inside a loop" in finding.message
+
+
+def test_hot_path_flags_logging():
+    src = """
+    def f(xs):  # lint: hot-path
+        logger.debug("called with %d items", len(xs))
+        return sum(xs)
+    """
+    (finding,) = run(src, "hot-path")
+    assert "logs on the hot path" in finding.message
+
+
+def test_hot_path_flags_scalar_extraction_in_loop():
+    src = """
+    def f(arr, n):  # lint: hot-path
+        total = 0.0
+        for i in range(n):
+            total += float(arr[i])
+        return total
+    """
+    (finding,) = run(src, "hot-path")
+    assert "vectorise" in finding.message
+
+
+def test_hot_path_flags_item_in_loop():
+    src = """
+    def f(arr, n):  # lint: hot-path
+        total = 0.0
+        for i in range(n):
+            total += arr[i].item()
+        return total
+    """
+    (finding,) = run(src, "hot-path")
+    assert ".item()" in finding.message
+
+
+def test_hot_path_passes_clean_shapes():
+    # Single lock acquisition, top-level comprehension, preallocated list:
+    # all idiomatic warm-path shapes.
+    src = """
+    def f(self, xs):  # lint: hot-path
+        squares = [x * x for x in xs]
+        with self._lock:
+            for s in squares:
+                self.total += s
+        return squares
+    """
+    assert run(src, "hot-path") == []
+
+
+def test_hot_path_ignores_unmarked_functions():
+    src = """
+    def cold(xs):
+        out = []
+        for x in xs:
+            out.append([x])
+        return out
+    """
+    assert run(src, "hot-path") == []
+
+
+def test_hot_path_marker_on_multiline_signature():
+    src = """
+    def f(
+        xs,
+        ys,
+    ):  # lint: hot-path
+        for x in xs:
+            ys.append([x])
+    """
+    assert len(run(src, "hot-path")) == 1
+
+
+# -- zero-cost ----------------------------------------------------------
+
+
+def test_zero_cost_flags_unguarded_tracer():
+    src = """
+    def f(x, tracer=None):
+        with tracer.span("f"):
+            return x
+    """
+    (finding,) = run(src, "zero-cost")
+    assert "tracer.span" in finding.message
+    assert "pointer check" in finding.message
+
+
+def test_zero_cost_passes_positive_guard():
+    src = """
+    def f(x, tracer=None):
+        if tracer is not None:
+            with tracer.span("f"):
+                return x
+        return x
+    """
+    assert run(src, "zero-cost") == []
+
+
+def test_zero_cost_passes_early_return_guard():
+    src = """
+    def f(x, tracer=None):
+        if tracer is None:
+            return x
+        with tracer.span("f"):
+            return x
+    """
+    assert run(src, "zero-cost") == []
+
+
+def test_zero_cost_passes_ifexp_and_boolop():
+    src = """
+    from contextlib import nullcontext
+
+    def f(x, tracer=None):
+        cm = tracer.span("f") if tracer is not None else nullcontext()
+        flag = tracer is not None and tracer.enabled
+        with cm:
+            return x, flag
+    """
+    assert run(src, "zero-cost") == []
+
+
+def test_zero_cost_allows_bare_passthrough():
+    src = """
+    def f(x, tracer=None):
+        return g(x, tracer=tracer)
+    """
+    assert run(src, "zero-cost") == []
+
+
+def test_zero_cost_ignores_functions_without_tracer_param():
+    src = """
+    def f(x, tracer):
+        return tracer.span(x)
+    """
+    assert run(src, "zero-cost") == []
+
+
+# -- backend-protocol ---------------------------------------------------
+
+
+PROTOCOL_HEADER = """
+    from typing import Protocol
+
+    class RangeSearchBackend(Protocol):
+        def report(self, box): ...
+        def count(self, box): ...
+
+        @property
+        def n_active(self) -> int: ...
+
+        @property
+        def supports_insert(self) -> bool: ...
+
+    DYNAMIC_ENGINES = ("dyn",)
+"""
+
+
+def test_backend_protocol_passes_conformant_backend():
+    src = PROTOCOL_HEADER + """
+    class DynBackend:
+        def report(self, box, out=None):
+            return []
+
+        def count(self, box):
+            return 0
+
+        @property
+        def n_active(self):
+            return 0
+
+        @property
+        def supports_insert(self):
+            return True
+
+    def build_backend(engine, data):
+        if engine == "dyn":
+            return DynBackend(data)
+        raise ValueError(engine)
+    """
+    assert run(src, "backend-protocol") == []
+
+
+def test_backend_protocol_flags_missing_method():
+    src = PROTOCOL_HEADER + """
+    class DynBackend:
+        def report(self, box):
+            return []
+
+        @property
+        def n_active(self):
+            return 0
+
+        @property
+        def supports_insert(self):
+            return True
+
+    def build_backend(engine, data):
+        if engine == "dyn":
+            return DynBackend(data)
+    """
+    findings = run(src, "backend-protocol")
+    assert any("missing RangeSearchBackend.count" in f.message for f in findings)
+
+
+def test_backend_protocol_flags_arg_name_mismatch():
+    src = PROTOCOL_HEADER + """
+    class DynBackend:
+        def report(self, rectangle):
+            return []
+
+        def count(self, box):
+            return 0
+
+        @property
+        def n_active(self):
+            return 0
+
+        @property
+        def supports_insert(self):
+            return True
+
+    def build_backend(engine, data):
+        if engine == "dyn":
+            return DynBackend(data)
+    """
+    findings = run(src, "backend-protocol")
+    assert any("not call-compatible" in f.message for f in findings)
+
+
+def test_backend_protocol_flags_non_property():
+    src = PROTOCOL_HEADER + """
+    class DynBackend:
+        def report(self, box):
+            return []
+
+        def count(self, box):
+            return 0
+
+        def n_active(self):
+            return 0
+
+        @property
+        def supports_insert(self):
+            return True
+
+    def build_backend(engine, data):
+        if engine == "dyn":
+            return DynBackend(data)
+    """
+    findings = run(src, "backend-protocol")
+    assert any("must be a @property" in f.message for f in findings)
+
+
+def test_backend_protocol_flags_dishonest_supports_insert():
+    # Listed in DYNAMIC_ENGINES but hard-codes False.
+    src = PROTOCOL_HEADER + """
+    class DynBackend:
+        def report(self, box):
+            return []
+
+        def count(self, box):
+            return 0
+
+        @property
+        def n_active(self):
+            return 0
+
+        @property
+        def supports_insert(self):
+            return False
+
+    def build_backend(engine, data):
+        if engine == "dyn":
+            return DynBackend(data)
+    """
+    findings = run(src, "backend-protocol")
+    assert any("DYNAMIC_ENGINES" in f.message for f in findings)
+
+
+def test_backend_protocol_flags_static_engine_advertising_insert():
+    src = PROTOCOL_HEADER + """
+    class StaticBackend:
+        def report(self, box):
+            return []
+
+        def count(self, box):
+            return 0
+
+        @property
+        def n_active(self):
+            return 0
+
+        @property
+        def supports_insert(self):
+            return True
+
+    def build_backend(engine, data):
+        if engine == "static":
+            return StaticBackend(data)
+    """
+    findings = run(src, "backend-protocol")
+    assert any(
+        "returns True but 'static' is not in DYNAMIC_ENGINES" in f.message
+        for f in findings
+    )
+
+
+def test_backend_protocol_ignores_non_registry_modules():
+    assert run("class Unrelated:\n    pass\n", "backend-protocol") == []
+
+
+# -- pool-capture -------------------------------------------------------
+
+
+def test_pool_capture_flags_closure_mutation():
+    src = """
+    def run(pool, xs):
+        out = []
+
+        def task(x):
+            out.append(x * 2)
+
+        for x in xs:
+            pool.submit(task, x)
+    """
+    (finding,) = run(src, "pool-capture")
+    assert "mutates out via .append()" in finding.message
+
+
+def test_pool_capture_flags_self_state_write():
+    src = """
+    class Executor:
+        def run(self, xs):
+            def task(i, x):
+                self.results[i] = x
+
+            for i, x in enumerate(xs):
+                self.pool.submit(task, i, x)
+    """
+    (finding,) = run(src, "pool-capture")
+    assert "writes self.results[...]" in finding.message
+
+
+def test_pool_capture_flags_span_without_parent():
+    src = """
+    class Executor:
+        def run(self, tracer):
+            def task():
+                with tracer.span("unit"):
+                    pass
+
+            self.pool.submit(task)
+    """
+    (finding,) = run(src, "pool-capture")
+    assert "explicit parent=" in finding.message
+
+
+def test_pool_capture_passes_locked_mutation_and_parented_span():
+    src = """
+    class Executor:
+        def run(self, tracer, parent, xs):
+            out = []
+
+            def task(x):
+                with tracer.span("unit", parent=parent):
+                    local = [x * 2]
+                with self._lock:
+                    out.extend(local)
+
+            for x in xs:
+                self.pool.submit(task, x)
+    """
+    assert run(src, "pool-capture") == []
+
+
+def test_pool_capture_passes_local_mutation():
+    src = """
+    def run(pool, xs):
+        def task(x):
+            acc = []
+            acc.append(x)
+            return acc
+
+        for x in xs:
+            pool.submit(task, x)
+    """
+    assert run(src, "pool-capture") == []
+
+
+def test_pool_capture_resolves_self_methods():
+    src = """
+    class Executor:
+        def _work(self, x):
+            self.seen.add(x)
+
+        def run(self, xs):
+            for x in xs:
+                self.pool.submit(self._work, x)
+    """
+    (finding,) = run(src, "pool-capture")
+    assert "mutates self.seen" in finding.message
+
+
+# -- wire-schema --------------------------------------------------------
+
+
+WIRE_HEADER = """
+    from http.server import BaseHTTPRequestHandler
+
+    class Handler(BaseHTTPRequestHandler):
+        pass
+"""
+
+
+def test_wire_schema_flags_absolute_stamp_key():
+    src = WIRE_HEADER + """
+    def payload(result):
+        return {"start_time": result.start_time}
+    """
+    (finding,) = run(src, "wire-schema")
+    assert "absolute clock stamp" in finding.message
+
+
+def test_wire_schema_flags_raw_emit_times():
+    src = WIRE_HEADER + """
+    def payload(result):
+        out = {}
+        out["emit_times"] = list(result.emit_times)
+        return out
+    """
+    (finding,) = run(src, "wire-schema")
+    assert "raw .emit_times" in finding.message
+
+
+def test_wire_schema_passes_relative_times():
+    src = WIRE_HEADER + """
+    def payload(result, start):
+        return {
+            "emit_times": [t - start for t in result.emit_times],
+            "duration_s": result.end_time - start,
+        }
+    """
+    assert run(src, "wire-schema") == []
+
+
+def test_wire_schema_ignores_non_handler_modules():
+    src = """
+    def payload(result):
+        return {"start_time": result.start_time}
+    """
+    assert run(src, "wire-schema") == []

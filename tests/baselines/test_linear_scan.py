@@ -1,6 +1,5 @@
 """Tests for the exact linear-scan Ptile baseline."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.linear_scan import LinearScanPtile

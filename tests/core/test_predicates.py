@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.framework import Dataset, Repository
 from repro.core.measures import PercentileMeasure, PreferenceMeasure
-from repro.core.predicates import And, Or, Predicate, pred
+from repro.core.predicates import And, Or, pred
 from repro.geometry.interval import Interval
 from repro.geometry.rectangle import Rectangle
 

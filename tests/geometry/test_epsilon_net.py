@@ -1,6 +1,5 @@
 """Tests for ε-nets of unit vectors (Section 2)."""
 
-import math
 
 import numpy as np
 import pytest

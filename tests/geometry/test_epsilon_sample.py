@@ -9,7 +9,6 @@ from repro.geometry.epsilon_sample import (
     epsilon_of_sample_size,
     epsilon_sample_size,
 )
-from repro.geometry.rectangle import Rectangle
 from repro.workloads.queries import random_rectangles
 
 

@@ -9,7 +9,6 @@ here.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.pref_index import PrefIndex

@@ -84,7 +84,7 @@ class TestExpressionAlgebraEquivalence:
     def test_partial_bounds_match(self, expr, data, known_mask):
         n, answers = data
         known_keys = {
-            leaf_key(l) for l, keep in zip(LEAVES, known_mask) if keep
+            leaf_key(lf) for lf, keep in zip(LEAVES, known_mask) if keep
         }
         known_sets = {k: v for k, v in answers.items() if k in known_keys}
         universe_set = frozenset(range(n))

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.errors import CapabilityError
 from repro.geometry.rectangle import Rectangle
 from repro.synopsis.histogram import HistogramSynopsis
 from repro.workloads.queries import random_rectangles

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.geometry.rectangle import Rectangle
 from repro.synopsis.sample import EpsilonSampleSynopsis, epsilon_for_sample_size
 from repro.workloads.queries import random_rectangles
 

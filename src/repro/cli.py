@@ -111,13 +111,13 @@ def cmd_demo_pref(args: argparse.Namespace) -> int:
     return 0 if truth <= result.index_set else 1
 
 
-def cmd_serve(args: argparse.Namespace) -> int:
+def _build_lake_service(args: argparse.Namespace):
     from repro.core.framework import Repository
-    from repro.service import QueryService, serve
+    from repro.service import QueryService
 
     lake, _rng = _make_lake(args)
     repo = Repository.from_arrays(lake)
-    service = QueryService(
+    return QueryService(
         repository=repo,
         n_shards=args.shards,
         cache_capacity=args.cache_capacity,
@@ -126,14 +126,56 @@ def cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         engine=args.engine,
         capacity=args.capacity,
-        tracing=args.trace,
-        slow_query_threshold_ms=args.slow_log,
+        tracing=getattr(args, "trace", False),
+        slow_query_threshold_ms=getattr(args, "slow_log", None),
     )
-    print(
-        f"serving {repo.n_datasets} datasets (d = {repo.dim}, family = "
-        f"{args.family}) over {service.n_shards} shard(s), "
-        f"engine {args.engine!r}, cache capacity {args.cache_capacity}"
-    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.service import QueryService, serve
+
+    if args.workers > 1:
+        # Multi-process serving always goes through a snapshot file: the
+        # parent loads it mmap'ed once, forks, and the workers share the
+        # mapped pages (see repro.service.supervisor).
+        from repro.service.supervisor import serve_forked
+
+        if not args.snapshot:
+            print("serve: --workers > 1 requires --snapshot PATH",
+                  file=sys.stderr)
+            return 2
+        if not os.path.exists(args.snapshot):
+            print(f"building snapshot {args.snapshot} from a synthetic lake "
+                  f"({args.n} datasets) ...")
+            service = _build_lake_service(args)
+            service.warm()
+            service.save(args.snapshot)
+            service.close()
+        serve_forked(
+            args.snapshot, workers=args.workers, host=args.host,
+            port=args.port,
+        )
+        return 0
+
+    if args.snapshot and os.path.exists(args.snapshot):
+        service = QueryService.load(args.snapshot)
+        print(f"loaded snapshot {args.snapshot} "
+              f"({service.n_datasets} datasets, engine "
+              f"{service.engine_kind!r}, {service.n_shards} shard(s))")
+    else:
+        service = _build_lake_service(args)
+        if args.snapshot:
+            service.warm()
+            service.save(args.snapshot)
+            print(f"wrote snapshot {args.snapshot}")
+        print(
+            f"serving {service.n_datasets} datasets (d = "
+            f"{service.repository.dim}, family = {args.family}) over "
+            f"{service.n_shards} shard(s), engine {args.engine!r}, "
+            f"cache capacity {args.cache_capacity}"
+        )
     if args.trace:
         print("tracing every batch (per-stage spans feed /metrics; "
               "responses carry 'trace')")
@@ -149,8 +191,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         {
             "expression": {
                 "op": "ptile",
-                "lo": [0.0] * repo.dim,
-                "hi": [0.5] * repo.dim,
+                "lo": [0.0] * service.repository.dim,
+                "hi": [0.5] * service.repository.dim,
                 "theta": [0.1],
             }
         }
@@ -226,6 +268,29 @@ def cmd_demo_mutation(args: argparse.Namespace) -> int:
         f"(mutations do not flush the cache)"
     )
     service.close()
+    return 0
+
+
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.service import snapshot as snapshot_mod
+
+    if args.snapshot_command == "inspect":
+        print(_json.dumps(snapshot_mod.inspect(args.path), indent=2))
+        return 0
+    # build: synthesize a lake, warm every shard index, persist.
+    service = _build_lake_service(args)
+    print(f"building {args.n} datasets (d = {args.dim}, family = "
+          f"{args.family}) on {args.shards} shard(s), engine {args.engine!r} ...")
+    service.warm()
+    info = service.save(args.out, generation=args.generation)
+    service.close()
+    print(f"wrote {info['path']}: kind {info['kind']!r}, generation "
+          f"{info['generation']}, {info['n_arrays']} segments, "
+          f"{info['file_bytes']} bytes")
+    print(f"serve it: python -m repro.cli serve --snapshot {args.out} "
+          f"--workers 4")
     return 0
 
 
@@ -320,7 +385,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slow-log", type=float, default=None, metavar="MS",
                    help="log queries slower than MS milliseconds "
                         "(dump via GET /stats/slow)")
+    p.add_argument("--snapshot", default=None, metavar="PATH",
+                   help="serve from this snapshot file (mmap cold start); "
+                        "built from the synthetic lake first if missing")
+    p.add_argument("--workers", type=int, default=1,
+                   help="pre-forked serving processes (> 1 needs --snapshot; "
+                        "worker 0 is the single writer)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "snapshot",
+        help="build or inspect engine snapshot files (mmap cold starts)",
+    )
+    snap_sub = p.add_subparsers(dest="snapshot_command", required=True)
+    b = snap_sub.add_parser(
+        "build", help="build a warmed query service over a synthetic lake "
+                      "and persist it"
+    )
+    _add_lake_args(b)
+    b.add_argument("out", help="snapshot file to write")
+    b.add_argument("--eps", type=float, default=0.1)
+    b.add_argument("--sample-size", type=int, default=None)
+    b.add_argument("--shards", type=int, default=4)
+    b.add_argument("--cache-capacity", type=int, default=4096)
+    b.add_argument("--engine", choices=ENGINES, default="kd")
+    b.add_argument("--capacity", type=int, default=None)
+    b.add_argument("--generation", type=int, default=0,
+                   help="generation counter to stamp into the header")
+    b.set_defaults(func=cmd_snapshot)
+    i = snap_sub.add_parser("inspect", help="print a snapshot's header summary")
+    i.add_argument("path", help="snapshot file to inspect")
+    i.set_defaults(func=cmd_snapshot)
 
     p = sub.add_parser(
         "demo-mutation",

@@ -26,3 +26,12 @@ class ConstructionError(ReproError):
 
 class QueryError(ReproError):
     """A query was malformed for the data structure it was issued against."""
+
+
+class SnapshotError(ReproError):
+    """A persisted snapshot file could not be read back.
+
+    Raised for bad magic bytes, an unsupported container version, a
+    truncated or out-of-bounds array segment, or header state that does not
+    describe a loadable engine.
+    """

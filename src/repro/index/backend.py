@@ -136,6 +136,19 @@ class RangeSearchBackend(Protocol):
         """Add new points (dynamic backends only)."""
         ...
 
+    def export_points(self) -> tuple[np.ndarray, list, np.ndarray]:
+        """Snapshot the live contents: ``(points, ids, active)``.
+
+        Returns the non-removed entries as an ``(m, dim)`` float array, a
+        parallel id list, and a parallel bool activity mask.  Removed
+        (tombstoned) entries are excluded entirely; the export order is
+        backend-defined but must be self-consistent across the three
+        returns.  This is the persistence seam: a backend rebuilt from its
+        own export answers every query identically (set-equal reports,
+        equal counts).
+        """
+        ...
+
     def remove(self, entry_id) -> None:
         """Permanently remove a point (dynamic backends only).
 

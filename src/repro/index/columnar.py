@@ -77,6 +77,9 @@ class ColumnarStore:
             raise ValueError("points and ids must have equal length")
         n = pts.shape[0]
         self._pts = pts.copy()
+        self._lazy_ids_i64: Optional[np.ndarray] = None
+        self._ids_store: Optional[np.ndarray] = None
+        self._pos_store: Optional[dict] = None
         self._ids = object_array(id_list)
         self._active = np.ones(n, dtype=bool)
         self._dead = np.zeros(n, dtype=bool)
@@ -91,6 +94,83 @@ class ColumnarStore:
         self._groups = np.empty(n, dtype=np.int64)
         for pos, pid in enumerate(id_list):
             self._groups[pos] = self._code_for(group_of(pid))
+
+    @classmethod
+    def _from_snapshot(
+        cls, pts: np.ndarray, ids_i64: np.ndarray, active: np.ndarray
+    ) -> "ColumnarStore":
+        """Rebuild a store from snapshot arrays without copying the points.
+
+        ``pts`` may be a read-only ``np.memmap`` view and is adopted as-is:
+        the query path only reads it, and every mutation (``insert`` at
+        full capacity, ``_compact``) copies before writing.  Ids arrive as
+        an ``(n, 2)`` int64 matrix of ``(key, local)`` rows and stay in
+        that form until a caller actually needs tuple ids or the
+        ``_pos_of_id`` reverse map — the group-by warm path
+        (``report_groups`` / ``count`` and their batch kernels) never
+        does, so a loaded store serves it with zero per-point Python work.
+        """
+        pts = np.asarray(pts)
+        n = int(pts.shape[0])
+        if ids_i64.shape != (n, 2) or active.shape != (n,):
+            raise ValueError("snapshot arrays disagree on point count")
+        store = cls.__new__(cls)
+        store.dim = int(pts.shape[1])
+        store._pts = pts
+        store._lazy_ids_i64 = np.asarray(ids_i64, dtype=np.int64)
+        store._ids_store = None
+        store._pos_store = None
+        # Activity is the one flag queries toggle in place (deactivate /
+        # activate, the paper's temporary deletions) — private copy.
+        store._active = np.array(active, dtype=bool)
+        store._dead = np.zeros(n, dtype=bool)
+        store._n = n
+        store._n_active_count = int(np.count_nonzero(store._active))
+        store._n_dead = 0
+        codes, groups = np.unique(store._lazy_ids_i64[:, 0], return_inverse=True)
+        store._group_keys = [int(k) for k in codes]
+        store._group_code = {k: c for c, k in enumerate(store._group_keys)}
+        store._groups = groups.astype(np.int64, copy=False)
+        return store
+
+    def _materialize_ids(self) -> None:
+        src = self._lazy_ids_i64
+        assert src is not None, "only snapshot-loaded stores defer ids"
+        id_list = [(int(a), int(b)) for a, b in src.tolist()]
+        self._ids_store = object_array(id_list)
+        self._pos_store = {pid: pos for pos, pid in enumerate(id_list)}
+
+    @property
+    def _ids(self) -> np.ndarray:
+        if self._ids_store is None:
+            self._materialize_ids()
+        assert self._ids_store is not None
+        return self._ids_store
+
+    @_ids.setter
+    def _ids(self, value: np.ndarray) -> None:
+        self._ids_store = value
+
+    @property
+    def _pos_of_id(self) -> dict:
+        if self._pos_store is None:
+            self._materialize_ids()
+        assert self._pos_store is not None
+        return self._pos_store
+
+    @_pos_of_id.setter
+    def _pos_of_id(self, value: dict) -> None:
+        self._pos_store = value
+
+    def export_points(self) -> tuple[np.ndarray, list, np.ndarray]:
+        """Live contents as ``(points, ids, active)`` parallel arrays."""
+        n = self._n
+        keep = ~self._dead[:n]
+        return (
+            self._pts[:n][keep].copy(),
+            list(self._ids[:n][keep]),
+            self._active[:n][keep].copy(),
+        )
 
     def _code_for(self, key) -> int:
         code = self._group_code.get(key)

@@ -267,6 +267,32 @@ class DynamicKDTree:
                 raise
         self._removed.add(entry_id)
 
+    def export_points(self) -> tuple[np.ndarray, list, np.ndarray]:
+        """Live contents as ``(points, ids, active)`` parallel arrays.
+
+        Enumerates main-tree slots (build order) then the side buffer,
+        skipping tombstoned ids — the same sweep :meth:`_rebuild` does.
+        """
+        pts, ids, act = [], [], []
+        for pos, pid in enumerate(self._ids):
+            if pid in self._removed:
+                continue
+            pts.append(self._pts[pos])
+            ids.append(pid)
+            act.append(bool(self._active[pos]))
+        for bpos in range(self._buf_n):
+            pid = self._buf_ids[bpos]
+            if pid in self._removed:
+                continue
+            pts.append(self._buf_pts[bpos].copy())
+            ids.append(pid)
+            act.append(bool(self._buf_active[bpos]))
+        return (
+            np.asarray(pts, dtype=float),
+            ids,
+            np.asarray(act, dtype=bool),
+        )
+
     def _rebuild(self) -> None:
         keep_pts, keep_ids = [], []
         for pos, pid in enumerate(self._ids):

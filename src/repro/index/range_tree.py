@@ -129,6 +129,26 @@ class RangeTree:
             "dynamic removal"
         )
 
+    def export_points(self) -> tuple[np.ndarray, list, np.ndarray]:
+        """Live contents as ``(points, ids, active)`` parallel arrays.
+
+        Points come back in first-coordinate sort order.  The activity of
+        each id is read from the last-level
+        :class:`~repro.index.sorted_list.SortedListIndex` of the root's
+        associated chain — it covers every point and is the structure
+        ``_set_active`` always updates.
+        """
+        if self._rest.shape[1]:
+            points = np.hstack([self._keys[:, None], self._rest])
+        else:
+            points = self._keys[:, None].copy()
+        t: "RangeTree" = self
+        while t.dim > 1:
+            t = t._root.assoc
+        sli: SortedListIndex = t._root.assoc
+        active = np.array([sli.is_active(pid) for pid in self._ids], dtype=bool)
+        return points, list(self._ids), active
+
     # ------------------------------------------------------------------
     # Activation
     # ------------------------------------------------------------------

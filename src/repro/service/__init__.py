@@ -65,9 +65,14 @@ from repro.service.telemetry import ServiceTelemetry
 from repro.service.server import (
     expression_from_json,
     expression_to_json,
+    make_handler,
     make_server,
     serve,
 )
+from repro.service import snapshot
+from repro.service.snapshot import load as load_snapshot
+from repro.service.snapshot import save as save_snapshot
+from repro.service.supervisor import ServiceSupervisor, serve_forked
 
 __all__ = [
     "BatchPlan",
@@ -81,6 +86,7 @@ __all__ = [
     "QueryService",
     "SeededSampleSynopsis",
     "ServiceObservability",
+    "ServiceSupervisor",
     "ServiceTelemetry",
     "ShardedBatchExecutor",
     "SlowQueryLog",
@@ -93,10 +99,15 @@ __all__ = [
     "expression_from_json",
     "expression_to_json",
     "leaf_key",
+    "load_snapshot",
+    "make_handler",
     "make_server",
     "partial_bounds",
     "partition_indices",
     "plan_batch",
     "plan_query",
+    "save_snapshot",
     "serve",
+    "serve_forked",
+    "snapshot",
 ]

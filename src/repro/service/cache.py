@@ -223,6 +223,38 @@ class LeafResultCache:
                 self.stats.max_size_seen, len(self._entries)
             )
 
+    def export_entries(self) -> list[tuple[Hashable, CacheEntry]]:
+        """The entries in LRU order (oldest first), for snapshotting.
+
+        A consistent copy taken under the lock; recency and counters are
+        untouched, so exporting is invisible to the hit-rate accounting.
+        """
+        with self._lock:
+            return list(self._entries.items())
+
+    def restore_entries(
+        self,
+        items: "list[tuple[Hashable, CacheEntry]]",
+        generation: int = 0,
+    ) -> None:
+        """Replace the contents with snapshotted entries (oldest first).
+
+        The inverse of :meth:`export_entries`: entries land in the given
+        order so LRU recency survives a save/load cycle, resident-byte
+        accounting is recomputed, and the generation counter is restored so
+        generation-guarded writers from before the snapshot stay doomed.
+        Entries beyond ``capacity`` are dropped from the old end, exactly
+        as ``put`` would have evicted them (without counting evictions).
+        """
+        with self._lock:
+            self._entries.clear()
+            self._resident_bytes = 0
+            kept = items[-self.capacity :] if self.capacity else []
+            for key, entry in kept:
+                self._entries[key] = entry
+                self._resident_bytes += _answer_bytes(entry.indexes)
+            self.generation = int(generation)
+
     def note_upgrades(self, n: int = 1) -> None:
         """Count ``n`` stale entries refreshed in place from the delta shard."""
         with self._lock:

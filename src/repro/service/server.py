@@ -54,7 +54,21 @@ Wire format (all bodies JSON):
     from the same snapshot pass as ``/stats``, so the two never
     disagree.
 ``GET /healthz``
-    → ``{"status": "ok", "n_datasets": N, "n_live": L, "n_shards": S}``
+    → ``{"status": "ok", "n_datasets": N, "n_live": L, "n_shards": S,
+    "snapshot_generation": g, "worker_id": w, "worker_count": c}`` — the
+    serving fields identify which pre-forked worker answered and which
+    snapshot generation it is serving (``0``/``1`` defaults for a plain
+    single-process server); ``/stats`` carries the same trio under a
+    ``"serving"`` key.
+
+Multi-process serving (:mod:`repro.service.supervisor`) binds one handler
+class per worker over a *provider* — a zero-argument callable returning
+the current service — so a sibling worker can hot-swap its engine when
+the writer publishes a new snapshot generation without re-creating the
+listening socket.  Non-writer workers are constructed read-only: mutating
+endpoints (``POST /datasets``, ``DELETE /datasets``) answer ``409`` and
+name the writer, so a load balancer spraying requests across workers
+cannot fork divergent states.
 
 ``EXPR`` is a recursive object::
 
@@ -73,7 +87,7 @@ import json
 import math
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
+from typing import Any, Callable, Optional
 
 import numpy as np
 
@@ -208,15 +222,27 @@ _KNOWN_ENDPOINTS = frozenset(
 
 
 class _ServiceRequestHandler(BaseHTTPRequestHandler):
-    """Routes HTTP verbs to the bound service; set via ``make_server``.
+    """Routes HTTP verbs to the bound service; set via ``make_handler``.
 
     Every handled request is observed into the service's
     ``repro_request_seconds{endpoint=...}`` histogram and
     ``repro_requests_total{endpoint=..., status=...}`` counter.
+
+    ``service`` is either a plain class attribute (single-process mode)
+    or a property over a provider callable (supervisor workers, which
+    hot-swap the engine on snapshot-generation bumps).  ``context`` is a
+    *shared, mutable* dict the supervisor updates in place — worker
+    identity and the serving snapshot generation — read fresh on every
+    request.
     """
 
-    service: QueryService  # injected by make_server
+    service: QueryService  # injected by make_handler
     quiet: bool = True
+    writable: bool = True
+    #: Called (no args) after each successful mutation — the supervisor's
+    #: writer worker publishes a new snapshot generation here.
+    on_mutate: Optional[Callable[[], None]] = None
+    context: dict = {}
     protocol_version = "HTTP/1.1"
 
     # -- helpers -------------------------------------------------------
@@ -251,6 +277,28 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             endpoint, time.perf_counter() - t0, getattr(self, "_status", 500)
         )
 
+    def _serving_fields(self) -> dict:
+        """Worker identity + snapshot generation (defaults single-process)."""
+        ctx = self.context
+        return {
+            "snapshot_generation": int(ctx.get("snapshot_generation", 0)),
+            "worker_id": int(ctx.get("worker_id", 0)),
+            "worker_count": int(ctx.get("worker_count", 1)),
+        }
+
+    def _mutated(self) -> None:
+        if self.on_mutate is not None:
+            self.on_mutate()
+
+    def _reject_read_only(self) -> None:
+        self._send_json(
+            {
+                "error": "this worker is read-only; send mutations to the "
+                "writer worker (worker 0)"
+            },
+            status=409,
+        )
+
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length", 0))
         raw = self.rfile.read(length) if length else b"{}"
@@ -267,17 +315,20 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         t0 = time.perf_counter()
         try:
             if self.path == "/healthz":
-                self._send_json(
-                    {
-                        "status": "ok",
-                        "engine": self.service.engine_kind,
-                        "n_datasets": self.service.n_datasets,
-                        "n_live": self.service.n_live,
-                        "n_shards": self.service.n_shards,
-                    }
-                )
+                service = self.service
+                payload = {
+                    "status": "ok",
+                    "engine": service.engine_kind,
+                    "n_datasets": service.n_datasets,
+                    "n_live": service.n_live,
+                    "n_shards": service.n_shards,
+                }
+                payload.update(self._serving_fields())
+                self._send_json(payload)
             elif self.path == "/stats":
-                self._send_json(self.service.stats())
+                stats = self.service.stats()
+                stats["serving"] = self._serving_fields()
+                self._send_json(stats)
             elif self.path == "/stats/slow":
                 log = self.service.observability.slow_log
                 self._send_json(
@@ -368,6 +419,9 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                     payload["trace"] = results[0].trace
                 self._send_json(payload)
             elif self.path == "/datasets":
+                if not self.writable:
+                    self._reject_read_only()
+                    return
                 arrays = body.get("datasets")
                 if not isinstance(arrays, list) or not arrays:
                     raise QueryError(
@@ -379,7 +433,9 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                         parsed.append(np.asarray(a, dtype=float))
                     except (TypeError, ValueError) as exc:
                         raise QueryError(f"bad dataset array: {exc}")
-                self._send_json(self.service.add_datasets(datasets=parsed))
+                receipt = self.service.add_datasets(datasets=parsed)
+                self._mutated()
+                self._send_json(receipt)
             elif self.path == "/cache/invalidate":
                 self.service.invalidate_cache()
                 self._send_json({"generation": self.service.cache.generation})
@@ -397,6 +453,9 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         try:
             body = self._read_json()
             if self.path == "/datasets":
+                if not self.writable:
+                    self._reject_read_only()
+                    return
                 indexes = body.get("indexes")
                 if not isinstance(indexes, list) or not indexes:
                     raise QueryError("'indexes' must be a non-empty list of ints")
@@ -404,7 +463,9 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                     parsed = [int(i) for i in indexes]
                 except (TypeError, ValueError) as exc:
                     raise QueryError(f"bad dataset index: {exc}")
-                self._send_json(self.service.remove_datasets(parsed))
+                receipt = self.service.remove_datasets(parsed)
+                self._mutated()
+                self._send_json(receipt)
             else:
                 self._send_json({"error": f"unknown path {self.path}"}, status=404)
         except ReproError as exc:
@@ -415,19 +476,54 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             self._observe(t0)
 
 
+def make_handler(
+    service: Optional[QueryService] = None,
+    quiet: bool = True,
+    *,
+    provider: Optional[Callable[[], QueryService]] = None,
+    context: Optional[dict] = None,
+    on_mutate: Optional[Callable[[], None]] = None,
+    writable: bool = True,
+) -> type:
+    """A request-handler class bound to a service (or a service provider).
+
+    Exactly one of ``service`` / ``provider`` must be given.  A provider
+    is a zero-argument callable returning the *current* service — the
+    supervisor's hot-swap hook: each request resolves it afresh, so a
+    worker that just reloaded a newer snapshot generation serves it
+    without touching the listening socket.  ``context`` is kept by
+    reference (not copied) so the owner can update worker/generation
+    fields in place; ``on_mutate`` fires after each successful mutation
+    (the writer worker's publish hook); ``writable=False`` turns both
+    mutating endpoints into ``409`` rejections.
+    """
+    if (service is None) == (provider is None):
+        raise ValueError("pass exactly one of 'service' or 'provider'")
+    namespace: dict = {
+        "quiet": quiet,
+        "writable": writable,
+        "on_mutate": staticmethod(on_mutate) if on_mutate is not None else None,
+        "context": context if context is not None else {},
+    }
+    if provider is not None:
+        namespace["_provider"] = staticmethod(provider)
+        namespace["service"] = property(lambda self: self._provider())
+    else:
+        namespace["service"] = service
+    return type("BoundServiceRequestHandler", (_ServiceRequestHandler,), namespace)
+
+
 def make_server(
     service: QueryService,
     host: str = "127.0.0.1",
     port: int = 8765,
     quiet: bool = True,
+    **handler_kwargs: Any,
 ) -> ThreadingHTTPServer:
     """A ready-to-run HTTP server bound to ``service`` (port 0 = ephemeral)."""
-    handler = type(
-        "BoundServiceRequestHandler",
-        (_ServiceRequestHandler,),
-        {"service": service, "quiet": quiet},
+    return ThreadingHTTPServer(
+        (host, port), make_handler(service, quiet, **handler_kwargs)
     )
-    return ThreadingHTTPServer((host, port), handler)
 
 
 def serve(

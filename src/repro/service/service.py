@@ -41,6 +41,7 @@ box.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from typing import TYPE_CHECKING, Optional, Sequence, Union
@@ -732,6 +733,21 @@ class QueryService:
         self.executor = new
         self.invalidate_cache()
         old.close()
+
+    def save(self, path: str | os.PathLike[str], generation: int = 0) -> dict:
+        """Persist the whole service (engines, caches, plans' capacity) into
+        one snapshot container; see :mod:`repro.service.snapshot`."""
+        from repro.service import snapshot
+
+        return snapshot.save(self, path, generation=generation)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike[str], mmap: bool = True) -> "QueryService":
+        """Reconstruct a service saved by :meth:`save` (mmap-backed by
+        default); refuses containers holding a different kind."""
+        from repro.service import snapshot
+
+        return snapshot.load_expected(path, "query_service", mmap=mmap)
 
     def close(self) -> None:
         self.executor.close()

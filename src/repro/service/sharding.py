@@ -53,6 +53,7 @@ The executor supports repository churn without a full rebuild:
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -203,6 +204,10 @@ class ShardedBatchExecutor:
         ``synopses`` (positions are stable identities) but are excluded from
         the shard engines and masked out of every answer.
     """
+
+    #: Recorded pool width, parked by the supervisor parent before forking
+    #: (pools don't survive ``fork``); children rebuild from it.
+    _pool_width: int
 
     def __init__(
         self,
@@ -784,6 +789,21 @@ class ShardedBatchExecutor:
         """A consistent copy of the counters (taken under the stats lock)."""
         with self._stats_lock:
             return dict(self.stats)
+
+    def save(self, path: str | os.PathLike[str], generation: int = 0) -> dict:
+        """Persist the executor (shard engines, delta shard, tombstones)
+        into one snapshot container; see :mod:`repro.service.snapshot`."""
+        from repro.service import snapshot
+
+        return snapshot.save(self, path, generation=generation)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike[str], mmap: bool = True) -> "ShardedBatchExecutor":
+        """Reconstruct an executor saved by :meth:`save` (mmap-backed by
+        default); refuses containers holding a different kind."""
+        from repro.service import snapshot
+
+        return snapshot.load_expected(path, "sharded_executor", mmap=mmap)
 
     def close(self) -> None:
         """Shut the thread pool down (idempotent)."""

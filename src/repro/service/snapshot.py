@@ -1,0 +1,858 @@
+"""Versioned single-file engine snapshots: mmap cold starts.
+
+Every piece of built serving state is already a flat array — mapped-point
+matrices (``R^{4d+2}``), ``ColumnarStore`` point/mask/group buffers,
+coreset samples, packed ``DatasetBitmap`` words, raw repository datasets —
+so a cold start does not have to *rebuild* any of it: this module persists
+a whole engine (:class:`~repro.core.engine.DatasetSearchEngine`,
+:class:`~repro.service.sharding.ShardedBatchExecutor`, or a full
+:class:`~repro.service.service.QueryService`) into one container file and
+reconstructs it with ``np.memmap``-backed buffers, skipping the coreset
+draws and the maximal-pair rectangle enumeration entirely.
+
+Container format (version 1)
+----------------------------
+::
+
+    bytes  0-7   magic ``b"REPROSNP"``
+    bytes  8-11  container version, uint32 LE
+    bytes 12-15  reserved (zero)
+    bytes 16-23  JSON header length ``H``, uint64 LE
+    bytes 24-31  data-section start offset, uint64 LE (64-byte aligned)
+    bytes 32-..  JSON header (utf-8, ``H`` bytes)
+    data section: raw little-endian array buffers, each 64-byte aligned
+
+The JSON header carries ``kind`` (which class the state describes),
+``generation`` (the serving generation counter the multi-process
+supervisor bumps on ingest), ``state`` (nested scalars and segment
+references), and ``arrays`` — the segment table mapping each reference to
+``{offset, dtype, shape}`` relative to the data section.  Equal array
+*objects* are written once (deduplicated by identity), so a repository
+dataset shared with its ``ExactSynopsis`` costs one segment.
+
+``load(path, mmap=True)`` maps segments as read-only ``np.memmap`` views:
+page-cache pages are shared across every process that maps the same file,
+which is what makes the pre-forked multi-worker server
+(:mod:`repro.service.supervisor`) memory-flat in the worker count.  The
+query path never writes these buffers — mutable state (activation masks,
+side buffers, caches past their words) is private per load.  With
+``mmap=False`` every segment is read into a private writable array.
+
+**Exact-equality round-trip is the contract**: a loaded engine answers
+every query identically to the engine that was saved (pinned by
+``tests/service/test_snapshot.py`` across all three backends).  Pref
+structures are *not* persisted — they are lazy per-rank-``k`` and
+deterministic to rebuild — and a Ptile index whose key space has holes
+(datasets deleted via ``delete_synopsis``) is refused rather than
+resynthesized wrong.
+
+All errors reading a snapshot back — bad magic, unsupported version,
+truncated segments, malformed state — raise
+:class:`~repro.errors.SnapshotError`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import struct
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Optional, Union
+
+import numpy as np
+
+from repro.core.bitset import DatasetBitmap
+from repro.core.engine import DatasetSearchEngine
+from repro.core.framework import Dataset, Repository
+from repro.core.ptile_range import PtileRangeIndex
+from repro.errors import SnapshotError
+from repro.geometry.rectangle import Rectangle
+from repro.index.backend import build_backend
+from repro.index.columnar import ColumnarStore
+from repro.service.cache import CacheEntry, LeafResultCache
+from repro.service.observability import ServiceObservability
+from repro.service.planner import PlanCache
+from repro.service.service import QueryService
+from repro.service.sharding import ShardedBatchExecutor
+from repro.service.telemetry import ServiceTelemetry
+from repro.synopsis.serialize import from_state as synopsis_from_state
+from repro.synopsis.serialize import to_state as synopsis_to_state
+
+MAGIC = b"REPROSNP"
+VERSION = 1
+
+#: Segment alignment, in bytes: one cache line, and a divisor of the page
+#: size, so mapped array starts never straddle element boundaries.
+ALIGN = 64
+
+#: Container kinds, by the class they reconstruct.
+KINDS = ("query_service", "sharded_executor", "engine")
+
+#: Anything ``open()`` accepts as a file path.
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def _align(offset: int) -> int:
+    return (offset + ALIGN - 1) // ALIGN * ALIGN
+
+
+# ----------------------------------------------------------------------
+# Writer
+# ----------------------------------------------------------------------
+class _SnapshotWriter:
+    """Collects array segments (deduplicated by object identity) + state."""
+
+    def __init__(self) -> None:
+        self._arrays: list[tuple[str, np.ndarray]] = []
+        self._ref_of_id: dict[int, str] = {}
+
+    def add_array(self, hint: str, arr: np.ndarray) -> str:
+        """Register one array segment; returns its reference string.
+
+        The same array *object* registered twice gets one segment (the
+        repository's raw points are also every exact synopsis' state).
+        """
+        ref = self._ref_of_id.get(id(arr))
+        if ref is not None:
+            return ref
+        out = np.ascontiguousarray(arr)
+        if out.dtype == object:
+            raise SnapshotError(
+                f"segment {hint!r} has dtype=object; snapshot segments "
+                "must be flat numeric/bool buffers"
+            )
+        ref = f"{hint}#{len(self._arrays)}"
+        self._arrays.append((ref, out))
+        self._ref_of_id[id(arr)] = ref
+        # Keep the contiguous copy's identity mapped too, so it stays
+        # alive (id() keys must not be recycled) and re-adds dedup.
+        self._ref_of_id[id(out)] = ref
+        return ref
+
+    def write(
+        self, path: PathLike, kind: str, state: dict, generation: int
+    ) -> dict:
+        """Serialize header + segments to ``path`` (atomic replace)."""
+        arrays_meta: dict[str, dict] = {}
+        rel = 0
+        for ref, arr in self._arrays:
+            rel = _align(rel)
+            arrays_meta[ref] = {
+                "offset": rel,
+                "dtype": arr.dtype.str,
+                "shape": list(arr.shape),
+            }
+            rel += arr.nbytes
+        header = {
+            "format": VERSION,
+            "kind": kind,
+            "generation": int(generation),
+            "state": state,
+            "arrays": arrays_meta,
+        }
+        raw = json.dumps(header, separators=(",", ":")).encode("utf-8")
+        data_start = _align(32 + len(raw))
+        path = os.fspath(path)
+        tmp = f"{path}.tmp"
+        with open(tmp, "wb") as f:
+            f.write(MAGIC)
+            f.write(struct.pack("<II", VERSION, 0))
+            f.write(struct.pack("<QQ", len(raw), data_start))
+            f.write(raw)
+            f.write(b"\x00" * (data_start - 32 - len(raw)))
+            pos = 0
+            for _ref, arr in self._arrays:
+                aligned = _align(pos)
+                if aligned > pos:
+                    f.write(b"\x00" * (aligned - pos))
+                pos = aligned
+                f.write(arr.data)
+                pos += arr.nbytes
+        os.replace(tmp, path)
+        return {
+            "path": path,
+            "kind": kind,
+            "generation": int(generation),
+            "n_arrays": len(self._arrays),
+            "data_bytes": pos,
+            "file_bytes": data_start + pos,
+        }
+
+
+# ----------------------------------------------------------------------
+# Reader
+# ----------------------------------------------------------------------
+class _ArrayTable:
+    """Lazy ``ref -> ndarray`` resolver over one container's data section.
+
+    ``mmap=True`` maps the whole data section **once** and hands out
+    read-only ``np.frombuffer`` views into the single map — one ``mmap``
+    syscall and one VMA per load instead of one per segment, which is
+    what keeps ``load()`` latency flat in the dataset count.  Pages are
+    shared across processes exactly as with per-segment ``np.memmap``.
+    ``mmap=False`` reads private writable arrays.  Resolved arrays are
+    cached so two references to one segment share one view.
+    """
+
+    def __init__(self, path: str, meta: dict, data_start: int, mmap: bool) -> None:
+        self._path = path
+        self._meta = meta
+        self._data_start = data_start
+        self._mmap = mmap
+        self._cache: dict[str, np.ndarray] = {}
+        self._map: Optional[np.ndarray] = None
+
+    def _buffer(self) -> np.ndarray:
+        if self._map is None:
+            self._map = np.memmap(self._path, dtype=np.uint8, mode="r")
+        return self._map
+
+    def __getitem__(self, ref: str) -> np.ndarray:
+        got = self._cache.get(ref)
+        if got is not None:
+            return got
+        m = self._meta.get(ref)
+        if m is None:
+            raise SnapshotError(f"state references unknown segment {ref!r}")
+        dtype = np.dtype(m["dtype"])
+        shape = tuple(int(s) for s in m["shape"])
+        count = math.prod(shape) if shape else 1
+        offset = self._data_start + int(m["offset"])
+        if count == 0:
+            arr: np.ndarray = np.empty(shape, dtype=dtype)
+        elif self._mmap:
+            arr = np.frombuffer(
+                self._buffer(), dtype=dtype, count=count, offset=offset
+            ).reshape(shape)
+        else:
+            with open(self._path, "rb") as f:
+                f.seek(offset)
+                flat = np.fromfile(f, dtype=dtype, count=count)
+            if flat.size != count:
+                raise SnapshotError(f"segment {ref!r} is truncated")
+            arr = flat.reshape(shape)
+        self._cache[ref] = arr
+        return arr
+
+
+def _open_container(path: PathLike, mmap: bool) -> tuple[dict, _ArrayTable]:
+    path = os.fspath(path)
+    try:
+        size = os.path.getsize(path)
+        with open(path, "rb") as f:
+            pre = f.read(32)
+            if len(pre) < 32:
+                raise SnapshotError(f"{path}: too short to be a snapshot")
+            if pre[:8] != MAGIC:
+                raise SnapshotError(f"{path}: bad magic (not a repro snapshot)")
+            version, _reserved = struct.unpack_from("<II", pre, 8)
+            if version != VERSION:
+                raise SnapshotError(
+                    f"{path}: unsupported snapshot version {version} "
+                    f"(this build reads version {VERSION})"
+                )
+            hlen, data_start = struct.unpack_from("<QQ", pre, 16)
+            raw = f.read(hlen)
+        if len(raw) < hlen:
+            raise SnapshotError(f"{path}: truncated header")
+        try:
+            header = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SnapshotError(f"{path}: corrupt header ({exc})") from exc
+    except OSError as exc:
+        raise SnapshotError(f"{path}: cannot read snapshot ({exc})") from exc
+    arrays = header.get("arrays")
+    state = header.get("state")
+    if not isinstance(arrays, dict) or not isinstance(state, dict):
+        raise SnapshotError(f"{path}: malformed header")
+    for ref, m in arrays.items():
+        nbytes = (math.prod(m["shape"]) if m["shape"] else 1) * np.dtype(
+            m["dtype"]
+        ).itemsize
+        if data_start + int(m["offset"]) + nbytes > size:
+            raise SnapshotError(f"{path}: segment {ref!r} is truncated")
+    return header, _ArrayTable(path, arrays, int(data_start), mmap)
+
+
+# ----------------------------------------------------------------------
+# Shared state helpers
+# ----------------------------------------------------------------------
+def _box_state(box: Optional[Rectangle]) -> Optional[dict]:
+    if box is None:
+        return None
+    return {"lo": [float(x) for x in box.lo], "hi": [float(x) for x in box.hi]}
+
+
+def _box_from(state: Optional[dict]) -> Optional[Rectangle]:
+    if state is None:
+        return None
+    return Rectangle(state["lo"], state["hi"])
+
+
+def _rng_state(rng: np.random.Generator) -> dict:
+    return rng.bit_generator.state
+
+
+def _restore_rng(state: dict) -> np.random.Generator:
+    try:
+        cls = getattr(np.random, state["bit_generator"])
+        gen = np.random.Generator(cls())
+        gen.bit_generator.state = state
+        return gen
+    except (KeyError, TypeError, AttributeError, ValueError) as exc:
+        raise SnapshotError(f"cannot restore rng state ({exc})") from exc
+
+
+# ----------------------------------------------------------------------
+# Ptile index
+# ----------------------------------------------------------------------
+def _ptile_state(index: PtileRangeIndex, add_array: Callable) -> dict:
+    keys = index.keys
+    pts, ids, active = index._tree.export_points()
+    ids_arr = np.asarray(ids, dtype=np.int64)
+    if ids_arr.ndim != 2 or (ids_arr.size and ids_arr.shape[1] != 2):
+        raise SnapshotError("ptile backend ids are not (key, local) pairs")
+    return {
+        "eps": float(index.eps),
+        "eps_effective": float(index.eps_effective),
+        "phi_eff": float(index._phi_eff),
+        "sample_size": int(index._sample_size),
+        "leaf_size": int(index._leaf_size),
+        "engine": index.engine_kind,
+        "dim": int(index.dim),
+        "next_key": int(index._next_key),
+        "keys": [int(k) for k in keys],
+        "deltas": [float(index._deltas[k]) for k in keys],
+        "counts": [len(index._point_ids[k]) for k in keys],
+        "coresets": [add_array("coreset", index._coresets[k]) for k in keys],
+        "bounding_box": _box_state(index.bounding_box),
+        "rng": _rng_state(index._rng),
+        "points": add_array("mapped_points", pts),
+        "ids": add_array("mapped_ids", ids_arr.reshape(-1, 2)),
+        "active": add_array("mapped_active", np.asarray(active, dtype=bool)),
+    }
+
+
+def _ptile_from_state(
+    state: dict, arrays: _ArrayTable, synopses: list
+) -> PtileRangeIndex:
+    keys = [int(k) for k in state["keys"]]
+    if keys != list(range(len(synopses))):
+        raise SnapshotError(
+            "ptile key space does not match the synopsis list (holes from "
+            "delete_synopsis?); snapshots require contiguous keys"
+        )
+    index = PtileRangeIndex.__new__(PtileRangeIndex)
+    index.dim = int(state["dim"])
+    index.eps = float(state["eps"])
+    index.engine_kind = state["engine"]
+    index._leaf_size = int(state["leaf_size"])
+    index._rng = _restore_rng(state["rng"])
+    index._next_key = int(state["next_key"])
+    index._phi_eff = float(state["phi_eff"])
+    index._sample_size = int(state["sample_size"])
+    index.eps_effective = float(state["eps_effective"])
+    index.bounding_box = _box_from(state["bounding_box"])
+    index._synopses = {k: synopses[k] for k in keys}
+    index._deltas = {k: float(d) for k, d in zip(keys, state["deltas"])}
+    index._coresets = {
+        k: np.asarray(arrays[ref]) for k, ref in zip(keys, state["coresets"])
+    }
+    index._point_ids = {
+        k: [(k, local) for local in range(int(c))]
+        for k, c in zip(keys, state["counts"])
+    }
+    pts = arrays[state["points"]]
+    ids_arr = np.asarray(arrays[state["ids"]])
+    active = np.asarray(arrays[state["active"]], dtype=bool)
+    if index.engine_kind == "columnar":
+        # Zero-copy: the mapped-point matrix stays the file-backed buffer.
+        index._tree = ColumnarStore._from_snapshot(pts, ids_arr, active)
+    else:
+        # Tree backends rebuild their node structure from the mapped
+        # matrix — still skipping coreset draws and pair enumeration, the
+        # expensive parts of a cold build.
+        id_list = [(int(a), int(b)) for a, b in ids_arr.tolist()]
+        index._tree = build_backend(
+            np.asarray(pts),
+            id_list,
+            engine=index.engine_kind,
+            leaf_size=index._leaf_size,
+        )
+        for pos in np.flatnonzero(~active):
+            index._tree.deactivate(id_list[int(pos)])
+    return index
+
+
+# ----------------------------------------------------------------------
+# Repository
+# ----------------------------------------------------------------------
+def _repository_state(
+    repo: Optional[Repository], add_array: Callable
+) -> Optional[dict]:
+    if repo is None:
+        return None
+    return {
+        "schema": list(repo.schema),
+        "names": [ds.name for ds in repo.datasets],
+        "points": [add_array("dataset", ds.points) for ds in repo.datasets],
+    }
+
+
+def _repository_from_state(
+    state: Optional[dict], arrays: _ArrayTable
+) -> Optional[Repository]:
+    if state is None:
+        return None
+    schema = tuple(state["schema"])
+    datasets = []
+    for name, ref in zip(state["names"], state["points"]):
+        # Bypass Dataset.__init__: the finiteness scan over every stored
+        # point is exactly the O(total points) pass a mapped cold start
+        # must not pay (and would fault every page in).
+        ds = Dataset.__new__(Dataset)
+        ds.points = np.asarray(arrays[ref])
+        ds.name = name
+        ds.schema = schema
+        datasets.append(ds)
+    repo = Repository.__new__(Repository)
+    repo.datasets = datasets
+    return repo
+
+
+# ----------------------------------------------------------------------
+# DatasetSearchEngine
+# ----------------------------------------------------------------------
+def _engine_sub_state(engine: DatasetSearchEngine, add_array: Callable) -> dict:
+    """Engine state *minus* synopses/params (owned by the executor level)."""
+    return {
+        "leaf_size": int(engine._leaf_size),
+        "rng": _rng_state(engine._rng),
+        "ptile": (
+            None
+            if engine._ptile is None
+            else _ptile_state(engine._ptile, add_array)
+        ),
+    }
+
+
+def _make_engine(
+    synopses: list,
+    repository: Optional[Repository],
+    eps: float,
+    phi: Optional[float],
+    delta: Optional[float],
+    sample_size: Optional[int],
+    bounding_box: Optional[Rectangle],
+    engine_kind: str,
+    sub: dict,
+    arrays: _ArrayTable,
+) -> DatasetSearchEngine:
+    eng = DatasetSearchEngine.__new__(DatasetSearchEngine)
+    eng.synopses = list(synopses)
+    eng.repository = repository
+    if not eng.synopses:
+        raise SnapshotError("engine state has no synopses")
+    eng.dim = eng.synopses[0].dim
+    eng.eps = float(eps)
+    eng._phi = phi
+    eng._delta = delta
+    eng._sample_size = sample_size
+    eng._bounding_box = bounding_box
+    eng.engine_kind = engine_kind
+    eng._leaf_size = int(sub["leaf_size"])
+    eng._rng = _restore_rng(sub["rng"])
+    eng._ptile = (
+        None
+        if sub["ptile"] is None
+        else _ptile_from_state(sub["ptile"], arrays, eng.synopses)
+    )
+    eng._pref = {}
+    return eng
+
+
+def _engine_state(engine: DatasetSearchEngine, add_array: Callable) -> dict:
+    return {
+        "eps": float(engine.eps),
+        "phi": engine._phi,
+        "delta": engine._delta,
+        "sample_size": engine._sample_size,
+        "engine": engine.engine_kind,
+        "bounding_box": _box_state(engine._bounding_box),
+        "synopses": [synopsis_to_state(s, add_array) for s in engine.synopses],
+        "repository": _repository_state(engine.repository, add_array),
+        "sub": _engine_sub_state(engine, add_array),
+    }
+
+
+def _engine_from_state(state: dict, arrays: _ArrayTable) -> DatasetSearchEngine:
+    synopses = [synopsis_from_state(p, arrays) for p in state["synopses"]]
+    return _make_engine(
+        synopses,
+        _repository_from_state(state["repository"], arrays),
+        state["eps"],
+        state["phi"],
+        state["delta"],
+        state["sample_size"],
+        _box_from(state["bounding_box"]),
+        state["engine"],
+        state["sub"],
+        arrays,
+    )
+
+
+# ----------------------------------------------------------------------
+# ShardedBatchExecutor
+# ----------------------------------------------------------------------
+def _executor_state(ex: ShardedBatchExecutor, add_array: Callable) -> dict:
+    pool = ex._pool
+    if pool is not None:
+        max_workers: Optional[int] = pool._max_workers
+    elif ex.n_shards > 1:
+        max_workers = 0  # pool explicitly disabled
+    else:
+        max_workers = None  # single shard never builds a pool
+    engines = []
+    for eng, lock in zip(ex.engines, ex._locks):
+        # A record_times query temporarily deactivates reported points;
+        # exporting under the shard lock sees the restored state.
+        with lock:
+            engines.append(_engine_sub_state(eng, add_array))
+    with ex._delta_lock:
+        delta_ids = [int(i) for i in ex.delta_ids]
+        delta_engine = (
+            None
+            if ex.delta_engine is None
+            else _engine_sub_state(ex.delta_engine, add_array)
+        )
+        synopses = [synopsis_to_state(s, add_array) for s in ex.synopses]
+    return {
+        "eps": float(ex.eps),
+        "seed": int(ex.seed),
+        "deterministic": bool(ex._deterministic),
+        "batch_leaves": bool(ex._batch_leaves),
+        "delta": ex._delta_param,
+        "engine": ex.engine_kind,
+        "capacity": ex.capacity,
+        "phi_eff": float(ex.phi_eff),
+        "sample_size": int(ex.sample_size),
+        "eps_effective": float(ex.eps_effective),
+        "bounding_box": _box_state(ex.bounding_box),
+        "shards": [[int(i) for i in shard] for shard in ex.shards],
+        "removed": sorted(int(i) for i in ex.removed),
+        "max_workers": max_workers,
+        "synopses": synopses,
+        "repository": _repository_state(ex.repository, add_array),
+        "engines": engines,
+        "delta_ids": delta_ids,
+        "delta_engine": delta_engine,
+    }
+
+
+def _executor_from_state(
+    state: dict, arrays: _ArrayTable
+) -> ShardedBatchExecutor:
+    ex = ShardedBatchExecutor.__new__(ShardedBatchExecutor)
+    ex.eps = float(state["eps"])
+    ex.seed = int(state["seed"])
+    ex._deterministic = bool(state["deterministic"])
+    ex._batch_leaves = bool(state["batch_leaves"])
+    ex._delta_param = state["delta"]
+    ex.engine_kind = state["engine"]
+    ex.capacity = state["capacity"]
+    ex.phi_eff = float(state["phi_eff"])
+    ex.sample_size = int(state["sample_size"])
+    ex.eps_effective = float(state["eps_effective"])
+    ex.bounding_box = _box_from(state["bounding_box"])
+    ex.synopses = [synopsis_from_state(p, arrays) for p in state["synopses"]]
+    if not ex.synopses:
+        raise SnapshotError("executor state has no synopses")
+    ex.dim = ex.synopses[0].dim
+    ex.repository = _repository_from_state(state["repository"], arrays)
+    ex.removed = frozenset(int(i) for i in state["removed"])
+    ex._removed_bits_cache = None
+    ex.shards = [[int(i) for i in shard] for shard in state["shards"]]
+    ex.n_shards = len(ex.shards)
+    if len(state["engines"]) != ex.n_shards:
+        raise SnapshotError("executor state shard/engine count mismatch")
+    ex.engines = [
+        _make_engine(
+            [ex.synopses[i] for i in shard],
+            None,
+            ex.eps,
+            ex.phi_eff,
+            ex._delta_param,
+            ex.sample_size,
+            ex.bounding_box,
+            ex.engine_kind,
+            sub,
+            arrays,
+        )
+        for shard, sub in zip(ex.shards, state["engines"])
+    ]
+    ex._locks = [threading.Lock() for _ in range(ex.n_shards)]
+    ex._stats_lock = threading.Lock()
+    ex.delta_ids = [int(i) for i in state["delta_ids"]]
+    ex.delta_engine = (
+        None
+        if state["delta_engine"] is None
+        else _make_engine(
+            [ex.synopses[i] for i in ex.delta_ids],
+            None,
+            ex.eps,
+            ex.phi_eff,
+            ex._delta_param,
+            ex.sample_size,
+            ex.bounding_box,
+            ex.engine_kind,
+            state["delta_engine"],
+            arrays,
+        )
+    )
+    ex._delta_lock = threading.Lock()
+    max_workers = state["max_workers"]
+    if max_workers is None:
+        max_workers = ex.n_shards
+    ex._pool = (
+        ThreadPoolExecutor(
+            max_workers=int(max_workers), thread_name_prefix="repro-shard"
+        )
+        if int(max_workers) > 0 and ex.n_shards > 1
+        else None
+    )
+    ex.stats = {"leaf_evals": 0, "shard_tasks": 0, "delta_evals": 0}  # guarded-by: _stats_lock
+    return ex
+
+
+# ----------------------------------------------------------------------
+# Leaf-result cache
+# ----------------------------------------------------------------------
+def _encode_key(obj: Any) -> Any:
+    """Canonical leaf keys are nested tuples of JSON scalars; tag tuples."""
+    if isinstance(obj, tuple):
+        return {"t": [_encode_key(x) for x in obj]}
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise SnapshotError(
+        f"cache key element of type {type(obj).__name__} is not "
+        "snapshot-serializable"
+    )
+
+
+def _decode_key(obj: Any) -> Any:
+    if isinstance(obj, dict):
+        return tuple(_decode_key(x) for x in obj["t"])
+    return obj
+
+
+def _cache_state(cache: LeafResultCache, add_array: Callable) -> dict:
+    entries = []
+    word_chunks: list[np.ndarray] = []
+    off = 0
+    for key, entry in cache.export_entries():
+        e: dict = {"key": _encode_key(key), "watermark": int(entry.watermark)}
+        value = entry.indexes
+        if isinstance(value, DatasetBitmap):
+            word_chunks.append(value.words)
+            e["nbits"] = int(value.nbits)
+            e["off"] = off
+            e["nw"] = int(value.words.size)
+            off += int(value.words.size)
+        else:
+            e["set"] = sorted(int(i) for i in value)
+        entries.append(e)
+    words = (
+        np.concatenate(word_chunks)
+        if word_chunks
+        else np.zeros(0, dtype=np.uint64)
+    )
+    return {
+        "capacity": int(cache.capacity),
+        "generation": int(cache.generation),
+        "entries": entries,
+        "words": add_array("cache_words", words),
+    }
+
+
+def _cache_restore(
+    state: dict, arrays: _ArrayTable, cache: LeafResultCache
+) -> None:
+    words = arrays[state["words"]]
+    items = []
+    for e in state["entries"]:
+        key = _decode_key(e["key"])
+        if "set" in e:
+            value: CachedAnswer = frozenset(int(i) for i in e["set"])
+        else:
+            off, nw = int(e["off"]), int(e["nw"])
+            if off + nw > words.size:
+                raise SnapshotError("cache entry words out of segment bounds")
+            # Contiguous slice of the mapped words — zero-copy; bitmaps
+            # are immutable by convention so a read-only buffer is fine.
+            value = DatasetBitmap(words[off : off + nw], int(e["nbits"]))
+        items.append((key, CacheEntry(value, int(e["watermark"]))))
+    cache.restore_entries(items, generation=int(state["generation"]))
+
+
+# ----------------------------------------------------------------------
+# QueryService
+# ----------------------------------------------------------------------
+def _service_state(svc: QueryService, add_array: Callable) -> dict:
+    kw = svc._executor_kwargs
+    return {
+        "algebra": svc.algebra,
+        "executor_kwargs": {
+            "eps": kw["eps"],
+            "phi": kw["phi"],
+            "delta": kw["delta"],
+            "sample_size": kw["sample_size"],
+            "bounding_box": _box_state(kw["bounding_box"]),
+            "seed": kw["seed"],
+            "deterministic": kw["deterministic"],
+            "engine": kw["engine"],
+            "max_workers": kw["max_workers"],
+            "capacity": kw["capacity"],
+            "batch_leaves": kw["batch_leaves"],
+        },
+        "plan_capacity": int(svc.plans.capacity),
+        "telemetry_window": int(svc.telemetry._latencies.maxlen or 4096),
+        "tracing": bool(svc.observability.tracing),
+        "slow_query_threshold_ms": svc.observability.slow_log.threshold_ms,
+        "slow_log_size": int(svc.observability.slow_log.k),
+        "cache": _cache_state(svc.cache, add_array),
+        "executor": _executor_state(svc.executor, add_array),
+    }
+
+
+def _service_from_state(state: dict, arrays: _ArrayTable) -> QueryService:
+    svc = QueryService.__new__(QueryService)
+    svc.algebra = state["algebra"]
+    kw = dict(state["executor_kwargs"])
+    kw["bounding_box"] = _box_from(kw["bounding_box"])
+    svc._executor_kwargs = kw
+    svc.executor = _executor_from_state(state["executor"], arrays)
+    svc.cache = LeafResultCache(capacity=int(state["cache"]["capacity"]))
+    _cache_restore(state["cache"], arrays, svc.cache)
+    svc.plans = PlanCache(capacity=int(state["plan_capacity"]))
+    svc.telemetry = ServiceTelemetry(window=int(state["telemetry_window"]))
+    svc.observability = ServiceObservability(
+        svc,
+        tracing=bool(state["tracing"]),
+        slow_query_threshold_ms=state["slow_query_threshold_ms"],
+        slow_log_size=int(state["slow_log_size"]),
+    )
+    svc._mutation_lock = threading.Lock()
+    return svc
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def save(obj: object, path: PathLike, generation: int = 0) -> dict:
+    """Persist a built engine/executor/service into one container file.
+
+    Returns a summary dict (``path``, ``kind``, ``generation``, segment
+    count and byte sizes).  The write is atomic (temp file + rename), so
+    a reader never maps a half-written snapshot — the property the
+    multi-process supervisor's generation handoff relies on.
+    """
+    writer = _SnapshotWriter()
+    if isinstance(obj, QueryService):
+        with obj._mutation_lock:
+            kind, state = "query_service", _service_state(obj, writer.add_array)
+    elif isinstance(obj, ShardedBatchExecutor):
+        kind, state = "sharded_executor", _executor_state(obj, writer.add_array)
+    elif isinstance(obj, DatasetSearchEngine):
+        kind, state = "engine", _engine_state(obj, writer.add_array)
+    else:
+        raise SnapshotError(
+            f"cannot snapshot {type(obj).__name__}; supported: QueryService, "
+            "ShardedBatchExecutor, DatasetSearchEngine"
+        )
+    return writer.write(path, kind, state, generation)
+
+
+def load(path: PathLike, mmap: bool = True) -> Any:
+    """Reconstruct whatever :func:`save` persisted at ``path``.
+
+    With ``mmap=True`` (default) bulk buffers are read-only
+    ``np.memmap`` views — loading is O(metadata), the point data pages in
+    on demand and is shared across processes.  ``mmap=False`` reads
+    private writable copies.
+    """
+    header, arrays = _open_container(path, mmap)
+    kind = header.get("kind")
+    state = header["state"]
+    if kind == "query_service":
+        return _service_from_state(state, arrays)
+    if kind == "sharded_executor":
+        return _executor_from_state(state, arrays)
+    if kind == "engine":
+        return _engine_from_state(state, arrays)
+    raise SnapshotError(f"unknown snapshot kind {kind!r} (of {KINDS})")
+
+
+def load_expected(path: PathLike, expected_kind: str, mmap: bool = True) -> Any:
+    """:func:`load` that refuses a container of the wrong kind."""
+    header, arrays = _open_container(path, mmap)
+    kind = header.get("kind")
+    if kind != expected_kind:
+        raise SnapshotError(
+            f"snapshot holds kind {kind!r}, expected {expected_kind!r}"
+        )
+    del arrays
+    return load(path, mmap=mmap)
+
+
+def generation_of(path: PathLike) -> int:
+    """The generation counter stamped into a snapshot header."""
+    header, _arrays = _open_container(path, mmap=True)
+    return int(header.get("generation", 0))
+
+
+def inspect(path: PathLike) -> dict:
+    """Human/CLI-facing summary of a container (no arrays are loaded)."""
+    path = os.fspath(path)
+    header, _arrays = _open_container(path, mmap=True)
+    arrays = header["arrays"]
+    data_bytes = sum(
+        int(np.prod(m["shape"]) if m["shape"] else 1)
+        * np.dtype(m["dtype"]).itemsize
+        for m in arrays.values()
+    )
+    state = header["state"]
+    out = {
+        "path": path,
+        "format": header.get("format"),
+        "kind": header.get("kind"),
+        "generation": int(header.get("generation", 0)),
+        "n_arrays": len(arrays),
+        "data_bytes": data_bytes,
+        "file_bytes": os.path.getsize(path),
+    }
+    if header.get("kind") == "query_service":
+        out["executor"] = {
+            "engine": state["executor"]["engine"],
+            "n_shards": len(state["executor"]["shards"]),
+            "n_datasets": len(state["executor"]["synopses"]),
+            "n_removed": len(state["executor"]["removed"]),
+            "delta_size": len(state["executor"]["delta_ids"]),
+        }
+        out["cache_entries"] = len(state["cache"]["entries"])
+    elif header.get("kind") == "sharded_executor":
+        out["executor"] = {
+            "engine": state["engine"],
+            "n_shards": len(state["shards"]),
+            "n_datasets": len(state["synopses"]),
+            "n_removed": len(state["removed"]),
+            "delta_size": len(state["delta_ids"]),
+        }
+    elif header.get("kind") == "engine":
+        out["engine"] = {
+            "engine": state["engine"],
+            "n_datasets": len(state["synopses"]),
+            "built": state["sub"]["ptile"] is not None,
+        }
+    return out

@@ -1,0 +1,410 @@
+"""Pre-forked multi-process serving over one mmap-backed snapshot.
+
+CPython's GIL caps a single serving process at one core of query
+throughput no matter how many threads the HTTP server spawns.  The
+supervisor gets past that the classic Unix way: the parent ``load()``\\ s
+the snapshot once with ``mmap=True`` and then **forks** ``N`` workers —
+every immutable page (mapped-point matrices, coresets, raw datasets) is
+shared read-only between all workers through the page cache, so warm
+aggregate QPS scales with cores while resident memory stays flat in the
+worker count.
+
+Socket strategy
+---------------
+Each worker binds its own listening socket to the same address with
+``SO_REUSEPORT`` (the kernel load-balances new connections across
+workers).  On platforms without ``SO_REUSEPORT`` the parent binds and
+listens *before* forking and every worker accepts on the inherited
+socket — strictly a fallback: it works everywhere but funnels accepts
+through one queue.
+
+Single-writer ingest
+--------------------
+Worker 0 is the only writable worker (its siblings answer ``409`` for
+``POST/DELETE /datasets``; see :mod:`repro.service.server`).  After each
+successful mutation worker 0 bumps the snapshot generation, rewrites the
+snapshot atomically (temp file + rename) and publishes the new generation
+to the *watermark file* ``<snapshot>.gen``.  Sibling workers poll the
+watermark; on a bump they ``load()`` the new snapshot (again mmap-backed)
+and hot-swap their service between requests.  ``GET /healthz`` and
+``/stats`` expose ``snapshot_generation``/``worker_id``/``worker_count``
+so a client — or the smoke test — can watch a mutation propagate.
+
+Everything here is fork-gated: on platforms without ``os.fork`` the
+supervisor raises :class:`~repro.errors.CapabilityError` up front and the
+single-process ``repro serve`` path still works.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import sys
+import threading
+import time
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from http.server import ThreadingHTTPServer
+from typing import Optional
+
+from repro.errors import CapabilityError, SnapshotError
+from repro.service import snapshot as snapshot_mod
+from repro.service.server import make_handler
+from repro.service.service import QueryService
+
+
+def fork_available() -> bool:
+    """Whether this platform can run the pre-forked supervisor."""
+    return hasattr(os, "fork")
+
+
+def watermark_path(snapshot_path: "str | os.PathLike[str]") -> str:
+    """The generation watermark file published next to a snapshot."""
+    return f"{os.fspath(snapshot_path)}.gen"
+
+
+def write_watermark(snapshot_path: "str | os.PathLike[str]", generation: int) -> None:
+    """Atomically publish ``generation`` for ``snapshot_path``."""
+    path = watermark_path(snapshot_path)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as f:
+        json.dump({"generation": int(generation)}, f)
+    os.replace(tmp, path)
+
+
+def read_watermark(snapshot_path: "str | os.PathLike[str]") -> Optional[int]:
+    """The published generation, or None if absent/corrupt (mid-publish)."""
+    try:
+        with open(watermark_path(snapshot_path), "r", encoding="utf-8") as f:
+            return int(json.load(f)["generation"])
+    except (OSError, ValueError, KeyError, json.JSONDecodeError):
+        return None
+
+
+class _ReuseportHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that sets ``SO_REUSEPORT`` before binding."""
+
+    def server_bind(self) -> None:
+        self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
+
+
+def _inherited_server(sock: socket.socket, handler: type) -> ThreadingHTTPServer:
+    """An HTTP server accepting on an already-listening inherited socket."""
+    httpd = ThreadingHTTPServer(
+        sock.getsockname()[:2], handler, bind_and_activate=False
+    )
+    httpd.socket.close()
+    httpd.socket = sock
+    host, port = sock.getsockname()[:2]
+    httpd.server_name = host
+    httpd.server_port = port
+    return httpd
+
+
+def _revive_pool(service: QueryService) -> None:
+    """Replace a fork-orphaned shard pool with a live one.
+
+    Thread pools do not survive ``fork()`` — the child inherits the pool
+    object but none of its worker threads, so any submitted task would
+    wait forever.  The parent shuts its pool down before forking; each
+    worker rebuilds one here from the executor's recorded width.
+    """
+    ex = service.executor
+    width = getattr(ex, "_pool_width", None)
+    if width:
+        ex._pool = ThreadPoolExecutor(
+            max_workers=int(width), thread_name_prefix="repro-shard"
+        )
+
+
+class ServiceSupervisor:
+    """Pre-fork ``workers`` serving processes over one snapshot file.
+
+    Parameters
+    ----------
+    snapshot_path:
+        A container written by :func:`repro.service.snapshot.save` (kind
+        ``query_service``).
+    workers:
+        Number of serving processes.  Worker 0 is the single writer.
+    host, port:
+        Public listening address; ``port=0`` picks an ephemeral port
+        (resolved before forking so every worker binds the same one).
+    poll_interval:
+        Sibling watermark-poll period in seconds.
+
+    Examples
+    --------
+    ::
+
+        sup = ServiceSupervisor("engine.snap", workers=4, port=0)
+        host, port = sup.start()
+        ...  # serve traffic on http://host:port
+        sup.stop()
+    """
+
+    def __init__(
+        self,
+        snapshot_path: "str | os.PathLike[str]",
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        poll_interval: float = 0.25,
+        quiet: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.snapshot_path = os.fspath(snapshot_path)
+        self.workers = int(workers)
+        self.host = host
+        self.port = int(port)
+        self.poll_interval = float(poll_interval)
+        self.quiet = quiet
+        self.pids: list[int] = []
+        self.worker_ports: list[int] = []  # private per-worker admin ports
+        self._placeholder: Optional[socket.socket] = None
+        self._listen_sock: Optional[socket.socket] = None
+        self._started = False
+
+    # -- parent side ---------------------------------------------------
+    def start(self) -> tuple[str, int]:
+        """Load, fork, wait for every worker to bind; returns (host, port)."""
+        if not fork_available():
+            raise CapabilityError(
+                "multi-process serving needs os.fork(); this platform has "
+                "none — use single-process 'repro serve' instead"
+            )
+        if self._started:
+            raise RuntimeError("supervisor already started")
+        generation = snapshot_mod.generation_of(self.snapshot_path)
+        # Load BEFORE forking: the mmap'ed pages and every Python object
+        # built from the header are shared copy-on-write with all workers.
+        service = snapshot_mod.load(self.snapshot_path, mmap=True)
+        # Threads don't survive fork; park the pool width and drain it.
+        ex = service.executor
+        ex._pool_width = ex._pool._max_workers if ex._pool is not None else 0
+        ex.close()
+        write_watermark(self.snapshot_path, generation)
+
+        reuseport = hasattr(socket, "SO_REUSEPORT")
+        if reuseport:
+            # Resolve an ephemeral port without listening: a bound
+            # placeholder reserves the number, workers bind the same port
+            # with SO_REUSEPORT, and only *listening* sockets receive
+            # connections, so the placeholder never steals one.
+            self._placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._placeholder.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+            )
+            self._placeholder.bind((self.host, self.port))
+            self.port = self._placeholder.getsockname()[1]
+        else:  # pragma: no cover - exercised only on SO_REUSEPORT-less OSes
+            self._listen_sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._listen_sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
+            )
+            self._listen_sock.bind((self.host, self.port))
+            self._listen_sock.listen(128)
+            self.port = self._listen_sock.getsockname()[1]
+
+        pipes = []
+        for worker_id in range(self.workers):
+            r, w = os.pipe()
+            pid = os.fork()
+            if pid == 0:
+                # Child: never returns.
+                os.close(r)
+                try:
+                    self._worker_main(worker_id, service, generation, w)
+                finally:
+                    os._exit(0)
+            os.close(w)
+            pipes.append(r)
+            self.pids.append(pid)
+
+        # Wait for every worker to report its bound admin port.
+        for r in pipes:
+            with os.fdopen(r, "r", encoding="utf-8") as f:
+                line = f.readline()
+            try:
+                self.worker_ports.append(int(json.loads(line)["admin_port"]))
+            except (ValueError, KeyError, json.JSONDecodeError):
+                self.stop()
+                raise SnapshotError(
+                    "a supervisor worker failed to start "
+                    f"(bad ready report {line!r})"
+                )
+        if self._placeholder is not None:
+            self._placeholder.close()
+            self._placeholder = None
+        if self._listen_sock is not None:
+            # Parent's copy of the inherited socket is no longer needed.
+            self._listen_sock.close()
+            self._listen_sock = None
+        self._started = True
+        return self.host, self.port
+
+    def stop(self) -> None:
+        """SIGTERM every worker and reap it (idempotent)."""
+        for pid in self.pids:
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+        for pid in self.pids:
+            try:
+                os.waitpid(pid, 0)
+            except ChildProcessError:
+                pass
+        self.pids = []
+        self.worker_ports = []
+        for sock in (self._placeholder, self._listen_sock):
+            if sock is not None:
+                sock.close()
+        self._placeholder = None
+        self._listen_sock = None
+        self._started = False
+
+    def __enter__(self) -> "ServiceSupervisor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # -- aggregation ---------------------------------------------------
+    def _fetch(self, port: int, path: str) -> bytes:
+        with urllib.request.urlopen(
+            f"http://{self.host}:{port}{path}", timeout=10
+        ) as resp:
+            return resp.read()
+
+    def aggregate_stats(self) -> dict:
+        """Per-worker ``/stats`` fanned out over the private admin ports,
+        plus summed request counters for the fleet."""
+        workers = [
+            json.loads(self._fetch(port, "/stats"))
+            for port in self.worker_ports
+        ]
+        total_queries = sum(
+            w.get("telemetry", {}).get("n_queries", 0) for w in workers
+        )
+        return {
+            "worker_count": len(workers),
+            "generations": [w["serving"]["snapshot_generation"] for w in workers],
+            "total_queries": total_queries,
+            "workers": workers,
+        }
+
+    def aggregate_metrics(self) -> str:
+        """Every worker's Prometheus exposition, one labeled block each."""
+        blocks = []
+        for worker_id, port in enumerate(self.worker_ports):
+            text = self._fetch(port, "/metrics").decode("utf-8")
+            blocks.append(f"# supervisor worker {worker_id}\n{text}")
+        return "\n".join(blocks)
+
+    # -- child side ----------------------------------------------------
+    def _worker_main(
+        self,
+        worker_id: int,
+        service: QueryService,
+        generation: int,
+        ready_fd: int,
+    ) -> None:
+        signal.signal(signal.SIGTERM, lambda *_: os._exit(0))
+        _revive_pool(service)
+        holder = {"service": service}
+        context = {
+            "worker_id": worker_id,
+            "worker_count": self.workers,
+            "snapshot_generation": int(generation),
+        }
+        publish_lock = threading.Lock()
+
+        def _on_mutate() -> None:
+            # Single-writer publish: bump generation, rewrite the snapshot
+            # (atomic rename), then advance the watermark — readers always
+            # see watermark <= snapshot generation.
+            with publish_lock:
+                gen = context["snapshot_generation"] + 1
+                holder["service"].save(self.snapshot_path, generation=gen)
+                write_watermark(self.snapshot_path, gen)
+                context["snapshot_generation"] = gen
+
+        handler = make_handler(
+            provider=lambda: holder["service"],
+            quiet=self.quiet,
+            context=context,
+            writable=(worker_id == 0),
+            on_mutate=_on_mutate if worker_id == 0 else None,
+        )
+        if self._listen_sock is not None:
+            httpd = _inherited_server(self._listen_sock, handler)
+        else:
+            httpd = _ReuseportHTTPServer((self.host, self.port), handler)
+        # Private admin endpoint: the parent aggregates /stats + /metrics
+        # across workers here, bypassing the load-balanced public port.
+        admin = ThreadingHTTPServer((self.host, 0), handler)
+        threading.Thread(target=admin.serve_forever, daemon=True).start()
+
+        if worker_id != 0:
+            def _watch() -> None:
+                while True:
+                    time.sleep(self.poll_interval)
+                    gen = read_watermark(self.snapshot_path)
+                    if gen is None or gen <= context["snapshot_generation"]:
+                        continue
+                    try:
+                        fresh = snapshot_mod.load(self.snapshot_path, mmap=True)
+                    except SnapshotError:  # pragma: no cover - publish race
+                        continue
+                    holder["service"] = fresh
+                    context["snapshot_generation"] = gen
+
+            threading.Thread(target=_watch, daemon=True).start()
+
+        with os.fdopen(ready_fd, "w", encoding="utf-8") as f:
+            f.write(
+                json.dumps(
+                    {
+                        "worker_id": worker_id,
+                        "pid": os.getpid(),
+                        "admin_port": admin.server_address[1],
+                    }
+                )
+                + "\n"
+            )
+        try:
+            httpd.serve_forever()
+        except Exception:  # pragma: no cover - fatal worker error
+            os._exit(1)
+
+
+def serve_forked(
+    snapshot_path: "str | os.PathLike[str]",
+    workers: int = 2,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    quiet: bool = False,
+) -> None:
+    """Run the supervisor until interrupted; the ``repro serve --workers``
+    entry point."""
+    sup = ServiceSupervisor(
+        snapshot_path, workers=workers, host=host, port=port, quiet=quiet
+    )
+    host, port = sup.start()
+    print(
+        f"repro supervisor serving on http://{host}:{port} "
+        f"({workers} workers, snapshot {snapshot_path})"
+    )
+    sys.stdout.flush()
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("shutting down workers")
+    finally:
+        sup.stop()

@@ -199,3 +199,72 @@ def dumps(synopsis: Serializable) -> str:
 def loads(text: str) -> Serializable:
     """Reconstruct from a JSON string."""
     return from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Container-aware serialization (snapshot files)
+# ----------------------------------------------------------------------
+# Snapshot containers (``repro.service.snapshot``) keep bulk arrays out of
+# the JSON header: ``to_state`` hands each large array to ``add_array`` and
+# stores only the returned segment reference, extending the wire format to
+# the two kinds the federated format deliberately excludes —
+# ``ExactSynopsis`` (its state is the raw dataset, which a local snapshot
+# *should* persist) and the service layer's deterministic coreset wrapper
+# ``SeededSampleSynopsis``.  All other kinds delegate to the wire dicts
+# above, so one format version covers both paths.
+
+
+def to_state(synopsis, add_array) -> dict:
+    """Serialize any snapshot-supported synopsis to a JSON-safe dict.
+
+    ``add_array(name_hint, array)`` must register a raw array segment and
+    return its reference string; everything else lands in the dict.
+    """
+    from repro.service.sharding import SeededSampleSynopsis
+    from repro.synopsis.exact import ExactSynopsis
+
+    if isinstance(synopsis, SeededSampleSynopsis):
+        return {
+            "format": FORMAT_VERSION,
+            "kind": "seeded",
+            "seed": int(synopsis.seed),
+            "index": int(synopsis.index),
+            "base": to_state(synopsis.base, add_array),
+        }
+    if isinstance(synopsis, ExactSynopsis):
+        return {
+            "format": FORMAT_VERSION,
+            "kind": "exact",
+            "points": add_array("exact_points", synopsis._points),
+        }
+    return to_dict(synopsis)
+
+
+def from_state(payload: dict, arrays) -> object:
+    """Reconstruct a synopsis from :func:`to_state` output.
+
+    ``arrays`` maps segment references back to ndarrays (possibly
+    read-only ``np.memmap`` views — every synopsis only reads its state).
+    """
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise ConstructionError("payload is not a serialized synopsis")
+    if payload.get("format") != FORMAT_VERSION:
+        raise ConstructionError(
+            f"unsupported format version {payload.get('format')!r}"
+        )
+    kind = payload["kind"]
+    if kind == "seeded":
+        from repro.service.sharding import SeededSampleSynopsis
+
+        return SeededSampleSynopsis(
+            from_state(payload["base"], arrays),
+            seed=int(payload["seed"]),
+            index=int(payload["index"]),
+        )
+    if kind == "exact":
+        from repro.synopsis.exact import ExactSynopsis
+
+        syn = ExactSynopsis.__new__(ExactSynopsis)
+        syn._points = np.asarray(arrays[payload["points"]])
+        return syn
+    return from_dict(payload)

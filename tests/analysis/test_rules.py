@@ -616,3 +616,73 @@ def test_wire_schema_ignores_non_handler_modules():
         return {"start_time": result.start_time}
     """
     assert run(src, "wire-schema") == []
+
+
+# -- snapshot-schema ----------------------------------------------------
+
+
+SNAPSHOT_PATH = "src/repro/service/snapshot.py"
+
+
+def run_at(source: str, rule: str, path: str):
+    return lint_source(textwrap.dedent(source), path=path, rules=[rule])
+
+
+def test_snapshot_schema_flags_pickle_import():
+    src = """
+    import pickle
+
+    def save_state(obj, path):
+        with open(path, "wb") as f:
+            pickle.dump(obj, f)
+    """
+    findings = run_at(src, "snapshot-schema", SNAPSHOT_PATH)
+    assert findings and "pickle" in findings[0].message
+
+
+def test_snapshot_schema_flags_np_save():
+    src = """
+    import numpy as np
+
+    def save_state(arr, path):
+        np.save(path, arr)
+    """
+    (finding,) = run_at(src, "snapshot-schema", SNAPSHOT_PATH)
+    assert "np.save" in finding.message
+
+
+def test_snapshot_schema_flags_service_module_importing_snapshot():
+    src = """
+    import pickle
+    from repro.service import snapshot
+
+    def side_channel(obj, path):
+        with open(path, "wb") as f:
+            pickle.dump(obj, f)
+    """
+    findings = run_at(
+        src, "snapshot-schema", "src/repro/service/supervisor.py"
+    )
+    assert findings and "pickle" in findings[0].message
+
+
+def test_snapshot_schema_passes_container_io():
+    src = """
+    import numpy as np
+
+    def read_segment(path, dtype, count, offset):
+        buf = np.memmap(path, dtype=np.uint8, mode="r")
+        return np.frombuffer(buf, dtype=dtype, count=count, offset=offset)
+    """
+    assert run_at(src, "snapshot-schema", SNAPSHOT_PATH) == []
+
+
+def test_snapshot_schema_ignores_unrelated_modules():
+    src = """
+    import pickle
+
+    def cache_to_disk(obj, path):
+        with open(path, "wb") as f:
+            pickle.dump(obj, f)
+    """
+    assert run_at(src, "snapshot-schema", "src/repro/workloads/io.py") == []

@@ -130,7 +130,8 @@ class TestEndpoints:
         out = _get(server_url + "/healthz")
         assert out == {
             "status": "ok", "engine": "kd", "n_datasets": 10, "n_live": 10,
-            "n_shards": 2,
+            "n_shards": 2, "snapshot_generation": 0, "worker_id": 0,
+            "worker_count": 1,
         }
 
     def test_search(self, server_url):

@@ -1,0 +1,345 @@
+"""Round-trip tests for the versioned snapshot container.
+
+**Exact equality is the contract**: a loaded engine/executor/service must
+answer every query identically to the object that was saved — including
+delta-shard datasets, tombstone masks and warm leaf-cache entries — under
+both ``mmap=True`` (read-only page-mapped buffers) and ``mmap=False``
+(private copies).  Error paths (bad magic, truncation, version skew,
+wrong kind) must all raise :class:`~repro.errors.SnapshotError`.
+"""
+
+import json
+import os
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.engine import DatasetSearchEngine
+from repro.core.framework import Repository
+from repro.errors import SnapshotError
+from repro.service import QueryService
+from repro.service.sharding import ShardedBatchExecutor
+from repro.service.snapshot import MAGIC, generation_of, inspect, load, save
+from repro.workloads.generators import synthetic_data_lake
+from repro.workloads.queries import batched_query_workload
+
+N_DATASETS = 16
+DIM = 1
+SEED = 11
+EPS = 0.2
+SAMPLE_SIZE = 12
+# The parametrized sweeps run kd + columnar; the rangetree backend gets a
+# dedicated miniature round trip (test_rangetree_round_trip) because a
+# range tree over the R^{4d+2} mapped points costs seconds to plant even
+# at dim 1 — and load() re-plants it, honestly, since only the mapped
+# points (not the tree nodes) live in the container.
+BACKENDS = ["kd", "columnar"]
+
+
+@pytest.fixture(scope="module")
+def lake():
+    return synthetic_data_lake(
+        N_DATASETS, DIM, np.random.default_rng(SEED), median_size=80
+    )
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return batched_query_workload(
+        10, DIM, np.random.default_rng(SEED + 1), duplicate_leaf_rate=0.5
+    )
+
+
+def answers(obj, queries):
+    return [r.indexes for r in obj.search_batch(queries)]
+
+
+def leaves(expr):
+    children = getattr(expr, "children", None)
+    if children is None:
+        return [expr]
+    return [leaf for child in children for leaf in leaves(child)]
+
+
+class TestServiceRoundTrip:
+    @pytest.mark.parametrize("engine", BACKENDS)
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_pristine_service(self, lake, queries, tmp_path, engine, mmap):
+        svc = QueryService(
+            repository=Repository.from_arrays(lake),
+            n_shards=3,
+            engine=engine,
+            seed=SEED,
+            eps=EPS,
+            sample_size=SAMPLE_SIZE,
+            cache_capacity=256,
+        )
+        expected = answers(svc, queries)
+        path = tmp_path / "svc.snap"
+        info = svc.save(path, generation=5)
+        assert info["kind"] == "query_service"
+        assert generation_of(path) == 5
+        loaded = QueryService.load(path, mmap=mmap)
+        assert answers(loaded, queries) == expected
+        assert loaded.n_shards == svc.n_shards
+        assert loaded.engine_kind == svc.engine_kind
+        loaded.close()
+        svc.close()
+
+    @pytest.mark.parametrize("engine", ["kd", "columnar"])
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_mutated_service(self, lake, queries, tmp_path, engine, mmap):
+        """Delta-shard datasets and tombstone masks survive the round trip."""
+        svc = QueryService(
+            repository=Repository.from_arrays(lake),
+            n_shards=3,
+            engine=engine,
+            seed=SEED,
+            eps=EPS,
+            sample_size=SAMPLE_SIZE,
+            capacity=2 * N_DATASETS,
+        )
+        rng = np.random.default_rng(SEED + 2)
+        svc.add_datasets([rng.normal(size=(50, DIM)) for _ in range(2)])
+        svc.remove_datasets([1, 4])
+        assert svc.executor.removed == frozenset({1, 4})
+        expected = answers(svc, queries)
+
+        path = tmp_path / "svc.snap"
+        svc.save(path)
+        loaded = QueryService.load(path, mmap=mmap)
+        assert answers(loaded, queries) == expected
+        assert loaded.executor.removed == frozenset({1, 4})
+        assert loaded.n_datasets == svc.n_datasets
+        assert loaded.n_live == svc.n_live
+        # The loaded service stays live: ingestion and removal still work.
+        loaded.add_datasets([rng.normal(size=(40, DIM))])
+        loaded.remove_datasets([0])
+        assert loaded.n_live == svc.n_live  # +1 ingested, -1 removed
+        loaded.close()
+        svc.close()
+
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_cache_entries_survive(self, lake, queries, tmp_path, mmap):
+        """Warm leaf-cache state (entries + generation watermark) persists."""
+        svc = QueryService(
+            repository=Repository.from_arrays(lake),
+            n_shards=2,
+            engine="columnar",
+            seed=SEED,
+            eps=EPS,
+            sample_size=SAMPLE_SIZE,
+            cache_capacity=256,
+        )
+        expected = answers(svc, queries)  # warms the leaf cache
+        n_entries = len(svc.cache)
+        assert n_entries > 0
+        generation = svc.cache.generation
+
+        path = tmp_path / "svc.snap"
+        svc.save(path)
+        svc.close()
+        loaded = QueryService.load(path, mmap=mmap)
+        assert len(loaded.cache) == n_entries
+        assert loaded.cache.generation == generation
+        lookups_before = loaded.cache.stats.lookups
+        hits_before = loaded.cache.stats.hits
+        assert answers(loaded, queries) == expected
+        stats = loaded.cache.stats
+        assert stats.hits - hits_before == stats.lookups - lookups_before, (
+            "restored cache missed on a batch it was warmed with"
+        )
+        loaded.close()
+
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_dim2_columnar(self, tmp_path, mmap):
+        lake = synthetic_data_lake(
+            8, 2, np.random.default_rng(SEED), median_size=60
+        )
+        queries = batched_query_workload(6, 2, np.random.default_rng(SEED + 3))
+        svc = QueryService(
+            repository=Repository.from_arrays(lake),
+            n_shards=2,
+            engine="columnar",
+            seed=SEED,
+            eps=EPS,
+            sample_size=SAMPLE_SIZE,
+        )
+        expected = answers(svc, queries)
+        path = tmp_path / "svc2d.snap"
+        svc.save(path)
+        svc.close()
+        loaded = QueryService.load(path, mmap=mmap)
+        assert answers(loaded, queries) == expected
+        loaded.close()
+
+    def test_mmap_buffers_are_read_only_views(self, lake, queries, tmp_path):
+        svc = QueryService(
+            repository=Repository.from_arrays(lake),
+            n_shards=2,
+            engine="columnar",
+            seed=SEED,
+            eps=EPS,
+            sample_size=SAMPLE_SIZE,
+        )
+        path = tmp_path / "svc.snap"
+        svc.save(path)
+        svc.close()
+        loaded = QueryService.load(path, mmap=True)
+        points = loaded.repository[0].points
+        assert not points.flags.writeable
+        loaded.close()
+
+
+class TestExecutorAndEngineKinds:
+    @pytest.mark.parametrize("engine", BACKENDS)
+    def test_executor_round_trip(self, lake, queries, tmp_path, engine):
+        ex = ShardedBatchExecutor(
+            repository=Repository.from_arrays(lake),
+            n_shards=3,
+            engine=engine,
+            seed=SEED,
+            eps=EPS,
+            sample_size=SAMPLE_SIZE,
+        )
+        all_leaves = [leaf for q in queries for leaf in leaves(q)]
+        expected = [sorted(ex.eval_leaf(leaf)) for leaf in all_leaves]
+        path = tmp_path / "ex.snap"
+        info = ex.save(path)
+        assert info["kind"] == "sharded_executor"
+        loaded = ShardedBatchExecutor.load(path)
+        assert [sorted(loaded.eval_leaf(leaf)) for leaf in all_leaves] == expected
+        loaded.close()
+        ex.close()
+
+    @pytest.mark.parametrize("engine", BACKENDS)
+    def test_engine_round_trip(self, lake, queries, tmp_path, engine):
+        eng = DatasetSearchEngine(
+            repository=Repository.from_arrays(lake),
+            rng=np.random.default_rng(SEED),
+            engine=engine,
+            eps=EPS,
+            sample_size=SAMPLE_SIZE,
+        )
+        expected = [sorted(eng._eval(q)) for q in queries]
+        path = tmp_path / "eng.snap"
+        info = eng.save(path)
+        assert info["kind"] == "engine"
+        loaded = DatasetSearchEngine.load(path)
+        assert [sorted(loaded._eval(q)) for q in queries] == expected
+
+    def test_rangetree_round_trip(self, tmp_path):
+        """The static backend round-trips too — miniature lake, because
+        planting the R^{4d+2} range tree costs seconds per dataset and
+        ``load()`` honestly re-plants it from the mapped points."""
+        lake = synthetic_data_lake(
+            4, DIM, np.random.default_rng(SEED), median_size=40
+        )
+        queries = batched_query_workload(4, DIM, np.random.default_rng(SEED + 4))
+        svc = QueryService(
+            repository=Repository.from_arrays(lake),
+            n_shards=1,
+            engine="rangetree",
+            seed=SEED,
+            eps=EPS,
+            sample_size=8,
+        )
+        expected = answers(svc, queries)
+        path = tmp_path / "svc_rt.snap"
+        svc.save(path)
+        svc.close()
+        loaded = QueryService.load(path, mmap=True)
+        assert loaded.engine_kind == "rangetree"
+        assert answers(loaded, queries) == expected
+        loaded.close()
+
+    def test_wrong_kind_refused(self, lake, tmp_path):
+        svc = QueryService(
+            repository=Repository.from_arrays(lake), n_shards=2, seed=SEED,
+            eps=EPS, sample_size=SAMPLE_SIZE
+        )
+        path = tmp_path / "svc.snap"
+        svc.save(path)
+        svc.close()
+        with pytest.raises(SnapshotError, match="kind"):
+            DatasetSearchEngine.load(path)
+
+    def test_inspect(self, lake, tmp_path):
+        svc = QueryService(
+            repository=Repository.from_arrays(lake),
+            n_shards=3,
+            engine="columnar",
+            seed=SEED,
+            eps=EPS,
+            sample_size=SAMPLE_SIZE,
+        )
+        path = tmp_path / "svc.snap"
+        svc.save(path, generation=7)
+        svc.close()
+        summary = inspect(path)
+        assert summary["kind"] == "query_service"
+        assert summary["generation"] == 7
+        assert summary["executor"]["n_datasets"] == N_DATASETS
+        assert summary["executor"]["engine"] == "columnar"
+
+
+class TestErrorPaths:
+    @pytest.fixture()
+    def snap(self, lake, tmp_path):
+        svc = QueryService(
+            repository=Repository.from_arrays(lake), n_shards=2, seed=SEED,
+            eps=EPS, sample_size=SAMPLE_SIZE
+        )
+        path = tmp_path / "svc.snap"
+        svc.save(path)
+        svc.close()
+        return path
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot read"):
+            load(tmp_path / "nope.snap")
+
+    def test_bad_magic(self, snap):
+        blob = snap.read_bytes()
+        snap.write_bytes(b"NOTASNAP" + blob[8:])
+        with pytest.raises(SnapshotError, match="bad magic"):
+            load(snap)
+
+    def test_version_mismatch(self, snap):
+        blob = bytearray(snap.read_bytes())
+        blob[8:12] = struct.pack("<I", 999)
+        snap.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError, match="version 999"):
+            load(snap)
+
+    def test_truncated_data_section(self, snap):
+        snap.write_bytes(snap.read_bytes()[: os.path.getsize(snap) // 2])
+        with pytest.raises(SnapshotError, match="truncated"):
+            load(snap)
+
+    def test_truncated_preamble(self, snap):
+        snap.write_bytes(snap.read_bytes()[:16])
+        with pytest.raises(SnapshotError, match="too short"):
+            load(snap)
+
+    def test_corrupt_header(self, snap):
+        blob = bytearray(snap.read_bytes())
+        hlen = struct.unpack_from("<Q", blob, 16)[0]
+        blob[32 : 32 + hlen] = b"\xff" * hlen
+        snap.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError, match="corrupt header"):
+            load(snap)
+
+    def test_magic_constant_is_pinned(self):
+        # The on-disk format is a compatibility surface; changing the
+        # magic silently would orphan every existing snapshot.
+        assert MAGIC == b"REPROSNP"
+
+    def test_header_is_json(self, snap):
+        with open(snap, "rb") as f:
+            pre = f.read(32)
+            hlen = struct.unpack_from("<Q", pre, 16)[0]
+            header = json.loads(f.read(hlen))
+        assert header["kind"] == "query_service"
+        assert set(header["arrays"]) and "state" in header

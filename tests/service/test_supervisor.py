@@ -1,0 +1,190 @@
+"""Fork-gated tests for the pre-forked multi-process supervisor.
+
+Covers the ISSUE-8 serving contract: N workers on one load-balanced
+port over a shared mmap snapshot, single-writer ingest at worker 0
+(siblings answer 409), and generation-bump propagation through the
+watermark file.  Skipped cleanly on platforms without ``os.fork``.
+"""
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.framework import Repository
+from repro.errors import SnapshotError
+from repro.service import QueryService
+from repro.service.server import expression_to_json
+from repro.service.supervisor import (
+    ServiceSupervisor,
+    fork_available,
+    read_watermark,
+    watermark_path,
+    write_watermark,
+)
+from repro.workloads.generators import synthetic_data_lake
+from repro.workloads.queries import batched_query_workload
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="multi-process serving needs os.fork"
+)
+
+SEED = 23
+DIM = 1
+
+
+def _request(url, payload=None, method=None):
+    data = None if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=15) as resp:
+        return json.loads(resp.read())
+
+
+@pytest.fixture(scope="module")
+def workload():
+    lake = synthetic_data_lake(
+        10, DIM, np.random.default_rng(SEED), median_size=60
+    )
+    queries = batched_query_workload(5, DIM, np.random.default_rng(SEED + 1))
+    return lake, queries
+
+
+@pytest.fixture()
+def snapshot(workload, tmp_path):
+    lake, queries = workload
+    svc = QueryService(
+        repository=Repository.from_arrays(lake),
+        n_shards=2,
+        engine="columnar",
+        seed=SEED,
+        eps=0.2,
+        sample_size=12,
+        capacity=24,
+    )
+    expected = [r.indexes for r in svc.search_batch(queries)]
+    path = tmp_path / "svc.snap"
+    svc.save(path)
+    svc.close()
+    return path, queries, expected
+
+
+class TestSupervisor:
+    def test_serves_identical_answers_across_workers(self, snapshot):
+        path, queries, expected = snapshot
+        with ServiceSupervisor(path, workers=2, poll_interval=0.1) as sup:
+            host, port = sup.start()
+            url = f"http://{host}:{port}"
+            payload = {"expressions": [expression_to_json(q) for q in queries]}
+            worker_ids = set()
+            for _ in range(12):
+                out = _request(f"{url}/search/batch", payload)
+                assert [r["indexes"] for r in out["results"]] == expected
+                health = _request(f"{url}/healthz")
+                worker_ids.add(health["worker_id"])
+                assert health["worker_count"] == 2
+                assert health["snapshot_generation"] == 0
+            # SO_REUSEPORT load-balancing should reach both workers; the
+            # kernel hashes per-connection, so 12 fresh connections
+            # essentially always spread (this would only flake if the
+            # kernel pinned every connection to one worker).
+            assert len(worker_ids) == 2
+
+    def test_ingest_bumps_generation_on_every_worker(self, snapshot):
+        path, queries, expected = snapshot
+        with ServiceSupervisor(path, workers=2, poll_interval=0.1) as sup:
+            host, port = sup.start()
+            url = f"http://{host}:{port}"
+            new = np.random.default_rng(SEED + 2).normal(size=(30, DIM))
+            payload = {"datasets": [new.tolist()]}
+            receipt = None
+            for _ in range(40):  # public port round-robins; find the writer
+                try:
+                    receipt = _request(f"{url}/datasets", payload)
+                    break
+                except urllib.error.HTTPError as exc:
+                    if exc.code != 409:
+                        raise
+                    time.sleep(0.05)
+            assert receipt is not None, "never reached the writer worker"
+            assert receipt["indexes"] == [10]
+
+            deadline = time.time() + 15
+            stats = sup.aggregate_stats()
+            while time.time() < deadline:
+                stats = sup.aggregate_stats()
+                if all(g >= 1 for g in stats["generations"]):
+                    break
+                time.sleep(0.1)
+            assert all(g >= 1 for g in stats["generations"]), (
+                f"generation bump did not propagate: {stats['generations']}"
+            )
+            assert stats["worker_count"] == 2
+            # The reloaded sibling serves the post-ingest dataset count.
+            for w in stats["workers"]:
+                assert w["n_datasets"] == 11
+            assert read_watermark(path) >= 1
+
+    def test_non_writer_rejects_mutations(self, snapshot):
+        path, queries, expected = snapshot
+        with ServiceSupervisor(path, workers=2, poll_interval=0.5) as sup:
+            sup.start()
+            # Worker admin ports are direct (not load-balanced): worker 0
+            # is the writer, worker 1 must refuse with 409.
+            reader_port = sup.worker_ports[1]
+            payload = {"indexes": [0]}
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                _request(
+                    f"http://{sup.host}:{reader_port}/datasets",
+                    payload,
+                    method="DELETE",
+                )
+            assert exc_info.value.code == 409
+            body = json.loads(exc_info.value.read())
+            assert "read-only" in body["error"]
+
+    def test_aggregate_metrics_one_block_per_worker(self, snapshot):
+        path, queries, expected = snapshot
+        with ServiceSupervisor(path, workers=2, poll_interval=0.5) as sup:
+            sup.start()
+            text = sup.aggregate_metrics()
+            assert text.count("# supervisor worker") == 2
+
+    def test_stop_is_idempotent_and_reaps_workers(self, snapshot):
+        path, _queries, _expected = snapshot
+        sup = ServiceSupervisor(path, workers=2, poll_interval=0.5)
+        sup.start()
+        pids = list(sup.pids)
+        sup.stop()
+        sup.stop()
+        for pid in pids:
+            with pytest.raises(OSError):
+                os.kill(pid, 0)  # ESRCH: fully reaped, not a zombie
+
+
+class TestWatermark:
+    def test_round_trip(self, tmp_path):
+        snap = tmp_path / "x.snap"
+        assert read_watermark(snap) is None
+        write_watermark(snap, 3)
+        assert watermark_path(snap) == f"{snap}.gen"
+        assert read_watermark(snap) == 3
+
+    def test_corrupt_watermark_reads_none(self, tmp_path):
+        snap = tmp_path / "x.snap"
+        with open(watermark_path(snap), "w", encoding="utf-8") as f:
+            f.write("{half a json")
+        assert read_watermark(snap) is None
+
+
+def test_bad_snapshot_fails_start(tmp_path):
+    bogus = tmp_path / "bogus.snap"
+    bogus.write_bytes(b"NOTASNAP" + b"\x00" * 64)
+    with pytest.raises(SnapshotError):
+        ServiceSupervisor(bogus, workers=2).start()

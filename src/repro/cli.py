@@ -136,6 +136,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.service import QueryService, serve
 
+    if args.failpoints:
+        from repro.service import faults
+
+        faults.arm(args.failpoints)
+        print(f"fault injection armed: {args.failpoints} (testing only)")
+
     if args.workers > 1:
         # Multi-process serving always goes through a snapshot file: the
         # parent loads it mmap'ed once, forks, and the workers share the
@@ -155,7 +161,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             service.close()
         serve_forked(
             args.snapshot, workers=args.workers, host=args.host,
-            port=args.port,
+            port=args.port, max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
         )
         return 0
 
@@ -199,7 +206,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     print(f"try: curl -s -X POST -d '{example}' "
           f"http://{args.host}:{args.port}/search")
-    serve(service, host=args.host, port=args.port)
+    serve(service, host=args.host, port=args.port,
+          max_inflight=args.max_inflight, max_queue=args.max_queue)
     return 0
 
 
@@ -391,6 +399,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="pre-forked serving processes (> 1 needs --snapshot; "
                         "worker 0 is the single writer)")
+    p.add_argument("--max-inflight", type=int, default=None, metavar="N",
+                   help="admission control: cap concurrently-executing "
+                        "search requests at N; excess load is shed with "
+                        "429 + Retry-After (default: unbounded)")
+    p.add_argument("--max-queue", type=int, default=0, metavar="N",
+                   help="let N excess search requests wait briefly for an "
+                        "inflight slot before shedding (default 0)")
+    p.add_argument("--failpoints", default=None, metavar="SPEC",
+                   help="arm fault injection, e.g. 'shard_eval=sleep:0.2' "
+                        "(testing only; see repro.service.faults)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(

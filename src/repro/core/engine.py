@@ -30,7 +30,7 @@ from repro.core.predicates import And, Expression, Or, Predicate
 from repro.core.ptile_range import PtileRangeIndex
 from repro.core.pref_index import PrefIndex
 from repro.core.results import QueryResult
-from repro.errors import ConstructionError, QueryError
+from repro.errors import ConstructionError, DeadlineExceeded, QueryError
 from repro.geometry.rectangle import Rectangle
 from repro.index.backend import check_engine
 from repro.synopsis.base import Synopsis
@@ -310,7 +310,7 @@ class DatasetSearchEngine:
         return [r.index_set for r in self._leaf_batch_query(leaves)]
 
     def eval_leaf_batch_bits(  # lint: hot-path
-        self, leaves: Sequence[Predicate], tracer=None
+        self, leaves: Sequence[Predicate], tracer=None, deadline=None
     ) -> list[DatasetBitmap]:
         """A batch of leaf answers as packed bitsets (same batching).
 
@@ -318,7 +318,15 @@ class DatasetSearchEngine:
         ``engine_leaf_batch`` span, nested inside whatever span the
         calling thread currently has open (the sharded executor's
         per-shard span on the warm path).
+
+        With a ``deadline`` (a :class:`~repro.service.deadline.Deadline`)
+        the batch switches to the polled per-leaf path: the budget is
+        checked between leaves and :class:`~repro.errors.DeadlineExceeded`
+        carries the prefix of answers already computed.  The deadline-free
+        hot path is untouched (one extra pointer check).
         """
+        if deadline is not None:
+            return self._eval_leaf_batch_bits_polled(leaves, deadline, tracer)
         if tracer is None:
             n = self.n_datasets
             return [
@@ -333,6 +341,33 @@ class DatasetSearchEngine:
                 DatasetBitmap.from_indices(r.indexes, n)
                 for r in self._leaf_batch_query(leaves)
             ]
+
+    def _eval_leaf_batch_bits_polled(
+        self, leaves: Sequence[Predicate], deadline, tracer=None
+    ) -> list[DatasetBitmap]:
+        """Leaf-at-a-time evaluation with a deadline poll between leaves.
+
+        Trades the multi-box batching away for checkpoint granularity —
+        this path only runs when the caller asked for a budget, i.e. when
+        bounded latency matters more than peak throughput.  The raised
+        ``DeadlineExceeded.partial`` is an aligned prefix of the input
+        order, so callers can keep the exact answers already computed.
+        """
+        del tracer  # per-leaf spans would dominate the budget being guarded
+        leaves = list(leaves)
+        n = self.n_datasets
+        out: list[DatasetBitmap] = []
+        for i, leaf in enumerate(leaves):
+            if deadline.expired():
+                raise DeadlineExceeded(
+                    f"deadline expired after {i}/{len(leaves)} leaves",
+                    stage="engine_leaf_batch",
+                    partial=out,
+                )
+            out.append(
+                DatasetBitmap.from_indices(self._leaf_query(leaf).indexes, n)
+            )
+        return out
 
     # ------------------------------------------------------------------
     # Dynamics (Remark 1)

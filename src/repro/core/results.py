@@ -43,6 +43,12 @@ class QueryResult:
         Serialized span tree (a plain dict) when the query was issued with
         tracing enabled; None otherwise.  See
         :mod:`repro.service.observability` for the schema.
+    maybe_bitmap:
+        For *degraded* answers only (``stats["degraded"]`` is set): the
+        datasets that might additionally belong to the answer beyond the
+        certain ones in ``bitmap``/``indexes`` — disjoint from them, so
+        the engine's answer satisfies ``must ⊆ answer ⊆ must ∪ maybe``.
+        None for exact results.  See :mod:`repro.service.degrade`.
     """
 
     __slots__ = (
@@ -53,6 +59,7 @@ class QueryResult:
         "emit_times",
         "stats",
         "trace",
+        "maybe_bitmap",
         "_index_set",
         "_index_set_len",
     )
@@ -66,6 +73,7 @@ class QueryResult:
         stats: Optional[dict] = None,
         bitmap: Optional[DatasetBitmap] = None,
         trace: Optional[dict] = None,
+        maybe_bitmap: Optional[DatasetBitmap] = None,
     ) -> None:
         self._indexes = indexes if indexes is not None else ([] if bitmap is None else None)
         self.bitmap = bitmap
@@ -74,6 +82,7 @@ class QueryResult:
         self.emit_times = emit_times if emit_times is not None else []
         self.stats = stats if stats is not None else {}
         self.trace = trace
+        self.maybe_bitmap = maybe_bitmap
         self._index_set: Optional[set[int]] = None
         self._index_set_len = -1
 

@@ -1,0 +1,181 @@
+"""Synopsis-screened degraded answers (must / maybe bounds).
+
+When a query's deadline fires before the executor finished — or the
+caller explicitly asks for a cheap answer — the service does not return
+a 500: it answers from the per-dataset synopses that are *already in the
+tree* (every :class:`~repro.service.sharding.ShardedBatchExecutor` keeps
+one synopsis per dataset; they are what the shard engines were built
+from).  The degraded answer is the three-valued shape the ROADMAP's
+tiered planner calls for: a **must** bitmap of datasets certain to be in
+the engine's answer and a **maybe** bitmap of datasets that might be,
+with everything outside both certain to be absent.
+
+Soundness (why ``must ⊆ engine ⊆ must ∪ maybe``)
+------------------------------------------------
+Screening evaluates each leaf's measure directly on each dataset's
+synopsis and compares against the leaf's interval ``theta``:
+
+- **Percentile leaf** (``M_R``, engine recall is exact and precision
+  slack is ``eps_effective + 2·delta`` per dataset): the synopsis mass
+  ``m`` brackets the true mass in ``[m-d, m+d]`` with
+  ``d = delta_ptile``.  If that whole bracket lies inside ``theta`` the
+  true mass does too, and exact recall puts the dataset in the engine's
+  answer — *must*.  Conversely the engine only reports datasets whose
+  true mass lies in ``theta`` widened by ``eps_effective + 2d``; if the
+  bracket misses even the widened interval the engine cannot report it —
+  *can't*.  Everything between is *maybe*.
+- **Preference leaf** (``M_{v,k}``, threshold ``tau``; the Pref
+  structure compares net-direction synopsis scores shifted by ``d =
+  delta_pref`` against ``tau - eps``): synopsis score ``s`` at the query
+  vector with ``s - d >= tau`` forces the net-direction shifted score
+  over the engine's threshold (directions differ by at most ``eps`` and
+  the paper's unit-ball datasets make scores 1-Lipschitz in the
+  direction) — *must*.  The engine cannot report a dataset with
+  ``s + d < tau - (2·eps + 2d)`` — *can't*.
+
+Monotonicity of And/Or then lifts per-leaf bounds to whole expressions
+(:func:`combine_bounds`, the same algebra as the planner's
+:func:`~repro.service.planner.partial_bounds`): intersecting/unioning
+lower bounds stays a lower bound, ditto upper.  A synopsis that cannot
+evaluate a measure class (:class:`~repro.errors.CapabilityError`) is
+conservatively *maybe*.
+
+With exact synopses (``delta = 0``) the must set is exactly the
+ground-truth answer and the maybe band covers precisely the engine's
+precision slack, which is what the resilience tests assert.
+
+Screens are **never cached**: bounds depend on the live synopsis list
+(which grows under ingestion) and are only computed on the degraded
+path, where an O(N) synopsis sweep per screened leaf is the price of
+answering at all.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Tuple
+
+from repro.core.bitset import DatasetBitmap
+from repro.core.measures import PercentileMeasure, PreferenceMeasure
+from repro.core.predicates import And, Expression, Or, Predicate
+from repro.errors import CapabilityError, QueryError
+from repro.service.planner import LeafKey, _combine_and, _combine_or, leaf_key
+
+if TYPE_CHECKING:
+    from repro.service.sharding import ShardedBatchExecutor
+
+#: A leaf's screened bounds: (must bitmap, possible bitmap); must ⊆ possible.
+LeafBounds = Tuple[DatasetBitmap, DatasetBitmap]
+
+
+class SynopsisScreen:
+    """Screen predicate leaves against an executor's synopses.
+
+    Stateless apart from the executor reference: every call reads the
+    executor's *current* synopsis list and tombstone mask, so bounds stay
+    correct across live ingestion and removals.
+    """
+
+    def __init__(self, executor: "ShardedBatchExecutor") -> None:
+        self._executor = executor
+
+    def screen_leaf(self, leaf: Predicate) -> LeafBounds:
+        """``(must, possible)`` bitmaps over the executor's universe.
+
+        ``must`` holds datasets certain to appear in the engine's answer
+        for this leaf; ``possible`` additionally holds every dataset the
+        engine *could* report (``possible ⊇ must``); the complement of
+        ``possible`` is certain to be absent.  Tombstoned datasets are
+        excluded from both (the executor masks them out of real answers).
+        """
+        ex = self._executor
+        measure = leaf.measure
+        theta = leaf.theta
+        if isinstance(measure, PercentileMeasure):
+            classify = self._classify_ptile
+        elif isinstance(measure, PreferenceMeasure):
+            if not theta.is_threshold:
+                raise QueryError(
+                    "preference predicates support one-sided theta = [a, inf)"
+                )
+            classify = self._classify_pref
+        else:
+            raise QueryError(f"unsupported measure {type(measure).__name__}")
+        removed = ex.removed
+        must_ids: list[int] = []
+        possible_ids: list[int] = []
+        for i, syn in enumerate(ex.synopses):
+            if i in removed:
+                continue
+            verdict = classify(syn, measure, theta)
+            if verdict == "must":
+                must_ids.append(i)
+                possible_ids.append(i)
+            elif verdict == "maybe":
+                possible_ids.append(i)
+        n = ex.n_datasets
+        return (
+            DatasetBitmap.from_indices(must_ids, n),
+            DatasetBitmap.from_indices(possible_ids, n),
+        )
+
+    def screen_leaves(
+        self, leaves: Mapping[LeafKey, Predicate]
+    ) -> dict[LeafKey, LeafBounds]:
+        """Screen a keyed leaf collection (the planner's ``plan.leaves``)."""
+        return {key: self.screen_leaf(leaf) for key, leaf in leaves.items()}
+
+    # ------------------------------------------------------------------
+    def _classify_ptile(self, syn, measure, theta) -> str:
+        try:
+            m = float(syn.mass(measure.rect))
+        except CapabilityError:
+            return "maybe"
+        d = syn.delta_ptile or 0.0
+        if (m - d) in theta and (m + d) in theta:
+            return "must"
+        slack = self._executor.eps_effective + 2.0 * d
+        wide = theta.expand(slack)
+        if (m + d) < wide.lo or (m - d) > wide.hi:
+            return "cant"
+        return "maybe"
+
+    def _classify_pref(self, syn, measure, theta) -> str:
+        try:
+            s = float(syn.score(measure.vector, measure.k))
+        except CapabilityError:
+            return "maybe"
+        d = syn.delta_pref or 0.0
+        tau = theta.lo
+        if s - d >= tau and not (theta.lo_open and s - d == tau):
+            return "must"
+        slack = 2.0 * self._executor.eps + 2.0 * d
+        if s + d < tau - slack:
+            return "cant"
+        return "maybe"
+
+
+def combine_bounds(
+    expression: Expression, bounds: Mapping[LeafKey, LeafBounds]
+) -> LeafBounds:
+    """Lift per-leaf (must, possible) bounds to a whole expression.
+
+    And/Or are monotone, so intersecting/unioning the children's lower
+    bounds yields a sound lower bound for the node (ditto upper) — the
+    same argument as the planner's
+    :func:`~repro.service.planner.partial_bounds`, but with *both* sides
+    approximate instead of unknown-vs-exact.  Exact leaves participate as
+    ``(answer, answer)`` pairs, so mixed exact/screened expressions tighten
+    wherever exact answers exist.
+    """
+    if isinstance(expression, Predicate):
+        return bounds[leaf_key(expression)]
+    if isinstance(expression, (And, Or)):
+        lowers, uppers = [], []
+        for child in expression.children:
+            lo, hi = combine_bounds(child, bounds)
+            lowers.append(lo)
+            uppers.append(hi)
+        if isinstance(expression, And):
+            return _combine_and(lowers), _combine_and(uppers)
+        return _combine_or(lowers), _combine_or(uppers)
+    raise QueryError(f"unsupported expression node {type(expression).__name__}")

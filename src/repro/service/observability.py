@@ -756,6 +756,23 @@ class ServiceObservability:
         )
         for name, help_text, _fn in self._COUNTERS:
             reg.describe(name, "counter", help_text)
+        # Resilience counters are inc'ed directly on the registry (by the
+        # service's degrade path and the server's admission gate), so the
+        # registry renders them itself — describing them here only fixes
+        # their HELP/TYPE lines.  They must NOT be added to _COUNTERS,
+        # which would render a second, shadow sample for each.
+        reg.describe(
+            "repro_degraded_queries_total", "counter",
+            "Queries answered with synopsis-screened (degraded) bounds.",
+        )
+        reg.describe(
+            "repro_deadline_expirations_total", "counter",
+            "Batches whose deadline budget expired before evaluation finished.",
+        )
+        reg.describe(
+            "repro_requests_shed_total", "counter",
+            "HTTP requests shed by admission control (429).",
+        )
 
     # -- tracing policy ------------------------------------------------
     def tracer_for(self, trace: Optional[bool]) -> Optional[Tracer]:
@@ -824,6 +841,17 @@ class ServiceObservability:
                 "slow_query_threshold_ms": self.slow_log.threshold_ms,
                 "slow_log_size": self.slow_log.k,
                 "slow_queries": self.slow_log.n_recorded,
+            },
+            "resilience": {
+                "degraded_queries": self.registry.counter_value(
+                    "repro_degraded_queries_total"
+                ),
+                "deadline_expirations": self.registry.counter_value(
+                    "repro_deadline_expirations_total"
+                ),
+                "requests_shed": self.registry.counter_value(
+                    "repro_requests_shed_total"
+                ),
             },
         }
 

@@ -98,6 +98,8 @@ from repro.core.results import QueryResult
 from repro.errors import QueryError, ReproError
 from repro.geometry.interval import Interval
 from repro.geometry.rectangle import Rectangle
+from repro.service import faults
+from repro.service.admission import AdmissionGate
 from repro.service.service import QueryService
 
 
@@ -217,8 +219,14 @@ _KNOWN_ENDPOINTS = frozenset(
         "/search/batch",
         "/datasets",
         "/cache/invalidate",
+        "/admin/promote",
     }
 )
+
+#: Endpoints the admission gate applies to: the ones that do real query
+#: work.  Health probes, stats and mutations stay ungated so operators
+#: can always see (and heal) an overloaded server.
+_GATED_ENDPOINTS = frozenset({"/search", "/search/batch"})
 
 
 class _ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -242,6 +250,12 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     #: Called (no args) after each successful mutation — the supervisor's
     #: writer worker publishes a new snapshot generation here.
     on_mutate: Optional[Callable[[], None]] = None
+    #: Admission gate for the search endpoints; None = admit everything.
+    gate: Optional[AdmissionGate] = None
+    #: Writer-promotion hook, bound ONLY on a supervisor worker's admin
+    #: port (the public port must 404 it — a load balancer reaching it
+    #: could mint a second writer).  Flips this worker writable.
+    promote_hook: Optional[Callable[[], None]] = None
     context: dict = {}
     protocol_version = "HTTP/1.1"
 
@@ -250,12 +264,20 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         if not self.quiet:
             super().log_message(fmt, *args)
 
-    def _send_json(self, payload: dict, status: int = 200) -> None:
+    def _send_json(
+        self,
+        payload: dict,
+        status: int = 200,
+        extra_headers: Optional[dict] = None,
+    ) -> None:
         self._status = status
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if extra_headers:
+            for name, value in extra_headers.items():
+                self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -328,6 +350,8 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             elif self.path == "/stats":
                 stats = self.service.stats()
                 stats["serving"] = self._serving_fields()
+                if self.gate is not None:
+                    stats["admission"] = self.gate.snapshot()
                 self._send_json(stats)
             elif self.path == "/stats/slow":
                 log = self.service.observability.slow_log
@@ -353,9 +377,67 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         trace = body.get("trace")
         return None if trace is None else bool(trace)
 
+    @staticmethod
+    def _search_kwargs(body: dict) -> dict:
+        """The optional search knobs shared by /search and /search/batch."""
+        kwargs: dict = {}
+        deadline_ms = body.get("deadline_ms")
+        if deadline_ms is not None:
+            kwargs["deadline_ms"] = deadline_ms
+        if body.get("degrade"):
+            kwargs["degrade"] = True
+        return kwargs
+
+    @staticmethod
+    def _degraded_fields(result: QueryResult, fmt: str = "indexes") -> dict:
+        """The extra wire fields of a degraded answer (empty when exact).
+
+        The main ``indexes``/``bitset`` payload of a degraded result is
+        its *must* set; these fields add the disjoint *maybe* set and the
+        degradation metadata, so clients can tell an exact answer from a
+        bounded one without inspecting stats.
+        """
+        if not result.stats.get("degraded"):
+            return {}
+        out: dict = {"degraded": True}
+        maybe = result.maybe_bitmap
+        if fmt == "bitset":
+            out["maybe_bitset"] = maybe.to_wire()
+        else:
+            out["maybe_indexes"] = maybe.to_list()
+        return out
+
     def do_POST(self) -> None:
         t0 = time.perf_counter()
+        gate = self.gate
+        gated = gate is not None and self.path in _GATED_ENDPOINTS
+        if gated and not gate.try_acquire():
+            # Shed: never touches the service, so query telemetry stays a
+            # picture of admitted work; the status-labelled request
+            # counter and the shed counter record the rejection.
+            self.service.observability.registry.inc("repro_requests_shed_total")
+            self._send_json(
+                {
+                    "error": "server is at capacity; retry later",
+                    "retry_after_s": gate.retry_after_s,
+                },
+                status=429,
+                extra_headers={
+                    "Retry-After": str(max(1, math.ceil(gate.retry_after_s)))
+                },
+            )
+            self._observe(t0)
+            return
         try:
+            self._handle_post(t0)
+        finally:
+            if gated:
+                gate.release()
+
+    def _handle_post(self, t0: float) -> None:
+        try:
+            if faults.ARMED is not None:
+                faults.hit("handler")
             body = self._read_json()
             if self.path == "/search":
                 expr = expression_from_json(body.get("expression"))
@@ -363,12 +445,14 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                     expr,
                     record_times=bool(body.get("record_times", False)),
                     trace=self._trace_flag(body),
+                    **self._search_kwargs(body),
                 )
                 payload = {
                     "indexes": result.indexes,
                     "emit_times": [],
                     "stats": result.stats,
                 }
+                payload.update(self._degraded_fields(result))
                 if result.start_time is not None:
                     # Absolute perf_counter stamps are process-local and
                     # meaningless on the wire; ship start-relative offsets.
@@ -393,6 +477,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                     exprs,
                     record_times=bool(body.get("record_times", False)),
                     trace=self._trace_flag(body),
+                    **self._search_kwargs(body),
                 )
                 encoded = []
                 for r in results:
@@ -404,6 +489,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                         }
                     else:
                         one = {"indexes": r.indexes, "stats": r.stats}
+                    one.update(self._degraded_fields(r, fmt))
                     if r.start_time is not None:
                         # Batch-start-relative, on the same clock as the
                         # trace spans (one shared origin per batch).
@@ -418,6 +504,18 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                     # per-query assembly spans carry their query index).
                     payload["trace"] = results[0].trace
                 self._send_json(payload)
+            elif self.path == "/admin/promote":
+                if self.promote_hook is None:
+                    # Not the admin port (or single-process mode): hide the
+                    # endpoint entirely rather than reveal a writer control.
+                    self._send_json(
+                        {"error": f"unknown path {self.path}"}, status=404
+                    )
+                else:
+                    self.promote_hook()
+                    payload = {"promoted": True}
+                    payload.update(self._serving_fields())
+                    self._send_json(payload)
             elif self.path == "/datasets":
                 if not self.writable:
                     self._reject_read_only()
@@ -484,6 +582,8 @@ def make_handler(
     context: Optional[dict] = None,
     on_mutate: Optional[Callable[[], None]] = None,
     writable: bool = True,
+    gate: Optional[AdmissionGate] = None,
+    promote_hook: Optional[Callable[[], None]] = None,
 ) -> type:
     """A request-handler class bound to a service (or a service provider).
 
@@ -496,6 +596,11 @@ def make_handler(
     fields in place; ``on_mutate`` fires after each successful mutation
     (the writer worker's publish hook); ``writable=False`` turns both
     mutating endpoints into ``409`` rejections.
+
+    ``gate`` bounds concurrent search requests (see
+    :class:`~repro.service.admission.AdmissionGate`); ``promote_hook``
+    enables ``POST /admin/promote`` — bind it ONLY on a private admin
+    port, since whoever can reach it can mint a writer.
     """
     if (service is None) == (provider is None):
         raise ValueError("pass exactly one of 'service' or 'provider'")
@@ -504,7 +609,10 @@ def make_handler(
         "writable": writable,
         "on_mutate": staticmethod(on_mutate) if on_mutate is not None else None,
         "context": context if context is not None else {},
+        "gate": gate,
     }
+    if promote_hook is not None:
+        namespace["promote_hook"] = staticmethod(promote_hook)
     if provider is not None:
         namespace["_provider"] = staticmethod(provider)
         namespace["service"] = property(lambda self: self._provider())
@@ -531,9 +639,21 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8765,
     quiet: bool = False,
+    max_inflight: Optional[int] = None,
+    max_queue: int = 0,
 ) -> None:
-    """Serve forever (Ctrl-C to stop); the ``repro serve`` entry point."""
-    httpd = make_server(service, host, port, quiet=quiet)
+    """Serve forever (Ctrl-C to stop); the ``repro serve`` entry point.
+
+    ``max_inflight`` caps concurrently-executing search requests (None =
+    unbounded); ``max_queue`` lets that many excess requests wait briefly
+    for a slot before being shed with ``429``.
+    """
+    gate = (
+        AdmissionGate(max_inflight=max_inflight, max_queue=max_queue)
+        if max_inflight is not None
+        else None
+    )
+    httpd = make_server(service, host, port, quiet=quiet, gate=gate)
     addr = httpd.server_address
     print(f"repro service listening on http://{addr[0]}:{addr[1]}")
     print("endpoints: GET /healthz, GET /stats, GET /stats/slow, "

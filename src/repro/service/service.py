@@ -52,9 +52,11 @@ from repro.core.bitset import DatasetBitmap
 from repro.core.framework import Dataset, Repository
 from repro.core.predicates import Expression
 from repro.core.results import QueryResult
-from repro.errors import ConstructionError, QueryError
+from repro.errors import ConstructionError, DeadlineExceeded, QueryError
 from repro.geometry.rectangle import Rectangle
 from repro.service.cache import LeafResultCache
+from repro.service.deadline import Deadline
+from repro.service.degrade import SynopsisScreen, combine_bounds
 from repro.service.observability import ServiceObservability
 from repro.service.planner import (
     PlanCache,
@@ -229,10 +231,16 @@ class QueryService:
         expression: Expression,
         record_times: bool = False,
         trace: Optional[bool] = None,
+        deadline_ms: Optional[float] = None,
+        degrade: bool = False,
     ) -> QueryResult:
         """Answer one expression through the full serving pipeline."""
         return self.search_batch(
-            [expression], record_times=record_times, trace=trace
+            [expression],
+            record_times=record_times,
+            trace=trace,
+            deadline_ms=deadline_ms,
+            degrade=degrade,
         )[0]
 
     def search_batch(
@@ -240,6 +248,8 @@ class QueryService:
         expressions: Sequence[Expression],
         record_times: bool = False,
         trace: Optional[bool] = None,
+        deadline_ms: Optional[float] = None,
+        degrade: bool = False,
     ) -> list[QueryResult]:
         """Answer a batch of expressions with cross-query leaf sharing.
 
@@ -250,14 +260,29 @@ class QueryService:
         ``tracing`` default.  Tracing also feeds the per-stage histograms
         on ``/metrics``.  When the slow-query log is enabled, queries at
         or above the threshold are recorded (with their trace, if any).
+
+        ``deadline_ms`` caps the batch's wall-clock budget (monotonic
+        clock, shared by the whole batch): the budget is threaded to the
+        executor and engine checkpoint polls, and when it fires the exact
+        leaf answers already computed are kept while the remaining leaves
+        fall back to synopsis-screened bounds — every affected query
+        comes back *degraded* (``stats["degraded"]``, a must bitmap plus
+        ``maybe_bitmap``; see :mod:`repro.service.degrade`) instead of
+        failing.  ``degrade=True`` skips executor evaluation outright and
+        answers uncached leaves from the screen (cached leaves stay
+        exact).  Degraded bounds are never written to the leaf cache, and
+        a degraded query's ``record_times`` request is ignored (there is
+        no per-leaf emission to schedule).
         """
         expressions = list(expressions)
         start = time.perf_counter()
+        deadline = Deadline.from_ms(deadline_ms) if deadline_ms is not None else None
         obs = self.observability
         tracer = obs.tracer_for(trace)
         if tracer is None:
             results = self._search_batch_impl(
-                expressions, record_times, None, start
+                expressions, record_times, None, start,
+                deadline=deadline, degrade=degrade,
             )
             trace_dict = None
         else:
@@ -266,7 +291,8 @@ class QueryService:
                 # emit times and span times of one request line up.
                 root.t0 = start
                 results = self._search_batch_impl(
-                    expressions, record_times, tracer, start
+                    expressions, record_times, tracer, start,
+                    deadline=deadline, degrade=degrade,
                 )
             trace_dict = root.to_dict()
             for result in results:
@@ -287,11 +313,15 @@ class QueryService:
         record_times: bool,
         tracer: Optional[Tracer],
         start: float,
+        deadline: Optional[Deadline] = None,
+        degrade: bool = False,
     ) -> list[QueryResult]:
         """The four-stage pipeline (see the module docstring).
 
         ``tracer`` is None on the untraced hot path — every instrumented
-        site collapses to one pointer comparison.
+        site collapses to one pointer comparison; likewise ``deadline``,
+        whose kwarg is only forwarded to the executor when set (test
+        doubles stubbing the executor keep the legacy call shapes).
         """
         # Capture order matters against a concurrent rebuild (which flushes,
         # publishes the new executor, then flushes again): reading the
@@ -344,8 +374,18 @@ class QueryService:
         for key in hit_keys:
             leaf_times[key] = lookup_done
 
+        # Degradation state: when set, leaves without exact answers are
+        # *pending* — they will be answered from synopsis-screened bounds
+        # instead of the executor (see repro.service.degrade).
+        degrade_reason: Optional[str] = None
+        if degrade:
+            degrade_reason = "requested"
+        elif deadline is not None and deadline.expired():
+            degrade_reason = "deadline"
+        pending: dict = {}
+
         upgrade_keys: set = set()
-        if upgrades:
+        if upgrades and degrade_reason is None:
             # Warm-cache ingestion: every dataset above the entry watermark
             # lives in the delta shard (rebuilds flush the cache), so the
             # cached answer plus a delta-only evaluation is the full answer
@@ -359,14 +399,33 @@ class QueryService:
                 upgrade_span.__enter__()
             try:
                 upgrade_leaves = [leaf for _key, leaf, _entry in upgrades]
-                # The tracer kwarg is only passed when tracing: the hot
-                # path keeps the exact legacy call shape (and so do test
-                # doubles that stub the executor).
-                delta_answers = (
-                    executor.eval_delta_leaves(upgrade_leaves)
-                    if tracer is None
-                    else executor.eval_delta_leaves(upgrade_leaves, tracer=tracer)
-                )
+                # The tracer/deadline kwargs are only passed when set: the
+                # hot path keeps the exact legacy call shape (and so do
+                # test doubles that stub the executor).
+                try:
+                    if deadline is not None:
+                        delta_answers = (
+                            executor.eval_delta_leaves(
+                                upgrade_leaves, deadline=deadline
+                            )
+                            if tracer is None
+                            else executor.eval_delta_leaves(
+                                upgrade_leaves, tracer=tracer, deadline=deadline
+                            )
+                        )
+                    else:
+                        delta_answers = (
+                            executor.eval_delta_leaves(upgrade_leaves)
+                            if tracer is None
+                            else executor.eval_delta_leaves(
+                                upgrade_leaves, tracer=tracer
+                            )
+                        )
+                except DeadlineExceeded as exc:
+                    # Keep the exact prefix the executor completed; the
+                    # remaining upgrade leaves degrade to screened bounds.
+                    degrade_reason = "deadline"
+                    delta_answers = exc.partial
                 for (key, _leaf, entry), (delta_bits, done) in zip(
                     upgrades, delta_answers
                 ):
@@ -383,12 +442,16 @@ class QueryService:
                     upgrade_keys.add(key)
                     self.cache.put(key, merged, generation=generation,
                                    watermark=watermark)
-                self.cache.note_upgrades(len(upgrades))
+                self.cache.note_upgrades(len(delta_answers))
             finally:
                 if upgrade_span is not None:
                     upgrade_span.__exit__(None, None, None)
+        if upgrades and degrade_reason is not None:
+            for key, leaf, _entry in upgrades:
+                if key not in upgrade_keys:
+                    pending[key] = leaf
         miss_keys: set = set()
-        if misses:
+        if misses and degrade_reason is None:
             execute_span = (
                 tracer.span("execute", n_leaves=len(misses))
                 if tracer is not None
@@ -398,11 +461,24 @@ class QueryService:
                 execute_span.__enter__()
             try:
                 miss_leaves = [leaf for _, leaf in misses]
-                evaluated = (
-                    executor.eval_leaves(miss_leaves)
-                    if tracer is None
-                    else executor.eval_leaves(miss_leaves, tracer=tracer)
-                )
+                try:
+                    if deadline is not None:
+                        evaluated = (
+                            executor.eval_leaves(miss_leaves, deadline=deadline)
+                            if tracer is None
+                            else executor.eval_leaves(
+                                miss_leaves, tracer=tracer, deadline=deadline
+                            )
+                        )
+                    else:
+                        evaluated = (
+                            executor.eval_leaves(miss_leaves)
+                            if tracer is None
+                            else executor.eval_leaves(miss_leaves, tracer=tracer)
+                        )
+                except DeadlineExceeded as exc:
+                    degrade_reason = "deadline"
+                    evaluated = exc.partial
                 for (key, _leaf), (answer, done) in zip(misses, evaluated):
                     # The executor masks tombstones before returning.
                     value = answer if bitset else answer.to_frozenset()
@@ -414,6 +490,22 @@ class QueryService:
             finally:
                 if execute_span is not None:
                     execute_span.__exit__(None, None, None)
+        if misses and degrade_reason is not None:
+            for key, leaf in misses:
+                if key not in miss_keys:
+                    pending[key] = leaf
+        if degrade_reason == "deadline":
+            self.observability.registry.inc("repro_deadline_expirations_total")
+
+        # Screen every pending leaf once for the whole batch.  Screened
+        # bounds are NEVER cached: they are not the engine's answer, and a
+        # later exact evaluation must not be shadowed by them.
+        screened_bounds: dict = {}
+        if pending:
+            screen = SynopsisScreen(executor)
+            screened_bounds = {
+                key: screen.screen_leaf(leaf) for key, leaf in pending.items()
+            }
         shared_done = time.perf_counter()
         shared_s = shared_done - start  # plan + cache + leaf evaluation
 
@@ -438,7 +530,40 @@ class QueryService:
         results: list[QueryResult] = []
         for qi, plan in enumerate(batch.plans):
             assembly_start = time.perf_counter()
-            if record_times:
+            plan_pending = (
+                [k for k in plan.leaves if k in screened_bounds]
+                if screened_bounds
+                else []
+            )
+            if plan_pending:
+                # Degraded assembly: exact leaves contribute (v, v) bounds,
+                # screened leaves their (must, possible) pair; And/Or
+                # monotonicity lifts them to query-level bounds.  Exact
+                # set-algebra answers convert to bitmaps so one algebra
+                # serves the combine (answers are identical either way).
+                bounds: dict = {}
+                for key in plan.leaves:
+                    if key in screened_bounds:
+                        bounds[key] = screened_bounds[key]
+                    else:
+                        v = leaf_results[key]
+                        if not isinstance(v, DatasetBitmap):
+                            v = DatasetBitmap.from_indices(sorted(v), watermark)
+                        bounds[key] = (v, v)
+                must, possible = combine_bounds(plan.expression, bounds)
+                result = QueryResult(
+                    bitmap=must, maybe_bitmap=possible.andnot(must)
+                )
+                result.stats["degraded"] = True
+                result.stats["degrade_reason"] = degrade_reason
+                result.stats["bounds"] = {
+                    "must": must.count(),
+                    "maybe": result.maybe_bitmap.count(),
+                    "screened_leaves": len(plan_pending),
+                    "exact_leaves": len(plan.leaves) - len(plan_pending),
+                }
+                self.observability.registry.inc("repro_degraded_queries_total")
+            elif record_times:
                 result = QueryResult()
                 result.start_time = start
                 schedule = emit_schedule(

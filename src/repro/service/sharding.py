@@ -68,14 +68,21 @@ from repro.core.engine import DatasetSearchEngine
 from repro.core.framework import Repository
 from repro.core.measures import PercentileMeasure
 from repro.core.predicates import Predicate
-from repro.errors import CapabilityError, ConstructionError, QueryError
+from repro.errors import (
+    CapabilityError,
+    ConstructionError,
+    DeadlineExceeded,
+    QueryError,
+)
 from repro.geometry.epsilon_sample import epsilon_of_sample_size
 from repro.geometry.rectangle import Rectangle
 from repro.index.backend import DYNAMIC_ENGINES, check_engine
+from repro.service import faults
 from repro.synopsis.base import Synopsis
 from repro.synopsis.exact import ExactSynopsis
 
 if TYPE_CHECKING:
+    from repro.service.deadline import Deadline
     from repro.service.observability import Span, Tracer
 
 
@@ -394,6 +401,7 @@ class ShardedBatchExecutor:
         parent: Optional[Span] = None,
         span_name: str = "shard_eval",
         span_meta: Optional[dict] = None,
+        deadline: "Optional[Deadline]" = None,
     ) -> list[tuple[DatasetBitmap, float]]:
         """All leaves on one shard as *global* packed bitsets.
 
@@ -422,6 +430,14 @@ class ShardedBatchExecutor:
         the caller's span across the thread-pool boundary, and the
         engine's own ``engine_leaf_batch`` span nests inside because the
         per-unit span tops this worker thread's span stack.
+
+        With a ``deadline`` the budget is polled once the unit lock is
+        held (before any evaluation) and between leaves on the per-leaf
+        path; the batched path delegates polling to the engine.  The
+        raised :class:`DeadlineExceeded` carries the *global* ``(bitmap,
+        stamp)`` prefix this unit completed.  The ``shard_eval``
+        failpoint fires first — inside the lock, before the poll — so an
+        armed ``sleep`` deterministically trips a short deadline.
         """
         span = (
             tracer.span(span_name, parent=parent, **(span_meta or {}))
@@ -433,6 +449,8 @@ class ShardedBatchExecutor:
             span.__enter__()
         try:
             with lock:
+                if faults.ARMED is not None:
+                    faults.hit("shard_eval")
                 # Compile the mapping once per unit call, not once per leaf:
                 # the contiguity probe is O(shard size) and the mapping is
                 # fixed for the duration (the delta mapping grows in place
@@ -440,18 +458,48 @@ class ShardedBatchExecutor:
                 # global universe ends one past its largest id.
                 nbits = (int(mapping[-1]) + 1) if len(mapping) else 0
                 to_global = make_remapper(mapping, nbits)
+                if deadline is not None and deadline.expired():
+                    raise DeadlineExceeded(
+                        f"deadline expired before unit eval of "
+                        f"{len(leaves)} leaves",
+                        stage="shard_eval",
+                        partial=[],
+                    )
                 if self._batch_leaves:
                     if any(isinstance(lf.measure, PercentileMeasure) for lf in leaves):
                         self._pin_ptile(engine)
-                    locals_ = (
-                        engine.eval_leaf_batch_bits(leaves)
-                        if tracer is None
-                        else engine.eval_leaf_batch_bits(leaves, tracer=tracer)
-                    )
+                    try:
+                        if deadline is not None:
+                            locals_ = engine.eval_leaf_batch_bits(
+                                leaves, deadline=deadline
+                            )
+                        elif tracer is None:
+                            locals_ = engine.eval_leaf_batch_bits(leaves)
+                        else:
+                            locals_ = engine.eval_leaf_batch_bits(
+                                leaves, tracer=tracer
+                            )
+                    except DeadlineExceeded as exc:
+                        # Translate the engine's local-bitmap prefix into
+                        # this unit's global (bitmap, stamp) shape before
+                        # re-raising, so the fan-out merge can salvage it.
+                        done = time.perf_counter()
+                        exc.stage = "shard_eval"
+                        exc.partial = [
+                            (to_global(local), done) for local in exc.partial
+                        ]
+                        raise
                     done = time.perf_counter()
                     out = [(to_global(local), done) for local in locals_]
                 else:
                     for leaf in leaves:
+                        if deadline is not None and deadline.expired():
+                            raise DeadlineExceeded(
+                                f"deadline expired after {len(out)}/"
+                                f"{len(leaves)} leaves",
+                                stage="shard_eval",
+                                partial=out,
+                            )
                         if isinstance(leaf.measure, PercentileMeasure):
                             self._pin_ptile(engine)
                         local = engine.eval_leaf_bits(leaf)
@@ -495,6 +543,7 @@ class ShardedBatchExecutor:
         units: Sequence[tuple],
         leaves: Sequence[Predicate],
         tracer: Optional[Tracer] = None,
+        deadline: "Optional[Deadline]" = None,
     ) -> list[tuple[DatasetBitmap, float]]:
         """Fan a leaf batch over the given units and merge (masked) answers.
 
@@ -503,6 +552,15 @@ class ShardedBatchExecutor:
         shard), parented to the caller's current span so pool-thread spans
         land in the right tree, and the merge loop runs under a ``merge``
         span.
+
+        With a ``deadline``, a unit that trips its budget does not poison
+        the fan-out: its :class:`DeadlineExceeded` is captured (not
+        propagated out of pool futures), the leaf prefix every unit
+        completed — ``min`` over units — is merged exactly as a full
+        answer would be, and a fresh ``DeadlineExceeded`` carrying those
+        merged global ``(bitmap, stamp)`` pairs is raised.  A prefix leaf
+        is *exact*: all shards answered it and the tombstone mask was
+        applied, so callers can keep it.
         """
         if not units:
             stamp = time.perf_counter()
@@ -524,21 +582,41 @@ class ShardedBatchExecutor:
                 )
         else:
             calls = [(*unit, leaves) for unit in units]
+        def _run(call: tuple) -> tuple[str, object]:
+            # DeadlineExceeded is a *salvageable* outcome, not a failure:
+            # capture it so one slow unit cannot discard the others'
+            # answers (and so pool futures never propagate it raw).
+            try:
+                if deadline is not None:
+                    return ("ok", self._eval_on_unit(*call, deadline=deadline))
+                return ("ok", self._eval_on_unit(*call))
+            except DeadlineExceeded as exc:
+                return ("deadline", exc)
+
         pool = self._pool  # snapshot: close() may null it concurrently
         if pool is None or len(units) == 1:
-            per_unit = [self._eval_on_unit(*call) for call in calls]
+            statuses = [_run(call) for call in calls]
         else:
             try:
-                futures = [
-                    pool.submit(self._eval_on_unit, *call) for call in calls
-                ]
+                futures = [pool.submit(_run, call) for call in calls]
             except RuntimeError:
                 # The pool was shut down between the snapshot and submit (a
                 # rebuild closed this executor mid-batch).  The engines and
                 # locks are still intact, so finish the batch serially.
-                per_unit = [self._eval_on_unit(*call) for call in calls]
+                statuses = [_run(call) for call in calls]
             else:
-                per_unit = [f.result() for f in futures]
+                statuses = [f.result() for f in futures]
+        deadline_exc = next(
+            (res for kind, res in statuses if kind == "deadline"), None
+        )
+        per_unit = [
+            res if kind == "ok" else res.partial for kind, res in statuses
+        ]
+        n_merge = (
+            len(leaves)
+            if deadline_exc is None
+            else min(len(answers) for answers in per_unit)
+        )
         merge_span = (
             tracer.span("merge", n_units=len(units), n_leaves=len(leaves))
             if tracer is not None
@@ -549,7 +627,7 @@ class ShardedBatchExecutor:
         try:
             removed = self.removed_bits()
             out: list[tuple[DatasetBitmap, float]] = []
-            for li in range(len(leaves)):
+            for li in range(n_merge):
                 merged, done = per_unit[0][li]
                 for answers in per_unit[1:]:
                     indexes, stamp = answers[li]
@@ -561,6 +639,12 @@ class ShardedBatchExecutor:
         finally:
             if merge_span is not None:
                 merge_span.__exit__(None, None, None)
+        if deadline_exc is not None:
+            raise DeadlineExceeded(
+                f"deadline expired after {n_merge}/{len(leaves)} leaves",
+                stage="shard_eval",
+                partial=out,
+            )
         return out
 
     # ------------------------------------------------------------------
@@ -575,7 +659,10 @@ class ShardedBatchExecutor:
         return self.eval_leaves([leaf])[0][0].to_frozenset()
 
     def eval_leaves(
-        self, leaves: Sequence[Predicate], tracer: Optional[Tracer] = None
+        self,
+        leaves: Sequence[Predicate],
+        tracer: Optional[Tracer] = None,
+        deadline: "Optional[Deadline]" = None,
     ) -> list[tuple[DatasetBitmap, float]]:
         """A batch of leaves across base shards plus the delta shard.
 
@@ -589,13 +676,18 @@ class ShardedBatchExecutor:
         leaves = list(leaves)
         if not leaves:
             return []
-        out = self._eval_on_units(self._units(), leaves, tracer=tracer)
+        out = self._eval_on_units(
+            self._units(), leaves, tracer=tracer, deadline=deadline
+        )
         with self._stats_lock:
             self.stats["leaf_evals"] += len(out)
         return out
 
     def eval_delta_leaves(
-        self, leaves: Sequence[Predicate], tracer: Optional[Tracer] = None
+        self,
+        leaves: Sequence[Predicate],
+        tracer: Optional[Tracer] = None,
+        deadline: "Optional[Deadline]" = None,
     ) -> list[tuple[DatasetBitmap, float]]:
         """A leaf batch on the delta shard only (masked global bitsets).
 
@@ -611,7 +703,7 @@ class ShardedBatchExecutor:
         if not leaves:
             return []
         out = self._eval_on_units(
-            self._units(delta_only=True), leaves, tracer=tracer
+            self._units(delta_only=True), leaves, tracer=tracer, deadline=deadline
         )
         with self._stats_lock:
             self.stats["delta_evals"] += len(out)

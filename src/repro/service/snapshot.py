@@ -71,6 +71,7 @@ from repro.errors import SnapshotError
 from repro.geometry.rectangle import Rectangle
 from repro.index.backend import build_backend
 from repro.index.columnar import ColumnarStore
+from repro.service import faults
 from repro.service.cache import CacheEntry, LeafResultCache
 from repro.service.observability import ServiceObservability
 from repro.service.planner import PlanCache
@@ -782,6 +783,8 @@ def load(path: PathLike, mmap: bool = True) -> Any:
     on demand and is shared across processes.  ``mmap=False`` reads
     private writable copies.
     """
+    if faults.ARMED is not None:
+        faults.hit("snapshot_load")
     header, arrays = _open_container(path, mmap)
     kind = header.get("kind")
     state = header["state"]

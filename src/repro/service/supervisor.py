@@ -20,15 +20,38 @@ through one queue.
 
 Single-writer ingest
 --------------------
-Worker 0 is the only writable worker (its siblings answer ``409`` for
-``POST/DELETE /datasets``; see :mod:`repro.service.server`).  After each
-successful mutation worker 0 bumps the snapshot generation, rewrites the
-snapshot atomically (temp file + rename) and publishes the new generation
-to the *watermark file* ``<snapshot>.gen``.  Sibling workers poll the
-watermark; on a bump they ``load()`` the new snapshot (again mmap-backed)
-and hot-swap their service between requests.  ``GET /healthz`` and
-``/stats`` expose ``snapshot_generation``/``worker_id``/``worker_count``
-so a client — or the smoke test — can watch a mutation propagate.
+Exactly one worker is writable at a time (its siblings answer ``409``
+for ``POST/DELETE /datasets``; see :mod:`repro.service.server`).  After
+each successful mutation the writer bumps the snapshot generation,
+rewrites the snapshot atomically (temp file + rename) and publishes the
+new generation to the *watermark file* ``<snapshot>.gen``.  Sibling
+workers poll the watermark; on a bump they ``load()`` the new snapshot
+(again mmap-backed) and hot-swap their service between requests.
+
+Self-healing
+------------
+A monitor thread in the parent keeps the fleet at strength:
+
+- **Reaping**: crashed workers are noticed via ``waitpid(WNOHANG)``
+  within one monitor tick.
+- **Respawn**: a dead slot is re-forked from the *current* snapshot
+  generation (watermark first, header as fallback) after a per-slot
+  exponential backoff (``backoff_base`` doubling up to ``backoff_max``).
+  A slot that crashes ``crash_loop_threshold`` times inside
+  ``crash_loop_window`` seconds trips a circuit breaker and stays down —
+  a deterministic crasher must not burn CPU in a fork loop.
+- **Writer failover**: when the writer dies, the lowest-id live worker
+  is promoted via ``POST /admin/promote`` on its private admin port (the
+  public port never exposes that endpoint), and the dead slot respawns
+  as a plain reader.  Single-writer stays invariant throughout.
+- **Liveness probes**: workers that stop answering ``/healthz`` on the
+  admin port for ``probe_failures`` consecutive probes are killed
+  (SIGKILL) and recycled through the respawn path — a hung process is
+  as dead as a crashed one.
+
+The parent also runs a tiny admin server of its own (``admin_port``)
+whose ``/healthz`` reports per-worker liveness and whose ``/stats`` /
+``/metrics`` aggregate the fleet, tolerating unreachable workers.
 
 Everything here is fork-gated: on platforms without ``os.fork`` the
 supervisor raises :class:`~repro.errors.CapabilityError` up front and the
@@ -46,11 +69,12 @@ import threading
 import time
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
-from http.server import ThreadingHTTPServer
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
 from repro.errors import CapabilityError, SnapshotError
 from repro.service import snapshot as snapshot_mod
+from repro.service.admission import AdmissionGate
 from repro.service.server import make_handler
 from repro.service.service import QueryService
 
@@ -74,13 +98,48 @@ def write_watermark(snapshot_path: "str | os.PathLike[str]", generation: int) ->
     os.replace(tmp, path)
 
 
+_corrupt_lock = threading.Lock()
+_corrupt_reads = 0  # guarded-by: _corrupt_lock
+
+
+def watermark_corrupt_reads() -> int:
+    """How many watermark reads found garbage (not merely a missing file).
+
+    A missing watermark is normal (pre-first-publish); a present-but-
+    unparseable one means a torn write or disk corruption and is worth
+    counting — the atomic-rename publish protocol should make it
+    impossible, so a nonzero count is a bug signal.
+    """
+    with _corrupt_lock:
+        return _corrupt_reads
+
+
 def read_watermark(snapshot_path: "str | os.PathLike[str]") -> Optional[int]:
-    """The published generation, or None if absent/corrupt (mid-publish)."""
+    """The published generation, or None if absent or corrupt.
+
+    Corruption (garbage bytes, truncated JSON, wrong schema, a negative
+    or non-integer generation) never raises: pollers treat it exactly
+    like "no watermark yet" and keep serving their current generation,
+    but each corrupt read bumps :func:`watermark_corrupt_reads`.
+    """
+    global _corrupt_reads
     try:
-        with open(watermark_path(snapshot_path), "r", encoding="utf-8") as f:
-            return int(json.load(f)["generation"])
-    except (OSError, ValueError, KeyError, json.JSONDecodeError):
+        with open(watermark_path(snapshot_path), "rb") as f:
+            raw = f.read()
+    except OSError:
         return None
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+        generation = payload["generation"]
+        if isinstance(generation, bool) or not isinstance(generation, int):
+            raise ValueError(f"generation {generation!r} is not an int")
+        if generation < 0:
+            raise ValueError(f"generation {generation} is negative")
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+        with _corrupt_lock:
+            _corrupt_reads += 1
+        return None
+    return generation
 
 
 class _ReuseportHTTPServer(ThreadingHTTPServer):
@@ -120,6 +179,82 @@ def _revive_pool(service: QueryService) -> None:
         )
 
 
+class _WorkerSlot:
+    """The parent's mutable record of one worker process (one per id)."""
+
+    __slots__ = (
+        "worker_id", "pid", "admin_port", "alive", "restarts",
+        "crash_times", "probe_misses", "last_probe", "spawned_at",
+        "backoff", "next_respawn", "disabled", "exit_code",
+    )
+
+    def __init__(
+        self, worker_id: int, pid: int, admin_port: int, backoff: float
+    ) -> None:
+        self.worker_id = worker_id
+        self.pid = pid
+        self.admin_port = admin_port
+        self.alive = True
+        self.restarts = 0
+        self.crash_times: list[float] = []
+        self.probe_misses = 0
+        self.last_probe = 0.0
+        self.spawned_at = time.monotonic()
+        self.backoff = backoff
+        self.next_respawn = 0.0
+        self.disabled = False
+        self.exit_code: Optional[int] = None
+
+
+class _SupervisorAdminHandler(BaseHTTPRequestHandler):
+    """The parent's own admin endpoint: fleet health and aggregates."""
+
+    supervisor: "ServiceSupervisor"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, fmt: str, *args: object) -> None:
+        pass
+
+    def _send(self, status: int, body: bytes, ctype: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:
+        sup = self.supervisor
+        try:
+            if self.path == "/healthz":
+                health = sup.health()
+                status = 200 if health["status"] == "ok" else 503
+                self._send(
+                    status, json.dumps(health).encode(), "application/json"
+                )
+            elif self.path == "/stats":
+                self._send(
+                    200,
+                    json.dumps(sup.aggregate_stats()).encode(),
+                    "application/json",
+                )
+            elif self.path == "/metrics":
+                self._send(
+                    200,
+                    sup.aggregate_metrics().encode(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            else:
+                self._send(
+                    404,
+                    json.dumps({"error": f"unknown path {self.path}"}).encode(),
+                    "application/json",
+                )
+        except Exception as exc:  # pragma: no cover - defensive catch-all
+            self._send(
+                500, json.dumps({"error": str(exc)}).encode(), "application/json"
+            )
+
+
 class ServiceSupervisor:
     """Pre-fork ``workers`` serving processes over one snapshot file.
 
@@ -129,12 +264,34 @@ class ServiceSupervisor:
         A container written by :func:`repro.service.snapshot.save` (kind
         ``query_service``).
     workers:
-        Number of serving processes.  Worker 0 is the single writer.
+        Number of serving processes.  Worker 0 starts as the single
+        writer; writership migrates on writer death (see module docs).
     host, port:
         Public listening address; ``port=0`` picks an ephemeral port
         (resolved before forking so every worker binds the same one).
     poll_interval:
         Sibling watermark-poll period in seconds.
+    fetch_timeout:
+        Per-request timeout for parent->worker admin fetches (stats and
+        metrics aggregation, promotion), seconds.
+    respawn:
+        Whether the monitor re-forks dead workers (chaos tests switch
+        this off to observe the degraded fleet).
+    monitor_interval:
+        Monitor tick (reap + respawn + probe scheduling), seconds.
+    backoff_base, backoff_max:
+        Respawn backoff: first respawn after ``backoff_base`` seconds,
+        doubling per consecutive crash up to ``backoff_max``.
+    crash_loop_threshold, crash_loop_window:
+        Circuit breaker: a slot crashing ``threshold`` times within
+        ``window`` seconds stays down until the supervisor restarts.
+    probe_interval, probe_failures:
+        Liveness probing: each live worker's admin ``/healthz`` is hit
+        every ``probe_interval`` seconds; ``probe_failures`` consecutive
+        misses get the worker SIGKILLed (and recycled via respawn).
+    max_inflight, max_queue:
+        Per-worker admission control knobs (see
+        :class:`~repro.service.admission.AdmissionGate`); None disables.
 
     Examples
     --------
@@ -154,6 +311,17 @@ class ServiceSupervisor:
         port: int = 0,
         poll_interval: float = 0.25,
         quiet: bool = True,
+        fetch_timeout: float = 10.0,
+        respawn: bool = True,
+        monitor_interval: float = 0.2,
+        backoff_base: float = 0.25,
+        backoff_max: float = 4.0,
+        crash_loop_threshold: int = 5,
+        crash_loop_window: float = 30.0,
+        probe_interval: float = 1.0,
+        probe_failures: int = 3,
+        max_inflight: Optional[int] = None,
+        max_queue: int = 0,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -163,11 +331,35 @@ class ServiceSupervisor:
         self.port = int(port)
         self.poll_interval = float(poll_interval)
         self.quiet = quiet
+        self.fetch_timeout = float(fetch_timeout)
+        self.respawn = bool(respawn)
+        self.monitor_interval = float(monitor_interval)
+        self.backoff_base = float(backoff_base)
+        self.backoff_max = float(backoff_max)
+        self.crash_loop_threshold = int(crash_loop_threshold)
+        self.crash_loop_window = float(crash_loop_window)
+        self.probe_interval = float(probe_interval)
+        self.probe_failures = int(probe_failures)
+        self.max_inflight = max_inflight
+        self.max_queue = int(max_queue)
+        # Back-compat views, updated in place on respawn: pids[i] and
+        # worker_ports[i] always describe slot i's current incarnation.
         self.pids: list[int] = []
         self.worker_ports: list[int] = []  # private per-worker admin ports
+        self.admin_port: Optional[int] = None  # the parent's own admin port
+        self._slots: list[_WorkerSlot] = []  # guarded-by: _lock
+        self._writer_id = 0  # guarded-by: _lock
+        self._lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+        self._admin_httpd: Optional[ThreadingHTTPServer] = None
         self._placeholder: Optional[socket.socket] = None
         self._listen_sock: Optional[socket.socket] = None
         self._started = False
+
+    def _log(self, message: str) -> None:
+        if not self.quiet:
+            print(f"supervisor: {message}", file=sys.stderr, flush=True)
 
     # -- parent side ---------------------------------------------------
     def start(self) -> tuple[str, int]:
@@ -194,7 +386,10 @@ class ServiceSupervisor:
             # Resolve an ephemeral port without listening: a bound
             # placeholder reserves the number, workers bind the same port
             # with SO_REUSEPORT, and only *listening* sockets receive
-            # connections, so the placeholder never steals one.
+            # connections, so the placeholder never steals one.  Held
+            # open for the supervisor's whole life, not just startup:
+            # were every worker to die at once, the port must still be
+            # ours when the respawns re-bind it.
             self._placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
             self._placeholder.setsockopt(
                 socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
@@ -202,6 +397,8 @@ class ServiceSupervisor:
             self._placeholder.bind((self.host, self.port))
             self.port = self._placeholder.getsockname()[1]
         else:  # pragma: no cover - exercised only on SO_REUSEPORT-less OSes
+            # Kept open for the supervisor's life too: respawned workers
+            # inherit this very socket at fork time.
             self._listen_sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
             self._listen_sock.setsockopt(
                 socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
@@ -210,51 +407,106 @@ class ServiceSupervisor:
             self._listen_sock.listen(128)
             self.port = self._listen_sock.getsockname()[1]
 
-        pipes = []
-        for worker_id in range(self.workers):
-            r, w = os.pipe()
-            pid = os.fork()
-            if pid == 0:
-                # Child: never returns.
-                os.close(r)
-                try:
-                    self._worker_main(worker_id, service, generation, w)
-                finally:
-                    os._exit(0)
-            os.close(w)
-            pipes.append(r)
-            self.pids.append(pid)
-
-        # Wait for every worker to report its bound admin port.
-        for r in pipes:
-            with os.fdopen(r, "r", encoding="utf-8") as f:
-                line = f.readline()
-            try:
-                self.worker_ports.append(int(json.loads(line)["admin_port"]))
-            except (ValueError, KeyError, json.JSONDecodeError):
-                self.stop()
-                raise SnapshotError(
-                    "a supervisor worker failed to start "
-                    f"(bad ready report {line!r})"
+        try:
+            for worker_id in range(self.workers):
+                pid, admin_port = self._fork_worker(
+                    worker_id, service, generation, writer=(worker_id == 0)
                 )
-        if self._placeholder is not None:
-            self._placeholder.close()
-            self._placeholder = None
-        if self._listen_sock is not None:
-            # Parent's copy of the inherited socket is no longer needed.
-            self._listen_sock.close()
-            self._listen_sock = None
+                with self._lock:
+                    self._slots.append(
+                        _WorkerSlot(
+                            worker_id, pid, admin_port, self.backoff_base
+                        )
+                    )
+                self.pids.append(pid)
+                self.worker_ports.append(admin_port)
+        except SnapshotError:
+            self.stop()
+            raise
+        del service  # the parent's copy served its purpose at fork time
+
+        self._admin_httpd = ThreadingHTTPServer(
+            (self.host, 0),
+            type(
+                "BoundSupervisorAdminHandler",
+                (_SupervisorAdminHandler,),
+                {"supervisor": self},
+            ),
+        )
+        self.admin_port = self._admin_httpd.server_address[1]
+        threading.Thread(
+            target=self._admin_httpd.serve_forever,
+            name="repro-supervisor-admin",
+            daemon=True,
+        ).start()
+
+        self._stop_event.clear()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="repro-supervisor-monitor",
+            daemon=True,
+        )
+        self._monitor.start()
         self._started = True
         return self.host, self.port
 
+    def _fork_worker(
+        self,
+        worker_id: int,
+        service: QueryService,
+        generation: int,
+        writer: bool,
+    ) -> tuple[int, int]:
+        """Fork one worker and wait for its ready report: (pid, admin_port)."""
+        r, w = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            # Child: never returns.
+            os.close(r)
+            try:
+                self._worker_main(worker_id, service, generation, w, writer)
+            finally:
+                os._exit(0)
+        os.close(w)
+        with os.fdopen(r, "r", encoding="utf-8") as f:
+            line = f.readline()
+        try:
+            admin_port = int(json.loads(line)["admin_port"])
+        except (ValueError, KeyError, json.JSONDecodeError):
+            try:
+                os.kill(pid, signal.SIGKILL)
+                os.waitpid(pid, 0)
+            except (ProcessLookupError, ChildProcessError):
+                pass
+            raise SnapshotError(
+                "a supervisor worker failed to start "
+                f"(bad ready report {line!r})"
+            )
+        return pid, admin_port
+
     def stop(self) -> None:
-        """SIGTERM every worker and reap it (idempotent)."""
-        for pid in self.pids:
+        """Stop the monitor, SIGTERM every live worker, reap (idempotent).
+
+        Safe when workers already died on their own: signalling a gone
+        pid and reaping an already-reaped child are both swallowed.
+        """
+        self._stop_event.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+            self._monitor = None
+        if self._admin_httpd is not None:
+            self._admin_httpd.shutdown()
+            self._admin_httpd.server_close()
+            self._admin_httpd = None
+            self.admin_port = None
+        with self._lock:
+            targets = [s.pid for s in self._slots if s.alive]
+            self._slots = []
+        for pid in targets:
             try:
                 os.kill(pid, signal.SIGTERM)
             except ProcessLookupError:
                 pass
-        for pid in self.pids:
+        for pid in targets:
             try:
                 os.waitpid(pid, 0)
             except ChildProcessError:
@@ -274,35 +526,289 @@ class ServiceSupervisor:
     def __exit__(self, *exc: object) -> None:
         self.stop()
 
+    # -- self-healing monitor ------------------------------------------
+    def _monitor_loop(self) -> None:
+        while not self._stop_event.wait(self.monitor_interval):
+            now = time.monotonic()
+            try:
+                self._reap(now)
+                if self.respawn:
+                    self._respawn_due(now)
+                self._probe(now)
+            except Exception as exc:  # pragma: no cover - keep monitoring
+                self._log(f"monitor tick failed: {exc}")
+
+    def _reap(self, now: float) -> None:
+        """Notice exited workers; writer death triggers promotion."""
+        with self._lock:
+            live = [s for s in self._slots if s.alive]
+        for slot in live:
+            try:
+                pid, status = os.waitpid(slot.pid, os.WNOHANG)
+            except ChildProcessError:
+                # Reaped elsewhere (a racing stop()): treat as exited.
+                pid, status = slot.pid, None
+            if pid == 0:
+                continue
+            with self._lock:
+                slot.alive = False
+                slot.exit_code = (
+                    os.waitstatus_to_exitcode(status)
+                    if status is not None
+                    else None
+                )
+                if now - slot.spawned_at > self.crash_loop_window:
+                    # It ran healthily for a full window; forget the
+                    # escalation and start the backoff ladder over.
+                    slot.backoff = self.backoff_base
+                cutoff = now - self.crash_loop_window
+                slot.crash_times = [
+                    t for t in slot.crash_times if t >= cutoff
+                ]
+                slot.crash_times.append(now)
+                if len(slot.crash_times) >= self.crash_loop_threshold:
+                    slot.disabled = True
+                slot.next_respawn = now + slot.backoff
+                slot.backoff = min(slot.backoff * 2.0, self.backoff_max)
+                slot.probe_misses = 0
+                was_writer = slot.worker_id == self._writer_id
+                disabled = slot.disabled
+            self._log(
+                f"worker {slot.worker_id} (pid {pid}) exited "
+                f"(code {slot.exit_code!r})"
+                + ("; circuit breaker tripped" if disabled else "")
+            )
+            if was_writer:
+                self._promote_new_writer(exclude=slot.worker_id)
+
+    def _promote_new_writer(self, exclude: int) -> None:
+        """Hand writership to the lowest-id live worker (if any).
+
+        If no sibling can take it, the dead slot keeps writership and
+        its respawn comes back as the writer.
+        """
+        with self._lock:
+            candidates = sorted(
+                (s for s in self._slots if s.alive and s.worker_id != exclude),
+                key=lambda s: s.worker_id,
+            )
+        for cand in candidates:
+            try:
+                self._post(cand.admin_port, "/admin/promote")
+            except OSError as exc:
+                self._log(
+                    f"promoting worker {cand.worker_id} failed: {exc}"
+                )
+                continue
+            with self._lock:
+                self._writer_id = cand.worker_id
+            self._log(f"worker {cand.worker_id} promoted to writer")
+            return
+        self._log(
+            f"no live worker to promote; slot {exclude} respawns as writer"
+        )
+
+    def _respawn_due(self, now: float) -> None:
+        with self._lock:
+            due = [
+                s
+                for s in self._slots
+                if not s.alive and not s.disabled and now >= s.next_respawn
+            ]
+            writer_id = self._writer_id
+        for slot in due:
+            try:
+                # Respawn from the CURRENT generation, not the one the
+                # fleet booted with: the watermark is authoritative when
+                # present (mutations advanced it), the header is the
+                # fallback for a never-mutated snapshot.
+                generation = read_watermark(self.snapshot_path)
+                if generation is None:
+                    generation = snapshot_mod.generation_of(self.snapshot_path)
+                service = snapshot_mod.load(self.snapshot_path, mmap=True)
+                ex = service.executor
+                ex._pool_width = (
+                    ex._pool._max_workers if ex._pool is not None else 0
+                )
+                ex.close()
+                pid, admin_port = self._fork_worker(
+                    slot.worker_id,
+                    service,
+                    generation,
+                    writer=(slot.worker_id == writer_id),
+                )
+                del service
+            except (OSError, SnapshotError) as exc:
+                self._log(
+                    f"respawn of worker {slot.worker_id} failed: {exc}"
+                )
+                with self._lock:
+                    slot.next_respawn = now + slot.backoff
+                    slot.backoff = min(slot.backoff * 2.0, self.backoff_max)
+                continue
+            with self._lock:
+                slot.pid = pid
+                slot.admin_port = admin_port
+                slot.alive = True
+                slot.restarts += 1
+                slot.spawned_at = time.monotonic()
+                slot.probe_misses = 0
+                slot.exit_code = None
+                self.pids[slot.worker_id] = pid
+                self.worker_ports[slot.worker_id] = admin_port
+            self._log(
+                f"respawned worker {slot.worker_id} (pid {pid}, "
+                f"generation {generation})"
+            )
+
+    def _probe(self, now: float) -> None:
+        """Kill workers that stopped answering their admin ``/healthz``."""
+        with self._lock:
+            due = [
+                s
+                for s in self._slots
+                if s.alive and now - s.last_probe >= self.probe_interval
+            ]
+        timeout = min(1.0, self.fetch_timeout)
+        for slot in due:
+            slot.last_probe = now
+            try:
+                with urllib.request.urlopen(
+                    f"http://{self.host}:{slot.admin_port}/healthz",
+                    timeout=timeout,
+                ) as resp:
+                    resp.read()
+                slot.probe_misses = 0
+            except OSError:
+                slot.probe_misses += 1
+                if slot.probe_misses >= self.probe_failures:
+                    self._log(
+                        f"worker {slot.worker_id} missed "
+                        f"{slot.probe_misses} health probes; killing"
+                    )
+                    try:
+                        os.kill(slot.pid, signal.SIGKILL)
+                    except ProcessLookupError:
+                        pass
+                    slot.probe_misses = 0
+
+    def health(self) -> dict:
+        """Fleet liveness: per-worker state plus an overall verdict."""
+        with self._lock:
+            writer_id = self._writer_id
+            workers = [
+                {
+                    "worker_id": s.worker_id,
+                    "pid": s.pid,
+                    "alive": s.alive,
+                    "writer": s.worker_id == writer_id,
+                    "restarts": s.restarts,
+                    "disabled": s.disabled,
+                    "exit_code": s.exit_code,
+                }
+                for s in self._slots
+            ]
+        alive = sum(1 for w in workers if w["alive"])
+        if alive == len(workers):
+            status = "ok"
+        elif alive:
+            status = "degraded"
+        else:
+            status = "down"
+        return {
+            "status": status,
+            "alive": alive,
+            "worker_count": len(workers),
+            "writer_id": writer_id,
+            "respawn": self.respawn,
+            "watermark_corrupt_reads": watermark_corrupt_reads(),
+            "workers": workers,
+        }
+
     # -- aggregation ---------------------------------------------------
     def _fetch(self, port: int, path: str) -> bytes:
-        with urllib.request.urlopen(
-            f"http://{self.host}:{port}{path}", timeout=10
-        ) as resp:
+        """GET from a worker's admin port, with one bounded retry.
+
+        A single retry rides out the tiny window where a worker is being
+        respawned on a new admin port; anything longer belongs to the
+        caller (the aggregators tolerate per-worker failure).
+        """
+        url = f"http://{self.host}:{port}{path}"
+        try:
+            with urllib.request.urlopen(
+                url, timeout=self.fetch_timeout
+            ) as resp:
+                return resp.read()
+        except OSError:
+            time.sleep(min(0.1, self.fetch_timeout / 10.0))
+            with urllib.request.urlopen(
+                url, timeout=self.fetch_timeout
+            ) as resp:
+                return resp.read()
+
+    def _post(self, port: int, path: str, body: bytes = b"{}") -> bytes:
+        req = urllib.request.Request(
+            f"http://{self.host}:{port}{path}",
+            data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(req, timeout=self.fetch_timeout) as resp:
             return resp.read()
 
     def aggregate_stats(self) -> dict:
         """Per-worker ``/stats`` fanned out over the private admin ports,
-        plus summed request counters for the fleet."""
-        workers = [
-            json.loads(self._fetch(port, "/stats"))
-            for port in self.worker_ports
-        ]
+        plus summed request counters for the fleet.
+
+        A dead or hung worker does not fail the aggregate: its entry is
+        replaced with an ``unreachable`` marker and the sums cover the
+        workers that answered.
+        """
+        with self._lock:
+            ports = list(self.worker_ports)
+        workers = []
+        for worker_id, port in enumerate(ports):
+            try:
+                workers.append(json.loads(self._fetch(port, "/stats")))
+            except (OSError, ValueError) as exc:
+                workers.append(
+                    {
+                        "worker_id": worker_id,
+                        "status": "unreachable",
+                        "error": str(exc),
+                    }
+                )
         total_queries = sum(
             w.get("telemetry", {}).get("n_queries", 0) for w in workers
         )
         return {
             "worker_count": len(workers),
-            "generations": [w["serving"]["snapshot_generation"] for w in workers],
+            "generations": [
+                w["serving"]["snapshot_generation"]
+                for w in workers
+                if "serving" in w
+            ],
+            "unreachable": [
+                w["worker_id"] for w in workers if w.get("status") == "unreachable"
+            ],
             "total_queries": total_queries,
             "workers": workers,
         }
 
     def aggregate_metrics(self) -> str:
-        """Every worker's Prometheus exposition, one labeled block each."""
+        """Every worker's Prometheus exposition, one labeled block each.
+
+        Unreachable workers contribute a comment line instead of failing
+        the whole scrape.
+        """
+        with self._lock:
+            ports = list(self.worker_ports)
         blocks = []
-        for worker_id, port in enumerate(self.worker_ports):
-            text = self._fetch(port, "/metrics").decode("utf-8")
+        for worker_id, port in enumerate(ports):
+            try:
+                text = self._fetch(port, "/metrics").decode("utf-8")
+            except OSError:
+                blocks.append(f"# supervisor worker {worker_id} unreachable")
+                continue
             blocks.append(f"# supervisor worker {worker_id}\n{text}")
         return "\n".join(blocks)
 
@@ -313,6 +819,7 @@ class ServiceSupervisor:
         service: QueryService,
         generation: int,
         ready_fd: int,
+        writer: bool,
     ) -> None:
         signal.signal(signal.SIGTERM, lambda *_: os._exit(0))
         _revive_pool(service)
@@ -321,8 +828,10 @@ class ServiceSupervisor:
             "worker_id": worker_id,
             "worker_count": self.workers,
             "snapshot_generation": int(generation),
+            "writer": writer,
         }
         publish_lock = threading.Lock()
+        watch_stop = threading.Event()
 
         def _on_mutate() -> None:
             # Single-writer publish: bump generation, rewrite the snapshot
@@ -334,12 +843,37 @@ class ServiceSupervisor:
                 write_watermark(self.snapshot_path, gen)
                 context["snapshot_generation"] = gen
 
+        gate = (
+            AdmissionGate(
+                max_inflight=self.max_inflight, max_queue=self.max_queue
+            )
+            if self.max_inflight is not None
+            else None
+        )
         handler = make_handler(
             provider=lambda: holder["service"],
             quiet=self.quiet,
             context=context,
-            writable=(worker_id == 0),
-            on_mutate=_on_mutate if worker_id == 0 else None,
+            writable=writer,
+            on_mutate=_on_mutate if writer else None,
+            gate=gate,
+        )
+
+        def _promote() -> None:
+            # Flip this worker into the writer role in place.  Class
+            # attributes, so the change covers requests already routed to
+            # existing handler instances too; the watermark watcher stops
+            # (a writer must never hot-swap its live, mutable service).
+            watch_stop.set()
+            handler.on_mutate = staticmethod(_on_mutate)
+            handler.writable = True
+            context["writer"] = True
+
+        # /admin/promote exists ONLY on the private admin port: binding
+        # the hook on a subclass keeps the public handler 404-ing it, so
+        # nothing on the load-balanced port can mint a second writer.
+        admin_handler = type(
+            "AdminBoundHandler", (handler,), {"promote_hook": staticmethod(_promote)}
         )
         if self._listen_sock is not None:
             httpd = _inherited_server(self._listen_sock, handler)
@@ -347,13 +881,12 @@ class ServiceSupervisor:
             httpd = _ReuseportHTTPServer((self.host, self.port), handler)
         # Private admin endpoint: the parent aggregates /stats + /metrics
         # across workers here, bypassing the load-balanced public port.
-        admin = ThreadingHTTPServer((self.host, 0), handler)
+        admin = ThreadingHTTPServer((self.host, 0), admin_handler)
         threading.Thread(target=admin.serve_forever, daemon=True).start()
 
-        if worker_id != 0:
+        if not writer:
             def _watch() -> None:
-                while True:
-                    time.sleep(self.poll_interval)
+                while not watch_stop.wait(self.poll_interval):
                     gen = read_watermark(self.snapshot_path)
                     if gen is None or gen <= context["snapshot_generation"]:
                         continue
@@ -389,16 +922,20 @@ def serve_forked(
     host: str = "127.0.0.1",
     port: int = 8765,
     quiet: bool = False,
+    max_inflight: Optional[int] = None,
+    max_queue: int = 0,
 ) -> None:
     """Run the supervisor until interrupted; the ``repro serve --workers``
     entry point."""
     sup = ServiceSupervisor(
-        snapshot_path, workers=workers, host=host, port=port, quiet=quiet
+        snapshot_path, workers=workers, host=host, port=port, quiet=quiet,
+        max_inflight=max_inflight, max_queue=max_queue,
     )
     host, port = sup.start()
     print(
         f"repro supervisor serving on http://{host}:{port} "
-        f"({workers} workers, snapshot {snapshot_path})"
+        f"({workers} workers, snapshot {snapshot_path}, "
+        f"admin http://{host}:{sup.admin_port})"
     )
     sys.stdout.flush()
     try:

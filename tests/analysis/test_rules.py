@@ -686,3 +686,100 @@ def test_snapshot_schema_ignores_unrelated_modules():
             pickle.dump(obj, f)
     """
     assert run_at(src, "snapshot-schema", "src/repro/workloads/io.py") == []
+
+
+# -- failpoint-discipline -----------------------------------------------
+
+
+def test_failpoint_discipline_flags_unguarded_hit():
+    src = """
+    from repro.service import faults
+
+    def eval_shard(unit):
+        faults.hit("shard_eval")
+        return unit
+    """
+    (finding,) = run(src, "failpoint-discipline")
+    assert finding.rule == "failpoint-discipline"
+    assert "eval_shard()" in finding.message
+    assert "ARMED is not None" in finding.message
+
+
+def test_failpoint_discipline_passes_guarded_hit():
+    src = """
+    from repro.service import faults
+
+    def eval_shard(unit):
+        if faults.ARMED is not None:
+            faults.hit("shard_eval")
+        return unit
+    """
+    assert run(src, "failpoint-discipline") == []
+
+
+def test_failpoint_discipline_guard_survives_with_and_try():
+    # The repo's real shape: the guard sits inside `with lock:` /
+    # `try:` blocks, which must not launder the domination analysis.
+    src = """
+    from repro.service import faults
+
+    def eval_shard(unit, lock):
+        with lock:
+            try:
+                if faults.ARMED is not None:
+                    faults.hit("shard_eval")
+            finally:
+                pass
+        return unit
+    """
+    assert run(src, "failpoint-discipline") == []
+
+
+def test_failpoint_discipline_early_return_guard():
+    src = """
+    from repro.service import faults
+
+    def maybe_inject():
+        if faults.ARMED is None:
+            return
+        faults.hit("handler")
+    """
+    assert run(src, "failpoint-discipline") == []
+
+
+def test_failpoint_discipline_negative_guard_without_return_still_flags():
+    src = """
+    from repro.service import faults
+
+    def maybe_inject():
+        if faults.ARMED is None:
+            pass
+        faults.hit("handler")
+    """
+    (finding,) = run(src, "failpoint-discipline")
+    assert "maybe_inject()" in finding.message
+
+
+def test_failpoint_discipline_flags_hot_path_touchpoint():
+    src = """
+    from repro.service import faults
+
+    def leaf_loop(leaves):  # lint: hot-path
+        if faults.ARMED is not None:
+            faults.hit("shard_eval")
+        return leaves
+    """
+    findings = run(src, "failpoint-discipline")
+    assert findings, "hot-path touchpoint must be flagged even when guarded"
+    assert all("hot-path" in f.message for f in findings)
+
+
+def test_failpoint_discipline_exempts_faults_module():
+    src = """
+    def hit(point):
+        return point
+    """
+    assert (
+        run_at(src, "failpoint-discipline", "src/repro/service/faults.py")
+        == []
+    )

@@ -1,0 +1,202 @@
+"""Admission control: the inflight gate and its 429 shedding behavior."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.framework import Repository
+from repro.errors import ConstructionError
+from repro.service import QueryService, faults
+from repro.service.admission import AdmissionGate
+from repro.service.server import expression_to_json, make_server
+from repro.workloads.generators import synthetic_data_lake
+from repro.workloads.queries import batched_query_workload
+
+SEED = 47
+DIM = 1
+
+
+class TestGateUnit:
+    def test_admits_up_to_max_inflight(self):
+        gate = AdmissionGate(max_inflight=2)
+        assert gate.try_acquire()
+        assert gate.try_acquire()
+        assert not gate.try_acquire()
+        gate.release()
+        assert gate.try_acquire()
+
+    def test_release_wakes_queued_waiter(self):
+        gate = AdmissionGate(max_inflight=1, max_queue=1, queue_timeout_s=5.0)
+        assert gate.try_acquire()
+        got = []
+
+        def waiter():
+            got.append(gate.try_acquire())
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        # the waiter parks in the queue, then the release admits it
+        deadline = 50
+        while gate.snapshot()["queued"] == 0 and deadline:
+            deadline -= 1
+            threading.Event().wait(0.01)
+        gate.release()
+        t.join(timeout=5)
+        assert got == [True]
+
+    def test_queue_overflow_sheds_immediately(self):
+        gate = AdmissionGate(max_inflight=1, max_queue=0)
+        assert gate.try_acquire()
+        assert not gate.try_acquire()
+        assert gate.snapshot()["shed"] == 1
+
+    def test_queue_timeout_sheds(self):
+        gate = AdmissionGate(
+            max_inflight=1, max_queue=1, queue_timeout_s=0.05
+        )
+        assert gate.try_acquire()
+        assert not gate.try_acquire()  # waits 50ms, then shed
+        snap = gate.snapshot()
+        assert snap["shed"] == 1
+        assert snap["queued_total"] == 1
+        assert snap["queued"] == 0
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"max_inflight": 0}, {"max_inflight": 1, "max_queue": -1}]
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ConstructionError):
+            AdmissionGate(**kwargs)
+
+    def test_snapshot_counters(self):
+        gate = AdmissionGate(max_inflight=1)
+        gate.try_acquire()
+        gate.try_acquire()
+        gate.release()
+        snap = gate.snapshot()
+        assert snap["admitted"] == 1
+        assert snap["shed"] == 1
+        assert snap["inflight"] == 0
+
+
+class TestServerIntegration:
+    @pytest.fixture()
+    def server(self):
+        lake = synthetic_data_lake(
+            8, DIM, np.random.default_rng(SEED), median_size=60
+        )
+        svc = QueryService(
+            repository=Repository.from_arrays(lake),
+            n_shards=2,
+            eps=0.2,
+            sample_size=8,
+            seed=SEED,
+        )
+        gate = AdmissionGate(max_inflight=1, max_queue=0, retry_after_s=2.0)
+        httpd = make_server(svc, port=0, gate=gate)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        yield f"http://127.0.0.1:{httpd.server_address[1]}", svc
+        faults.disarm()
+        httpd.shutdown()
+        httpd.server_close()
+        svc.close()
+
+    def _post(self, url, payload):
+        req = urllib.request.Request(
+            url,
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=15) as resp:
+                return resp.status, json.loads(resp.read()), dict(resp.headers)
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+    def test_overload_sheds_with_429_and_retry_after(self, server):
+        url, svc = server
+        (query,) = batched_query_workload(
+            1, DIM, np.random.default_rng(SEED + 1)
+        )
+        payload = {"expression": expression_to_json(query)}
+        # Park one request in the handler so the gate is full, then race
+        # two more against it: with max_inflight=1 and no queue at least
+        # one must shed (deterministically, since the parked request
+        # sleeps far longer than the race window).
+        faults.arm("handler=sleep:0.6")
+        results = []
+
+        def worker():
+            results.append(self._post(f"{url}/search", payload))
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        faults.disarm()
+        codes = sorted(r[0] for r in results)
+        assert codes.count(200) >= 1
+        assert codes.count(429) >= 1
+        shed = next(r for r in results if r[0] == 429)
+        _code, body, headers = shed
+        assert "retry" in body["error"] or "capacity" in body["error"]
+        assert body["retry_after_s"] == 2.0
+        assert headers.get("Retry-After") == "2"
+
+    def test_health_and_stats_are_never_gated(self, server):
+        url, svc = server
+        (query,) = batched_query_workload(
+            1, DIM, np.random.default_rng(SEED + 2)
+        )
+        payload = {"expression": expression_to_json(query)}
+        faults.arm("handler=sleep:0.6")
+        blocker = threading.Thread(
+            target=lambda: self._post(f"{url}/search", payload)
+        )
+        blocker.start()
+        try:
+            # While the only slot is taken, monitoring must still answer.
+            with urllib.request.urlopen(f"{url}/healthz", timeout=5) as resp:
+                assert resp.status == 200
+            with urllib.request.urlopen(f"{url}/stats", timeout=5) as resp:
+                stats = json.loads(resp.read())
+            assert stats["admission"]["max_inflight"] == 1
+        finally:
+            blocker.join()
+            faults.disarm()
+
+    def test_shed_counter_in_stats_and_metrics(self, server):
+        url, svc = server
+        (query,) = batched_query_workload(
+            1, DIM, np.random.default_rng(SEED + 3)
+        )
+        payload = {"expression": expression_to_json(query)}
+        faults.arm("handler=sleep:0.6")
+        results = []
+
+        def worker():
+            results.append(self._post(f"{url}/search", payload))
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        faults.disarm()
+        n_shed = sum(1 for r in results if r[0] == 429)
+        assert n_shed >= 1
+        with urllib.request.urlopen(f"{url}/stats", timeout=5) as resp:
+            stats = json.loads(resp.read())
+        assert stats["resilience"]["requests_shed"] >= n_shed
+        assert stats["admission"]["shed"] >= n_shed
+        with urllib.request.urlopen(f"{url}/metrics", timeout=5) as resp:
+            text = resp.read().decode()
+        assert "repro_requests_shed_total" in text

@@ -8,6 +8,7 @@ watermark file.  Skipped cleanly on platforms without ``os.fork``.
 
 import json
 import os
+import signal
 import time
 import urllib.error
 import urllib.request
@@ -23,6 +24,7 @@ from repro.service.supervisor import (
     ServiceSupervisor,
     fork_available,
     read_watermark,
+    watermark_corrupt_reads,
     watermark_path,
     write_watermark,
 )
@@ -167,6 +169,62 @@ class TestSupervisor:
             with pytest.raises(OSError):
                 os.kill(pid, 0)  # ESRCH: fully reaped, not a zombie
 
+    def test_stop_safe_when_workers_already_died(self, snapshot):
+        path, _queries, _expected = snapshot
+        sup = ServiceSupervisor(
+            path, workers=2, poll_interval=0.5, respawn=False,
+            monitor_interval=0.05,
+        )
+        sup.start()
+        for pid in list(sup.pids):
+            os.kill(pid, signal.SIGKILL)
+        time.sleep(0.3)  # let the monitor reap them first
+        sup.stop()  # must not raise on the already-gone fleet
+        sup.stop()
+
+    def test_dead_worker_flagged_not_fatal_in_aggregates(self, snapshot):
+        path, _queries, _expected = snapshot
+        with ServiceSupervisor(
+            path, workers=2, poll_interval=0.5, respawn=False,
+            monitor_interval=0.05, fetch_timeout=2.0,
+        ) as sup:
+            sup.start()
+            os.kill(sup.pids[1], signal.SIGKILL)
+            deadline = time.time() + 10
+            while time.time() < deadline:
+                if not sup.health()["workers"][1]["alive"]:
+                    break
+                time.sleep(0.05)
+            health = sup.health()
+            assert health["status"] == "degraded"
+            assert health["workers"][0]["alive"]
+            assert not health["workers"][1]["alive"]
+            stats = sup.aggregate_stats()
+            assert stats["worker_count"] == 2
+            assert stats["unreachable"] == [1]
+            assert stats["workers"][1]["status"] == "unreachable"
+            text = sup.aggregate_metrics()
+            assert "# supervisor worker 1 unreachable" in text
+            assert "# supervisor worker 0\n" in text
+
+    def test_parent_admin_endpoint_reports_fleet_health(self, snapshot):
+        path, queries, _expected = snapshot
+        with ServiceSupervisor(path, workers=2, poll_interval=0.5) as sup:
+            host, _port = sup.start()
+            assert sup.admin_port is not None
+            url = f"http://{host}:{sup.admin_port}"
+            health = _request(f"{url}/healthz")
+            assert health["status"] == "ok"
+            assert [w["worker_id"] for w in health["workers"]] == [0, 1]
+            assert health["writer_id"] == 0
+            stats = _request(f"{url}/stats")
+            assert stats["worker_count"] == 2
+
+    def test_fetch_timeout_knob(self, snapshot):
+        path, _queries, _expected = snapshot
+        sup = ServiceSupervisor(path, workers=2, fetch_timeout=3.5)
+        assert sup.fetch_timeout == 3.5
+
 
 class TestWatermark:
     def test_round_trip(self, tmp_path):
@@ -181,6 +239,36 @@ class TestWatermark:
         with open(watermark_path(snap), "w", encoding="utf-8") as f:
             f.write("{half a json")
         assert read_watermark(snap) is None
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            b"\x00\xff\xfe\x8b random binary \x01\x02",  # torn binary write
+            b"",                                          # zero-length file
+            b'{"generation": "three"}',                   # wrong type
+            b'{"generation": -2}',                        # negative
+            b'{"generation": true}',                      # bool is not an int
+            b'{"wrong_key": 3}',                          # schema drift
+            b"[1, 2, 3]",                                 # not even an object
+            b"\xff\xfe garbage that is not utf-8 \x80",   # undecodable
+        ],
+    )
+    def test_garbage_watermark_reads_none_and_counts(self, tmp_path, garbage):
+        snap = tmp_path / "x.snap"
+        with open(watermark_path(snap), "wb") as f:
+            f.write(garbage)
+        before = watermark_corrupt_reads()
+        assert read_watermark(snap) is None
+        assert watermark_corrupt_reads() == before + 1
+        # A corrupt read never poisons later good reads.
+        write_watermark(snap, 7)
+        assert read_watermark(snap) == 7
+        assert watermark_corrupt_reads() == before + 1
+
+    def test_missing_watermark_is_not_counted_corrupt(self, tmp_path):
+        before = watermark_corrupt_reads()
+        assert read_watermark(tmp_path / "nope.snap") is None
+        assert watermark_corrupt_reads() == before
 
 
 def test_bad_snapshot_fails_start(tmp_path):

@@ -39,11 +39,10 @@ import tempfile
 import threading
 import time
 import urllib.error
-import urllib.request
 
 import numpy as np
 
-from repro.bench.harness import TableReporter, json_report
+from repro.bench.harness import TableReporter, http_post_json, json_report
 from repro.core.framework import Repository
 from repro.service import QueryService, faults
 from repro.service.server import expression_to_json
@@ -172,15 +171,12 @@ def run_recovery(lake, queries, n_workers: int, warm_requests: int) -> dict:
         def traffic() -> None:
             nonlocal transport_errors
             while not stop.is_set():
-                req = urllib.request.Request(
-                    url, data=body,
-                    headers={"Content-Type": "application/json"},
-                )
                 try:
-                    with urllib.request.urlopen(req, timeout=10) as resp:
-                        statuses.append(resp.status)
-                except urllib.error.HTTPError as exc:
-                    statuses.append(exc.code)
+                    # 429s are backpressure, not failures: honor the
+                    # gate's Retry-After before counting the request.
+                    statuses.append(
+                        http_post_json(url, body, timeout=10, stop=stop)
+                    )
                 except (urllib.error.URLError, ConnectionError, OSError):
                     transport_errors += 1
                 time.sleep(0.005)

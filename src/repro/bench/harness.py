@@ -10,8 +10,56 @@ from __future__ import annotations
 import json
 import math
 import os
+import threading
 import time
+import urllib.error
+import urllib.request
 from typing import Callable, Optional, Sequence
+
+
+def http_post_json(
+    url: str,
+    body: bytes,
+    *,
+    timeout: float = 10.0,
+    retries_429: int = 3,
+    retry_after_cap_s: float = 5.0,
+    stop: Optional[threading.Event] = None,
+) -> int:
+    """POST a JSON body and return the HTTP status, honoring 429 backpressure.
+
+    The admission gate sheds overload with ``429 + Retry-After`` (see
+    :mod:`repro.service.admission`); a well-behaved client treats that as
+    "wait and resend", not as a failure.  This helper retries a 429 up to
+    ``retries_429`` times, sleeping the server-suggested ``Retry-After``
+    seconds (capped at ``retry_after_cap_s``) between sends.  Any other
+    HTTP status is returned as-is (the caller decides what 4xx/5xx mean);
+    transport errors propagate.  ``stop`` aborts a backoff sleep early —
+    traffic loops in the chaos suites pass their shutdown event so a
+    shedding server cannot delay teardown.
+    """
+    attempts_left = max(0, int(retries_429))
+    while True:
+        req = urllib.request.Request(
+            url, data=body, headers={"Content-Type": "application/json"}
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
+                return int(resp.status)
+        except urllib.error.HTTPError as exc:
+            if exc.code != 429 or attempts_left <= 0:
+                return exc.code
+            attempts_left -= 1
+            try:
+                delay = float(exc.headers.get("Retry-After", "1"))
+            except (TypeError, ValueError):
+                delay = 1.0
+            delay = min(max(delay, 0.0), retry_after_cap_s)
+            if stop is not None:
+                if stop.wait(delay):
+                    return exc.code
+            else:
+                time.sleep(delay)
 
 
 def time_callable(fn: Callable[[], object], repeats: int = 5) -> float:

@@ -42,6 +42,7 @@ from repro.bench.harness import TableReporter
 from repro.core.pref_index import PrefIndex
 from repro.index.backend import DYNAMIC_ENGINES, ENGINES
 from repro.core.ptile_range import PtileRangeIndex
+from repro.errors import ReproError
 from repro.geometry.interval import Interval
 from repro.geometry.rectangle import Rectangle
 from repro.synopsis.exact import ExactSynopsis
@@ -208,6 +209,35 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"http://{args.host}:{args.port}/search")
     serve(service, host=args.host, port=args.port,
           max_inflight=args.max_inflight, max_queue=args.max_queue)
+    return 0
+
+
+def cmd_federate(args: argparse.Namespace) -> int:
+    from repro.service.federation import FederatedCoordinator, serve_federation
+
+    coordinator = FederatedCoordinator(
+        rpc_timeout_s=args.rpc_timeout,
+        max_retries=args.max_retries,
+        hedge_delay_s=args.hedge_delay if args.hedge_delay > 0 else None,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset,
+        merge_margin=args.merge_margin,
+        tracing=args.trace,
+    )
+    for url in args.node:
+        try:
+            receipt = coordinator.add_node(url)
+        except ReproError as exc:
+            print(f"federate: cannot register node {url}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"registered node {receipt['node_id']}: {receipt['url']} "
+              f"({receipt['n_datasets']} datasets at offset "
+              f"{receipt['offset']})")
+    if not args.node:
+        print("no --node given; register nodes at runtime with "
+              "POST /nodes {\"url\": ..., \"synopses\": [...]}")
+    serve_federation(coordinator, host=args.host, port=args.port)
     return 0
 
 
@@ -410,6 +440,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="arm fault injection, e.g. 'shard_eval=sleep:0.2' "
                         "(testing only; see repro.service.faults)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "federate",
+        help="run a scatter-gather coordinator over running 'repro serve' "
+             "nodes (circuit breakers, hedged retries, synopsis-screened "
+             "degradation)",
+    )
+    p.add_argument("--node", action="append", default=[], metavar="URL",
+                   help="a node's base URL, e.g. http://10.0.0.2:8765 "
+                        "(repeatable; more can join later via POST /nodes)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8770)
+    p.add_argument("--rpc-timeout", type=float, default=5.0, metavar="S",
+                   help="per-attempt node RPC timeout, seconds")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="retries per node call after a failed attempt")
+    p.add_argument("--hedge-delay", type=float, default=0.25, metavar="S",
+                   help="fire one duplicate RPC if the primary hasn't "
+                        "answered after S seconds (0 disables hedging)")
+    p.add_argument("--breaker-threshold", type=int, default=3,
+                   help="consecutive failures that trip a node's breaker")
+    p.add_argument("--breaker-reset", type=float, default=2.0, metavar="S",
+                   help="seconds an open breaker waits before one "
+                        "half-open probe")
+    p.add_argument("--merge-margin", type=float, default=0.15,
+                   help="fraction of a query deadline reserved for the "
+                        "merge phase")
+    p.add_argument("--trace", action="store_true",
+                   help="record scatter/gather/merge spans per batch")
+    p.set_defaults(func=cmd_federate)
 
     p = sub.add_parser(
         "snapshot",

@@ -30,7 +30,11 @@ batch.  This package turns the engine into a serving subsystem:
   exposition), and the slow-query log — near-zero-cost when disabled;
 - :mod:`~repro.service.server` exposes the service over a stdlib-HTTP JSON
   endpoint (the ``repro serve`` CLI subcommand), including ``/metrics``
-  and ``/stats/slow``.
+  and ``/stats/slow``;
+- :mod:`~repro.service.federation` scatter-gathers batches over multiple
+  ``repro serve`` nodes (the ``repro federate`` CLI subcommand) with
+  per-node sub-deadlines, retries + hedging, circuit breakers, and
+  synopsis-screened degradation for absent nodes.
 """
 
 from repro.service.cache import CacheEntry, CacheStats, LeafResultCache
@@ -69,6 +73,14 @@ from repro.service.server import (
     make_server,
     serve,
 )
+from repro.service.federation import (
+    CircuitBreaker,
+    FederatedCoordinator,
+    FederatedNode,
+    federated_node_service,
+    make_federation_server,
+    serve_federation,
+)
 from repro.service import snapshot
 from repro.service.snapshot import load as load_snapshot
 from repro.service.snapshot import save as save_snapshot
@@ -78,6 +90,9 @@ __all__ = [
     "BatchPlan",
     "CacheEntry",
     "CacheStats",
+    "CircuitBreaker",
+    "FederatedCoordinator",
+    "FederatedNode",
     "Histogram",
     "LeafResultCache",
     "MetricsRegistry",
@@ -98,8 +113,10 @@ __all__ = [
     "evaluate_with_leaf_results",
     "expression_from_json",
     "expression_to_json",
+    "federated_node_service",
     "leaf_key",
     "load_snapshot",
+    "make_federation_server",
     "make_handler",
     "make_server",
     "partial_bounds",
@@ -108,6 +125,7 @@ __all__ = [
     "plan_query",
     "save_snapshot",
     "serve",
+    "serve_federation",
     "serve_forked",
     "snapshot",
 ]

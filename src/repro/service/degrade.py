@@ -52,19 +52,133 @@ answering at all.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Mapping, Tuple
+from typing import (
+    TYPE_CHECKING,
+    AbstractSet,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.bitset import DatasetBitmap
 from repro.core.measures import PercentileMeasure, PreferenceMeasure
 from repro.core.predicates import And, Expression, Or, Predicate
 from repro.errors import CapabilityError, QueryError
+from repro.geometry.interval import Interval
 from repro.service.planner import LeafKey, _combine_and, _combine_or, leaf_key
 
 if TYPE_CHECKING:
     from repro.service.sharding import ShardedBatchExecutor
+    from repro.synopsis.base import Synopsis
 
 #: A leaf's screened bounds: (must bitmap, possible bitmap); must ⊆ possible.
 LeafBounds = Tuple[DatasetBitmap, DatasetBitmap]
+
+
+def classify_ptile(
+    syn: "Synopsis",
+    measure: PercentileMeasure,
+    theta: Interval,
+    eps_effective: Optional[float],
+) -> str:
+    """``"must"`` / ``"maybe"`` / ``"cant"`` for one percentile leaf.
+
+    ``eps_effective`` is the precision slack of the engine that would
+    answer exactly; pass ``None`` when it is unknown (a federated
+    coordinator screening a remote node's synopses without its accuracy
+    contract) — the *must* verdict is slack-free, but nothing can then be
+    ruled out, so the unknown-slack screen never answers ``"cant"``.
+    """
+    try:
+        m = float(syn.mass(measure.rect))
+    except CapabilityError:
+        return "maybe"
+    d = syn.delta_ptile or 0.0
+    if (m - d) in theta and (m + d) in theta:
+        return "must"
+    if eps_effective is None:
+        return "maybe"
+    wide = theta.expand(eps_effective + 2.0 * d)
+    if (m + d) < wide.lo or (m - d) > wide.hi:
+        return "cant"
+    return "maybe"
+
+
+def classify_pref(
+    syn: "Synopsis",
+    measure: PreferenceMeasure,
+    theta: Interval,
+    eps: Optional[float],
+) -> str:
+    """``"must"`` / ``"maybe"`` / ``"cant"`` for one preference leaf.
+
+    Same contract as :func:`classify_ptile`: ``eps`` is the direction-net
+    resolution of the answering engine, ``None`` disables the ``"cant"``
+    verdict (the *must* side needs only the synopsis's own ``delta_pref``).
+    """
+    try:
+        s = float(syn.score(measure.vector, measure.k))
+    except CapabilityError:
+        return "maybe"
+    d = syn.delta_pref or 0.0
+    tau = theta.lo
+    if s - d >= tau and not (theta.lo_open and s - d == tau):
+        return "must"
+    if eps is None:
+        return "maybe"
+    if s + d < tau - (2.0 * eps + 2.0 * d):
+        return "cant"
+    return "maybe"
+
+
+def screen_synopses(
+    synopses: Sequence["Synopsis"],
+    leaf: Predicate,
+    *,
+    eps: Optional[float] = None,
+    eps_effective: Optional[float] = None,
+    removed: AbstractSet[int] = frozenset(),
+    n_datasets: Optional[int] = None,
+) -> LeafBounds:
+    """``(must, possible)`` bounds for ``leaf`` over a plain synopsis list.
+
+    The executor-free core of :meth:`SynopsisScreen.screen_leaf`, shared
+    with the federation coordinator (which screens a *node's* registered
+    synopses when that node cannot answer).  ``eps`` / ``eps_effective``
+    are the answering engine's slack parameters; either may be ``None``
+    when unknown, degrading that side of the screen to all-``maybe``
+    (sound, just looser).  ``n_datasets`` sizes the bitmaps (default: the
+    synopsis count).
+    """
+    measure = leaf.measure
+    theta = leaf.theta
+    if isinstance(measure, PreferenceMeasure):
+        if not theta.is_threshold:
+            raise QueryError(
+                "preference predicates support one-sided theta = [a, inf)"
+            )
+    elif not isinstance(measure, PercentileMeasure):
+        raise QueryError(f"unsupported measure {type(measure).__name__}")
+    must_ids: list[int] = []
+    possible_ids: list[int] = []
+    for i, syn in enumerate(synopses):
+        if i in removed:
+            continue
+        if isinstance(measure, PercentileMeasure):
+            verdict = classify_ptile(syn, measure, theta, eps_effective)
+        else:
+            verdict = classify_pref(syn, measure, theta, eps)
+        if verdict == "must":
+            must_ids.append(i)
+            possible_ids.append(i)
+        elif verdict == "maybe":
+            possible_ids.append(i)
+    n = len(synopses) if n_datasets is None else n_datasets
+    return (
+        DatasetBitmap.from_indices(must_ids, n),
+        DatasetBitmap.from_indices(possible_ids, n),
+    )
 
 
 class SynopsisScreen:
@@ -88,34 +202,13 @@ class SynopsisScreen:
         excluded from both (the executor masks them out of real answers).
         """
         ex = self._executor
-        measure = leaf.measure
-        theta = leaf.theta
-        if isinstance(measure, PercentileMeasure):
-            classify = self._classify_ptile
-        elif isinstance(measure, PreferenceMeasure):
-            if not theta.is_threshold:
-                raise QueryError(
-                    "preference predicates support one-sided theta = [a, inf)"
-                )
-            classify = self._classify_pref
-        else:
-            raise QueryError(f"unsupported measure {type(measure).__name__}")
-        removed = ex.removed
-        must_ids: list[int] = []
-        possible_ids: list[int] = []
-        for i, syn in enumerate(ex.synopses):
-            if i in removed:
-                continue
-            verdict = classify(syn, measure, theta)
-            if verdict == "must":
-                must_ids.append(i)
-                possible_ids.append(i)
-            elif verdict == "maybe":
-                possible_ids.append(i)
-        n = ex.n_datasets
-        return (
-            DatasetBitmap.from_indices(must_ids, n),
-            DatasetBitmap.from_indices(possible_ids, n),
+        return screen_synopses(
+            ex.synopses,
+            leaf,
+            eps=ex.eps,
+            eps_effective=ex.eps_effective,
+            removed=ex.removed,
+            n_datasets=ex.n_datasets,
         )
 
     def screen_leaves(
@@ -123,35 +216,6 @@ class SynopsisScreen:
     ) -> dict[LeafKey, LeafBounds]:
         """Screen a keyed leaf collection (the planner's ``plan.leaves``)."""
         return {key: self.screen_leaf(leaf) for key, leaf in leaves.items()}
-
-    # ------------------------------------------------------------------
-    def _classify_ptile(self, syn, measure, theta) -> str:
-        try:
-            m = float(syn.mass(measure.rect))
-        except CapabilityError:
-            return "maybe"
-        d = syn.delta_ptile or 0.0
-        if (m - d) in theta and (m + d) in theta:
-            return "must"
-        slack = self._executor.eps_effective + 2.0 * d
-        wide = theta.expand(slack)
-        if (m + d) < wide.lo or (m - d) > wide.hi:
-            return "cant"
-        return "maybe"
-
-    def _classify_pref(self, syn, measure, theta) -> str:
-        try:
-            s = float(syn.score(measure.vector, measure.k))
-        except CapabilityError:
-            return "maybe"
-        d = syn.delta_pref or 0.0
-        tau = theta.lo
-        if s - d >= tau and not (theta.lo_open and s - d == tau):
-            return "must"
-        slack = 2.0 * self._executor.eps + 2.0 * d
-        if s + d < tau - slack:
-            return "cant"
-        return "maybe"
 
 
 def combine_bounds(

@@ -1,8 +1,9 @@
 """Named failpoints for fault-injection tests (chaos suite, benchmarks).
 
 A *failpoint* is a named hook compiled into a handful of serving-layer
-boundaries — shard evaluation, snapshot loading, HTTP request handling —
-that does nothing in production and performs a scripted fault when armed:
+boundaries — shard evaluation, snapshot loading, HTTP request handling,
+federation node RPC — that does nothing in production and performs a
+scripted fault when armed:
 
 - ``sleep:SECONDS`` — stall (a slow shard / hung worker);
 - ``raise`` — raise :class:`FailpointError` (an internal crash; the
@@ -62,8 +63,11 @@ FAILPOINT_ENV = "REPRO_FAILPOINTS"
 
 #: Every failpoint compiled into the tree.  Arming an unknown name is an
 #: error: a misspelled spec that "arms" nothing would make a chaos test
-#: silently vacuous.
-POINTS = frozenset({"shard_eval", "snapshot_load", "handler"})
+#: silently vacuous.  ``node_rpc`` fires inside the federation
+#: coordinator's per-node RPC attempt (:mod:`repro.service.federation`),
+#: so a chaos test can stall or fail every scatter leg without touching
+#: the node processes.
+POINTS = frozenset({"shard_eval", "snapshot_load", "handler", "node_rpc"})
 
 _ACTIONS = frozenset({"sleep", "raise", "exit"})
 

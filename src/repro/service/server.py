@@ -229,37 +229,21 @@ _KNOWN_ENDPOINTS = frozenset(
 _GATED_ENDPOINTS = frozenset({"/search", "/search/batch"})
 
 
-class _ServiceRequestHandler(BaseHTTPRequestHandler):
-    """Routes HTTP verbs to the bound service; set via ``make_handler``.
+class JsonRequestHandler(BaseHTTPRequestHandler):
+    """Shared JSON-over-HTTP plumbing for the repo's stdlib handlers.
 
-    Every handled request is observed into the service's
-    ``repro_request_seconds{endpoint=...}`` histogram and
-    ``repro_requests_total{endpoint=..., status=...}`` counter.
-
-    ``service`` is either a plain class attribute (single-process mode)
-    or a property over a provider callable (supervisor workers, which
-    hot-swap the engine on snapshot-generation bumps).  ``context`` is a
-    *shared, mutable* dict the supervisor updates in place — worker
-    identity and the serving snapshot generation — read fresh on every
-    request.
+    Owns nothing but the wire mechanics: JSON request parsing with a
+    :class:`~repro.errors.QueryError` on malformed bodies, JSON and
+    Prometheus-text responses with correct ``Content-Length``, quiet
+    logging, and the ``_status`` stamp the metrics observers read.  The
+    service handler below and the federation coordinator's handler
+    (:mod:`repro.service.federation`) both subclass it, so the two
+    servers cannot drift on framing details.
     """
 
-    service: QueryService  # injected by make_handler
     quiet: bool = True
-    writable: bool = True
-    #: Called (no args) after each successful mutation — the supervisor's
-    #: writer worker publishes a new snapshot generation here.
-    on_mutate: Optional[Callable[[], None]] = None
-    #: Admission gate for the search endpoints; None = admit everything.
-    gate: Optional[AdmissionGate] = None
-    #: Writer-promotion hook, bound ONLY on a supervisor worker's admin
-    #: port (the public port must 404 it — a load balancer reaching it
-    #: could mint a second writer).  Flips this worker writable.
-    promote_hook: Optional[Callable[[], None]] = None
-    context: dict = {}
     protocol_version = "HTTP/1.1"
 
-    # -- helpers -------------------------------------------------------
     def log_message(self, fmt: str, *args: object) -> None:  # pragma: no cover
         if not self.quiet:
             super().log_message(fmt, *args)
@@ -293,6 +277,47 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(raw)
 
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            obj = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise QueryError(f"request body is not valid JSON: {exc}")
+        if not isinstance(obj, dict):
+            raise QueryError("request body must be a JSON object")
+        return obj
+
+
+class _ServiceRequestHandler(JsonRequestHandler):
+    """Routes HTTP verbs to the bound service; set via ``make_handler``.
+
+    Every handled request is observed into the service's
+    ``repro_request_seconds{endpoint=...}`` histogram and
+    ``repro_requests_total{endpoint=..., status=...}`` counter.
+
+    ``service`` is either a plain class attribute (single-process mode)
+    or a property over a provider callable (supervisor workers, which
+    hot-swap the engine on snapshot-generation bumps).  ``context`` is a
+    *shared, mutable* dict the supervisor updates in place — worker
+    identity and the serving snapshot generation — read fresh on every
+    request.
+    """
+
+    service: QueryService  # injected by make_handler
+    writable: bool = True
+    #: Called (no args) after each successful mutation — the supervisor's
+    #: writer worker publishes a new snapshot generation here.
+    on_mutate: Optional[Callable[[], None]] = None
+    #: Admission gate for the search endpoints; None = admit everything.
+    gate: Optional[AdmissionGate] = None
+    #: Writer-promotion hook, bound ONLY on a supervisor worker's admin
+    #: port (the public port must 404 it — a load balancer reaching it
+    #: could mint a second writer).  Flips this worker writable.
+    promote_hook: Optional[Callable[[], None]] = None
+    context: dict = {}
+
+    # -- helpers -------------------------------------------------------
     def _observe(self, t0: float) -> None:
         endpoint = self.path if self.path in _KNOWN_ENDPOINTS else "other"
         self.service.observability.observe_request(
@@ -320,17 +345,6 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             },
             status=409,
         )
-
-    def _read_json(self) -> dict:
-        length = int(self.headers.get("Content-Length", 0))
-        raw = self.rfile.read(length) if length else b"{}"
-        try:
-            obj = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise QueryError(f"request body is not valid JSON: {exc}")
-        if not isinstance(obj, dict):
-            raise QueryError("request body must be a JSON object")
-        return obj
 
     # -- verbs ---------------------------------------------------------
     def do_GET(self) -> None:

@@ -62,6 +62,7 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import signal
 import socket
 import sys
@@ -282,6 +283,13 @@ class ServiceSupervisor:
     backoff_base, backoff_max:
         Respawn backoff: first respawn after ``backoff_base`` seconds,
         doubling per consecutive crash up to ``backoff_max``.
+    backoff_jitter, backoff_seed:
+        Each scheduled respawn delay is stretched by a uniform random
+        factor in ``[1, 1 + backoff_jitter]`` so workers that died
+        together (a poison query fanned to the whole fleet) don't
+        respawn in lockstep and re-crash as one thundering herd.
+        ``backoff_jitter=0`` restores deterministic delays;
+        ``backoff_seed`` pins the RNG for tests.
     crash_loop_threshold, crash_loop_window:
         Circuit breaker: a slot crashing ``threshold`` times within
         ``window`` seconds stays down until the supervisor restarts.
@@ -316,6 +324,8 @@ class ServiceSupervisor:
         monitor_interval: float = 0.2,
         backoff_base: float = 0.25,
         backoff_max: float = 4.0,
+        backoff_jitter: float = 0.5,
+        backoff_seed: Optional[int] = None,
         crash_loop_threshold: int = 5,
         crash_loop_window: float = 30.0,
         probe_interval: float = 1.0,
@@ -336,6 +346,12 @@ class ServiceSupervisor:
         self.monitor_interval = float(monitor_interval)
         self.backoff_base = float(backoff_base)
         self.backoff_max = float(backoff_max)
+        if not 0.0 <= backoff_jitter <= 1.0:
+            raise ValueError(
+                f"backoff_jitter must be in [0, 1], got {backoff_jitter}"
+            )
+        self.backoff_jitter = float(backoff_jitter)
+        self._backoff_rng = random.Random(backoff_seed)  # guarded-by: _lock
         self.crash_loop_threshold = int(crash_loop_threshold)
         self.crash_loop_window = float(crash_loop_window)
         self.probe_interval = float(probe_interval)
@@ -568,8 +584,7 @@ class ServiceSupervisor:
                 slot.crash_times.append(now)
                 if len(slot.crash_times) >= self.crash_loop_threshold:
                     slot.disabled = True
-                slot.next_respawn = now + slot.backoff
-                slot.backoff = min(slot.backoff * 2.0, self.backoff_max)
+                self._schedule_respawn_locked(slot, now)
                 slot.probe_misses = 0
                 was_writer = slot.worker_id == self._writer_id
                 disabled = slot.disabled
@@ -580,6 +595,19 @@ class ServiceSupervisor:
             )
             if was_writer:
                 self._promote_new_writer(exclude=slot.worker_id)
+
+    def _schedule_respawn_locked(self, slot: "_WorkerSlot", now: float) -> None:
+        """Set the slot's next respawn time and escalate its backoff.
+
+        Caller holds ``_lock``.  The delay is the slot's current backoff
+        stretched by a uniform factor in ``[1, 1 + backoff_jitter]`` —
+        workers that crashed in the same instant get de-correlated
+        respawn times instead of re-forking (and potentially re-crashing
+        on the same poison input) in lockstep.
+        """
+        jitter = 1.0 + self.backoff_jitter * self._backoff_rng.random()
+        slot.next_respawn = now + slot.backoff * jitter
+        slot.backoff = min(slot.backoff * 2.0, self.backoff_max)
 
     def _promote_new_writer(self, exclude: int) -> None:
         """Hand writership to the lowest-id live worker (if any).
@@ -643,8 +671,7 @@ class ServiceSupervisor:
                     f"respawn of worker {slot.worker_id} failed: {exc}"
                 )
                 with self._lock:
-                    slot.next_respawn = now + slot.backoff
-                    slot.backoff = min(slot.backoff * 2.0, self.backoff_max)
+                    self._schedule_respawn_locked(slot, now)
                 continue
             with self._lock:
                 slot.pid = pid

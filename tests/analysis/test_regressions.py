@@ -135,3 +135,57 @@ def test_len_safe_during_concurrent_churn():
     stop.set()
     t1.join()
     assert errors == []
+
+
+# -- PR-10 federation module stays inside the lint disciplines ----------
+
+
+def _lint_federation(mutate=None, rules=("failpoint-discipline",)):
+    source = (SRC / "federation.py").read_text()
+    if mutate is not None:
+        source = mutate(source)
+    return lint_source(source, path="federation.py", rules=list(rules))
+
+
+def test_federation_currently_clean():
+    assert _lint_federation(rules=["failpoint-discipline", "guarded-by"]) == []
+
+
+def test_stripping_node_rpc_guard_is_caught():
+    # The coordinator's node_rpc touchpoint must stay zero-cost: removing
+    # the `faults.ARMED is not None` guard re-introduces an unconditional
+    # call on every RPC attempt, and the rule must light up.
+    def strip_guard(source: str) -> str:
+        guarded = (
+            "if faults.ARMED is not None:\n"
+            "                    faults.hit(\"node_rpc\")"
+        )
+        assert guarded in source
+        return source.replace(guarded, "faults.hit(\"node_rpc\")")
+
+    findings = _lint_federation(mutate=strip_guard)
+    assert findings, "failpoint-discipline must flag the unguarded hit"
+    assert any(
+        "faults.hit()" in f.message and "run()" in f.message
+        for f in findings
+    )
+
+
+def test_unlocking_breaker_state_is_caught():
+    # CircuitBreaker._state is read under _lock everywhere; stripping the
+    # lock from allow() must trip guarded-by.
+    def unlock_allow(source: str) -> str:
+        locked = (
+            "    def allow(self) -> bool:\n"
+            '        """May a request go out now?  Half-open admits '
+            'exactly one probe."""\n'
+            "        with self._lock:\n"
+        )
+        assert locked in source
+        return source.replace(
+            locked,
+            locked.replace("with self._lock:", "if True:"),
+        )
+
+    findings = _lint_federation(mutate=unlock_allow, rules=["guarded-by"])
+    assert any("_state" in f.message and "allow()" in f.message for f in findings)

@@ -200,3 +200,85 @@ class TestServerIntegration:
         with urllib.request.urlopen(f"{url}/metrics", timeout=5) as resp:
             text = resp.read().decode()
         assert "repro_requests_shed_total" in text
+
+
+class TestRetryAfterClient:
+    """The bench/chaos HTTP client treats 429 + Retry-After as 'wait and
+    resend', so shed requests succeed on the retry instead of polluting
+    the chaos suites' status counts."""
+
+    def _shedding_server(self, shed_first_n: int, retry_after: str = "1"):
+        """A tiny server answering 429 (with Retry-After) N times, then 200."""
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        seen = {"posts": 0}
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt, *args):
+                pass
+
+            def do_POST(self):
+                self.rfile.read(int(self.headers.get("Content-Length", 0)))
+                seen["posts"] += 1
+                if seen["posts"] <= shed_first_n:
+                    body = b'{"error": "overloaded"}'
+                    self.send_response(429)
+                    self.send_header("Retry-After", retry_after)
+                else:
+                    body = b'{"ok": true}'
+                    self.send_response(200)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+        httpd = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        threading.Thread(target=httpd.serve_forever, daemon=True).start()
+        host, port = httpd.server_address
+        return httpd, f"http://{host}:{port}/search/batch", seen
+
+    def test_retries_past_429_and_succeeds(self):
+        from repro.bench.harness import http_post_json
+
+        httpd, url, seen = self._shedding_server(2, retry_after="0")
+        try:
+            status = http_post_json(url, b"{}", timeout=5, retries_429=3)
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+        assert status == 200
+        assert seen["posts"] == 3  # two sheds honored, third send won
+
+    def test_gives_up_after_retry_budget(self):
+        from repro.bench.harness import http_post_json
+
+        httpd, url, seen = self._shedding_server(10, retry_after="0")
+        try:
+            status = http_post_json(url, b"{}", timeout=5, retries_429=2)
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+        assert status == 429
+        assert seen["posts"] == 3  # initial send + 2 retries
+
+    def test_stop_event_aborts_backoff_sleep(self):
+        import time as _time
+
+        from repro.bench.harness import http_post_json
+
+        # Retry-After of 30s must not hold the client hostage when the
+        # traffic loop is being torn down.
+        httpd, url, _seen = self._shedding_server(10, retry_after="30")
+        stop = threading.Event()
+        threading.Timer(0.2, stop.set).start()
+        t0 = _time.perf_counter()
+        try:
+            status = http_post_json(
+                url, b"{}", timeout=5, retries_429=3,
+                retry_after_cap_s=30.0, stop=stop,
+            )
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+        assert status == 429
+        assert _time.perf_counter() - t0 < 5.0

@@ -208,3 +208,110 @@ class TestExecutorShapedOperations:
         assert bits.to_list() == sorted(members)
         assert bits.to_frozenset() == frozenset(members)
         assert bits.any() == bool(members)
+
+
+class TestFederatedMergeAlgebra:
+    """Cross-node merge properties the federation coordinator relies on:
+    heterogeneous per-node universes, wire round-trips, and offset-shifted
+    OR merges must reproduce the single-universe answer exactly."""
+
+    @given(data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_shifted_or_merge_equals_union_of_slices(self, data):
+        # Random federation layout: 1..5 nodes with heterogeneous sizes.
+        sizes = data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=70), min_size=1, max_size=5
+            )
+        )
+        total = sum(sizes)
+        offsets = [sum(sizes[:i]) for i in range(len(sizes))]
+        per_node = [
+            data.draw(
+                st.sets(st.integers(min_value=0, max_value=n - 1), max_size=n)
+            )
+            for n in sizes
+        ]
+        merged = DatasetBitmap.zeros(total)
+        for ids, n, off in zip(per_node, sizes, offsets):
+            merged = merged | DatasetBitmap.from_indices(
+                sorted(ids), n
+            ).shift_into(off, total)
+        expected = sorted(
+            off + i for ids, off in zip(per_node, offsets) for i in ids
+        )
+        assert merged.to_list() == expected
+        assert merged.nbits == total
+
+    @given(data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_wire_round_trip_then_shift_is_lossless(self, data):
+        # The coordinator's actual data path: node encodes to_wire(), the
+        # coordinator decodes and shifts.  Decode must be exact for every
+        # (size, offset) geometry, including word-boundary-straddling ones.
+        from repro.core.bitset import bitmap_from_wire
+
+        n = data.draw(st.integers(min_value=1, max_value=200))
+        ids = sorted(
+            data.draw(
+                st.sets(st.integers(min_value=0, max_value=n - 1), max_size=n)
+            )
+        )
+        head = data.draw(st.integers(min_value=0, max_value=130))
+        tail = data.draw(st.integers(min_value=0, max_value=130))
+        local = DatasetBitmap.from_indices(ids, n)
+        decoded = bitmap_from_wire(local.to_wire())
+        assert decoded.nbits == n
+        assert decoded.to_list() == ids
+        shifted = decoded.shift_into(head, head + n + tail)
+        assert shifted.to_list() == [head + i for i in ids]
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_permutation_invariant_and_disjoint(self, data):
+        # Nodes own disjoint slices, so merge order cannot matter and no
+        # two nodes may light the same global bit.
+        sizes = data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=50), min_size=2, max_size=4
+            )
+        )
+        total = sum(sizes)
+        offsets = [sum(sizes[:i]) for i in range(len(sizes))]
+        shifted = []
+        for n, off in zip(sizes, offsets):
+            ids = sorted(
+                data.draw(
+                    st.sets(
+                        st.integers(min_value=0, max_value=n - 1), max_size=n
+                    )
+                )
+            )
+            shifted.append(
+                DatasetBitmap.from_indices(ids, n).shift_into(off, total)
+            )
+        forward = DatasetBitmap.zeros(total)
+        for b in shifted:
+            forward = forward | b
+        backward = DatasetBitmap.zeros(total)
+        for b in reversed(shifted):
+            backward = backward | b
+        assert forward.to_list() == backward.to_list()
+        assert forward.count() == sum(b.count() for b in shifted)
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_shift_into_rejects_slice_overflow(self, data):
+        # A node answering over more datasets than its registered slice
+        # (universe drift) must fail loudly, never silently truncate.
+        import pytest
+
+        n = data.draw(st.integers(min_value=1, max_value=60))
+        total = data.draw(st.integers(min_value=1, max_value=60))
+        offset = data.draw(st.integers(min_value=0, max_value=80))
+        local = DatasetBitmap.full(n)
+        if offset + n > total:
+            with pytest.raises(ValueError):
+                local.shift_into(offset, total)
+        else:
+            assert local.shift_into(offset, total).count() == n

@@ -21,6 +21,7 @@ import urllib.request
 import numpy as np
 import pytest
 
+from repro.bench.harness import http_post_json
 from repro.core.framework import Repository
 from repro.service import QueryService, faults
 from repro.service.server import expression_to_json
@@ -90,16 +91,18 @@ class _Traffic:
 
     def _run(self) -> None:
         while not self._stop.is_set():
-            req = urllib.request.Request(
-                f"{self.url}/search/batch",
-                data=self.payload,
-                headers={"Content-Type": "application/json"},
-            )
             try:
-                with urllib.request.urlopen(req, timeout=10) as resp:
-                    self.statuses.append(resp.status)
-            except urllib.error.HTTPError as exc:
-                self.statuses.append(exc.code)
+                # 429 shedding is honored (sleep Retry-After, resend)
+                # rather than recorded: the chaos assertions are about
+                # crashes, and backpressure is not a crash.
+                self.statuses.append(
+                    http_post_json(
+                        f"{self.url}/search/batch",
+                        self.payload,
+                        timeout=10,
+                        stop=self._stop,
+                    )
+                )
             except (urllib.error.URLError, ConnectionError, OSError):
                 # A connection that landed on the corpse: reset, not served.
                 self.transport_errors += 1

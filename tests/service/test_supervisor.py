@@ -22,6 +22,7 @@ from repro.service import QueryService
 from repro.service.server import expression_to_json
 from repro.service.supervisor import (
     ServiceSupervisor,
+    _WorkerSlot,
     fork_available,
     read_watermark,
     watermark_corrupt_reads,
@@ -276,3 +277,62 @@ def test_bad_snapshot_fails_start(tmp_path):
     bogus.write_bytes(b"NOTASNAP" + b"\x00" * 64)
     with pytest.raises(SnapshotError):
         ServiceSupervisor(bogus, workers=2).start()
+
+
+class TestRespawnJitter:
+    """Respawn scheduling stretches each backoff by a random factor in
+    [1, 1 + backoff_jitter] so a fleet that died together does not
+    re-fork (and potentially re-crash) in lockstep."""
+
+    def _supervisor(self, **kw):
+        # Constructor only; never started, so no snapshot file is needed.
+        return ServiceSupervisor("unused.snap", workers=2, **kw)
+
+    def _slot(self, sup, worker_id=0):
+        slot = _WorkerSlot(worker_id, pid=0, admin_port=0,
+                           backoff=sup.backoff_base)
+        slot.alive = False
+        return slot
+
+    def test_simultaneous_crashes_get_distinct_respawn_times(self):
+        sup = self._supervisor(backoff_seed=123)
+        now = 100.0
+        times = []
+        for wid in range(8):
+            slot = self._slot(sup, wid)
+            sup._schedule_respawn_locked(slot, now)
+            times.append(slot.next_respawn)
+        assert len(set(times)) == len(times)  # no lockstep
+        lo = now + sup.backoff_base
+        hi = now + sup.backoff_base * (1.0 + sup.backoff_jitter)
+        assert all(lo <= t <= hi for t in times)
+
+    def test_zero_jitter_restores_deterministic_delays(self):
+        sup = self._supervisor(backoff_jitter=0.0)
+        slot = self._slot(sup)
+        sup._schedule_respawn_locked(slot, 50.0)
+        assert slot.next_respawn == 50.0 + sup.backoff_base
+        assert slot.backoff == sup.backoff_base * 2.0
+
+    def test_seed_pins_the_schedule(self):
+        a, b = (self._supervisor(backoff_seed=7) for _ in range(2))
+        sa, sb = self._slot(a), self._slot(b)
+        for now in (10.0, 20.0, 30.0):
+            a._schedule_respawn_locked(sa, now)
+            b._schedule_respawn_locked(sb, now)
+            assert sa.next_respawn == sb.next_respawn
+            assert sa.backoff == sb.backoff
+
+    def test_backoff_still_doubles_to_cap_under_jitter(self):
+        sup = self._supervisor(backoff_seed=1, backoff_base=0.25,
+                               backoff_max=1.0)
+        slot = self._slot(sup)
+        ladder = []
+        for _ in range(5):
+            ladder.append(slot.backoff)
+            sup._schedule_respawn_locked(slot, 0.0)
+        assert ladder == [0.25, 0.5, 1.0, 1.0, 1.0]
+
+    def test_rejects_out_of_range_jitter(self):
+        with pytest.raises(ValueError):
+            self._supervisor(backoff_jitter=1.5)
